@@ -1,0 +1,97 @@
+//! Benches regenerating the figure workloads (Figs. 7–14): training-step cost
+//! estimation sweeps plus measured CPU-kernel runs of the parameters the
+//! figures vary (cg, co, batch size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsx_bench::scc_workload;
+use dsx_core::SccImplementation;
+use dsx_gpusim::{estimate_training_step, scaling_curve, GpuModel};
+use dsx_models::{ConvScheme, Dataset, ModelKind};
+use std::hint::black_box;
+
+fn bench_fig7_training_step_estimates(c: &mut Criterion) {
+    let gpu = GpuModel::v100();
+    let mut group = c.benchmark_group("fig7_training_step");
+    group.sample_size(10);
+    for kind in [ModelKind::Vgg16, ModelKind::MobileNet, ModelKind::ResNet50] {
+        let spec = kind.spec(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT);
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let base =
+                    estimate_training_step(&gpu, &spec, 128, SccImplementation::PytorchBase);
+                let dsx = estimate_training_step(&gpu, &spec, 128, SccImplementation::Dsxplore);
+                black_box(base.total_s / dsx.total_s)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig11_groups(c: &mut Criterion) {
+    // Measured CPU kernels: forward+backward of one SCC layer as cg varies.
+    let mut group = c.benchmark_group("fig11_groups");
+    group.sample_size(10);
+    for cg in [1usize, 2, 4, 8] {
+        let workload = scc_workload(64, 128, cg, if cg == 1 { 0.0 } else { 0.5 }, 4, 16,
+            SccImplementation::Dsxplore);
+        group.bench_function(BenchmarkId::from_parameter(format!("cg{cg}")), |b| {
+            b.iter(|| {
+                let out = workload.layer.forward(black_box(&workload.input));
+                black_box(workload.layer.backward(&workload.input, &workload.grad_output));
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig12_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_overlap");
+    group.sample_size(10);
+    for co in [0.25f64, 0.5, 0.75] {
+        let workload = scc_workload(64, 128, 2, co, 4, 16, SccImplementation::Dsxplore);
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("co{}", (co * 100.0) as usize)),
+            |b| {
+                b.iter(|| {
+                    let out = workload.layer.forward(black_box(&workload.input));
+                    black_box(out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig13_batch_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_batch_size");
+    group.sample_size(10);
+    for batch in [2usize, 4, 8] {
+        let workload = scc_workload(64, 128, 2, 0.5, batch, 16, SccImplementation::Dsxplore);
+        group.bench_function(BenchmarkId::from_parameter(batch), |b| {
+            b.iter(|| black_box(workload.layer.forward(black_box(&workload.input))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig14_multi_gpu_model(c: &mut Criterion) {
+    let gpu = GpuModel::v100();
+    let spec = ModelKind::MobileNet.spec(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT);
+    let mut group = c.benchmark_group("fig14_multi_gpu");
+    group.sample_size(20);
+    group.bench_function("scaling_curve_4gpu", |b| {
+        b.iter(|| black_box(scaling_curve(&gpu, &spec, 512, SccImplementation::Dsxplore, 4)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig7_training_step_estimates,
+    bench_fig11_groups,
+    bench_fig12_overlap,
+    bench_fig13_batch_size,
+    bench_fig14_multi_gpu_model
+);
+criterion_main!(benches);

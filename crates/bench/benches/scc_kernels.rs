@@ -1,0 +1,57 @@
+//! Kernel-level microbenchmarks of the four SCC implementations.
+//!
+//! Covers the ablations behind Fig. 9 (input-centric vs output-centric
+//! backward) and the forward comparison between the DSXplore kernel and the
+//! operator-composition baselines, measured on the real CPU kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsx_bench::default_workload;
+use dsx_core::SccImplementation;
+use std::hint::black_box;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scc_forward");
+    group.sample_size(10);
+    for implementation in SccImplementation::ALL {
+        let workload = default_workload(implementation);
+        group.bench_function(BenchmarkId::from_parameter(implementation.name()), |b| {
+            b.iter(|| black_box(workload.layer.forward(black_box(&workload.input))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_backward");
+    group.sample_size(10);
+    for implementation in SccImplementation::ALL {
+        let workload = default_workload(implementation);
+        group.bench_function(BenchmarkId::from_parameter(implementation.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    workload
+                        .layer
+                        .backward(black_box(&workload.input), black_box(&workload.grad_output)),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cycle_map(c: &mut Criterion) {
+    use dsx_core::{ChannelCycleMap, SccConfig};
+    let mut group = c.benchmark_group("cyclic_map");
+    group.sample_size(20);
+    for (cin, cg, co) in [(64usize, 2usize, 0.5f64), (512, 8, 0.33), (1024, 2, 0.75)] {
+        let cfg = SccConfig::new(cin, cin * 2, cg, co).unwrap();
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("cin{cin}-cg{cg}-co{}", (co * 100.0) as usize)),
+            |b| b.iter(|| black_box(ChannelCycleMap::build(black_box(&cfg)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_backward, bench_cycle_map);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benches regenerating the table workloads: the analytic cost sweeps behind
+//! Tables I–IV and the inference latency estimate of Table V.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsx_core::SccImplementation;
+use dsx_gpusim::{estimate_inference, GpuModel};
+use dsx_models::{ConvScheme, Dataset, ModelKind};
+use std::hint::black_box;
+
+fn bench_table2_model_specs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_model_specs");
+    group.sample_size(20);
+    for kind in ModelKind::ALL {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let origin = kind.spec(Dataset::Cifar10, ConvScheme::Origin);
+                let dsx = kind.spec(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT);
+                black_box((origin.mflops(), origin.params(), dsx.mflops(), dsx.params()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_table4_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_mobilenet_ablation");
+    group.sample_size(20);
+    for cg in [2usize, 4, 8] {
+        group.bench_function(BenchmarkId::from_parameter(format!("cg{cg}")), |b| {
+            b.iter(|| {
+                let gpw = ModelKind::MobileNet.spec(Dataset::Cifar10, ConvScheme::DwGpw { cg });
+                let scc = ModelKind::MobileNet
+                    .spec(Dataset::Cifar10, ConvScheme::DwScc { cg, co: 0.5 });
+                black_box((gpw.params(), scc.params()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_table5_inference(c: &mut Criterion) {
+    let gpu = GpuModel::v100();
+    let gpw = ModelKind::Vgg16.spec(Dataset::Cifar10, ConvScheme::DwGpw { cg: 2 });
+    let scc = ModelKind::Vgg16.spec(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT);
+    let mut group = c.benchmark_group("table5_inference");
+    group.sample_size(20);
+    for batch in [16usize, 128, 512] {
+        group.bench_function(BenchmarkId::from_parameter(batch), |b| {
+            b.iter(|| {
+                let a = estimate_inference(&gpu, &gpw, batch, SccImplementation::Dsxplore);
+                let d = estimate_inference(&gpu, &scc, batch, SccImplementation::Dsxplore);
+                black_box((a.total_s, d.total_s))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2_model_specs,
+    bench_table4_ablation,
+    bench_table5_inference
+);
+criterion_main!(benches);

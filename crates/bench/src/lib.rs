@@ -1,0 +1,58 @@
+//! Shared workload builders for the Criterion benchmark harness.
+//!
+//! Each bench file (`benches/*.rs`) maps to one or more tables/figures of the
+//! paper (see DESIGN.md §4); this library provides the common fixtures so the
+//! benches measure exactly the same kernels and shapes the experiments use.
+
+use dsx_core::{SccConfig, SccImplementation, SlidingChannelConv2d};
+use dsx_tensor::Tensor;
+
+/// A ready-to-run SCC layer workload: layer + input + upstream gradient.
+pub struct SccWorkload {
+    /// The layer under test.
+    pub layer: SlidingChannelConv2d,
+    /// Input feature map.
+    pub input: Tensor,
+    /// Upstream gradient for backward benches.
+    pub grad_output: Tensor,
+}
+
+/// Builds a benchmark workload for a representative SCC layer.
+///
+/// The default CIFAR-scale shape (`cin=64, cout=128, 16×16, batch 8`) is
+/// small enough for Criterion on one CPU core while still exercising the
+/// cyclic wrap-around and the channel overlap.
+pub fn scc_workload(
+    cin: usize,
+    cout: usize,
+    cg: usize,
+    co: f64,
+    batch: usize,
+    hw: usize,
+    implementation: SccImplementation,
+) -> SccWorkload {
+    let cfg = SccConfig::new(cin, cout, cg, co).expect("valid bench config");
+    let layer = SlidingChannelConv2d::with_seed(cfg, 42).with_implementation(implementation);
+    SccWorkload {
+        input: Tensor::randn(&[batch, cin, hw, hw], 1),
+        grad_output: Tensor::randn(&[batch, cout, hw, hw], 2),
+        layer,
+    }
+}
+
+/// Default CIFAR-scale workload used by most benches.
+pub fn default_workload(implementation: SccImplementation) -> SccWorkload {
+    scc_workload(64, 128, 2, 0.5, 8, 16, implementation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shapes_are_consistent() {
+        let w = default_workload(SccImplementation::Dsxplore);
+        let out = w.layer.forward(&w.input);
+        assert_eq!(out.shape(), w.grad_output.shape());
+    }
+}

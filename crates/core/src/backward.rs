@@ -1,0 +1,382 @@
+//! SCC backward kernels: the input-centric design (DSXplore) and the
+//! output-centric variant (DSXplore-Var) it is compared against in Fig. 9.
+//!
+//! The backward pass must produce three gradients: input, weight and bias.
+//! Because adjacent SCC filters *overlap* in the input channels they read,
+//! the natural "reverse the forward flow" scheme (one thread per output
+//! gradient pixel, scattering `W * dL/dO` into the input gradient) makes many
+//! threads write the same input-gradient location — on a GPU every such
+//! update needs an atomic add. The paper's input-centric design instead
+//! assigns one thread per *input* gradient pixel which *pulls* the
+//! contributions of every filter whose window covers its channel, so each
+//! location has exactly one writer and no atomics are needed.
+//!
+//! Both designs are implemented here:
+//!
+//! * [`scc_backward_input_centric`] — the DSXplore kernel: race-free chunked
+//!   parallel loops, zero atomic updates.
+//! * [`scc_backward_output_centric`] — the DSXplore-Var baseline: a parallel
+//!   scatter into shared buffers implemented with real compare-and-swap
+//!   atomics (the CPU equivalent of CUDA `atomicAdd`), every one of which is
+//!   counted in [`KernelStats::atomic_updates`].
+//!
+//! The unit and property tests assert both produce the same gradients as the
+//! naive reference and as each other, and that the atomic counts differ by
+//! the >90 % margin the paper reports.
+
+use crate::config::SccConfig;
+use crate::cyclic::ChannelCycleMap;
+use crate::reference::{dims4, validate_shapes};
+use crate::stats::KernelStats;
+use dsx_tensor::{par, Tensor};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Gradients produced by one SCC backward pass.
+#[derive(Debug, Clone)]
+pub struct SccGradients {
+    /// Gradient with respect to the input feature map, `[N, Cin, H, W]`.
+    pub grad_input: Tensor,
+    /// Gradient with respect to the weights, `[Cout, group_width]`.
+    pub grad_weight: Tensor,
+    /// Gradient with respect to the bias, `[Cout]`.
+    pub grad_bias: Tensor,
+}
+
+/// Input-centric backward pass (the DSXplore design).
+pub fn scc_backward_input_centric(
+    cfg: &SccConfig,
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    stats: Option<&KernelStats>,
+) -> SccGradients {
+    let map = ChannelCycleMap::build(cfg);
+    scc_backward_input_centric_with_map(cfg, &map, input, weight, grad_output, stats)
+}
+
+/// Input-centric backward reusing a prebuilt cycle map.
+pub fn scc_backward_input_centric_with_map(
+    cfg: &SccConfig,
+    map: &ChannelCycleMap,
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    stats: Option<&KernelStats>,
+) -> SccGradients {
+    validate_shapes(cfg, input, weight, None);
+    let (n, cin, h, w) = dims4(input);
+    let cout = cfg.cout();
+    let gw = cfg.group_width();
+    let plane = h * w;
+    assert_eq!(grad_output.shape(), &[n, cout, h, w], "grad_output shape");
+
+    let in_data = input.as_slice();
+    let go_data = grad_output.as_slice();
+    let w_data = weight.as_slice();
+
+    // --- grad_input: one chunk per (image, input channel) plane; each plane
+    // has exactly one writer which PULLS from the covering output channels.
+    let reverse = map.input_to_outputs();
+    let mut grad_input = Tensor::zeros(&[n, cin, h, w]);
+    par::parallel_for_each_chunk_mut(grad_input.as_mut_slice(), plane, |chunk_idx, gi_plane| {
+        let img = chunk_idx / cin;
+        let ic = chunk_idx % cin;
+        for &(oc, offset) in &reverse[ic] {
+            let wj = w_data[oc * gw + offset];
+            let go_plane = &go_data[(img * cout + oc) * plane..(img * cout + oc + 1) * plane];
+            for (g, &go) in gi_plane.iter_mut().zip(go_plane.iter()) {
+                *g += wj * go;
+            }
+        }
+    });
+
+    // --- grad_weight: one chunk per filter row [gw]; a single writer
+    // accumulates over all images and pixels of its window.
+    let mut grad_weight = Tensor::zeros(&[cout, gw]);
+    par::parallel_for_each_chunk_mut(grad_weight.as_mut_slice(), gw, |oc, gw_row| {
+        let window = map.window_for_output(oc);
+        for img in 0..n {
+            let go_plane = &go_data[(img * cout + oc) * plane..(img * cout + oc + 1) * plane];
+            for (j, slot) in gw_row.iter_mut().enumerate() {
+                let ic = window.channel_at(j);
+                let in_plane = &in_data[(img * cin + ic) * plane..(img * cin + ic + 1) * plane];
+                let mut acc = 0.0f32;
+                for (&go, &iv) in go_plane.iter().zip(in_plane.iter()) {
+                    acc += go * iv;
+                }
+                *slot += acc;
+            }
+        }
+    });
+
+    // --- grad_bias: one chunk per output channel.
+    let mut grad_bias = Tensor::zeros(&[cout]);
+    par::parallel_for_each_chunk_mut(grad_bias.as_mut_slice(), 1, |oc, slot| {
+        let mut acc = 0.0f32;
+        for img in 0..n {
+            let go_plane = &go_data[(img * cout + oc) * plane..(img * cout + oc + 1) * plane];
+            acc += go_plane.iter().sum::<f32>();
+        }
+        slot[0] = acc;
+    });
+
+    if let Some(s) = stats {
+        s.add_launches(3);
+        // grad_input and grad_weight each cost N*Cout*plane*gw MACs.
+        s.add_macs(2 * n * cout * plane * gw + n * cout * plane);
+        // The input-centric design needs no atomic updates at all.
+        s.add_bytes_moved(grad_input.bytes() + grad_weight.bytes() + grad_bias.bytes());
+    }
+
+    SccGradients {
+        grad_input,
+        grad_weight,
+        grad_bias,
+    }
+}
+
+/// Output-centric backward pass (DSXplore-Var): reverses the forward flow and
+/// scatters gradients with atomic adds, exactly as a naive CUDA port would.
+pub fn scc_backward_output_centric(
+    cfg: &SccConfig,
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    stats: Option<&KernelStats>,
+) -> SccGradients {
+    validate_shapes(cfg, input, weight, None);
+    let map = ChannelCycleMap::build(cfg);
+    let (n, cin, h, w) = dims4(input);
+    let cout = cfg.cout();
+    let gw = cfg.group_width();
+    let plane = h * w;
+    assert_eq!(grad_output.shape(), &[n, cout, h, w], "grad_output shape");
+
+    let in_data = input.as_slice();
+    let go_data = grad_output.as_slice();
+    let w_data = weight.as_slice();
+
+    // Shared scatter targets, implemented with CAS atomics (the CPU analogue
+    // of CUDA atomicAdd on floats).
+    let grad_input_atomic: Vec<AtomicU32> =
+        (0..n * cin * plane).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+    let grad_weight_atomic: Vec<AtomicU32> =
+        (0..cout * gw).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+    let grad_bias_atomic: Vec<AtomicU32> =
+        (0..cout).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+    let atomic_count = KernelStats::new();
+
+    // One logical thread group per (image, output channel) plane, exactly
+    // mirroring the forward decomposition ("simply reverse the forward
+    // computation flow", §IV-B).
+    par::parallel_for(n * cout, |chunk_idx| {
+        let img = chunk_idx / cout;
+        let oc = chunk_idx % cout;
+        let window = map.window_for_output(oc);
+        let go_plane = &go_data[(img * cout + oc) * plane..(img * cout + oc + 1) * plane];
+
+        let mut bias_acc = 0.0f32;
+        for (p, &go) in go_plane.iter().enumerate() {
+            bias_acc += go;
+            for j in 0..gw {
+                let ic = window.channel_at(j);
+                // Scatter into the shared input gradient: needs an atomic.
+                let target = (img * cin + ic) * plane + p;
+                atomic_add_f32(&grad_input_atomic[target], w_data[oc * gw + j] * go);
+                // Scatter into the shared weight gradient: different images
+                // update the same filter row concurrently, so this is atomic
+                // too.
+                let in_v = in_data[(img * cin + ic) * plane + p];
+                atomic_add_f32(&grad_weight_atomic[oc * gw + j], in_v * go);
+            }
+        }
+        atomic_add_f32(&grad_bias_atomic[oc], bias_acc);
+        atomic_count.add_atomics(plane * gw * 2 + 1);
+    });
+
+    let grad_input = Tensor::from_vec(
+        grad_input_atomic
+            .iter()
+            .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
+            .collect(),
+        &[n, cin, h, w],
+    );
+    let grad_weight = Tensor::from_vec(
+        grad_weight_atomic
+            .iter()
+            .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
+            .collect(),
+        &[cout, gw],
+    );
+    let grad_bias = Tensor::from_vec(
+        grad_bias_atomic
+            .iter()
+            .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
+            .collect(),
+        &[cout],
+    );
+
+    if let Some(s) = stats {
+        s.add_launches(1);
+        s.add_macs(2 * n * cout * plane * gw + n * cout * plane);
+        s.add_atomics(atomic_count.atomic_updates());
+        s.add_bytes_moved(grad_input.bytes() + grad_weight.bytes() + grad_bias.bytes());
+    }
+
+    SccGradients {
+        grad_input,
+        grad_weight,
+        grad_bias,
+    }
+}
+
+/// Atomic `+=` on an `f32` stored as bits in an `AtomicU32` (CAS loop), the
+/// standard CPU emulation of `atomicAdd(float*)`.
+fn atomic_add_f32(cell: &AtomicU32, value: f32) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f32::from_bits(current) + value).to_bits();
+        match cell.compare_exchange_weak(current, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// Number of atomic updates the output-centric backward performs for a given
+/// problem size (analytic form used by the GPU cost model and the tests):
+/// every (output pixel, window tap) pair issues one atomic for the input
+/// gradient and one for the weight gradient, plus one per output plane for
+/// the bias.
+pub fn output_centric_atomic_count(cfg: &SccConfig, n: usize, h: usize, w: usize) -> usize {
+    n * cfg.cout() * (h * w * cfg.group_width() * 2 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::scc_backward_reference;
+    use dsx_tensor::{allclose, TEST_TOLERANCE};
+    use proptest::prelude::*;
+
+    fn gradients_match(a: &SccGradients, b: &SccGradients, tol: f32) -> bool {
+        allclose(&a.grad_input, &b.grad_input, tol)
+            && allclose(&a.grad_weight, &b.grad_weight, tol)
+            && allclose(&a.grad_bias, &b.grad_bias, tol)
+    }
+
+    fn reference_gradients(
+        cfg: &SccConfig,
+        input: &Tensor,
+        weight: &Tensor,
+        grad_output: &Tensor,
+    ) -> SccGradients {
+        let (gi, gw, gb) = scc_backward_reference(cfg, input, weight, grad_output);
+        SccGradients {
+            grad_input: gi,
+            grad_weight: gw,
+            grad_bias: gb,
+        }
+    }
+
+    #[test]
+    fn input_centric_matches_reference() {
+        let cfg = SccConfig::new(8, 16, 2, 0.5).unwrap();
+        let input = Tensor::randn(&[2, 8, 5, 5], 1);
+        let weight = Tensor::randn(&[16, 4], 2);
+        let grad_out = Tensor::randn(&[2, 16, 5, 5], 3);
+        let fast = scc_backward_input_centric(&cfg, &input, &weight, &grad_out, None);
+        let slow = reference_gradients(&cfg, &input, &weight, &grad_out);
+        assert!(gradients_match(&fast, &slow, TEST_TOLERANCE));
+    }
+
+    #[test]
+    fn output_centric_matches_reference() {
+        let cfg = SccConfig::new(8, 16, 4, 0.5).unwrap();
+        let input = Tensor::randn(&[2, 8, 4, 4], 4);
+        let weight = Tensor::randn(&[16, 2], 5);
+        let grad_out = Tensor::randn(&[2, 16, 4, 4], 6);
+        let fast = scc_backward_output_centric(&cfg, &input, &weight, &grad_out, None);
+        let slow = reference_gradients(&cfg, &input, &weight, &grad_out);
+        assert!(gradients_match(&fast, &slow, 1e-3));
+    }
+
+    #[test]
+    fn both_kernels_agree_with_each_other() {
+        let cfg = SccConfig::new(12, 18, 2, 0.33).unwrap();
+        let input = Tensor::randn(&[1, 12, 6, 6], 7);
+        let weight = Tensor::randn(&[18, 6], 8);
+        let grad_out = Tensor::randn(&[1, 18, 6, 6], 9);
+        let ic = scc_backward_input_centric(&cfg, &input, &weight, &grad_out, None);
+        let oc = scc_backward_output_centric(&cfg, &input, &weight, &grad_out, None);
+        assert!(gradients_match(&ic, &oc, 1e-3));
+    }
+
+    #[test]
+    fn input_centric_needs_no_atomics_and_output_centric_needs_many() {
+        let cfg = SccConfig::new(8, 16, 2, 0.5).unwrap();
+        let input = Tensor::randn(&[2, 8, 8, 8], 10);
+        let weight = Tensor::randn(&[16, 4], 11);
+        let grad_out = Tensor::randn(&[2, 16, 8, 8], 12);
+
+        let ic_stats = KernelStats::new();
+        scc_backward_input_centric(&cfg, &input, &weight, &grad_out, Some(&ic_stats));
+        let oc_stats = KernelStats::new();
+        scc_backward_output_centric(&cfg, &input, &weight, &grad_out, Some(&oc_stats));
+
+        assert_eq!(ic_stats.atomic_updates(), 0);
+        let expected = output_centric_atomic_count(&cfg, 2, 8, 8);
+        assert_eq!(oc_stats.atomic_updates(), expected);
+        // The paper reports >90% atomic reduction; ours is 100% for this
+        // kernel pair.
+        assert!(oc_stats.atomic_updates() > 0);
+    }
+
+    #[test]
+    fn atomic_count_formula_is_consistent() {
+        let cfg = SccConfig::new(16, 32, 4, 0.5).unwrap();
+        assert_eq!(
+            output_centric_atomic_count(&cfg, 3, 7, 5),
+            3 * 32 * (7 * 5 * 4 * 2 + 1)
+        );
+    }
+
+    #[test]
+    fn zero_grad_output_gives_zero_gradients() {
+        let cfg = SccConfig::new(4, 8, 2, 0.5).unwrap();
+        let input = Tensor::randn(&[1, 4, 3, 3], 13);
+        let weight = Tensor::randn(&[8, 2], 14);
+        let grad_out = Tensor::zeros(&[1, 8, 3, 3]);
+        let g = scc_backward_input_centric(&cfg, &input, &weight, &grad_out, None);
+        assert_eq!(g.grad_input.sum(), 0.0);
+        assert_eq!(g.grad_weight.sum(), 0.0);
+        assert_eq!(g.grad_bias.sum(), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn prop_input_centric_equals_reference(
+            cg_pow in 0u32..3,
+            cin_mult in 1usize..3,
+            cout in 1usize..12,
+            co in prop::sample::select(vec![0.0f64, 0.25, 0.5, 0.66]),
+            hw in 1usize..5,
+            seed in 0u64..300,
+        ) {
+            let cg = 1usize << cg_pow;
+            let cin = cg * cin_mult;
+            let cfg = match SccConfig::new(cin, cout, cg, co) {
+                Ok(c) => c,
+                Err(_) => return Ok(()),
+            };
+            let input = Tensor::randn(&[1, cin, hw, hw], seed);
+            let weight = Tensor::randn(&[cout, cfg.group_width()], seed + 1);
+            let grad_out = Tensor::randn(&[1, cout, hw, hw], seed + 2);
+            let fast = scc_backward_input_centric(&cfg, &input, &weight, &grad_out, None);
+            let slow = reference_gradients(&cfg, &input, &weight, &grad_out);
+            prop_assert!(gradients_match(&fast, &slow, 1e-3));
+        }
+    }
+}

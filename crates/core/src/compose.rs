@@ -1,0 +1,676 @@
+//! Operator-composition baselines: the paper's *channel-stack*
+//! (Pytorch-Base) and *convolution-stack* (Pytorch-Opt) implementations of
+//! SCC, with and without the channel-cyclic optimization (Figs. 3 and 6).
+//!
+//! These reproduce, on our own tensor library, exactly what the paper builds
+//! out of stock PyTorch operators:
+//!
+//! * **Channel-stack** — slice every filter's input-channel window out of the
+//!   feature map, concatenate all of them into one huge `[N, Cout·gw, H, W]`
+//!   tensor, then run a grouped 1×1 convolution with `groups = Cout`.
+//! * **Convolution-stack** — run one tiny single-filter convolution per
+//!   output channel over its (sliced) window and concatenate the outputs,
+//!   avoiding the huge intermediate at the cost of `Cout` small launches.
+//! * **Channel-cyclic optimization** — only the first `cyclic_dist` windows
+//!   are sliced; the rest of the stacked tensor is produced by repeating that
+//!   block (channel-stack) or by re-reading it (convolution-stack).
+//!
+//! Every slice, concatenation and small convolution is accounted in
+//! [`KernelStats`]: bytes materialised (Fig. 10), bytes moved, and operator
+//! launches — the quantities the GPU cost model replays to reproduce the
+//! paper's speedup figures.
+
+use crate::backward::SccGradients;
+use crate::config::SccConfig;
+use crate::cyclic::ChannelCycleMap;
+use crate::reference::{dims4, validate_shapes};
+use crate::stats::KernelStats;
+use dsx_tensor::Tensor;
+
+/// Which operator composition to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Composition {
+    /// Slice + concatenate every window, then one grouped convolution
+    /// (`groups = Cout`). The paper's Pytorch-Base building block.
+    ChannelStack,
+    /// One single-filter convolution per window, concatenate the outputs.
+    /// With the cyclic optimization this is the paper's Pytorch-Opt.
+    ConvolutionStack,
+}
+
+/// An SCC layer implemented by composing framework-style tensor operators.
+#[derive(Debug, Clone)]
+pub struct ComposedScc {
+    cfg: SccConfig,
+    map: ChannelCycleMap,
+    composition: Composition,
+    cyclic_opt: bool,
+}
+
+impl ComposedScc {
+    /// Builds a composed implementation of the given SCC configuration.
+    pub fn new(cfg: SccConfig, composition: Composition, cyclic_opt: bool) -> Self {
+        let map = ChannelCycleMap::build(&cfg);
+        ComposedScc {
+            cfg,
+            map,
+            composition,
+            cyclic_opt,
+        }
+    }
+
+    /// The paper's Pytorch-Base configuration: channel-stack without the
+    /// channel-cyclic optimization.
+    pub fn pytorch_base(cfg: SccConfig) -> Self {
+        Self::new(cfg, Composition::ChannelStack, false)
+    }
+
+    /// The paper's Pytorch-Opt configuration: convolution-stack with the
+    /// channel-cyclic optimization.
+    pub fn pytorch_opt(cfg: SccConfig) -> Self {
+        Self::new(cfg, Composition::ConvolutionStack, true)
+    }
+
+    /// The SCC configuration this composition implements.
+    pub fn config(&self) -> &SccConfig {
+        &self.cfg
+    }
+
+    /// Which composition strategy is in use.
+    pub fn composition(&self) -> Composition {
+        self.composition
+    }
+
+    /// Whether the channel-cyclic optimization is enabled.
+    pub fn cyclic_opt(&self) -> bool {
+        self.cyclic_opt
+    }
+
+    // ------------------------------------------------------------------
+    // Forward
+    // ------------------------------------------------------------------
+
+    /// Forward pass through the composed operators. Numerically identical to
+    /// [`crate::forward::scc_forward`] for the same weights.
+    pub fn forward(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stats: Option<&KernelStats>,
+    ) -> Tensor {
+        validate_shapes(&self.cfg, input, weight, bias);
+        match self.composition {
+            Composition::ChannelStack => self.forward_channel_stack(input, weight, bias, stats),
+            Composition::ConvolutionStack => {
+                self.forward_convolution_stack(input, weight, bias, stats)
+            }
+        }
+    }
+
+    fn forward_channel_stack(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stats: Option<&KernelStats>,
+    ) -> Tensor {
+        let stacked = self.build_stacked_input(input, stats);
+        self.grouped_pointwise_over_stack(&stacked, weight, bias, stats)
+    }
+
+    fn forward_convolution_stack(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stats: Option<&KernelStats>,
+    ) -> Tensor {
+        let cfg = &self.cfg;
+        let gw = cfg.group_width();
+        let cout = cfg.cout();
+
+        // With the cyclic optimization the windows of the first cycle are
+        // sliced once and kept; without it every filter slices its own window.
+        let cycle_tensor = if self.cyclic_opt {
+            Some(self.build_cycle_tensor(input, stats))
+        } else {
+            None
+        };
+
+        let mut outputs: Vec<Tensor> = Vec::with_capacity(cout);
+        for oc in 0..cout {
+            let window = self.map.window_for_output(oc);
+            let slice = match &cycle_tensor {
+                Some(cycle) => {
+                    // Re-read the window from the cached cycle tensor: a
+                    // narrow (view + copy in our library) but no fresh
+                    // materialisation is attributed to it.
+                    let idx = oc % self.map.cyclic_dist();
+                    let part = cycle.narrow_channels(idx * gw, gw);
+                    record(stats, |s| {
+                        s.add_bytes_moved(part.bytes());
+                        s.add_launch();
+                    });
+                    part
+                }
+                None => {
+                    let part = input.narrow_channels_cyclic(window.start, gw);
+                    record(stats, |s| {
+                        s.add_bytes_materialized(part.bytes());
+                        s.add_bytes_moved(part.bytes());
+                        s.add_launch();
+                    });
+                    part
+                }
+            };
+            // One tiny single-filter pointwise convolution per output channel.
+            let filter = &weight.as_slice()[oc * gw..(oc + 1) * gw];
+            let b = bias.map(|t| t.as_slice()[oc]).unwrap_or(0.0);
+            let out_c = single_filter_pointwise(&slice, filter, b);
+            record(stats, |s| {
+                let (n, _, h, w) = dims4(&slice);
+                s.add_macs(n * h * w * gw);
+                s.add_bytes_materialized(out_c.bytes());
+                s.add_launch();
+            });
+            outputs.push(out_c);
+        }
+        let refs: Vec<&Tensor> = outputs.iter().collect();
+        let out = Tensor::cat_channels(&refs);
+        record(stats, |s| {
+            s.add_bytes_materialized(out.bytes());
+            s.add_bytes_moved(out.bytes());
+            s.add_launch();
+        });
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Backward pass through the composed operators (what the framework's
+    /// autograd would execute).
+    ///
+    /// * Channel-stack: the huge stacked tensor is an autograd intermediate,
+    ///   so its gradient is materialised in full, the grouped-convolution
+    ///   gradients are computed over it, and the per-window slices are
+    ///   scattered back onto the original feature map.
+    /// * Convolution-stack: autograd walks the `Cout` small convolutions one
+    ///   by one, so only one window-sized gradient lives at a time.
+    pub fn backward(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+        grad_output: &Tensor,
+        stats: Option<&KernelStats>,
+    ) -> SccGradients {
+        validate_shapes(&self.cfg, input, weight, None);
+        match self.composition {
+            Composition::ChannelStack => {
+                self.backward_channel_stack(input, weight, grad_output, stats)
+            }
+            Composition::ConvolutionStack => {
+                self.backward_convolution_stack(input, weight, grad_output, stats)
+            }
+        }
+    }
+
+    fn backward_channel_stack(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+        grad_output: &Tensor,
+        stats: Option<&KernelStats>,
+    ) -> SccGradients {
+        let cfg = &self.cfg;
+        let (n, cin, h, w) = dims4(input);
+        let cout = cfg.cout();
+        let gw = cfg.group_width();
+        let plane = h * w;
+        assert_eq!(grad_output.shape(), &[n, cout, h, w], "grad_output shape");
+
+        // The stacked input is an autograd intermediate: it is materialised
+        // (again) during the backward pass of the slicing/concat chain.
+        let stacked = self.build_stacked_input(input, stats);
+        let st_data = stacked.as_slice();
+        let go_data = grad_output.as_slice();
+        let w_data = weight.as_slice();
+
+        // Gradients of the grouped pointwise convolution over the stack.
+        let mut grad_stacked = Tensor::zeros(stacked.shape());
+        let gs_data = grad_stacked.as_mut_slice();
+        let mut grad_weight = Tensor::zeros(&[cout, gw]);
+        let gw_data = grad_weight.as_mut_slice();
+        let mut grad_bias = Tensor::zeros(&[cout]);
+        let gb_data = grad_bias.as_mut_slice();
+
+        for img in 0..n {
+            for oc in 0..cout {
+                let go_plane = &go_data[(img * cout + oc) * plane..(img * cout + oc + 1) * plane];
+                gb_data[oc] += go_plane.iter().sum::<f32>();
+                for j in 0..gw {
+                    let stacked_c = oc * gw + j;
+                    let st_plane = &st_data
+                        [(img * cout * gw + stacked_c) * plane..(img * cout * gw + stacked_c + 1) * plane];
+                    let gs_plane = &mut gs_data
+                        [(img * cout * gw + stacked_c) * plane..(img * cout * gw + stacked_c + 1) * plane];
+                    let wj = w_data[oc * gw + j];
+                    let mut acc = 0.0f32;
+                    for ((g, &go), &sv) in gs_plane.iter_mut().zip(go_plane.iter()).zip(st_plane.iter()) {
+                        *g += wj * go;
+                        acc += sv * go;
+                    }
+                    gw_data[oc * gw + j] += acc;
+                }
+            }
+        }
+        record(stats, |s| {
+            s.add_macs(2 * n * cout * plane * gw);
+            s.add_bytes_materialized(grad_stacked.bytes());
+            s.add_launches(2);
+        });
+
+        // Scatter the stacked gradient back onto the original input channels
+        // (the backward of slicing + concatenation). Overlapping windows
+        // accumulate — the framework realises this as Cout separate
+        // index_add kernels.
+        let mut grad_input = Tensor::zeros(&[n, cin, h, w]);
+        let gi_data = grad_input.as_mut_slice();
+        let gs_data = grad_stacked.as_slice();
+        for oc in 0..cout {
+            let window = self.map.window_for_output(oc);
+            for img in 0..n {
+                for j in 0..gw {
+                    let ic = window.channel_at(j);
+                    let stacked_c = oc * gw + j;
+                    let src = &gs_data
+                        [(img * cout * gw + stacked_c) * plane..(img * cout * gw + stacked_c + 1) * plane];
+                    let dst = &mut gi_data[(img * cin + ic) * plane..(img * cin + ic + 1) * plane];
+                    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                        *d += s;
+                    }
+                }
+            }
+        }
+        record(stats, |s| {
+            s.add_bytes_moved(grad_stacked.bytes());
+            s.add_launches(cout);
+        });
+
+        SccGradients {
+            grad_input,
+            grad_weight,
+            grad_bias,
+        }
+    }
+
+    fn backward_convolution_stack(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+        grad_output: &Tensor,
+        stats: Option<&KernelStats>,
+    ) -> SccGradients {
+        let cfg = &self.cfg;
+        let (n, cin, h, w) = dims4(input);
+        let cout = cfg.cout();
+        let gw = cfg.group_width();
+        let plane = h * w;
+        assert_eq!(grad_output.shape(), &[n, cout, h, w], "grad_output shape");
+
+        // With the cyclic optimization the first cycle's windows are kept
+        // from the forward pass; without it every small conv re-slices.
+        let cycle_tensor = if self.cyclic_opt {
+            Some(self.build_cycle_tensor(input, stats))
+        } else {
+            None
+        };
+
+        let go_data = grad_output.as_slice();
+        let w_data = weight.as_slice();
+        let mut grad_input = Tensor::zeros(&[n, cin, h, w]);
+        let mut grad_weight = Tensor::zeros(&[cout, gw]);
+        let mut grad_bias = Tensor::zeros(&[cout]);
+
+        for oc in 0..cout {
+            let window = self.map.window_for_output(oc);
+            // The window slice of the input is an autograd intermediate of
+            // this small convolution.
+            let slice = match &cycle_tensor {
+                Some(cycle) => {
+                    let idx = oc % self.map.cyclic_dist();
+                    let part = cycle.narrow_channels(idx * gw, gw);
+                    record(stats, |s| {
+                        s.add_bytes_moved(part.bytes());
+                        s.add_launch();
+                    });
+                    part
+                }
+                None => {
+                    let part = input.narrow_channels_cyclic(window.start, gw);
+                    record(stats, |s| {
+                        s.add_bytes_materialized(part.bytes());
+                        s.add_bytes_moved(part.bytes());
+                        s.add_launch();
+                    });
+                    part
+                }
+            };
+            let sl_data = slice.as_slice();
+            // Gradient of the single-filter pointwise conv, then scatter the
+            // window gradient back into grad_input (index_add in PyTorch).
+            let gi_data = grad_input.as_mut_slice();
+            let gw_row = &mut grad_weight.as_mut_slice()[oc * gw..(oc + 1) * gw];
+            let mut bias_acc = 0.0f32;
+            for img in 0..n {
+                let go_plane = &go_data[(img * cout + oc) * plane..(img * cout + oc + 1) * plane];
+                bias_acc += go_plane.iter().sum::<f32>();
+                for j in 0..gw {
+                    let ic = window.channel_at(j);
+                    let sl_plane = &sl_data[(img * gw + j) * plane..(img * gw + j + 1) * plane];
+                    let gi_plane =
+                        &mut gi_data[(img * cin + ic) * plane..(img * cin + ic + 1) * plane];
+                    let wj = w_data[oc * gw + j];
+                    let mut acc = 0.0f32;
+                    for ((g, &go), &sv) in
+                        gi_plane.iter_mut().zip(go_plane.iter()).zip(sl_plane.iter())
+                    {
+                        *g += wj * go;
+                        acc += sv * go;
+                    }
+                    gw_row[j] += acc;
+                }
+            }
+            grad_bias.as_mut_slice()[oc] = bias_acc;
+            record(stats, |s| {
+                s.add_macs(2 * n * plane * gw);
+                // The transient window gradient is materialised and freed
+                // per small convolution.
+                s.add_bytes_materialized(n * gw * plane * std::mem::size_of::<f32>());
+                s.add_launches(3);
+            });
+        }
+
+        SccGradients {
+            grad_input,
+            grad_weight,
+            grad_bias,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Building blocks
+    // ------------------------------------------------------------------
+
+    /// Builds the `[N, Cout·gw, H, W]` stacked input tensor of the
+    /// channel-stack design, optionally through the cyclic optimization
+    /// (slice one cycle, repeat it).
+    fn build_stacked_input(&self, input: &Tensor, stats: Option<&KernelStats>) -> Tensor {
+        let gw = self.cfg.group_width();
+        let cout = self.cfg.cout();
+        if self.cyclic_opt {
+            let cycle = self.build_cycle_tensor(input, stats);
+            let repeated = cycle.repeat_channels(self.map.num_cycles());
+            let stacked = if repeated.dim(1) == cout * gw {
+                repeated
+            } else {
+                repeated.narrow_channels(0, cout * gw)
+            };
+            record(stats, |s| {
+                s.add_bytes_materialized(stacked.bytes());
+                s.add_bytes_moved(stacked.bytes());
+                s.add_launch();
+            });
+            stacked
+        } else {
+            let mut parts: Vec<Tensor> = Vec::with_capacity(cout);
+            for oc in 0..cout {
+                let window = self.map.window_for_output(oc);
+                let part = input.narrow_channels_cyclic(window.start, gw);
+                record(stats, |s| {
+                    s.add_bytes_materialized(part.bytes());
+                    s.add_bytes_moved(part.bytes());
+                    s.add_launch();
+                });
+                parts.push(part);
+            }
+            let refs: Vec<&Tensor> = parts.iter().collect();
+            let stacked = Tensor::cat_channels(&refs);
+            record(stats, |s| {
+                s.add_bytes_materialized(stacked.bytes());
+                s.add_bytes_moved(stacked.bytes());
+                s.add_launch();
+            });
+            stacked
+        }
+    }
+
+    /// Slices and concatenates the windows of the *first cycle* only
+    /// (`cyclic_dist` windows), the core of the cyclic optimization.
+    fn build_cycle_tensor(&self, input: &Tensor, stats: Option<&KernelStats>) -> Tensor {
+        let gw = self.cfg.group_width();
+        let mut parts: Vec<Tensor> = Vec::with_capacity(self.map.cyclic_dist());
+        for window in self.map.windows() {
+            let part = input.narrow_channels_cyclic(window.start, gw);
+            record(stats, |s| {
+                s.add_bytes_materialized(part.bytes());
+                s.add_bytes_moved(part.bytes());
+                s.add_launch();
+            });
+            parts.push(part);
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let cycle = Tensor::cat_channels(&refs);
+        record(stats, |s| {
+            s.add_bytes_materialized(cycle.bytes());
+            s.add_bytes_moved(cycle.bytes());
+            s.add_launch();
+        });
+        cycle
+    }
+
+    /// Grouped 1×1 convolution with `groups = Cout` over the stacked tensor:
+    /// output channel `oc` is the dot product of filter `oc` with stacked
+    /// channels `[oc·gw, (oc+1)·gw)`.
+    fn grouped_pointwise_over_stack(
+        &self,
+        stacked: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stats: Option<&KernelStats>,
+    ) -> Tensor {
+        let cfg = &self.cfg;
+        let (n, stacked_c, h, w) = dims4(stacked);
+        let cout = cfg.cout();
+        let gw = cfg.group_width();
+        assert_eq!(stacked_c, cout * gw, "stacked tensor has unexpected channel count");
+        let plane = h * w;
+        let mut out = Tensor::zeros(&[n, cout, h, w]);
+        let out_data = out.as_mut_slice();
+        let st_data = stacked.as_slice();
+        let w_data = weight.as_slice();
+        for img in 0..n {
+            for oc in 0..cout {
+                let b = bias.map(|t| t.as_slice()[oc]).unwrap_or(0.0);
+                let out_plane =
+                    &mut out_data[(img * cout + oc) * plane..(img * cout + oc + 1) * plane];
+                out_plane.iter_mut().for_each(|v| *v = b);
+                for j in 0..gw {
+                    let stacked_ch = oc * gw + j;
+                    let st_plane = &st_data
+                        [(img * stacked_c + stacked_ch) * plane..(img * stacked_c + stacked_ch + 1) * plane];
+                    let wj = w_data[oc * gw + j];
+                    for (o, &sv) in out_plane.iter_mut().zip(st_plane.iter()) {
+                        *o += wj * sv;
+                    }
+                }
+            }
+        }
+        record(stats, |s| {
+            s.add_macs(n * cout * plane * gw);
+            s.add_bytes_materialized(out.bytes());
+            s.add_launch();
+        });
+        out
+    }
+}
+
+/// Applies a single 1×1 filter (length = channel count of `input`) plus bias
+/// to an NCHW tensor, producing `[N, 1, H, W]`.
+fn single_filter_pointwise(input: &Tensor, filter: &[f32], bias: f32) -> Tensor {
+    let (n, c, h, w) = dims4(input);
+    assert_eq!(c, filter.len(), "filter length must equal channel count");
+    let plane = h * w;
+    let mut out = Tensor::zeros(&[n, 1, h, w]);
+    let out_data = out.as_mut_slice();
+    let in_data = input.as_slice();
+    for img in 0..n {
+        let out_plane = &mut out_data[img * plane..(img + 1) * plane];
+        out_plane.iter_mut().for_each(|v| *v = bias);
+        for (j, &wj) in filter.iter().enumerate() {
+            let in_plane = &in_data[(img * c + j) * plane..(img * c + j + 1) * plane];
+            for (o, &iv) in out_plane.iter_mut().zip(in_plane.iter()) {
+                *o += wj * iv;
+            }
+        }
+    }
+    out
+}
+
+fn record(stats: Option<&KernelStats>, f: impl FnOnce(&KernelStats)) {
+    if let Some(s) = stats {
+        f(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward::scc_backward_input_centric;
+    use crate::forward::scc_forward;
+    use crate::reference::scc_forward_reference;
+    use dsx_tensor::{allclose, TEST_TOLERANCE};
+
+    fn setup(cin: usize, cout: usize, cg: usize, co: f64) -> (SccConfig, Tensor, Tensor, Tensor) {
+        let cfg = SccConfig::new(cin, cout, cg, co).unwrap();
+        let input = Tensor::randn(&[2, cin, 5, 5], 21);
+        let weight = Tensor::randn(&[cout, cfg.group_width()], 22);
+        let bias = Tensor::randn(&[cout], 23);
+        (cfg, input, weight, bias)
+    }
+
+    #[test]
+    fn all_four_compositions_match_the_reference_forward() {
+        let (cfg, input, weight, bias) = setup(8, 16, 2, 0.5);
+        let reference = scc_forward_reference(&cfg, &input, &weight, Some(&bias));
+        for &composition in &[Composition::ChannelStack, Composition::ConvolutionStack] {
+            for &cc in &[false, true] {
+                let composed = ComposedScc::new(cfg, composition, cc);
+                let out = composed.forward(&input, &weight, Some(&bias), None);
+                assert!(
+                    allclose(&out, &reference, TEST_TOLERANCE),
+                    "{composition:?} cc={cc} diverges from reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn composition_matches_dsxplore_kernel() {
+        let (cfg, input, weight, bias) = setup(12, 20, 4, 0.5);
+        let kernel = scc_forward(&cfg, &input, &weight, Some(&bias), None);
+        let base = ComposedScc::pytorch_base(cfg).forward(&input, &weight, Some(&bias), None);
+        let opt = ComposedScc::pytorch_opt(cfg).forward(&input, &weight, Some(&bias), None);
+        assert!(allclose(&kernel, &base, TEST_TOLERANCE));
+        assert!(allclose(&kernel, &opt, TEST_TOLERANCE));
+    }
+
+    #[test]
+    fn composed_backward_matches_kernel_backward() {
+        let (cfg, input, weight, _bias) = setup(8, 12, 2, 0.5);
+        let grad_out = Tensor::randn(&[2, 12, 5, 5], 31);
+        let kernel = scc_backward_input_centric(&cfg, &input, &weight, &grad_out, None);
+        for composed in [ComposedScc::pytorch_base(cfg), ComposedScc::pytorch_opt(cfg)] {
+            let grads = composed.backward(&input, &weight, &grad_out, None);
+            assert!(allclose(&grads.grad_input, &kernel.grad_input, 1e-3));
+            assert!(allclose(&grads.grad_weight, &kernel.grad_weight, 1e-3));
+            assert!(allclose(&grads.grad_bias, &kernel.grad_bias, 1e-3));
+        }
+    }
+
+    #[test]
+    fn cyclic_optimization_reduces_materialized_bytes_for_convolution_stack() {
+        let (cfg, input, weight, _bias) = setup(16, 64, 2, 0.5);
+        let without = KernelStats::new();
+        ComposedScc::new(cfg, Composition::ConvolutionStack, false)
+            .forward(&input, &weight, None, Some(&without));
+        let with = KernelStats::new();
+        ComposedScc::new(cfg, Composition::ConvolutionStack, true)
+            .forward(&input, &weight, None, Some(&with));
+        assert!(
+            with.bytes_materialized() < without.bytes_materialized(),
+            "cyclic opt should materialise fewer bytes ({} vs {})",
+            with.bytes_materialized(),
+            without.bytes_materialized()
+        );
+    }
+
+    #[test]
+    fn cyclic_optimization_reduces_slicing_launches_for_channel_stack() {
+        let (cfg, input, weight, _bias) = setup(16, 64, 2, 0.5);
+        let without = KernelStats::new();
+        ComposedScc::new(cfg, Composition::ChannelStack, false)
+            .forward(&input, &weight, None, Some(&without));
+        let with = KernelStats::new();
+        ComposedScc::new(cfg, Composition::ChannelStack, true)
+            .forward(&input, &weight, None, Some(&with));
+        assert!(with.kernel_launches() < without.kernel_launches());
+    }
+
+    #[test]
+    fn channel_stack_materializes_the_huge_tensor() {
+        // The stacked tensor is Cout/cg times larger than the input feature
+        // map — the reason Pytorch-Base runs out of memory on ImageNet.
+        let (cfg, input, weight, _bias) = setup(16, 64, 2, 0.5);
+        let stats = KernelStats::new();
+        ComposedScc::pytorch_base(cfg).forward(&input, &weight, None, Some(&stats));
+        let stacked_bytes = input.bytes() / cfg.cg() * cfg.cout();
+        assert!(stats.bytes_materialized() >= stacked_bytes);
+    }
+
+    #[test]
+    fn convolution_stack_avoids_the_huge_tensor() {
+        let (cfg, input, weight, _bias) = setup(16, 64, 2, 0.5);
+        let base = KernelStats::new();
+        ComposedScc::pytorch_base(cfg).forward(&input, &weight, None, Some(&base));
+        let opt = KernelStats::new();
+        ComposedScc::pytorch_opt(cfg).forward(&input, &weight, None, Some(&opt));
+        assert!(opt.bytes_materialized() < base.bytes_materialized());
+    }
+
+    #[test]
+    fn launch_counts_scale_with_cout_for_convolution_stack() {
+        let (cfg, input, weight, _bias) = setup(8, 32, 2, 0.5);
+        let stats = KernelStats::new();
+        ComposedScc::pytorch_opt(cfg).forward(&input, &weight, None, Some(&stats));
+        // At least one launch per output channel (the small convs).
+        assert!(stats.kernel_launches() >= 32);
+    }
+
+    #[test]
+    fn works_when_cout_is_not_a_multiple_of_cycle_length() {
+        let cfg = SccConfig::new(8, 10, 2, 0.5).unwrap();
+        let input = Tensor::randn(&[1, 8, 4, 4], 40);
+        let weight = Tensor::randn(&[10, 4], 41);
+        let reference = scc_forward_reference(&cfg, &input, &weight, None);
+        for composed in [
+            ComposedScc::new(cfg, Composition::ChannelStack, true),
+            ComposedScc::new(cfg, Composition::ConvolutionStack, true),
+        ] {
+            let out = composed.forward(&input, &weight, None, None);
+            assert!(allclose(&out, &reference, TEST_TOLERANCE));
+        }
+    }
+}

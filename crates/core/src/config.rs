@@ -1,0 +1,290 @@
+//! Sliding-channel convolution configuration.
+//!
+//! An SCC layer is fully described by four quantities (paper §III-A):
+//!
+//! * `cin`  — number of input channels,
+//! * `cout` — number of output channels (= number of 1×1 filters),
+//! * `cg`   — number of channel groups; every filter reads
+//!   `group_width = cin / cg` input channels,
+//! * `co`   — input-channel overlap ratio between *adjacent* filters, as a
+//!   fraction of the group width (`0.0 ≤ co < 1.0`; `co = 0.5` is the paper's
+//!   "co50%" setting).
+//!
+//! The paper's notation `SCC-cgX-coY%` maps to `SccConfig::new(cin, cout, X,
+//! Y/100.0)`. Two degenerate corners recover the existing factorized kernels:
+//! `cg = 1` (any overlap) is a plain pointwise convolution, and `co = 0` is
+//! group pointwise convolution (GPW).
+
+/// Errors produced when validating an [`SccConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SccConfigError {
+    /// `cin`, `cout` or `cg` was zero.
+    ZeroDimension,
+    /// `cin` is not divisible by `cg`.
+    ChannelsNotDivisible {
+        /// Input channels requested.
+        cin: usize,
+        /// Group count requested.
+        cg: usize,
+    },
+    /// The overlap ratio is outside `[0, 1)`.
+    OverlapOutOfRange(f64),
+    /// The overlap rounds to a full group width, so adjacent filters would be
+    /// identical and the window would never slide.
+    OverlapDegenerate {
+        /// Overlap (in channels) after rounding.
+        overlap_channels: usize,
+        /// Group width in channels.
+        group_width: usize,
+    },
+}
+
+impl std::fmt::Display for SccConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SccConfigError::ZeroDimension => {
+                write!(f, "cin, cout and cg must all be non-zero")
+            }
+            SccConfigError::ChannelsNotDivisible { cin, cg } => {
+                write!(f, "cin = {cin} is not divisible by cg = {cg}")
+            }
+            SccConfigError::OverlapOutOfRange(co) => {
+                write!(f, "overlap ratio {co} must lie in [0, 1)")
+            }
+            SccConfigError::OverlapDegenerate {
+                overlap_channels,
+                group_width,
+            } => write!(
+                f,
+                "overlap of {overlap_channels} channels equals the group width {group_width}; \
+                 adjacent filters would never slide (use plain PW instead)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SccConfigError {}
+
+/// Validated configuration of one sliding-channel convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SccConfig {
+    cin: usize,
+    cout: usize,
+    cg: usize,
+    co: f64,
+    group_width: usize,
+    overlap_channels: usize,
+}
+
+impl SccConfig {
+    /// Validates and builds a configuration.
+    ///
+    /// `co` is the overlap ratio in `[0, 1)`. The overlap in *channels* is
+    /// `round(co * group_width)` (so `co = 0.33` with a group width of 3
+    /// yields 1 overlapping channel, matching Fig. 5(b) of the paper).
+    pub fn new(cin: usize, cout: usize, cg: usize, co: f64) -> Result<Self, SccConfigError> {
+        if cin == 0 || cout == 0 || cg == 0 {
+            return Err(SccConfigError::ZeroDimension);
+        }
+        if cin % cg != 0 {
+            return Err(SccConfigError::ChannelsNotDivisible { cin, cg });
+        }
+        if !(0.0..1.0).contains(&co) || !co.is_finite() {
+            return Err(SccConfigError::OverlapOutOfRange(co));
+        }
+        let group_width = cin / cg;
+        let overlap_channels = ((co * group_width as f64).round() as usize).min(group_width);
+        if overlap_channels == group_width && group_width > 1 {
+            return Err(SccConfigError::OverlapDegenerate {
+                overlap_channels,
+                group_width,
+            });
+        }
+        Ok(SccConfig {
+            cin,
+            cout,
+            cg,
+            co,
+            group_width,
+            overlap_channels,
+        })
+    }
+
+    /// A plain pointwise convolution expressed as an SCC configuration
+    /// (`cg = 1`): every filter sees every input channel.
+    pub fn pointwise(cin: usize, cout: usize) -> Self {
+        SccConfig::new(cin, cout, 1, 0.0).expect("pointwise config is always valid")
+    }
+
+    /// A group pointwise convolution expressed as an SCC configuration
+    /// (`co = 0`): adjacent filters either fully share or fully split their
+    /// input channels.
+    pub fn group_pointwise(cin: usize, cout: usize, cg: usize) -> Result<Self, SccConfigError> {
+        SccConfig::new(cin, cout, cg, 0.0)
+    }
+
+    /// Number of input channels.
+    pub fn cin(&self) -> usize {
+        self.cin
+    }
+
+    /// Number of output channels (filters).
+    pub fn cout(&self) -> usize {
+        self.cout
+    }
+
+    /// Number of channel groups.
+    pub fn cg(&self) -> usize {
+        self.cg
+    }
+
+    /// Overlap ratio as requested by the user.
+    pub fn co(&self) -> f64 {
+        self.co
+    }
+
+    /// Channels each filter reads (`cin / cg`).
+    pub fn group_width(&self) -> usize {
+        self.group_width
+    }
+
+    /// Overlap between adjacent filters, in channels.
+    pub fn overlap_channels(&self) -> usize {
+        self.overlap_channels
+    }
+
+    /// How far (in channels) each filter's window start moves relative to the
+    /// previous filter. `group_width - overlap_channels`, at least 1 except
+    /// for the degenerate single-channel group.
+    pub fn slide_stride(&self) -> usize {
+        (self.group_width - self.overlap_channels).max(1)
+    }
+
+    /// Whether this configuration degenerates to a plain pointwise
+    /// convolution (every filter reads every input channel).
+    pub fn is_pointwise(&self) -> bool {
+        self.group_width == self.cin
+    }
+
+    /// Whether this configuration degenerates to a group pointwise
+    /// convolution (no overlap between adjacent filters).
+    pub fn is_group_pointwise(&self) -> bool {
+        self.overlap_channels == 0
+    }
+
+    /// Number of weight parameters of the layer: `cout * group_width`
+    /// (each 1×1 filter has `group_width` taps). Excludes bias.
+    pub fn weight_params(&self) -> usize {
+        self.cout * self.group_width
+    }
+
+    /// Multiply-accumulate operations for one forward pass over a
+    /// `fw × fw` feature map with batch size `n`.
+    pub fn forward_macs(&self, n: usize, fw: usize) -> usize {
+        n * self.cout * fw * fw * self.group_width
+    }
+
+    /// Short textual tag in the paper's notation, e.g. `SCC-cg2-co50%`.
+    pub fn tag(&self) -> String {
+        format!("SCC-cg{}-co{}%", self.cg, (self.co * 100.0).round() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_config_reports_derived_quantities() {
+        let cfg = SccConfig::new(64, 128, 2, 0.5).unwrap();
+        assert_eq!(cfg.group_width(), 32);
+        assert_eq!(cfg.overlap_channels(), 16);
+        assert_eq!(cfg.slide_stride(), 16);
+        assert_eq!(cfg.weight_params(), 128 * 32);
+        assert_eq!(cfg.tag(), "SCC-cg2-co50%");
+        assert!(!cfg.is_pointwise());
+        assert!(!cfg.is_group_pointwise());
+    }
+
+    #[test]
+    fn paper_fig5_examples() {
+        // Fig. 5(a): Cin = 4, cg = 2, co = 50% -> group width 2, overlap 1.
+        let a = SccConfig::new(4, 8, 2, 0.5).unwrap();
+        assert_eq!(a.group_width(), 2);
+        assert_eq!(a.overlap_channels(), 1);
+        // Fig. 5(b): Cin = 6, cg = 2, co = 33% -> group width 3, overlap 1.
+        let b = SccConfig::new(6, 6, 2, 0.33).unwrap();
+        assert_eq!(b.group_width(), 3);
+        assert_eq!(b.overlap_channels(), 1);
+    }
+
+    #[test]
+    fn pointwise_and_gpw_special_cases() {
+        let pw = SccConfig::pointwise(16, 32);
+        assert!(pw.is_pointwise());
+        assert_eq!(pw.group_width(), 16);
+
+        let gpw = SccConfig::group_pointwise(16, 32, 4).unwrap();
+        assert!(gpw.is_group_pointwise());
+        assert_eq!(gpw.group_width(), 4);
+        assert_eq!(gpw.slide_stride(), 4);
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert_eq!(
+            SccConfig::new(0, 8, 2, 0.5).unwrap_err(),
+            SccConfigError::ZeroDimension
+        );
+        assert_eq!(
+            SccConfig::new(8, 0, 2, 0.5).unwrap_err(),
+            SccConfigError::ZeroDimension
+        );
+        assert_eq!(
+            SccConfig::new(8, 8, 0, 0.5).unwrap_err(),
+            SccConfigError::ZeroDimension
+        );
+    }
+
+    #[test]
+    fn rejects_non_divisible_channels() {
+        assert!(matches!(
+            SccConfig::new(10, 8, 4, 0.5).unwrap_err(),
+            SccConfigError::ChannelsNotDivisible { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_overlap() {
+        assert!(matches!(
+            SccConfig::new(8, 8, 2, 1.0).unwrap_err(),
+            SccConfigError::OverlapOutOfRange(_)
+        ));
+        assert!(matches!(
+            SccConfig::new(8, 8, 2, -0.1).unwrap_err(),
+            SccConfigError::OverlapOutOfRange(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_degenerate_overlap() {
+        // group width 4, co = 0.9 rounds to 4 channels of overlap -> stuck.
+        assert!(matches!(
+            SccConfig::new(8, 8, 2, 0.9).unwrap_err(),
+            SccConfigError::OverlapDegenerate { .. }
+        ));
+    }
+
+    #[test]
+    fn forward_macs_formula() {
+        let cfg = SccConfig::new(64, 128, 2, 0.5).unwrap();
+        // N * Cout * Fw * Fw * group_width
+        assert_eq!(cfg.forward_macs(2, 56), 2 * 128 * 56 * 56 * 32);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = SccConfig::new(10, 8, 4, 0.5).unwrap_err();
+        assert!(err.to_string().contains("not divisible"));
+    }
+}

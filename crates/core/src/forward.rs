@@ -1,0 +1,195 @@
+//! Output-centric SCC forward kernel (paper §IV-B).
+//!
+//! The GPU implementation launches `N * Cout * Fw * Fw` threads, one per
+//! output pixel; each thread performs a `group_width`-long dot product
+//! between a filter's weights and the pixels of its input-channel window at
+//! the same spatial position. The properties the paper highlights —
+//!
+//! 1. no data duplication (every thread indexes the original input tensor),
+//! 2. good locality (threads of one output channel share the same weights and
+//!    walk the same input-channel window),
+//! 3. no inter-thread contention (each output value has exactly one writer)
+//!
+//! — are preserved by the CPU port: each *output-channel plane*
+//! (`Fw × Fw` values of one `(n, oc)` pair) is an independent chunk handed to
+//! one worker thread, and the channel-cyclic map (Algorithm 2) is computed
+//! once and shared read-only by all workers.
+
+use crate::config::SccConfig;
+use crate::cyclic::ChannelCycleMap;
+use crate::reference::{dims4, validate_shapes};
+use crate::stats::KernelStats;
+use dsx_tensor::{par, Tensor};
+
+/// Output-centric forward pass of the sliding-channel convolution.
+///
+/// * `input`  — `[N, Cin, H, W]`
+/// * `weight` — `[Cout, group_width]`
+/// * `bias`   — optional `[Cout]`
+/// * `stats`  — optional instrumentation counters
+///
+/// Returns `[N, Cout, H, W]`.
+pub fn scc_forward(
+    cfg: &SccConfig,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stats: Option<&KernelStats>,
+) -> Tensor {
+    let map = ChannelCycleMap::build(cfg);
+    scc_forward_with_map(cfg, &map, input, weight, bias, stats)
+}
+
+/// Same as [`scc_forward`] but reuses a prebuilt [`ChannelCycleMap`]; layers
+/// call this so the cycle map is built once at construction time rather than
+/// per batch (the index-reuse part of the channel-cyclic optimization).
+pub fn scc_forward_with_map(
+    cfg: &SccConfig,
+    map: &ChannelCycleMap,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stats: Option<&KernelStats>,
+) -> Tensor {
+    validate_shapes(cfg, input, weight, bias);
+    let (n, cin, h, w) = dims4(input);
+    let cout = cfg.cout();
+    let gw = cfg.group_width();
+    let plane = h * w;
+
+    let mut output = Tensor::zeros(&[n, cout, h, w]);
+    let in_data = input.as_slice();
+    let w_data = weight.as_slice();
+    let b_data = bias.map(|b| b.as_slice());
+
+    // One chunk per (image, output channel) plane: a single writer per chunk,
+    // mirroring "no inter-thread contention" on the GPU.
+    par::parallel_for_each_chunk_mut(output.as_mut_slice(), plane, |chunk_idx, out_plane| {
+        let img = chunk_idx / cout;
+        let oc = chunk_idx % cout;
+        let window = map.window_for_output(oc);
+        let filter = &w_data[oc * gw..(oc + 1) * gw];
+        let b = b_data.map(|b| b[oc]).unwrap_or(0.0);
+
+        out_plane.iter_mut().for_each(|v| *v = b);
+        // Accumulate channel by channel: the inner loop is a unit-stride AXPY
+        // over the spatial plane, the cache-friendly order on CPUs.
+        for (j, &wj) in filter.iter().enumerate() {
+            let ic = window.channel_at(j);
+            let in_plane = &in_data[(img * cin + ic) * plane..(img * cin + ic + 1) * plane];
+            for (o, &iv) in out_plane.iter_mut().zip(in_plane.iter()) {
+                *o += wj * iv;
+            }
+        }
+    });
+
+    if let Some(s) = stats {
+        s.add_launch();
+        s.add_macs(n * cout * plane * gw);
+        // The kernel writes only the output tensor; nothing intermediate is
+        // materialised (key contrast with the operator compositions).
+        s.add_bytes_moved(output.bytes());
+    }
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::scc_forward_reference;
+    use dsx_tensor::{allclose, TEST_TOLERANCE};
+    use proptest::prelude::*;
+
+    fn run_case(cin: usize, cout: usize, cg: usize, co: f64, n: usize, hw: usize) {
+        let cfg = SccConfig::new(cin, cout, cg, co).unwrap();
+        let input = Tensor::randn(&[n, cin, hw, hw], 7);
+        let weight = Tensor::randn(&[cout, cfg.group_width()], 8);
+        let bias = Tensor::randn(&[cout], 9);
+        let fast = scc_forward(&cfg, &input, &weight, Some(&bias), None);
+        let slow = scc_forward_reference(&cfg, &input, &weight, Some(&bias));
+        assert!(
+            allclose(&fast, &slow, TEST_TOLERANCE),
+            "kernel diverges from reference for cin={cin} cout={cout} cg={cg} co={co}"
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_paper_settings() {
+        run_case(16, 32, 2, 0.5, 2, 5);
+        run_case(16, 32, 4, 0.5, 1, 4);
+        run_case(16, 32, 8, 0.5, 1, 4);
+        run_case(12, 24, 2, 0.33, 2, 3);
+        run_case(16, 16, 2, 0.25, 1, 6);
+        run_case(16, 16, 2, 0.75, 1, 6);
+    }
+
+    #[test]
+    fn matches_reference_for_pw_and_gpw_corners() {
+        run_case(8, 12, 1, 0.0, 1, 4); // pointwise
+        run_case(8, 12, 4, 0.0, 1, 4); // GPW
+    }
+
+    #[test]
+    fn output_shape_is_nchw_with_cout_channels() {
+        let cfg = SccConfig::new(8, 20, 2, 0.5).unwrap();
+        let input = Tensor::randn(&[3, 8, 6, 7], 1);
+        let weight = Tensor::randn(&[20, 4], 2);
+        let out = scc_forward(&cfg, &input, &weight, None, None);
+        assert_eq!(out.shape(), &[3, 20, 6, 7]);
+    }
+
+    #[test]
+    fn bias_shifts_every_pixel_of_the_channel() {
+        let cfg = SccConfig::new(4, 4, 2, 0.5).unwrap();
+        let input = Tensor::zeros(&[1, 4, 3, 3]);
+        let weight = Tensor::randn(&[4, 2], 3);
+        let bias = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], &[4]);
+        let out = scc_forward(&cfg, &input, &weight, Some(&bias), None);
+        for oc in 0..4 {
+            for y in 0..3 {
+                for x in 0..3 {
+                    assert_eq!(out.at4(0, oc, y, x), bias.as_slice()[oc]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_record_macs_and_single_launch() {
+        let cfg = SccConfig::new(8, 16, 2, 0.5).unwrap();
+        let input = Tensor::randn(&[2, 8, 4, 4], 5);
+        let weight = Tensor::randn(&[16, 4], 6);
+        let stats = KernelStats::new();
+        scc_forward(&cfg, &input, &weight, None, Some(&stats));
+        assert_eq!(stats.kernel_launches(), 1);
+        assert_eq!(stats.macs(), cfg.forward_macs(2, 4));
+        assert_eq!(stats.bytes_materialized(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_kernel_equals_reference(
+            cg_pow in 0u32..3,
+            cin_mult in 1usize..4,
+            cout in 1usize..20,
+            co in prop::sample::select(vec![0.0f64, 0.25, 0.33, 0.5, 0.66, 0.75]),
+            n in 1usize..3,
+            hw in 1usize..5,
+            seed in 0u64..500,
+        ) {
+            let cg = 1usize << cg_pow;
+            let cin = cg * cin_mult;
+            let cfg = match SccConfig::new(cin, cout, cg, co) {
+                Ok(c) => c,
+                Err(_) => return Ok(()), // skip degenerate combinations
+            };
+            let input = Tensor::randn(&[n, cin, hw, hw], seed);
+            let weight = Tensor::randn(&[cout, cfg.group_width()], seed + 1);
+            let fast = scc_forward(&cfg, &input, &weight, None, None);
+            let slow = scc_forward_reference(&cfg, &input, &weight, None);
+            prop_assert!(allclose(&fast, &slow, TEST_TOLERANCE));
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! High-level sliding-channel convolution operator.
+//!
+//! [`SlidingChannelConv2d`] owns the layer's weights and cycle map and
+//! dispatches forward/backward to one of the four implementations the paper
+//! evaluates (Pytorch-Base, Pytorch-Opt, DSXplore-Var, DSXplore). It is the
+//! type the `dsx-nn` layer stack and the examples use.
+
+use crate::backward::{
+    scc_backward_input_centric_with_map, scc_backward_output_centric, SccGradients,
+};
+use crate::compose::{ComposedScc, Composition};
+use crate::config::SccConfig;
+use crate::cyclic::ChannelCycleMap;
+use crate::forward::scc_forward_with_map;
+use crate::stats::KernelStats;
+use dsx_tensor::{init, Tensor};
+
+/// Which of the paper's implementations executes the layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SccImplementation {
+    /// Channel-stack operator composition without the cyclic optimization
+    /// (the paper's Pytorch-Base).
+    PytorchBase,
+    /// Convolution-stack operator composition with the cyclic optimization
+    /// (the paper's Pytorch-Opt).
+    PytorchOpt,
+    /// DSXplore's forward kernel with the *output-centric* backward
+    /// (the DSXplore-Var ablation of Fig. 9).
+    DsxploreVar,
+    /// The full DSXplore design: output-centric forward, input-centric
+    /// backward, channel-cyclic index reuse.
+    Dsxplore,
+}
+
+impl SccImplementation {
+    /// All implementations, in the order the paper's figures list them.
+    pub const ALL: [SccImplementation; 4] = [
+        SccImplementation::PytorchBase,
+        SccImplementation::PytorchOpt,
+        SccImplementation::DsxploreVar,
+        SccImplementation::Dsxplore,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SccImplementation::PytorchBase => "Pytorch-Base",
+            SccImplementation::PytorchOpt => "Pytorch-Opt",
+            SccImplementation::DsxploreVar => "DSXplore-Var",
+            SccImplementation::Dsxplore => "DSXplore",
+        }
+    }
+}
+
+/// A sliding-channel 1×1 convolution layer with owned parameters.
+#[derive(Debug)]
+pub struct SlidingChannelConv2d {
+    cfg: SccConfig,
+    map: ChannelCycleMap,
+    weight: Tensor,
+    bias: Option<Tensor>,
+    implementation: SccImplementation,
+    stats: KernelStats,
+}
+
+impl SlidingChannelConv2d {
+    /// Creates a layer with Kaiming-initialised weights, a zero bias and the
+    /// DSXplore kernel implementation.
+    pub fn new(cfg: SccConfig) -> Self {
+        Self::with_seed(cfg, 0x5CC0)
+    }
+
+    /// Creates a layer with an explicit RNG seed for the weights.
+    pub fn with_seed(cfg: SccConfig, seed: u64) -> Self {
+        let weight = Tensor::from_vec(
+            init::kaiming_normal(cfg.weight_params(), cfg.group_width(), seed),
+            &[cfg.cout(), cfg.group_width()],
+        );
+        let bias = Some(Tensor::zeros(&[cfg.cout()]));
+        let map = ChannelCycleMap::build(&cfg);
+        SlidingChannelConv2d {
+            cfg,
+            map,
+            weight,
+            bias,
+            implementation: SccImplementation::Dsxplore,
+            stats: KernelStats::new(),
+        }
+    }
+
+    /// Selects the implementation used by [`forward`](Self::forward) and
+    /// [`backward`](Self::backward).
+    pub fn with_implementation(mut self, implementation: SccImplementation) -> Self {
+        self.implementation = implementation;
+        self
+    }
+
+    /// Removes the bias term.
+    pub fn without_bias(mut self) -> Self {
+        self.bias = None;
+        self
+    }
+
+    /// The layer's configuration.
+    pub fn config(&self) -> &SccConfig {
+        &self.cfg
+    }
+
+    /// The implementation currently selected.
+    pub fn implementation(&self) -> SccImplementation {
+        self.implementation
+    }
+
+    /// The channel-cycle map (Algorithm 1 output) of this layer.
+    pub fn cycle_map(&self) -> &ChannelCycleMap {
+        &self.map
+    }
+
+    /// Instrumentation counters accumulated across forward/backward calls.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// The weight tensor, `[Cout, group_width]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable access to the weight tensor (used by optimizers).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// The bias tensor, if the layer has one.
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref()
+    }
+
+    /// Mutable access to the bias tensor.
+    pub fn bias_mut(&mut self) -> Option<&mut Tensor> {
+        self.bias.as_mut()
+    }
+
+    /// Replaces the weights (shape-checked).
+    pub fn set_weight(&mut self, weight: Tensor) {
+        assert_eq!(
+            weight.shape(),
+            &[self.cfg.cout(), self.cfg.group_width()],
+            "weight must be [Cout, group_width]"
+        );
+        self.weight = weight;
+    }
+
+    /// Number of trainable parameters (weights + bias).
+    pub fn num_params(&self) -> usize {
+        self.cfg.weight_params() + self.bias.as_ref().map(|b| b.numel()).unwrap_or(0)
+    }
+
+    /// Forward pass; input is `[N, Cin, H, W]`, output `[N, Cout, H, W]`.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        match self.implementation {
+            SccImplementation::PytorchBase => ComposedScc::pytorch_base(self.cfg).forward(
+                input,
+                &self.weight,
+                self.bias.as_ref(),
+                Some(&self.stats),
+            ),
+            SccImplementation::PytorchOpt => ComposedScc::pytorch_opt(self.cfg).forward(
+                input,
+                &self.weight,
+                self.bias.as_ref(),
+                Some(&self.stats),
+            ),
+            SccImplementation::DsxploreVar | SccImplementation::Dsxplore => scc_forward_with_map(
+                &self.cfg,
+                &self.map,
+                input,
+                &self.weight,
+                self.bias.as_ref(),
+                Some(&self.stats),
+            ),
+        }
+    }
+
+    /// Backward pass; returns gradients with respect to the input, weights
+    /// and bias.
+    pub fn backward(&self, input: &Tensor, grad_output: &Tensor) -> SccGradients {
+        match self.implementation {
+            SccImplementation::PytorchBase => ComposedScc::pytorch_base(self.cfg).backward(
+                input,
+                &self.weight,
+                grad_output,
+                Some(&self.stats),
+            ),
+            SccImplementation::PytorchOpt => ComposedScc::pytorch_opt(self.cfg).backward(
+                input,
+                &self.weight,
+                grad_output,
+                Some(&self.stats),
+            ),
+            SccImplementation::DsxploreVar => scc_backward_output_centric(
+                &self.cfg,
+                input,
+                &self.weight,
+                grad_output,
+                Some(&self.stats),
+            ),
+            SccImplementation::Dsxplore => scc_backward_input_centric_with_map(
+                &self.cfg,
+                &self.map,
+                input,
+                &self.weight,
+                grad_output,
+                Some(&self.stats),
+            ),
+        }
+    }
+
+    /// Applies a plain SGD update to the layer parameters.
+    pub fn apply_gradients(&mut self, grads: &SccGradients, lr: f32) {
+        self.weight.axpy(-lr, &grads.grad_weight);
+        if let Some(b) = self.bias.as_mut() {
+            b.axpy(-lr, &grads.grad_bias);
+        }
+    }
+
+    /// The corresponding compose-based implementation (useful for memory
+    /// studies); `None` for the kernel implementations.
+    pub fn as_composition(&self) -> Option<ComposedScc> {
+        match self.implementation {
+            SccImplementation::PytorchBase => Some(ComposedScc::pytorch_base(self.cfg)),
+            SccImplementation::PytorchOpt => Some(ComposedScc::pytorch_opt(self.cfg)),
+            _ => None,
+        }
+    }
+
+    /// Builds a composition with an explicit strategy/optimization choice
+    /// sharing this layer's weights (used by the Fig. 10 memory experiment).
+    pub fn composition(&self, composition: Composition, cyclic_opt: bool) -> ComposedScc {
+        ComposedScc::new(self.cfg, composition, cyclic_opt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsx_tensor::{allclose, TEST_TOLERANCE};
+
+    fn layer() -> SlidingChannelConv2d {
+        SlidingChannelConv2d::with_seed(SccConfig::new(8, 16, 2, 0.5).unwrap(), 99)
+    }
+
+    #[test]
+    fn forward_shapes_are_correct_for_all_implementations() {
+        let input = Tensor::randn(&[2, 8, 6, 6], 1);
+        for implementation in SccImplementation::ALL {
+            let l = layer().with_implementation(implementation);
+            let out = l.forward(&input);
+            assert_eq!(out.shape(), &[2, 16, 6, 6], "{}", implementation.name());
+        }
+    }
+
+    #[test]
+    fn all_implementations_agree_numerically() {
+        let input = Tensor::randn(&[1, 8, 5, 5], 2);
+        let reference = layer()
+            .with_implementation(SccImplementation::Dsxplore)
+            .forward(&input);
+        for implementation in SccImplementation::ALL {
+            let out = layer().with_implementation(implementation).forward(&input);
+            assert!(
+                allclose(&out, &reference, TEST_TOLERANCE),
+                "{} forward mismatch",
+                implementation.name()
+            );
+        }
+    }
+
+    #[test]
+    fn backward_agrees_across_implementations() {
+        let input = Tensor::randn(&[1, 8, 4, 4], 3);
+        let grad_out = Tensor::randn(&[1, 16, 4, 4], 4);
+        let reference = layer()
+            .with_implementation(SccImplementation::Dsxplore)
+            .backward(&input, &grad_out);
+        for implementation in SccImplementation::ALL {
+            let grads = layer()
+                .with_implementation(implementation)
+                .backward(&input, &grad_out);
+            assert!(allclose(&grads.grad_input, &reference.grad_input, 1e-3));
+            assert!(allclose(&grads.grad_weight, &reference.grad_weight, 1e-3));
+            assert!(allclose(&grads.grad_bias, &reference.grad_bias, 1e-3));
+        }
+    }
+
+    #[test]
+    fn training_step_reduces_a_simple_loss() {
+        // Minimise || output ||^2 for a fixed input: gradients should shrink
+        // the weights and the loss must go down.
+        let mut l = layer();
+        let input = Tensor::randn(&[1, 8, 4, 4], 5);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..5 {
+            let out = l.forward(&input);
+            let loss = out.norm_sq();
+            assert!(loss < last_loss * 1.0001, "loss must not increase");
+            last_loss = loss;
+            let grad_out = out.scale(2.0);
+            let grads = l.backward(&input, &grad_out);
+            l.apply_gradients(&grads, 0.01);
+        }
+    }
+
+    #[test]
+    fn num_params_counts_weight_and_bias() {
+        let l = layer();
+        assert_eq!(l.num_params(), 16 * 4 + 16);
+        let no_bias = layer().without_bias();
+        assert_eq!(no_bias.num_params(), 16 * 4);
+    }
+
+    #[test]
+    fn stats_accumulate_across_calls() {
+        let l = layer();
+        let input = Tensor::randn(&[1, 8, 4, 4], 6);
+        l.forward(&input);
+        l.forward(&input);
+        assert_eq!(l.stats().kernel_launches(), 2);
+    }
+
+    #[test]
+    fn set_weight_validates_shape() {
+        let mut l = layer();
+        l.set_weight(Tensor::zeros(&[16, 4]));
+        assert_eq!(l.weight().sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_weight_rejects_bad_shape() {
+        layer().set_weight(Tensor::zeros(&[16, 8]));
+    }
+}

@@ -1,0 +1,309 @@
+//! Naive scalar reference implementations of the sliding-channel convolution.
+//!
+//! These follow the mathematical definition directly (triple/quadruple nested
+//! loops, no parallelism, no cyclic-index reuse) and exist purely as the
+//! ground truth that the optimized kernels, the operator-composition
+//! baselines and the property tests are checked against.
+
+use crate::config::SccConfig;
+use crate::cyclic::ChannelCycleMap;
+use dsx_tensor::Tensor;
+
+/// Naive SCC forward pass.
+///
+/// * `input`  — `[N, Cin, H, W]`
+/// * `weight` — `[Cout, group_width]` (1×1 filters)
+/// * `bias`   — optional `[Cout]`
+///
+/// Returns `[N, Cout, H, W]`.
+pub fn scc_forward_reference(
+    cfg: &SccConfig,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+) -> Tensor {
+    validate_shapes(cfg, input, weight, bias);
+    let map = ChannelCycleMap::build(cfg);
+    let (n, _cin, h, w) = dims4(input);
+    let cout = cfg.cout();
+    let gw = cfg.group_width();
+    let mut out = Tensor::zeros(&[n, cout, h, w]);
+    for img in 0..n {
+        for oc in 0..cout {
+            let window = map.window_for_output(oc);
+            let b = bias.map(|t| t.as_slice()[oc]).unwrap_or(0.0);
+            for y in 0..h {
+                for x in 0..w {
+                    let mut acc = b;
+                    for j in 0..gw {
+                        let ic = window.channel_at(j);
+                        acc += weight.as_slice()[oc * gw + j] * input.at4(img, ic, y, x);
+                    }
+                    *out.at4_mut(img, oc, y, x) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Naive SCC backward pass. Returns `(grad_input, grad_weight, grad_bias)`.
+///
+/// * `grad_output` — `[N, Cout, H, W]`
+pub fn scc_backward_reference(
+    cfg: &SccConfig,
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    validate_shapes(cfg, input, weight, None);
+    let map = ChannelCycleMap::build(cfg);
+    let (n, cin, h, w) = dims4(input);
+    let cout = cfg.cout();
+    let gw = cfg.group_width();
+    assert_eq!(grad_output.shape(), &[n, cout, h, w], "grad_output shape");
+
+    let mut grad_input = Tensor::zeros(&[n, cin, h, w]);
+    let mut grad_weight = Tensor::zeros(&[cout, gw]);
+    let mut grad_bias = Tensor::zeros(&[cout]);
+
+    for img in 0..n {
+        for oc in 0..cout {
+            let window = map.window_for_output(oc);
+            for y in 0..h {
+                for x in 0..w {
+                    let go = grad_output.at4(img, oc, y, x);
+                    grad_bias.as_mut_slice()[oc] += go;
+                    for j in 0..gw {
+                        let ic = window.channel_at(j);
+                        // dL/dI = W * dL/dO (scatter)
+                        *grad_input.at4_mut(img, ic, y, x) += weight.as_slice()[oc * gw + j] * go;
+                        // dL/dW = I * dL/dO
+                        grad_weight.as_mut_slice()[oc * gw + j] += input.at4(img, ic, y, x) * go;
+                    }
+                }
+            }
+        }
+    }
+    (grad_input, grad_weight, grad_bias)
+}
+
+/// Naive pointwise (1×1 standard) convolution used to cross-check the SCC
+/// special case `cg = 1`.
+pub fn pointwise_forward_reference(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Tensor {
+    let (n, cin, h, w) = dims4(input);
+    let cout = weight.dim(0);
+    assert_eq!(weight.dim(1), cin, "pointwise weight must be [Cout, Cin]");
+    let mut out = Tensor::zeros(&[n, cout, h, w]);
+    for img in 0..n {
+        for oc in 0..cout {
+            let b = bias.map(|t| t.as_slice()[oc]).unwrap_or(0.0);
+            for y in 0..h {
+                for x in 0..w {
+                    let mut acc = b;
+                    for ic in 0..cin {
+                        acc += weight.as_slice()[oc * cin + ic] * input.at4(img, ic, y, x);
+                    }
+                    *out.at4_mut(img, oc, y, x) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Naive group pointwise convolution (`cg` groups, no overlap) used to
+/// cross-check the SCC special case `co = 0`.
+///
+/// The weight layout matches SCC: `[Cout, group_width]`, where output channel
+/// `oc` belongs to group `oc / (cout / cg)` in the standard GPW definition.
+/// Note that SCC with `co = 0` assigns windows *cyclically* (filter `i` reads
+/// window `i % cg`), whereas classic GPW assigns them *block-wise* (the first
+/// `cout/cg` filters read window 0). Both cover the same windows; the
+/// block-wise variant is provided for the comparison experiments.
+pub fn gpw_forward_reference_blockwise(
+    cin: usize,
+    cout: usize,
+    cg: usize,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+) -> Tensor {
+    assert_eq!(cin % cg, 0, "cin must divide by cg");
+    assert_eq!(cout % cg, 0, "cout must divide by cg for block-wise GPW");
+    let gw = cin / cg;
+    let out_per_group = cout / cg;
+    let (n, cin_t, h, w) = dims4(input);
+    assert_eq!(cin_t, cin);
+    assert_eq!(weight.shape(), &[cout, gw], "GPW weight must be [Cout, group_width]");
+    let mut out = Tensor::zeros(&[n, cout, h, w]);
+    for img in 0..n {
+        for oc in 0..cout {
+            let group = oc / out_per_group;
+            let start = group * gw;
+            let b = bias.map(|t| t.as_slice()[oc]).unwrap_or(0.0);
+            for y in 0..h {
+                for x in 0..w {
+                    let mut acc = b;
+                    for j in 0..gw {
+                        acc += weight.as_slice()[oc * gw + j] * input.at4(img, start + j, y, x);
+                    }
+                    *out.at4_mut(img, oc, y, x) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+pub(crate) fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(t.rank(), 4, "expected an NCHW tensor, got shape {:?}", t.shape());
+    (t.dim(0), t.dim(1), t.dim(2), t.dim(3))
+}
+
+pub(crate) fn validate_shapes(
+    cfg: &SccConfig,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+) {
+    let (_n, cin, _h, _w) = dims4(input);
+    assert_eq!(
+        cin,
+        cfg.cin(),
+        "input has {cin} channels but the SCC config expects {}",
+        cfg.cin()
+    );
+    assert_eq!(
+        weight.shape(),
+        &[cfg.cout(), cfg.group_width()],
+        "weight must be [Cout, group_width] = [{}, {}]",
+        cfg.cout(),
+        cfg.group_width()
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.shape(), &[cfg.cout()], "bias must be [Cout]");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsx_tensor::allclose;
+
+    #[test]
+    fn scc_with_cg1_equals_pointwise() {
+        let cfg = SccConfig::pointwise(6, 10);
+        let input = Tensor::randn(&[2, 6, 4, 4], 1);
+        let weight = Tensor::randn(&[10, 6], 2);
+        let bias = Tensor::randn(&[10], 3);
+        let scc = scc_forward_reference(&cfg, &input, &weight, Some(&bias));
+        let pw = pointwise_forward_reference(&input, &weight, Some(&bias));
+        assert!(allclose(&scc, &pw, 1e-5));
+    }
+
+    #[test]
+    fn scc_with_zero_overlap_covers_same_windows_as_gpw() {
+        // With co = 0 SCC reads window (oc % cg); block-wise GPW reads window
+        // (oc / out_per_group). Permuting output channels accordingly makes
+        // them identical.
+        let (cin, cout, cg) = (8, 8, 4);
+        let cfg = SccConfig::group_pointwise(cin, cout, cg).unwrap();
+        let input = Tensor::randn(&[1, cin, 3, 3], 4);
+        let weight = Tensor::randn(&[cout, cin / cg], 5);
+
+        let scc = scc_forward_reference(&cfg, &input, &weight, None);
+        // Build a permuted weight for block-wise GPW: block-wise output
+        // channel oc' = group * out_per_group + k corresponds to SCC output
+        // channel oc with oc % cg == group.
+        let out_per_group = cout / cg;
+        let gw = cin / cg;
+        let mut perm = vec![0usize; cout];
+        let mut next_in_group = vec![0usize; cg];
+        for oc in 0..cout {
+            let g = oc % cg;
+            perm[oc] = g * out_per_group + next_in_group[g];
+            next_in_group[g] += 1;
+        }
+        let mut w_block = Tensor::zeros(&[cout, gw]);
+        for oc in 0..cout {
+            for j in 0..gw {
+                w_block.as_mut_slice()[perm[oc] * gw + j] = weight.as_slice()[oc * gw + j];
+            }
+        }
+        let gpw = gpw_forward_reference_blockwise(cin, cout, cg, &input, &w_block, None);
+        for oc in 0..cout {
+            for y in 0..3 {
+                for x in 0..3 {
+                    assert!(
+                        (scc.at4(0, oc, y, x) - gpw.at4(0, perm[oc], y, x)).abs() < 1e-5,
+                        "mismatch at oc={oc}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_reference_matches_numerical_gradient() {
+        let cfg = SccConfig::new(4, 6, 2, 0.5).unwrap();
+        let input = Tensor::randn(&[1, 4, 3, 3], 10);
+        let weight = Tensor::randn(&[6, 2], 11);
+        let grad_out = Tensor::ones(&[1, 6, 3, 3]);
+
+        let (gi, gw_grad, gb) = scc_backward_reference(&cfg, &input, &weight, &grad_out);
+
+        // Numerical gradient wrt a few weight entries: loss = sum(output).
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 3, 7, 11] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let lp = scc_forward_reference(&cfg, &input, &wp, None).sum();
+            let lm = scc_forward_reference(&cfg, &input, &wm, None).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gw_grad.as_slice()[idx]).abs() < 1e-2,
+                "weight grad mismatch at {idx}: numerical {num} vs analytic {}",
+                gw_grad.as_slice()[idx]
+            );
+        }
+
+        // Numerical gradient wrt a few input entries.
+        for &idx in &[0usize, 10, 20, 35] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[idx] += eps;
+            let mut im = input.clone();
+            im.as_mut_slice()[idx] -= eps;
+            let lp = scc_forward_reference(&cfg, &ip, &weight, None).sum();
+            let lm = scc_forward_reference(&cfg, &im, &weight, None).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gi.as_slice()[idx]).abs() < 1e-2,
+                "input grad mismatch at {idx}"
+            );
+        }
+
+        // Bias gradient with all-ones grad_output is just the pixel count.
+        assert!(gb.as_slice().iter().all(|&v| (v - 9.0).abs() < 1e-5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn forward_rejects_wrong_weight_shape() {
+        let cfg = SccConfig::new(4, 6, 2, 0.5).unwrap();
+        let input = Tensor::zeros(&[1, 4, 2, 2]);
+        let weight = Tensor::zeros(&[6, 4]);
+        scc_forward_reference(&cfg, &input, &weight, None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn forward_rejects_wrong_input_channels() {
+        let cfg = SccConfig::new(4, 6, 2, 0.5).unwrap();
+        let input = Tensor::zeros(&[1, 8, 2, 2]);
+        let weight = Tensor::zeros(&[6, 2]);
+        scc_forward_reference(&cfg, &input, &weight, None);
+    }
+}

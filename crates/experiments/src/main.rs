@@ -1,0 +1,173 @@
+//! `dsx-experiments` — command-line harness that regenerates every table and
+//! figure of the DSXplore paper.
+//!
+//! ```text
+//! dsx-experiments <command> [--train]
+//!
+//! Commands:
+//!   table1 table2 table3 table4 table5
+//!   fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+//!   atomics      kernel-level atomic-operation study (§V-D)
+//!   all          run everything (analytic columns only unless --train)
+//! ```
+//!
+//! `--train` additionally measures the accuracy columns by briefly training
+//! channel-scaled models on the synthetic datasets (a few minutes on a
+//! laptop); without it only the analytic columns are printed.
+
+use dsx_experiments::*;
+
+fn print_accuracy_rows(title: &str, rows: &[AccuracyRow]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<12} {:<22} {:>10} {:>12} {:>10}",
+        "Model", "Implementation", "MFLOPs", "Param. (M)", "Acc. (%)"
+    );
+    for row in rows {
+        let acc = row
+            .accuracy
+            .map(|a| format!("{:.2}", a * 100.0))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<12} {:<22} {:>10.2} {:>12.2} {:>10}",
+            row.model, row.scheme, row.mflops, row.params_m, acc
+        );
+    }
+}
+
+fn print_speedups(title: &str, rows: &[SpeedupRow], baseline: &str) {
+    println!("\n=== {title} (speedup over {baseline}) ===");
+    println!(
+        "{:<12} {:<28} {:>14} {:>12}",
+        "Model", "Setting", "Pytorch-Opt(x)", "DSXplore(x)"
+    );
+    for row in rows {
+        let fmt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "OOM".into());
+        println!(
+            "{:<12} {:<28} {:>14} {:>12}",
+            row.model,
+            row.setting,
+            fmt(row.pytorch_opt),
+            fmt(row.dsxplore)
+        );
+    }
+}
+
+fn print_series(title: &str, rows: &[SeriesPoint], x_label: &str, y_label: &str) {
+    println!("\n=== {title} ===");
+    println!("{:<12} {:>12} {:>16}", "Model", x_label, y_label);
+    for point in rows {
+        println!("{:<12} {:>12.2} {:>16.6}", point.model, point.x, point.y);
+    }
+}
+
+fn run(command: &str, train_cfg: Option<&TrainConfig>) {
+    match command {
+        "table1" => {
+            let rows = table1();
+            println!("\n=== Table I: SCC vs PW vs GPW (Cin=Cout=256, 16x16) ===");
+            println!("{:<8} {:>10} {:>10} {:>8}", "Kernel", "MFLOPs", "Params", "Acc.");
+            for r in rows {
+                println!(
+                    "{:<8} {:>10.2} {:>10} {:>8}",
+                    r.kernel, r.mflops, r.params, r.accuracy_class
+                );
+            }
+        }
+        "table2" => print_accuracy_rows("Table II: CIFAR-10 accuracy/cost", &table2(train_cfg)),
+        "table3" => print_accuracy_rows("Table III: ImageNet ResNet50", &table3(train_cfg)),
+        "table4" => print_accuracy_rows("Table IV: MobileNet DSC ablation", &table4(train_cfg)),
+        "table5" => {
+            println!("\n=== Table V: VGG16 inference latency (ms) ===");
+            println!("{:>10} {:>14} {:>14}", "Batch", "DW+GPW (ms)", "DSXplore (ms)");
+            for r in table5() {
+                println!("{:>10} {:>14.2} {:>14.2}", r.batch, r.gpw_ms, r.dsxplore_ms);
+            }
+        }
+        "fig7" => print_speedups("Figure 7: CIFAR-10 training speedup", &fig7(), "Pytorch-Base"),
+        "fig8" => print_speedups("Figure 8: ImageNet training speedup", &fig8(), "Pytorch-Opt"),
+        "fig9" => {
+            println!("\n=== Figure 9: backward-pass runtime (s) ===");
+            println!(
+                "{:<12} {:>14} {:>14} {:>14} {:>12}",
+                "Model", "Pytorch-Base", "Pytorch-Opt", "DSXplore-Var", "DSXplore"
+            );
+            for r in fig9() {
+                println!(
+                    "{:<12} {:>14.4} {:>14.4} {:>14.4} {:>12.4}",
+                    r.model, r.seconds[0], r.seconds[1], r.seconds[2], r.seconds[3]
+                );
+            }
+        }
+        "fig10" => {
+            println!("\n=== Figure 10: channel-cyclic optimization memory (MB) ===");
+            println!(
+                "{:<12} {:>14} {:>14} {:>12}",
+                "Model", "w/o CCO (MB)", "w/ CCO (MB)", "Saving (%)"
+            );
+            for r in fig10() {
+                println!(
+                    "{:<12} {:>14.1} {:>14.1} {:>12.2}",
+                    r.model, r.without_cc_mb, r.with_cc_mb, r.saving_pct
+                );
+            }
+        }
+        "fig11" => print_series(
+            "Figure 11: runtime vs number of groups (normalised to cg=1)",
+            &fig11(),
+            "cg",
+            "normalised time",
+        ),
+        "fig12" => print_series(
+            "Figure 12: runtime vs channel overlap (normalised to co=10%)",
+            &fig12(),
+            "co (%)",
+            "normalised time",
+        ),
+        "fig13" => print_series(
+            "Figure 13: time per training batch vs batch size",
+            &fig13(),
+            "batch",
+            "time (s)",
+        ),
+        "fig14" => print_series(
+            "Figure 14: multi-GPU scalability",
+            &fig14(),
+            "GPUs",
+            "speedup (x)",
+        ),
+        "atomics" => {
+            println!("\n=== Atomic-operation study (§V-D) ===");
+            for r in atomics_study() {
+                println!("{:<34} {:>14}", r.design, r.atomic_updates);
+            }
+        }
+        "all" => {
+            for cmd in [
+                "table1", "table2", "table3", "table4", "table5", "fig7", "fig8", "fig9",
+                "fig10", "fig11", "fig12", "fig13", "fig14", "atomics",
+            ] {
+                run(cmd, train_cfg);
+            }
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            eprintln!(
+                "commands: table1..table5, fig7..fig14, atomics, all  (add --train for accuracy columns)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let train = args.iter().any(|a| a == "--train");
+    let command = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let train_cfg = TrainConfig::default();
+    run(&command, train.then_some(&train_cfg));
+}

@@ -1,0 +1,50 @@
+//! Integration test: the experiment harness regenerates every table/figure
+//! without training (analytic + cost-model columns) and the outputs satisfy
+//! the paper's qualitative claims.
+
+use std::process::Command;
+
+#[test]
+fn experiments_binary_runs_all_analytic_experiments() {
+    let output = Command::new(env!("CARGO_BIN_EXE_dsx-experiments"))
+        .arg("all")
+        .output()
+        .expect("failed to launch dsx-experiments");
+    assert!(
+        output.status.success(),
+        "dsx-experiments all failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for marker in [
+        "Table I",
+        "Table II",
+        "Table III",
+        "Table IV",
+        "Table V",
+        "Figure 7",
+        "Figure 8",
+        "Figure 9",
+        "Figure 10",
+        "Figure 11",
+        "Figure 12",
+        "Figure 13",
+        "Figure 14",
+        "Atomic-operation study",
+    ] {
+        assert!(stdout.contains(marker), "missing section: {marker}");
+    }
+    // Every model appears in the speedup figures.
+    for model in ["VGG16", "VGG19", "MobileNet", "ResNet18", "ResNet50"] {
+        assert!(stdout.contains(model), "missing model: {model}");
+    }
+}
+
+#[test]
+fn experiments_binary_rejects_unknown_commands() {
+    let output = Command::new(env!("CARGO_BIN_EXE_dsx-experiments"))
+        .arg("not-a-command")
+        .output()
+        .expect("failed to launch dsx-experiments");
+    assert!(!output.status.success());
+}

@@ -1,0 +1,204 @@
+//! Kernel-level cost model: converts an [`OpProfile`] (threads, MACs, bytes,
+//! launches, atomics) into an estimated execution time on a [`GpuModel`].
+//!
+//! The model is a standard roofline-plus-overheads decomposition:
+//!
+//! ```text
+//! time = launches * launch_overhead
+//!      + max(compute_time, memory_time)      (overlapping compute & HBM)
+//!      + atomic_extra_time                   (throughput lost to atomics)
+//! ```
+//!
+//! where `compute_time` is scaled by the achievable efficiency of the kernel
+//! class (library vs hand-written) and by the occupancy the launch reaches,
+//! and `atomic_extra_time` models the throughput degradation of kernels whose
+//! arithmetic is interleaved with atomic read-modify-write updates (the
+//! output-centric backward of Fig. 9): the denser the atomics relative to the
+//! MACs, the larger the slowdown.
+
+use crate::machine::GpuModel;
+use dsx_core::OpProfile;
+
+/// Breakdown of one kernel-pass estimate, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// Kernel/operator launch overheads.
+    pub launch_s: f64,
+    /// Arithmetic time after efficiency and occupancy scaling.
+    pub compute_s: f64,
+    /// HBM traffic time (materialised + moved bytes).
+    pub memory_s: f64,
+    /// Extra time lost to atomic-update serialisation.
+    pub atomic_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Total modelled time: launches + max(compute, memory) + atomics.
+    pub fn total(&self) -> f64 {
+        self.launch_s + self.compute_s.max(self.memory_s) + self.atomic_s
+    }
+
+    /// Elementwise sum (for accumulating layers).
+    pub fn add(&self, other: &TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            launch_s: self.launch_s + other.launch_s,
+            compute_s: self.compute_s + other.compute_s,
+            memory_s: self.memory_s + other.memory_s,
+            atomic_s: self.atomic_s + other.atomic_s,
+        }
+    }
+}
+
+/// Estimates the execution time of one kernel pass described by `profile`.
+///
+/// Profiles with `threads > 0` are treated as hand-written (custom) kernels
+/// and use the custom efficiency scaled by occupancy; profiles with
+/// `threads == 0` are framework operator compositions executed by library
+/// kernels at library efficiency.
+pub fn kernel_time(gpu: &GpuModel, profile: &OpProfile) -> TimeBreakdown {
+    let launch_s = profile.kernel_launches as f64 * gpu.launch_overhead_s();
+
+    let efficiency = if profile.threads > 0 {
+        gpu.custom_kernel_efficiency * gpu.occupancy(profile.threads)
+    } else {
+        gpu.library_efficiency
+    };
+    let compute_s = if profile.macs == 0 {
+        0.0
+    } else {
+        (2.0 * profile.macs as f64) / (gpu.peak_flops() * efficiency.max(1e-3))
+    };
+
+    let bytes = profile.bytes_moved as f64 + profile.bytes_materialized as f64;
+    let memory_s = bytes / gpu.bandwidth_bytes();
+
+    // Atomics steal throughput from the arithmetic pipeline: the extra time
+    // is the compute time scaled by the atomic-per-MAC density.
+    let atomic_density = if profile.macs == 0 {
+        0.0
+    } else {
+        profile.atomic_updates as f64 / profile.macs as f64
+    };
+    let atomic_s = compute_s * (gpu.atomic_penalty(atomic_density) - 1.0);
+
+    TimeBreakdown {
+        launch_s,
+        compute_s,
+        memory_s,
+        atomic_s,
+    }
+}
+
+/// Estimated time (seconds) of a plain library-executed operator given its
+/// multiply-accumulates, the activation/weight bytes it must stream, and its
+/// launch count. Used for the non-SCC "backbone" layers that are identical
+/// across implementations.
+pub fn library_op_time(gpu: &GpuModel, macs: usize, bytes: usize, launches: usize) -> TimeBreakdown {
+    TimeBreakdown {
+        launch_s: launches as f64 * gpu.launch_overhead_s(),
+        compute_s: (2.0 * macs as f64) / (gpu.peak_flops() * gpu.library_efficiency),
+        memory_s: bytes as f64 / gpu.bandwidth_bytes(),
+        atomic_s: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsx_core::{forward_profile, backward_profile, LayerShape, SccConfig, SccImplementation};
+
+    fn gpu() -> GpuModel {
+        GpuModel::v100()
+    }
+
+    fn cfg() -> SccConfig {
+        SccConfig::new(256, 256, 2, 0.5).unwrap()
+    }
+
+    #[test]
+    fn totals_compose_launch_roofline_and_atomics() {
+        let t = TimeBreakdown {
+            launch_s: 1.0,
+            compute_s: 2.0,
+            memory_s: 3.0,
+            atomic_s: 0.5,
+        };
+        assert!((t.total() - 4.5).abs() < 1e-12);
+        let sum = t.add(&t);
+        assert!((sum.compute_s - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dsxplore_forward_is_faster_than_compositions() {
+        let shape = LayerShape::square(128, 16);
+        let dsx = kernel_time(&gpu(), &forward_profile(&cfg(), &shape, SccImplementation::Dsxplore));
+        let base = kernel_time(
+            &gpu(),
+            &forward_profile(&cfg(), &shape, SccImplementation::PytorchBase),
+        );
+        let opt = kernel_time(
+            &gpu(),
+            &forward_profile(&cfg(), &shape, SccImplementation::PytorchOpt),
+        );
+        assert!(dsx.total() < opt.total(), "DSXplore {} !< Opt {}", dsx.total(), opt.total());
+        assert!(opt.total() < base.total(), "Opt {} !< Base {}", opt.total(), base.total());
+    }
+
+    #[test]
+    fn input_centric_backward_beats_output_centric() {
+        let shape = LayerShape::square(128, 16);
+        let dsx = kernel_time(
+            &gpu(),
+            &backward_profile(&cfg(), &shape, SccImplementation::Dsxplore),
+        );
+        let var = kernel_time(
+            &gpu(),
+            &backward_profile(&cfg(), &shape, SccImplementation::DsxploreVar),
+        );
+        assert!(dsx.total() < var.total());
+        assert!(var.atomic_s > 0.0 && dsx.atomic_s == 0.0);
+    }
+
+    #[test]
+    fn backward_ordering_matches_paper_fig9() {
+        // Fig. 9: Pytorch-Base > Pytorch-Opt > DSXplore-Var > DSXplore.
+        let shape = LayerShape::square(128, 16);
+        let time = |imp| kernel_time(&gpu(), &backward_profile(&cfg(), &shape, imp)).total();
+        let base = time(SccImplementation::PytorchBase);
+        let opt = time(SccImplementation::PytorchOpt);
+        let var = time(SccImplementation::DsxploreVar);
+        let dsx = time(SccImplementation::Dsxplore);
+        assert!(base > opt, "base {base} !> opt {opt}");
+        assert!(opt > var, "opt {opt} !> var {var}");
+        assert!(var > dsx, "var {var} !> dsx {dsx}");
+    }
+
+    #[test]
+    fn small_launches_are_dominated_by_overhead() {
+        // A tiny kernel's time is essentially its launch overhead.
+        let profile = OpProfile {
+            threads: 64,
+            macs: 1_000,
+            bytes_materialized: 0,
+            bytes_moved: 4_096,
+            kernel_launches: 1,
+            atomic_updates: 0,
+            peak_bytes: 0,
+        };
+        let t = kernel_time(&gpu(), &profile);
+        assert!(t.launch_s > t.compute_s.max(t.memory_s));
+    }
+
+    #[test]
+    fn library_op_time_scales_with_macs() {
+        let small = library_op_time(&gpu(), 1_000_000, 1_000_000, 1);
+        let large = library_op_time(&gpu(), 100_000_000, 1_000_000, 1);
+        assert!(large.compute_s > 50.0 * small.compute_s);
+    }
+
+    #[test]
+    fn zero_profile_costs_nothing() {
+        let t = kernel_time(&gpu(), &OpProfile::default());
+        assert_eq!(t.total(), 0.0);
+    }
+}

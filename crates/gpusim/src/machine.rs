@@ -1,0 +1,155 @@
+//! GPU machine models.
+//!
+//! The paper measures on a Tesla V100 (5120 CUDA cores, 32 GB HBM2, 15.7
+//! TFLOPS single precision). [`GpuModel::v100`] encodes those published
+//! specifications plus a small number of empirical constants (kernel-launch
+//! overhead, achievable efficiency of library vs hand-written kernels, atomic
+//! conflict cost) that determine the *relative* performance of the four SCC
+//! implementations. The constants are deliberately coarse — the goal is to
+//! reproduce who wins and by roughly how much, not absolute microseconds.
+
+/// Parameters of a GPU-like device used by the cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    /// Human-readable name.
+    pub name: String,
+    /// Peak single-precision throughput in TFLOP/s.
+    pub peak_tflops: f64,
+    /// HBM bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Overhead of launching one kernel / framework operator, in microseconds
+    /// (CUDA launch latency plus framework dispatch).
+    pub kernel_launch_overhead_us: f64,
+    /// Relative throughput loss of a kernel whose arithmetic is dominated by
+    /// atomic read-modify-write updates: a kernel in which every
+    /// multiply-accumulate is followed by an atomicAdd runs
+    /// `1 + atomic_slowdown` times slower than its atomic-free counterpart.
+    /// Calibrated against the paper's 1.55× DSXplore-vs-DSXplore-Var backward
+    /// gap (Fig. 9).
+    pub atomic_slowdown: f64,
+    /// Fraction of peak FLOPs that library kernels (cuDNN / cuBLAS) achieve
+    /// on convolution-sized problems.
+    pub library_efficiency: f64,
+    /// Fraction of peak FLOPs that the hand-written SCC kernels achieve
+    /// (lower: no tensor cores, skewed GEMM shapes — paper §III-B).
+    pub custom_kernel_efficiency: f64,
+    /// Device memory in GiB (used for the out-of-memory checks of §V-C).
+    pub memory_gib: f64,
+    /// Inter-device (NVLink-like) bandwidth for gradient all-reduce, GB/s.
+    pub interconnect_gbps: f64,
+    /// Per-message latency of one all-reduce step, in microseconds.
+    pub allreduce_latency_us: f64,
+}
+
+impl GpuModel {
+    /// A Tesla V100-like device (the paper's evaluation platform).
+    pub fn v100() -> Self {
+        GpuModel {
+            name: "Tesla V100 (32GB)".to_string(),
+            peak_tflops: 15.7,
+            mem_bandwidth_gbps: 900.0,
+            sm_count: 80,
+            max_threads_per_sm: 2048,
+            kernel_launch_overhead_us: 3.0,
+            atomic_slowdown: 0.55,
+            library_efficiency: 0.55,
+            custom_kernel_efficiency: 0.10,
+            memory_gib: 32.0,
+            interconnect_gbps: 150.0,
+            allreduce_latency_us: 20.0,
+        }
+    }
+
+    /// Peak FLOP/s as a plain number.
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_tflops * 1e12
+    }
+
+    /// Memory bandwidth in bytes/s.
+    pub fn bandwidth_bytes(&self) -> f64 {
+        self.mem_bandwidth_gbps * 1e9
+    }
+
+    /// Kernel launch overhead in seconds.
+    pub fn launch_overhead_s(&self) -> f64 {
+        self.kernel_launch_overhead_us * 1e-6
+    }
+
+    /// Multiplicative slowdown of a kernel whose ratio of atomic updates to
+    /// multiply-accumulates is `atomic_density` (1.0 = one atomic per MAC).
+    pub fn atomic_penalty(&self, atomic_density: f64) -> f64 {
+        1.0 + self.atomic_slowdown * atomic_density.max(0.0)
+    }
+
+    /// Device memory in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.memory_gib * 1024.0 * 1024.0 * 1024.0) as usize
+    }
+
+    /// Total resident threads the device can keep in flight.
+    pub fn max_resident_threads(&self) -> usize {
+        self.sm_count * self.max_threads_per_sm
+    }
+
+    /// Occupancy factor in `(0, 1]` for a kernel that launches `threads`
+    /// logical threads: kernels too small to fill the device pay a
+    /// proportional utilisation penalty (this produces the batch-size knee of
+    /// Fig. 13).
+    pub fn occupancy(&self, threads: usize) -> f64 {
+        if threads == 0 {
+            return 1.0;
+        }
+        let ratio = threads as f64 / self.max_resident_threads() as f64;
+        ratio.clamp(0.05, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_matches_published_specs() {
+        let gpu = GpuModel::v100();
+        assert_eq!(gpu.sm_count, 80);
+        assert!((gpu.peak_tflops - 15.7).abs() < 1e-9);
+        assert_eq!(gpu.memory_bytes(), 32 * 1024 * 1024 * 1024);
+        assert_eq!(gpu.max_resident_threads(), 80 * 2048);
+    }
+
+    #[test]
+    fn occupancy_saturates_at_one() {
+        let gpu = GpuModel::v100();
+        assert!((gpu.occupancy(10_000_000) - 1.0).abs() < 1e-9);
+        assert!(gpu.occupancy(1000) < 0.1);
+        assert!(gpu.occupancy(0) == 1.0);
+        // Monotone in thread count until saturation.
+        assert!(gpu.occupancy(50_000) < gpu.occupancy(100_000));
+    }
+
+    #[test]
+    fn unit_conversions_are_consistent() {
+        let gpu = GpuModel::v100();
+        assert!((gpu.peak_flops() - 15.7e12).abs() < 1e6);
+        assert!((gpu.bandwidth_bytes() - 900e9).abs() < 1e3);
+        assert!((gpu.launch_overhead_s() - 3e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atomic_penalty_grows_with_density() {
+        let gpu = GpuModel::v100();
+        assert!((gpu.atomic_penalty(0.0) - 1.0).abs() < 1e-12);
+        assert!(gpu.atomic_penalty(1.0) > 1.3 && gpu.atomic_penalty(1.0) < 2.0);
+        assert!(gpu.atomic_penalty(2.0) > gpu.atomic_penalty(1.0));
+    }
+
+    #[test]
+    fn library_kernels_are_modelled_faster_than_custom() {
+        let gpu = GpuModel::v100();
+        assert!(gpu.library_efficiency > gpu.custom_kernel_efficiency);
+    }
+}

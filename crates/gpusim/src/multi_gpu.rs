@@ -1,0 +1,132 @@
+//! Multi-GPU data-parallel scaling model (Fig. 14).
+//!
+//! Synchronous data parallelism splits each global batch across devices; a
+//! training step then costs the per-device compute time (smaller batch) plus
+//! a ring all-reduce over the gradients. Speedup over one device saturates
+//! when the all-reduce term stops shrinking — exactly the "fewer GPUs are
+//! partially offset by communication" behaviour the paper reports.
+
+use crate::e2e::estimate_training_step;
+use crate::machine::GpuModel;
+use dsx_core::SccImplementation;
+use dsx_models::ModelSpec;
+
+const F32: usize = std::mem::size_of::<f32>();
+
+/// One row of the multi-GPU scaling study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Number of devices.
+    pub gpus: usize,
+    /// Modelled time of one global-batch training step, seconds.
+    pub step_time_s: f64,
+    /// Time spent in the gradient all-reduce, seconds.
+    pub allreduce_s: f64,
+    /// Speedup relative to the single-device step.
+    pub speedup: f64,
+}
+
+/// Time of a ring all-reduce over `param_bytes` of gradients across `gpus`
+/// devices.
+pub fn allreduce_time(gpu: &GpuModel, param_bytes: usize, gpus: usize) -> f64 {
+    if gpus <= 1 {
+        return 0.0;
+    }
+    let n = gpus as f64;
+    let volume_factor = 2.0 * (n - 1.0) / n;
+    let bandwidth_term = volume_factor * param_bytes as f64 / (gpu.interconnect_gbps * 1e9);
+    let latency_term = 2.0 * (n - 1.0) * gpu.allreduce_latency_us * 1e-6;
+    bandwidth_term + latency_term
+}
+
+/// Models the training-step time and speedup for 1..=`max_gpus` devices at a
+/// fixed *global* batch size (strong scaling, as in Fig. 14).
+pub fn scaling_curve(
+    gpu: &GpuModel,
+    spec: &ModelSpec,
+    global_batch: usize,
+    implementation: SccImplementation,
+    max_gpus: usize,
+) -> Vec<ScalingPoint> {
+    assert!(max_gpus >= 1, "need at least one device");
+    assert!(global_batch >= max_gpus, "global batch must cover all devices");
+    let param_bytes = spec.params() * F32;
+    let single = estimate_training_step(gpu, spec, global_batch, implementation).total_s;
+    (1..=max_gpus)
+        .map(|gpus| {
+            let per_device_batch = global_batch / gpus;
+            let compute = estimate_training_step(gpu, spec, per_device_batch, implementation).total_s;
+            let allreduce = allreduce_time(gpu, param_bytes, gpus);
+            let step = compute + allreduce;
+            ScalingPoint {
+                gpus,
+                step_time_s: step,
+                allreduce_s: allreduce,
+                speedup: single / step,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsx_models::{ConvScheme, Dataset, ModelKind};
+
+    fn gpu() -> GpuModel {
+        GpuModel::v100()
+    }
+
+    fn spec() -> ModelSpec {
+        ModelKind::MobileNet.spec(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT)
+    }
+
+    #[test]
+    fn allreduce_is_zero_for_one_gpu_and_grows_with_devices() {
+        let g = gpu();
+        assert_eq!(allreduce_time(&g, 10_000_000, 1), 0.0);
+        let t2 = allreduce_time(&g, 10_000_000, 2);
+        let t4 = allreduce_time(&g, 10_000_000, 4);
+        assert!(t2 > 0.0);
+        assert!(t4 > t2);
+    }
+
+    #[test]
+    fn speedup_increases_with_gpu_count() {
+        // Fig. 14: the overall trend of speedup increases with more GPUs.
+        let curve = scaling_curve(&gpu(), &spec(), 512, SccImplementation::Dsxplore, 4);
+        assert_eq!(curve.len(), 4);
+        assert!((curve[0].speedup - 1.0).abs() < 1e-9);
+        for window in curve.windows(2) {
+            assert!(
+                window[1].speedup > window[0].speedup,
+                "speedup must be monotone: {:?}",
+                curve
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_is_sublinear_but_approaches_linear_at_four_gpus() {
+        let curve = scaling_curve(&gpu(), &spec(), 1024, SccImplementation::Dsxplore, 4);
+        let four = curve[3].speedup;
+        assert!(four > 2.0 && four <= 4.0, "4-GPU speedup {four}");
+        // Communication keeps it under the ideal.
+        assert!(curve[1].speedup < 2.0);
+    }
+
+    #[test]
+    fn communication_fraction_shrinks_for_larger_batches() {
+        let small = scaling_curve(&gpu(), &spec(), 64, SccImplementation::Dsxplore, 4)[3];
+        let large = scaling_curve(&gpu(), &spec(), 1024, SccImplementation::Dsxplore, 4)[3];
+        let frac = |p: ScalingPoint| p.allreduce_s / p.step_time_s;
+        assert!(frac(large) < frac(small));
+        assert!(large.speedup > small.speedup);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_batch_smaller_than_device_count() {
+        scaling_curve(&gpu(), &spec(), 2, SccImplementation::Dsxplore, 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! # dsx-models
+//!
+//! Model zoo for the DSXplore reproduction: VGG16/19, MobileNet and
+//! ResNet18/50 described as analytic [`ModelSpec`]s (exact FLOP and parameter
+//! accounting for Tables II–IV) and instantiable as trainable `dsx-nn`
+//! networks, each parameterised by a [`ConvScheme`] that decides whether the
+//! standard convolutions stay, become DW+PW / DW+GPW, or become DW+SCC
+//! (DSXplore).
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod mobilenet;
+pub mod resnet;
+pub mod scheme;
+pub mod spec;
+pub mod vgg;
+
+pub use builder::{build_model, build_model_with};
+pub use mobilenet::mobilenet;
+pub use resnet::{resnet18, resnet50};
+pub use scheme::ConvScheme;
+pub use spec::{ConvKind, ConvLayerSpec, Dataset, ModelSpec};
+pub use vgg::{vgg16, vgg19};
+
+/// The five CNNs the paper evaluates, in its presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// VGG16 (linearly stacked standard convolutions).
+    Vgg16,
+    /// VGG19.
+    Vgg19,
+    /// MobileNet (native DW+PW separable blocks).
+    MobileNet,
+    /// ResNet18 (basic residual blocks).
+    ResNet18,
+    /// ResNet50 (bottleneck residual blocks).
+    ResNet50,
+}
+
+impl ModelKind {
+    /// All five models in the paper's order.
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::Vgg16,
+        ModelKind::Vgg19,
+        ModelKind::MobileNet,
+        ModelKind::ResNet18,
+        ModelKind::ResNet50,
+    ];
+
+    /// Display name used in tables and figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Vgg16 => "VGG16",
+            ModelKind::Vgg19 => "VGG19",
+            ModelKind::MobileNet => "MobileNet",
+            ModelKind::ResNet18 => "ResNet18",
+            ModelKind::ResNet50 => "ResNet50",
+        }
+    }
+
+    /// Builds the model's spec for a dataset and scheme.
+    pub fn spec(&self, dataset: Dataset, scheme: ConvScheme) -> ModelSpec {
+        match self {
+            ModelKind::Vgg16 => vgg16(dataset, scheme),
+            ModelKind::Vgg19 => vgg19(dataset, scheme),
+            ModelKind::MobileNet => mobilenet(dataset, scheme),
+            ModelKind::ResNet18 => resnet18(dataset, scheme),
+            ModelKind::ResNet50 => resnet50(dataset, scheme),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build_specs_for_all_schemes() {
+        let schemes = [
+            ConvScheme::Origin,
+            ConvScheme::DwPw,
+            ConvScheme::DwGpw { cg: 2 },
+            ConvScheme::DSXPLORE_DEFAULT,
+        ];
+        for kind in ModelKind::ALL {
+            for scheme in schemes {
+                let spec = kind.spec(Dataset::Cifar10, scheme);
+                assert!(spec.params() > 0, "{} {}", kind.name(), scheme.tag());
+                assert!(spec.macs() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dsxplore_always_reduces_cost_relative_to_origin() {
+        for kind in ModelKind::ALL {
+            let origin = kind.spec(Dataset::Cifar10, ConvScheme::Origin);
+            let dsx = kind.spec(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT);
+            assert!(
+                dsx.macs() < origin.macs(),
+                "{}: {} !< {}",
+                kind.name(),
+                dsx.macs(),
+                origin.macs()
+            );
+            assert!(dsx.params() < origin.params(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn average_savings_match_paper_headline() {
+        // The paper reports 70.48% average FLOP savings and 83.27% average
+        // parameter savings over the five CIFAR-10 models (Table II). Our
+        // faithful reconstruction should land in the same region.
+        let mut flop_savings = Vec::new();
+        let mut param_savings = Vec::new();
+        for kind in ModelKind::ALL {
+            let origin = kind.spec(Dataset::Cifar10, ConvScheme::Origin);
+            let dsx = kind.spec(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT);
+            flop_savings.push(1.0 - dsx.mflops() / origin.mflops());
+            param_savings.push(1.0 - dsx.params_m() / origin.params_m());
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let flops = mean(&flop_savings);
+        let params = mean(&param_savings);
+        assert!(flops > 0.5 && flops < 0.9, "mean FLOP saving {flops}");
+        assert!(params > 0.6 && params < 0.95, "mean param saving {params}");
+    }
+
+    #[test]
+    fn model_names_are_stable() {
+        assert_eq!(ModelKind::Vgg16.name(), "VGG16");
+        assert_eq!(ModelKind::ALL.len(), 5);
+    }
+}

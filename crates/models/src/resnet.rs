@@ -1,0 +1,254 @@
+//! ResNet18 and ResNet50 model specifications (He et al., 2016), in both the
+//! CIFAR-10 adaptation (3×3 stem, 32×32 input) and the ImageNet form (7×7
+//! strided stem + max-pool, 224×224 input) used by the paper's Table III.
+//!
+//! Under the DSC replacement schemes only the 3×3 convolutions inside the
+//! basic/bottleneck blocks are replaced; the 1×1 convolutions (bottleneck
+//! reduce/expand and projection shortcuts) are already lightweight and stay
+//! standard, as the paper notes when explaining why ResNet speedups are
+//! smaller than VGG's (§V-C).
+
+use crate::scheme::ConvScheme;
+use crate::spec::{ConvKind, ConvLayerSpec, Dataset, ModelSpec};
+
+/// Stage plan: `(blocks, mid_channels)` for the four stages.
+const RESNET18_STAGES: &[(usize, usize)] = &[(2, 64), (2, 128), (2, 256), (2, 512)];
+const RESNET50_STAGES: &[(usize, usize)] = &[(3, 64), (4, 128), (6, 256), (3, 512)];
+
+/// Bottleneck expansion factor of ResNet50.
+const EXPANSION: usize = 4;
+
+struct SpecBuilder {
+    convs: Vec<ConvLayerSpec>,
+    scheme: ConvScheme,
+}
+
+impl SpecBuilder {
+    fn standard_1x1(&mut self, name: &str, cin: usize, cout: usize, hw: usize, stride: usize) {
+        self.convs.push(ConvLayerSpec {
+            name: name.to_string(),
+            kind: ConvKind::Standard { kernel: 1, groups: 1 },
+            cin,
+            cout,
+            in_hw: hw,
+            stride,
+            with_bn: true,
+        });
+    }
+
+    fn conv3x3(&mut self, name: &str, cin: usize, cout: usize, hw: usize, stride: usize) {
+        self.convs
+            .extend(self.scheme.expand_standard_conv(name, cin, cout, 3, hw, stride, true));
+    }
+}
+
+fn resnet_spec(
+    name: &str,
+    stages: &[(usize, usize)],
+    bottleneck: bool,
+    dataset: Dataset,
+    scheme: ConvScheme,
+) -> ModelSpec {
+    let mut b = SpecBuilder {
+        convs: Vec::new(),
+        scheme,
+    };
+
+    // Stem.
+    let mut hw = dataset.input_size();
+    let stem_out = 64usize;
+    match dataset {
+        Dataset::Cifar10 => {
+            b.convs.push(ConvLayerSpec {
+                name: "stem".into(),
+                kind: ConvKind::Standard { kernel: 3, groups: 1 },
+                cin: 3,
+                cout: stem_out,
+                in_hw: hw,
+                stride: 1,
+                with_bn: true,
+            });
+        }
+        Dataset::ImageNet => {
+            b.convs.push(ConvLayerSpec {
+                name: "stem".into(),
+                kind: ConvKind::Standard { kernel: 7, groups: 1 },
+                cin: 3,
+                cout: stem_out,
+                in_hw: hw,
+                stride: 2,
+                with_bn: true,
+            });
+            hw /= 2;
+            // 3x3 max-pool stride 2 follows the stem.
+            hw /= 2;
+        }
+    }
+
+    let expansion = if bottleneck { EXPANSION } else { 1 };
+    let mut cin = stem_out;
+    for (stage_idx, &(blocks, mid)) in stages.iter().enumerate() {
+        for block_idx in 0..blocks {
+            let stride = if stage_idx > 0 && block_idx == 0 { 2 } else { 1 };
+            let cout = mid * expansion;
+            let prefix = format!("layer{}.{}", stage_idx + 1, block_idx);
+            if bottleneck {
+                // 1x1 reduce -> 3x3 (replaceable) -> 1x1 expand.
+                b.standard_1x1(&format!("{prefix}.conv1"), cin, mid, hw, 1);
+                b.conv3x3(&format!("{prefix}.conv2"), mid, mid, hw, stride);
+                let out_hw = hw.div_ceil(stride);
+                b.standard_1x1(&format!("{prefix}.conv3"), mid, cout, out_hw, 1);
+                if cin != cout || stride != 1 {
+                    b.standard_1x1(&format!("{prefix}.downsample"), cin, cout, hw, stride);
+                }
+                hw = out_hw;
+            } else {
+                // 3x3 -> 3x3, both replaceable.
+                b.conv3x3(&format!("{prefix}.conv1"), cin, cout, hw, stride);
+                let out_hw = hw.div_ceil(stride);
+                b.conv3x3(&format!("{prefix}.conv2"), cout, cout, out_hw, 1);
+                if cin != cout || stride != 1 {
+                    b.standard_1x1(&format!("{prefix}.downsample"), cin, cout, hw, stride);
+                }
+                hw = out_hw;
+            }
+            cin = cout;
+        }
+    }
+
+    ModelSpec {
+        name: name.to_string(),
+        dataset,
+        scheme_tag: scheme.tag(),
+        convs: b.convs,
+        classifier_in: cin,
+        classes: dataset.classes(),
+    }
+}
+
+/// ResNet18 specification (basic blocks).
+pub fn resnet18(dataset: Dataset, scheme: ConvScheme) -> ModelSpec {
+    resnet_spec("ResNet18", RESNET18_STAGES, false, dataset, scheme)
+}
+
+/// ResNet50 specification (bottleneck blocks).
+pub fn resnet50(dataset: Dataset, scheme: ConvScheme) -> ModelSpec {
+    resnet_spec("ResNet50", RESNET50_STAGES, true, dataset, scheme)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_cifar_origin_matches_paper_counts() {
+        let spec = resnet18(Dataset::Cifar10, ConvScheme::Origin);
+        // Paper Table II: 255.89 MFLOPs (lower because their variant follows
+        // the torchvision stride placement), 11.17M parameters.
+        assert!(
+            (spec.params_m() - 11.17).abs() < 0.2,
+            "ResNet18 params {}M",
+            spec.params_m()
+        );
+        assert!(
+            spec.mflops() > 250.0 && spec.mflops() < 600.0,
+            "ResNet18 MFLOPs {}",
+            spec.mflops()
+        );
+    }
+
+    #[test]
+    fn resnet50_cifar_origin_matches_paper_counts() {
+        let spec = resnet50(Dataset::Cifar10, ConvScheme::Origin);
+        // Paper Table II: 1297.80 MFLOPs, 23.52M parameters.
+        assert!(
+            (spec.params_m() - 23.52).abs() < 0.5,
+            "ResNet50 params {}M",
+            spec.params_m()
+        );
+        assert!(
+            spec.mflops() > 1000.0 && spec.mflops() < 1500.0,
+            "ResNet50 MFLOPs {}",
+            spec.mflops()
+        );
+    }
+
+    #[test]
+    fn resnet50_imagenet_matches_paper_table3() {
+        let spec = resnet50(Dataset::ImageNet, ConvScheme::Origin);
+        // Paper Table III: 4130 MFLOPs, 23.67M parameters (the 1000-class
+        // classifier adds ~2M over the CIFAR head).
+        assert!(
+            (spec.mflops() - 4130.0).abs() < 300.0,
+            "ResNet50 ImageNet MFLOPs {}",
+            spec.mflops()
+        );
+        assert!(
+            (spec.params_m() - 25.5).abs() < 2.5,
+            "ResNet50 ImageNet params {}M",
+            spec.params_m()
+        );
+    }
+
+    #[test]
+    fn dsxplore_resnet50_reduction_matches_paper_shape() {
+        // Paper Table III: FLOPs 4130 -> 2550 (38% saving), params 23.67M ->
+        // 14.34M (39% saving). Only the 3x3 convs are replaced, so savings
+        // are much smaller than VGG's.
+        let origin = resnet50(Dataset::ImageNet, ConvScheme::Origin);
+        let dsx = resnet50(Dataset::ImageNet, ConvScheme::DSXPLORE_DEFAULT);
+        let flop_saving = 1.0 - dsx.mflops() / origin.mflops();
+        let param_saving = 1.0 - dsx.params_m() / origin.params_m();
+        assert!(
+            flop_saving > 0.2 && flop_saving < 0.55,
+            "flop saving {flop_saving}"
+        );
+        assert!(
+            param_saving > 0.2 && param_saving < 0.55,
+            "param saving {param_saving}"
+        );
+    }
+
+    #[test]
+    fn dsxplore_resnet18_savings_are_larger_than_resnet50() {
+        // Basic blocks are all 3x3, so a larger fraction is replaced.
+        let r18_saving = {
+            let o = resnet18(Dataset::Cifar10, ConvScheme::Origin);
+            let d = resnet18(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT);
+            1.0 - d.mflops() / o.mflops()
+        };
+        let r50_saving = {
+            let o = resnet50(Dataset::Cifar10, ConvScheme::Origin);
+            let d = resnet50(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT);
+            1.0 - d.mflops() / o.mflops()
+        };
+        assert!(r18_saving > r50_saving);
+    }
+
+    #[test]
+    fn bottleneck_1x1_convs_are_never_replaced() {
+        let spec = resnet50(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT);
+        for conv in &spec.convs {
+            if let ConvKind::Standard { kernel, .. } = conv.kind {
+                assert!(kernel == 1 || kernel == 3 || kernel == 7);
+            }
+        }
+        // Exactly one SCC layer per bottleneck block (3+4+6+3 = 16).
+        assert_eq!(spec.scc_layers().len(), 16);
+    }
+
+    #[test]
+    fn resnet18_has_expected_block_structure() {
+        let spec = resnet18(Dataset::Cifar10, ConvScheme::Origin);
+        // stem + 2 convs per block * 8 blocks + 3 downsample projections.
+        assert_eq!(spec.convs.len(), 1 + 16 + 3);
+        assert_eq!(spec.classifier_in, 512);
+    }
+
+    #[test]
+    fn imagenet_stem_downsamples_to_56() {
+        let spec = resnet50(Dataset::ImageNet, ConvScheme::Origin);
+        // The first bottleneck's 1x1 runs at 56x56.
+        assert_eq!(spec.convs[1].in_hw, 56);
+    }
+}

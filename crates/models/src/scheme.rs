@@ -1,0 +1,206 @@
+//! Convolution schemes: how each standard convolution of an "Origin" network
+//! is (or is not) replaced by a depthwise-separable block.
+
+use crate::spec::{ConvKind, ConvLayerSpec};
+
+/// The convolution-replacement strategies compared throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConvScheme {
+    /// The unmodified network (standard convolutions; for MobileNet this is
+    /// its native DW+PW design).
+    Origin,
+    /// Replace each standard convolution with depthwise + pointwise
+    /// (the classic DSC of MobileNet / Xception).
+    DwPw,
+    /// Replace with depthwise + group pointwise.
+    DwGpw {
+        /// Number of channel groups of the GPW stage.
+        cg: usize,
+    },
+    /// Replace with depthwise + sliding-channel convolution — DSXplore.
+    DwScc {
+        /// Number of channel groups of the SCC stage.
+        cg: usize,
+        /// Input-channel overlap ratio of adjacent SCC filters.
+        co: f64,
+    },
+}
+
+impl ConvScheme {
+    /// The paper's default DSXplore setting (`cg = 2`, `co = 50 %`).
+    pub const DSXPLORE_DEFAULT: ConvScheme = ConvScheme::DwScc { cg: 2, co: 0.5 };
+
+    /// Scheme tag used in table rows, e.g. `DW+SCC-cg2-co50%`.
+    pub fn tag(&self) -> String {
+        match self {
+            ConvScheme::Origin => "Origin".to_string(),
+            ConvScheme::DwPw => "DW+PW".to_string(),
+            ConvScheme::DwGpw { cg } => format!("DW+GPW-cg{cg}"),
+            ConvScheme::DwScc { cg, co } => {
+                format!("DW+SCC-cg{cg}-co{}%", (co * 100.0).round() as usize)
+            }
+        }
+    }
+
+    /// Channel-group requirement of the scheme's 1×1 stage.
+    pub fn group_requirement(&self) -> usize {
+        match self {
+            ConvScheme::Origin | ConvScheme::DwPw => 1,
+            ConvScheme::DwGpw { cg } => *cg,
+            ConvScheme::DwScc { cg, .. } => *cg,
+        }
+    }
+
+    /// The [`ConvKind`] of the channel-fusion (1×1) stage of this scheme.
+    pub fn channel_stage_kind(&self) -> ConvKind {
+        match self {
+            ConvScheme::Origin | ConvScheme::DwPw => ConvKind::Pointwise,
+            ConvScheme::DwGpw { cg } => ConvKind::GroupPointwise { cg: *cg },
+            ConvScheme::DwScc { cg, co } => ConvKind::SlidingChannel { cg: *cg, co: *co },
+        }
+    }
+
+    /// Whether a standard convolution with the given channel counts can be
+    /// replaced by this scheme (channels must divide evenly into the groups;
+    /// the input layer — 3 RGB channels — is never replaced, per §V-B).
+    pub fn can_replace(&self, cin: usize, cout: usize) -> bool {
+        let cg = self.group_requirement();
+        cin > 3 && cin % cg == 0 && cout % cg == 0
+    }
+
+    /// Expands one standard `kernel × kernel` convolution of the Origin
+    /// network into the layers this scheme uses for it. `replaceable` is
+    /// false for layers the paper keeps standard (the input layer and the
+    /// 1×1 convolutions inside bottleneck blocks).
+    pub fn expand_standard_conv(
+        &self,
+        name: &str,
+        cin: usize,
+        cout: usize,
+        kernel: usize,
+        in_hw: usize,
+        stride: usize,
+        replaceable: bool,
+    ) -> Vec<ConvLayerSpec> {
+        let keep_standard = matches!(self, ConvScheme::Origin)
+            || !replaceable
+            || kernel == 1
+            || !self.can_replace(cin, cout);
+        if keep_standard {
+            return vec![ConvLayerSpec {
+                name: name.to_string(),
+                kind: ConvKind::Standard { kernel, groups: 1 },
+                cin,
+                cout,
+                in_hw,
+                stride,
+                with_bn: true,
+            }];
+        }
+        vec![
+            ConvLayerSpec {
+                name: format!("{name}.dw"),
+                kind: ConvKind::Depthwise { kernel },
+                cin,
+                cout: cin,
+                in_hw,
+                stride,
+                with_bn: true,
+            },
+            ConvLayerSpec {
+                name: format!("{name}.fuse"),
+                kind: self.channel_stage_kind(),
+                cin,
+                cout,
+                in_hw: in_hw.div_ceil(stride),
+                stride: 1,
+                with_bn: true,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_match_paper_notation() {
+        assert_eq!(ConvScheme::Origin.tag(), "Origin");
+        assert_eq!(ConvScheme::DwPw.tag(), "DW+PW");
+        assert_eq!(ConvScheme::DwGpw { cg: 4 }.tag(), "DW+GPW-cg4");
+        assert_eq!(
+            ConvScheme::DwScc { cg: 2, co: 0.33 }.tag(),
+            "DW+SCC-cg2-co33%"
+        );
+        assert_eq!(ConvScheme::DSXPLORE_DEFAULT.tag(), "DW+SCC-cg2-co50%");
+    }
+
+    #[test]
+    fn origin_keeps_standard_convolutions() {
+        let layers = ConvScheme::Origin.expand_standard_conv("c", 64, 128, 3, 32, 1, true);
+        assert_eq!(layers.len(), 1);
+        assert_eq!(layers[0].kind, ConvKind::Standard { kernel: 3, groups: 1 });
+    }
+
+    #[test]
+    fn dsxplore_replaces_with_dw_plus_scc() {
+        let layers =
+            ConvScheme::DSXPLORE_DEFAULT.expand_standard_conv("c", 64, 128, 3, 32, 2, true);
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].kind, ConvKind::Depthwise { kernel: 3 });
+        assert_eq!(layers[0].stride, 2);
+        assert_eq!(
+            layers[1].kind,
+            ConvKind::SlidingChannel { cg: 2, co: 0.5 }
+        );
+        // The fusion stage runs on the already-downsampled feature map.
+        assert_eq!(layers[1].in_hw, 16);
+        assert_eq!(layers[1].stride, 1);
+    }
+
+    #[test]
+    fn input_layer_is_never_replaced() {
+        let layers = ConvScheme::DSXPLORE_DEFAULT.expand_standard_conv("c", 3, 64, 3, 32, 1, true);
+        assert_eq!(layers.len(), 1);
+        assert!(matches!(layers[0].kind, ConvKind::Standard { .. }));
+    }
+
+    #[test]
+    fn non_replaceable_and_1x1_layers_stay_standard() {
+        let scheme = ConvScheme::DSXPLORE_DEFAULT;
+        assert_eq!(
+            scheme.expand_standard_conv("c", 64, 64, 3, 8, 1, false).len(),
+            1
+        );
+        assert_eq!(scheme.expand_standard_conv("c", 64, 256, 1, 8, 1, true).len(), 1);
+    }
+
+    #[test]
+    fn replacement_reduces_macs_and_params() {
+        let scheme = ConvScheme::DSXPLORE_DEFAULT;
+        let origin = ConvScheme::Origin.expand_standard_conv("c", 128, 256, 3, 16, 1, true);
+        let dsx = scheme.expand_standard_conv("c", 128, 256, 3, 16, 1, true);
+        let macs = |ls: &[ConvLayerSpec]| ls.iter().map(|l| l.macs()).sum::<usize>();
+        let params = |ls: &[ConvLayerSpec]| ls.iter().map(|l| l.params()).sum::<usize>();
+        assert!(macs(&dsx) < macs(&origin) / 5);
+        assert!(params(&dsx) < params(&origin) / 5);
+    }
+
+    #[test]
+    fn can_replace_respects_group_divisibility() {
+        let scheme = ConvScheme::DwGpw { cg: 8 };
+        assert!(scheme.can_replace(64, 128));
+        assert!(!scheme.can_replace(60, 128));
+        assert!(!scheme.can_replace(3, 64));
+    }
+
+    #[test]
+    fn scc_and_gpw_expansions_have_equal_cost() {
+        let gpw = ConvScheme::DwGpw { cg: 4 }.expand_standard_conv("c", 64, 128, 3, 16, 1, true);
+        let scc =
+            ConvScheme::DwScc { cg: 4, co: 0.5 }.expand_standard_conv("c", 64, 128, 3, 16, 1, true);
+        let macs = |ls: &[ConvLayerSpec]| ls.iter().map(|l| l.macs()).sum::<usize>();
+        assert_eq!(macs(&gpw), macs(&scc));
+    }
+}

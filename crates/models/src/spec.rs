@@ -1,0 +1,401 @@
+//! Analytic model specifications.
+//!
+//! Every CNN the paper evaluates is described first as a [`ModelSpec`]: a
+//! flat list of convolution layers with their shapes, plus a classifier head.
+//! From a spec we can
+//!
+//! * count parameters and multiply-accumulates exactly (the MFLOPs / Param.
+//!   columns of Tables II–IV),
+//! * instantiate a trainable `dsx-nn` network ([`crate::builder`]), and
+//! * feed the per-layer shapes into the GPU cost model (`dsx-gpusim`) to
+//!   estimate training-step runtimes at ImageNet scale without running them.
+
+use dsx_core::SccConfig;
+
+/// Which dataset geometry a model is configured for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// 32×32 RGB images, 10 classes.
+    Cifar10,
+    /// 224×224 RGB images, 1000 classes.
+    ImageNet,
+}
+
+impl Dataset {
+    /// Input spatial size (square).
+    pub fn input_size(&self) -> usize {
+        match self {
+            Dataset::Cifar10 => 32,
+            Dataset::ImageNet => 224,
+        }
+    }
+
+    /// Number of target classes.
+    pub fn classes(&self) -> usize {
+        match self {
+            Dataset::Cifar10 => 10,
+            Dataset::ImageNet => 1000,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Cifar10 => "CIFAR-10",
+            Dataset::ImageNet => "ImageNet",
+        }
+    }
+}
+
+/// How the channel-fusion work of each convolution is performed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConvKind {
+    /// Standard dense convolution with square kernel and optional groups.
+    Standard {
+        /// Kernel size.
+        kernel: usize,
+        /// Channel groups (1 = dense).
+        groups: usize,
+    },
+    /// Depthwise convolution (one filter per channel).
+    Depthwise {
+        /// Kernel size.
+        kernel: usize,
+    },
+    /// Pointwise (1×1 dense) convolution.
+    Pointwise,
+    /// Group pointwise convolution.
+    GroupPointwise {
+        /// Channel groups.
+        cg: usize,
+    },
+    /// Sliding-channel convolution (the paper's SCC).
+    SlidingChannel {
+        /// Channel groups.
+        cg: usize,
+        /// Input-channel overlap ratio.
+        co: f64,
+    },
+}
+
+/// One convolution layer of a model, with enough geometry to count its cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvLayerSpec {
+    /// Human-readable layer name.
+    pub name: String,
+    /// Operator kind.
+    pub kind: ConvKind,
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Input spatial size (square feature map edge).
+    pub in_hw: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Whether a batch-norm follows (adds `2 * cout` parameters).
+    pub with_bn: bool,
+}
+
+impl ConvLayerSpec {
+    /// Output spatial size (assumes "same" padding for k>1, none for 1×1).
+    pub fn out_hw(&self) -> usize {
+        self.in_hw.div_ceil(self.stride)
+    }
+
+    /// Weight + bias parameters of the convolution itself (bias only when no
+    /// batch norm follows), excluding batch-norm parameters.
+    pub fn conv_params(&self) -> usize {
+        let weights = match self.kind {
+            ConvKind::Standard { kernel, groups } => {
+                self.cout * (self.cin / groups) * kernel * kernel
+            }
+            ConvKind::Depthwise { kernel } => self.cout * kernel * kernel,
+            ConvKind::Pointwise => self.cout * self.cin,
+            ConvKind::GroupPointwise { cg } => self.cout * (self.cin / cg),
+            ConvKind::SlidingChannel { cg, .. } => self.cout * (self.cin / cg),
+        };
+        let bias = if self.with_bn { 0 } else { self.cout };
+        weights + bias
+    }
+
+    /// Total parameters including the following batch norm (if any).
+    pub fn params(&self) -> usize {
+        self.conv_params() + if self.with_bn { 2 * self.cout } else { 0 }
+    }
+
+    /// Multiply-accumulates of one forward pass at batch size 1.
+    pub fn macs(&self) -> usize {
+        let out_hw = self.out_hw();
+        let per_output = match self.kind {
+            ConvKind::Standard { kernel, groups } => (self.cin / groups) * kernel * kernel,
+            ConvKind::Depthwise { kernel } => kernel * kernel,
+            ConvKind::Pointwise => self.cin,
+            ConvKind::GroupPointwise { cg } => self.cin / cg,
+            ConvKind::SlidingChannel { cg, .. } => self.cin / cg,
+        };
+        self.cout * out_hw * out_hw * per_output
+    }
+
+    /// The SCC configuration of this layer, if it is a sliding-channel
+    /// convolution.
+    pub fn scc_config(&self) -> Option<SccConfig> {
+        match self.kind {
+            ConvKind::SlidingChannel { cg, co } => {
+                Some(SccConfig::new(self.cin, self.cout, cg, co).expect("invalid SCC layer spec"))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this layer is a 1×1-style channel-fusion layer (PW/GPW/SCC).
+    pub fn is_channel_fusion(&self) -> bool {
+        matches!(
+            self.kind,
+            ConvKind::Pointwise | ConvKind::GroupPointwise { .. } | ConvKind::SlidingChannel { .. }
+        )
+    }
+}
+
+/// An entire model: convolution layers plus one linear classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// Model name, e.g. `VGG16`.
+    pub name: String,
+    /// Dataset geometry the spec was built for.
+    pub dataset: Dataset,
+    /// Human-readable scheme tag, e.g. `Origin` or `DW+SCC-cg2-co50%`.
+    pub scheme_tag: String,
+    /// Convolution layers in execution order.
+    pub convs: Vec<ConvLayerSpec>,
+    /// Input features of the final linear classifier.
+    pub classifier_in: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl ModelSpec {
+    /// Total trainable parameters (convolutions + batch norms + classifier).
+    pub fn params(&self) -> usize {
+        let conv: usize = self.convs.iter().map(|c| c.params()).sum();
+        conv + self.classifier_in * self.classes + self.classes
+    }
+
+    /// Total multiply-accumulates of one forward pass at batch size 1.
+    pub fn macs(&self) -> usize {
+        let conv: usize = self.convs.iter().map(|c| c.macs()).sum();
+        conv + self.classifier_in * self.classes
+    }
+
+    /// MFLOPs in the paper's convention (multiply-accumulates, in millions).
+    pub fn mflops(&self) -> f64 {
+        self.macs() as f64 / 1.0e6
+    }
+
+    /// Parameters in millions.
+    pub fn params_m(&self) -> f64 {
+        self.params() as f64 / 1.0e6
+    }
+
+    /// The SCC layers of the model (empty for non-SCC schemes).
+    pub fn scc_layers(&self) -> Vec<&ConvLayerSpec> {
+        self.convs
+            .iter()
+            .filter(|c| matches!(c.kind, ConvKind::SlidingChannel { .. }))
+            .collect()
+    }
+
+    /// The channel-fusion layers (PW / GPW / SCC) of the model — the layers
+    /// whose implementation the runtime experiments swap out.
+    pub fn channel_fusion_layers(&self) -> Vec<&ConvLayerSpec> {
+        self.convs.iter().filter(|c| c.is_channel_fusion()).collect()
+    }
+
+    /// Returns a copy with every channel count divided by `factor` (minimum
+    /// of 4 channels and re-rounded to keep group divisibility). Used to
+    /// build *trainable* scale models for the laptop-scale accuracy
+    /// experiments while keeping the architecture shape.
+    pub fn scale_channels(&self, factor: usize) -> ModelSpec {
+        assert!(factor >= 1, "factor must be at least 1");
+        let scale = |c: usize, groups: usize| -> usize {
+            if c <= 3 {
+                return c; // input image channels stay
+            }
+            let scaled = (c / factor).max(groups.max(4));
+            // Round up to a multiple of the group requirement.
+            scaled.div_ceil(groups) * groups
+        };
+        let mut convs = Vec::with_capacity(self.convs.len());
+        for c in &self.convs {
+            let groups = match c.kind {
+                ConvKind::Standard { groups, .. } => groups,
+                ConvKind::GroupPointwise { cg } => cg,
+                ConvKind::SlidingChannel { cg, .. } => cg,
+                _ => 1,
+            };
+            let cin = scale(c.cin, groups);
+            let cout = scale(c.cout, groups);
+            let kind = match c.kind {
+                ConvKind::Depthwise { kernel } => ConvKind::Depthwise { kernel },
+                other => other,
+            };
+            convs.push(ConvLayerSpec {
+                name: c.name.clone(),
+                kind,
+                cin,
+                cout,
+                in_hw: c.in_hw,
+                stride: c.stride,
+                with_bn: c.with_bn,
+            });
+        }
+        // Fix channel chaining after rounding: each layer's cin must equal
+        // the previous producing layer's cout (depthwise keeps cin == cout).
+        let mut prev_out = convs.first().map(|c| c.cin).unwrap_or(3);
+        for c in convs.iter_mut() {
+            c.cin = prev_out;
+            if matches!(c.kind, ConvKind::Depthwise { .. }) {
+                c.cout = c.cin;
+            } else {
+                // Re-round cout to group divisibility.
+                let groups = match c.kind {
+                    ConvKind::Standard { groups, .. } => groups,
+                    ConvKind::GroupPointwise { cg } => cg,
+                    ConvKind::SlidingChannel { cg, .. } => cg,
+                    _ => 1,
+                };
+                c.cout = c.cout.div_ceil(groups) * groups;
+            }
+            prev_out = c.cout;
+        }
+        ModelSpec {
+            name: format!("{}/{}x", self.name, factor),
+            dataset: self.dataset,
+            scheme_tag: self.scheme_tag.clone(),
+            convs,
+            classifier_in: prev_out,
+            classes: self.classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(kind: ConvKind, cin: usize, cout: usize, hw: usize, stride: usize) -> ConvLayerSpec {
+        ConvLayerSpec {
+            name: "l".into(),
+            kind,
+            cin,
+            cout,
+            in_hw: hw,
+            stride,
+            with_bn: true,
+        }
+    }
+
+    #[test]
+    fn standard_conv_costs_match_closed_form() {
+        let l = layer(ConvKind::Standard { kernel: 3, groups: 1 }, 64, 128, 32, 1);
+        assert_eq!(l.params(), 128 * 64 * 9 + 256);
+        assert_eq!(l.macs(), 128 * 32 * 32 * 64 * 9);
+        assert_eq!(l.out_hw(), 32);
+    }
+
+    #[test]
+    fn strided_conv_halves_output() {
+        let l = layer(ConvKind::Standard { kernel: 3, groups: 1 }, 64, 64, 32, 2);
+        assert_eq!(l.out_hw(), 16);
+        assert_eq!(l.macs(), 64 * 16 * 16 * 64 * 9);
+    }
+
+    #[test]
+    fn dsc_reduction_matches_paper_formula() {
+        // DSC (DW + PW) cost relative to a standard KxK conv is
+        // 1/Cout + 1/K^2 (paper §II-B).
+        let (cin, cout, k, hw) = (128usize, 256usize, 3usize, 28usize);
+        let std = layer(ConvKind::Standard { kernel: k, groups: 1 }, cin, cout, hw, 1);
+        let dw = layer(ConvKind::Depthwise { kernel: k }, cin, cin, hw, 1);
+        let pw = layer(ConvKind::Pointwise, cin, cout, hw, 1);
+        let ratio = (dw.macs() + pw.macs()) as f64 / std.macs() as f64;
+        let expected = 1.0 / cout as f64 + 1.0 / (k * k) as f64;
+        assert!((ratio - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scc_and_gpw_have_identical_analytic_cost() {
+        let gpw = layer(ConvKind::GroupPointwise { cg: 4 }, 64, 128, 16, 1);
+        let scc = layer(ConvKind::SlidingChannel { cg: 4, co: 0.5 }, 64, 128, 16, 1);
+        assert_eq!(gpw.params(), scc.params());
+        assert_eq!(gpw.macs(), scc.macs());
+        // And both are 1/cg of the pointwise cost.
+        let pw = layer(ConvKind::Pointwise, 64, 128, 16, 1);
+        assert_eq!(pw.macs(), 4 * scc.macs());
+    }
+
+    #[test]
+    fn scc_config_extraction() {
+        let l = layer(ConvKind::SlidingChannel { cg: 2, co: 0.5 }, 64, 128, 16, 1);
+        let cfg = l.scc_config().unwrap();
+        assert_eq!(cfg.group_width(), 32);
+        assert!(layer(ConvKind::Pointwise, 4, 4, 4, 1).scc_config().is_none());
+    }
+
+    #[test]
+    fn model_totals_sum_layers_and_classifier() {
+        let spec = ModelSpec {
+            name: "tiny".into(),
+            dataset: Dataset::Cifar10,
+            scheme_tag: "Origin".into(),
+            convs: vec![
+                layer(ConvKind::Standard { kernel: 3, groups: 1 }, 3, 8, 32, 1),
+                layer(ConvKind::Pointwise, 8, 16, 32, 1),
+            ],
+            classifier_in: 16,
+            classes: 10,
+        };
+        let conv_params: usize = spec.convs.iter().map(|c| c.params()).sum();
+        assert_eq!(spec.params(), conv_params + 16 * 10 + 10);
+        assert!(spec.mflops() > 0.0);
+        assert_eq!(spec.channel_fusion_layers().len(), 1);
+    }
+
+    #[test]
+    fn scale_channels_keeps_architecture_consistent() {
+        let spec = ModelSpec {
+            name: "m".into(),
+            dataset: Dataset::Cifar10,
+            scheme_tag: "DW+SCC-cg2-co50%".into(),
+            convs: vec![
+                layer(ConvKind::Standard { kernel: 3, groups: 1 }, 3, 64, 32, 1),
+                layer(ConvKind::Depthwise { kernel: 3 }, 64, 64, 32, 1),
+                layer(ConvKind::SlidingChannel { cg: 2, co: 0.5 }, 64, 128, 32, 1),
+            ],
+            classifier_in: 128,
+            classes: 10,
+        };
+        let small = spec.scale_channels(8);
+        assert!(small.params() < spec.params());
+        // Chaining: every layer's input channels equal the previous output.
+        let mut prev = small.convs[0].cin;
+        for c in &small.convs {
+            assert_eq!(c.cin, prev);
+            prev = c.cout;
+        }
+        assert_eq!(small.classifier_in, prev);
+        // Groups still divide channels.
+        for c in &small.convs {
+            if let ConvKind::SlidingChannel { cg, .. } = c.kind {
+                assert_eq!(c.cin % cg, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_geometry() {
+        assert_eq!(Dataset::Cifar10.input_size(), 32);
+        assert_eq!(Dataset::ImageNet.classes(), 1000);
+        assert_eq!(Dataset::Cifar10.name(), "CIFAR-10");
+    }
+}

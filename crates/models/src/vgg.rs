@@ -1,0 +1,162 @@
+//! VGG16 and VGG19 model specifications (Simonyan & Zisserman, 2015), in the
+//! CIFAR-10 adaptation the paper evaluates: 3×3 convolution stacks separated
+//! by 2×2 max-pools, ending in global average pooling and a single linear
+//! classifier.
+
+use crate::scheme::ConvScheme;
+use crate::spec::{ConvLayerSpec, Dataset, ModelSpec};
+
+/// Per-stage output channel counts of VGG16: `(channels, convs_in_stage)`.
+const VGG16_STAGES: &[(usize, usize)] = &[(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+/// Per-stage output channel counts of VGG19.
+const VGG19_STAGES: &[(usize, usize)] = &[(64, 2), (128, 2), (256, 4), (512, 4), (512, 4)];
+
+fn vgg_spec(
+    name: &str,
+    stages: &[(usize, usize)],
+    dataset: Dataset,
+    scheme: ConvScheme,
+) -> ModelSpec {
+    let mut convs: Vec<ConvLayerSpec> = Vec::new();
+    let mut cin = 3usize;
+    let mut hw = dataset.input_size();
+    let mut first = true;
+    for (stage_idx, &(cout, count)) in stages.iter().enumerate() {
+        for conv_idx in 0..count {
+            let layer_name = format!("stage{}.conv{}", stage_idx + 1, conv_idx + 1);
+            let replaceable = !first;
+            convs.extend(scheme.expand_standard_conv(
+                &layer_name,
+                cin,
+                cout,
+                3,
+                hw,
+                1,
+                replaceable,
+            ));
+            cin = cout;
+            first = false;
+        }
+        // 2x2 max-pool after every stage.
+        hw /= 2;
+    }
+    ModelSpec {
+        name: name.to_string(),
+        dataset,
+        scheme_tag: scheme.tag(),
+        convs,
+        classifier_in: stages.last().unwrap().0,
+        classes: dataset.classes(),
+    }
+}
+
+/// VGG16 specification.
+pub fn vgg16(dataset: Dataset, scheme: ConvScheme) -> ModelSpec {
+    vgg_spec("VGG16", VGG16_STAGES, dataset, scheme)
+}
+
+/// VGG19 specification.
+pub fn vgg19(dataset: Dataset, scheme: ConvScheme) -> ModelSpec {
+    vgg_spec("VGG19", VGG19_STAGES, dataset, scheme)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_origin_matches_paper_table2_counts() {
+        let spec = vgg16(Dataset::Cifar10, ConvScheme::Origin);
+        // Paper Table II: 314.16 MFLOPs, 14.73M parameters.
+        assert!(
+            (spec.mflops() - 314.16).abs() < 5.0,
+            "VGG16 MFLOPs {}",
+            spec.mflops()
+        );
+        assert!(
+            (spec.params_m() - 14.73).abs() < 0.15,
+            "VGG16 params {}M",
+            spec.params_m()
+        );
+        assert_eq!(spec.convs.len(), 13);
+    }
+
+    #[test]
+    fn vgg19_origin_matches_paper_table2_counts() {
+        let spec = vgg19(Dataset::Cifar10, ConvScheme::Origin);
+        // Paper Table II: 399.17 MFLOPs, 20.04M parameters.
+        assert!(
+            (spec.mflops() - 399.17).abs() < 6.0,
+            "VGG19 MFLOPs {}",
+            spec.mflops()
+        );
+        assert!(
+            (spec.params_m() - 20.04).abs() < 0.2,
+            "VGG19 params {}M",
+            spec.params_m()
+        );
+        assert_eq!(spec.convs.len(), 16);
+    }
+
+    #[test]
+    fn vgg16_dsxplore_saves_over_90_percent() {
+        let origin = vgg16(Dataset::Cifar10, ConvScheme::Origin);
+        let dsx = vgg16(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT);
+        // Paper: DSXplore VGG16 = 21.85 MFLOPs, 0.87M params (>90% savings).
+        let flop_saving = 1.0 - dsx.mflops() / origin.mflops();
+        let param_saving = 1.0 - dsx.params_m() / origin.params_m();
+        assert!(flop_saving > 0.9, "flop saving {flop_saving}");
+        assert!(param_saving > 0.9, "param saving {param_saving}");
+        assert!(
+            (dsx.mflops() - 21.85).abs() < 8.0,
+            "DSXplore VGG16 MFLOPs {}",
+            dsx.mflops()
+        );
+        assert!(
+            (dsx.params_m() - 0.87).abs() < 0.3,
+            "DSXplore VGG16 params {}M",
+            dsx.params_m()
+        );
+    }
+
+    #[test]
+    fn first_layer_stays_standard_under_every_scheme() {
+        for scheme in [
+            ConvScheme::DwPw,
+            ConvScheme::DwGpw { cg: 4 },
+            ConvScheme::DSXPLORE_DEFAULT,
+        ] {
+            let spec = vgg16(Dataset::Cifar10, scheme);
+            assert!(matches!(
+                spec.convs[0].kind,
+                crate::spec::ConvKind::Standard { .. }
+            ));
+            assert_eq!(spec.convs[0].cin, 3);
+        }
+    }
+
+    #[test]
+    fn replaced_vgg_has_roughly_twice_the_layer_entries() {
+        let origin = vgg16(Dataset::Cifar10, ConvScheme::Origin);
+        let dsx = vgg16(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT);
+        // 12 of the 13 convs are replaced by (DW, SCC) pairs.
+        assert_eq!(dsx.convs.len(), origin.convs.len() + 12);
+        assert_eq!(dsx.scc_layers().len(), 12);
+    }
+
+    #[test]
+    fn imagenet_vgg_is_much_larger_than_cifar() {
+        let cifar = vgg16(Dataset::Cifar10, ConvScheme::Origin);
+        let imagenet = vgg16(Dataset::ImageNet, ConvScheme::Origin);
+        assert!(imagenet.macs() > 40 * cifar.macs());
+        assert_eq!(imagenet.classes, 1000);
+    }
+
+    #[test]
+    fn feature_map_sizes_follow_pooling() {
+        let spec = vgg16(Dataset::Cifar10, ConvScheme::Origin);
+        assert_eq!(spec.convs[0].in_hw, 32);
+        assert_eq!(spec.convs[2].in_hw, 16); // after first pool
+        assert_eq!(spec.convs.last().unwrap().in_hw, 2);
+    }
+}

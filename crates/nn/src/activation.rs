@@ -1,0 +1,77 @@
+//! Activation layers.
+
+use crate::layer::Layer;
+use dsx_tensor::Tensor;
+
+/// Rectified linear unit.
+pub struct ReLU {
+    mask: Option<Tensor>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        ReLU { mask: None }
+    }
+}
+
+impl Default for ReLU {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for ReLU {
+    fn name(&self) -> String {
+        "ReLU".into()
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.mask = Some(input.relu_mask());
+        input.relu()
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("ReLU::backward before forward");
+        grad_output.mul(mask)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::check_input_gradient;
+
+    #[test]
+    fn forward_clips_negatives() {
+        let mut relu = ReLU::new();
+        let out = relu.forward(&Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]), true);
+        assert_eq!(out.as_slice(), &[0.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = ReLU::new();
+        relu.forward(&Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]), true);
+        let grad = relu.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]));
+        assert_eq!(grad.as_slice(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gradient_check_away_from_kink() {
+        let mut relu = ReLU::new();
+        // rand_uniform in [-1,1] may land near zero; tolerance is loose
+        // enough for the probe points used by the checker.
+        check_input_gradient(&mut relu, &[4, 5], 5e-2);
+    }
+
+    #[test]
+    fn has_no_parameters() {
+        let mut relu = ReLU::new();
+        assert_eq!(relu.num_params(), 0);
+    }
+}

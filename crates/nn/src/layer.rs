@@ -1,0 +1,173 @@
+//! The [`Layer`] trait every network building block implements.
+//!
+//! DSXplore-rs uses explicit per-layer forward/backward methods (a "tape of
+//! layers" rather than a general autograd graph): each layer caches whatever
+//! it needs during `forward` and consumes it in `backward`. This mirrors how
+//! the paper's CUDA kernels are integrated into PyTorch as custom
+//! autograd functions with hand-written backward passes.
+
+use dsx_tensor::Tensor;
+
+/// A differentiable network building block with owned parameters.
+pub trait Layer: Send {
+    /// Human-readable layer name (used in model summaries).
+    fn name(&self) -> String;
+
+    /// Runs the layer on `input`. `train` selects training behaviour
+    /// (e.g. batch statistics in batch norm).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_output` backwards, accumulating parameter gradients
+    /// internally and returning the gradient with respect to the input.
+    ///
+    /// Must be called after `forward` with the corresponding input cached.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Calls `f(param, grad)` for every trainable parameter of the layer.
+    /// The default implementation declares no parameters.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        let _ = f;
+    }
+
+    /// Sets all accumulated parameter gradients to zero.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |_p, g| g.fill_zero());
+    }
+
+    /// Total number of trainable parameters.
+    fn num_params(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p, _g| count += p.numel());
+        count
+    }
+
+    /// Output shape for a given input shape (used for model summaries and
+    /// FLOP counting without running data through the network).
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
+
+    /// Multiply-accumulate operations of one forward pass for the given
+    /// input shape. The default is zero (parameter-free reshaping layers).
+    fn forward_macs(&self, input_shape: &[usize]) -> usize {
+        let _ = input_shape;
+        0
+    }
+}
+
+/// Checks that a layer's numerical input gradient matches its analytic
+/// backward pass on a random input — shared helper for layer test-suites.
+#[doc(hidden)]
+pub fn check_input_gradient<L: Layer>(layer: &mut L, input_shape: &[usize], tol: f32) {
+    let input = Tensor::rand_uniform(input_shape, -1.0, 1.0, 1234);
+    let out = layer.forward(&input, true);
+    // Loss = sum of outputs, so dL/dout = 1.
+    let grad_out = Tensor::ones(out.shape());
+    let grad_in = layer.backward(&grad_out);
+
+    let eps = 1e-2f32;
+    let probes = [0usize, input.numel() / 3, input.numel() - 1];
+    for &idx in probes.iter() {
+        let mut plus = input.clone();
+        plus.as_mut_slice()[idx] += eps;
+        let mut minus = input.clone();
+        minus.as_mut_slice()[idx] -= eps;
+        let lp = layer.forward(&plus, true).sum();
+        let lm = layer.forward(&minus, true).sum();
+        let numeric = (lp - lm) / (2.0 * eps);
+        let analytic = grad_in.as_slice()[idx];
+        assert!(
+            (numeric - analytic).abs() <= tol * (1.0 + numeric.abs().max(analytic.abs())),
+            "{}: input gradient mismatch at {idx}: numeric {numeric} vs analytic {analytic}",
+            layer.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal layer used to exercise the trait's default methods.
+    struct Scale {
+        factor: Tensor,
+        grad: Tensor,
+        cached: Option<Tensor>,
+    }
+
+    impl Scale {
+        fn new(factor: f32) -> Self {
+            Scale {
+                factor: Tensor::from_vec(vec![factor], &[1]),
+                grad: Tensor::zeros(&[1]),
+                cached: None,
+            }
+        }
+    }
+
+    impl Layer for Scale {
+        fn name(&self) -> String {
+            "Scale".into()
+        }
+
+        fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+            self.cached = Some(input.clone());
+            input.scale(self.factor.as_slice()[0])
+        }
+
+        fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+            let input = self.cached.as_ref().expect("forward not called");
+            self.grad.as_mut_slice()[0] += input
+                .as_slice()
+                .iter()
+                .zip(grad_output.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>();
+            grad_output.scale(self.factor.as_slice()[0])
+        }
+
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+            f(&mut self.factor, &mut self.grad);
+        }
+
+        fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+            input_shape.to_vec()
+        }
+    }
+
+    #[test]
+    fn default_num_params_and_zero_grad() {
+        let mut s = Scale::new(2.0);
+        assert_eq!(s.num_params(), 1);
+        s.grad.as_mut_slice()[0] = 5.0;
+        s.zero_grad();
+        assert_eq!(s.grad.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn gradient_checker_accepts_a_correct_layer() {
+        let mut s = Scale::new(1.5);
+        check_input_gradient(&mut s, &[2, 3], 1e-2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gradient_checker_rejects_a_broken_layer() {
+        struct Broken(Scale);
+        impl Layer for Broken {
+            fn name(&self) -> String {
+                "Broken".into()
+            }
+            fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+                self.0.forward(input, train)
+            }
+            fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+                // Wrong: ignores the scale factor.
+                grad_output.scale(10.0)
+            }
+            fn output_shape(&self, s: &[usize]) -> Vec<usize> {
+                s.to_vec()
+            }
+        }
+        let mut b = Broken(Scale::new(1.5));
+        check_input_gradient(&mut b, &[2, 3], 1e-2);
+    }
+}

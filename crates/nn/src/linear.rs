@@ -1,0 +1,197 @@
+//! Fully-connected layers and flattening.
+
+use crate::layer::Layer;
+use dsx_tensor::{init, Tensor};
+
+/// A fully-connected (dense) layer: `y = x W^T + b` with `x` of shape
+/// `[batch, in_features]`.
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Tensor, // [out, in]
+    bias: Tensor,   // [out]
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a dense layer with Xavier-initialised weights.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        let weight = Tensor::from_vec(
+            init::xavier_uniform(out_features * in_features, in_features, out_features, seed),
+            &[out_features, in_features],
+        );
+        Linear {
+            in_features,
+            out_features,
+            grad_weight: Tensor::zeros(weight.shape()),
+            weight,
+            bias: Tensor::zeros(&[out_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// The weight tensor (`[out_features, in_features]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> String {
+        format!("Linear({}->{})", self.in_features, self.out_features)
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.rank(), 2, "Linear expects [batch, features] input");
+        assert_eq!(input.dim(1), self.in_features, "Linear feature mismatch");
+        self.cached_input = Some(input.clone());
+        let mut out = input.matmul(&self.weight.transpose2());
+        out.add_bias_rows(&self.bias);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward before forward");
+        // grad_W = dY^T X ; grad_b = column sums of dY ; grad_X = dY W
+        let gw = grad_output.transpose2().matmul(input);
+        self.grad_weight.add_assign(&gw);
+        self.grad_bias.add_assign(&grad_output.sum_rows());
+        grad_output.matmul(&self.weight)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0], self.out_features]
+    }
+
+    fn forward_macs(&self, input_shape: &[usize]) -> usize {
+        input_shape[0] * self.in_features * self.out_features
+    }
+}
+
+/// Flattens an NCHW tensor to `[N, C*H*W]` (identity on rank-2 input).
+pub struct Flatten {
+    cached_input_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten {
+            cached_input_shape: Vec::new(),
+        }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> String {
+        "Flatten".into()
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.cached_input_shape = input.shape().to_vec();
+        let batch = input.dim(0);
+        let features = input.numel() / batch.max(1);
+        input.reshape(&[batch, features])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(
+            !self.cached_input_shape.is_empty(),
+            "Flatten::backward before forward"
+        );
+        grad_output.reshape(&self.cached_input_shape)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let batch = input_shape[0];
+        let features: usize = input_shape[1..].iter().product();
+        vec![batch, features]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::check_input_gradient;
+    use dsx_tensor::allclose;
+
+    #[test]
+    fn forward_matches_manual_matmul() {
+        let mut l = Linear::new(3, 2, 1);
+        let input = Tensor::randn(&[4, 3], 2);
+        let out = l.forward(&input, true);
+        assert_eq!(out.shape(), &[4, 2]);
+        let mut expected = input.matmul(&l.weight().transpose2());
+        expected.add_bias_rows(&l.bias);
+        assert!(allclose(&out, &expected, 1e-6));
+    }
+
+    #[test]
+    fn input_gradient_is_correct() {
+        let mut l = Linear::new(4, 3, 3);
+        check_input_gradient(&mut l, &[2, 4], 1e-2);
+    }
+
+    #[test]
+    fn weight_and_bias_gradients_match_numerical() {
+        let mut l = Linear::new(3, 2, 4);
+        let input = Tensor::randn(&[2, 3], 5);
+        let out = l.forward(&input, true);
+        l.backward(&Tensor::ones(out.shape()));
+
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 3, 5] {
+            let mut lp = Linear::new(3, 2, 4);
+            lp.weight.as_mut_slice()[idx] += eps;
+            let mut lm = Linear::new(3, 2, 4);
+            lm.weight.as_mut_slice()[idx] -= eps;
+            let plus = lp.forward(&input, true).sum();
+            let minus = lm.forward(&input, true).sum();
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!((numeric - l.grad_weight.as_slice()[idx]).abs() < 1e-2);
+        }
+        // Bias gradient with all-ones upstream is the batch size.
+        assert!(l.grad_bias.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-4));
+    }
+
+    #[test]
+    fn flatten_round_trips_shape() {
+        let mut f = Flatten::new();
+        let input = Tensor::arange(&[2, 3, 4, 4]);
+        let out = f.forward(&input, true);
+        assert_eq!(out.shape(), &[2, 48]);
+        let back = f.backward(&out);
+        assert_eq!(back.shape(), input.shape());
+        assert_eq!(back.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn parameter_counts() {
+        let mut l = Linear::new(10, 5, 6);
+        assert_eq!(l.num_params(), 55);
+        assert_eq!(Flatten::new().num_params(), 0);
+    }
+
+    #[test]
+    fn macs_formula() {
+        let l = Linear::new(512, 10, 7);
+        assert_eq!(l.forward_macs(&[8, 512]), 8 * 512 * 10);
+    }
+}

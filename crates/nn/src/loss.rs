@@ -1,0 +1,192 @@
+//! Losses and classification metrics.
+
+use dsx_tensor::Tensor;
+
+/// Softmax cross-entropy loss over class logits.
+///
+/// `forward` returns the mean loss over the batch together with the gradient
+/// with respect to the logits (ready to feed into the last layer's
+/// `backward`), which is how the training loops in this workspace consume it.
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        CrossEntropyLoss
+    }
+
+    /// Computes the mean cross-entropy of `logits` (`[batch, classes]`)
+    /// against integer `targets` and the gradient with respect to the logits.
+    pub fn forward(&self, logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+        assert_eq!(logits.rank(), 2, "logits must be [batch, classes]");
+        let (batch, classes) = (logits.dim(0), logits.dim(1));
+        assert_eq!(batch, targets.len(), "one target per batch row required");
+        assert!(
+            targets.iter().all(|&t| t < classes),
+            "target class out of range"
+        );
+
+        let log_probs = logits.log_softmax_rows();
+        let probs = logits.softmax_rows();
+
+        let mut loss = 0.0f32;
+        let mut grad = probs.clone();
+        let g = grad.as_mut_slice();
+        for (row, &target) in targets.iter().enumerate() {
+            loss -= log_probs.as_slice()[row * classes + target];
+            g[row * classes + target] -= 1.0;
+        }
+        let scale = 1.0 / batch as f32;
+        grad.scale_in_place(scale);
+        (loss * scale, grad)
+    }
+}
+
+impl Default for CrossEntropyLoss {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fraction of rows whose argmax equals the target class.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    assert_eq!(logits.rank(), 2, "logits must be [batch, classes]");
+    assert_eq!(logits.dim(0), targets.len());
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let predictions = logits.argmax_rows();
+    let correct = predictions
+        .iter()
+        .zip(targets.iter())
+        .filter(|(p, t)| p == t)
+        .count();
+    correct as f32 / targets.len() as f32
+}
+
+/// Running average helper for losses/accuracies across batches.
+#[derive(Debug, Default, Clone)]
+pub struct AverageMeter {
+    sum: f64,
+    count: usize,
+}
+
+impl AverageMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation with a weight (typically the batch size).
+    pub fn update(&mut self, value: f32, weight: usize) {
+        self.sum += value as f64 * weight as f64;
+        self.count += weight;
+    }
+
+    /// The weighted mean of all observations so far (0 if empty).
+    pub fn mean(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum / self.count as f64) as f32
+        }
+    }
+
+    /// Number of weighted observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_ln_classes_for_uniform_logits() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::zeros(&[4, 10]);
+        let (l, grad) = loss.forward(&logits, &[0, 1, 2, 3]);
+        assert!((l - (10.0f32).ln()).abs() < 1e-5);
+        assert_eq!(grad.shape(), &[4, 10]);
+    }
+
+    #[test]
+    fn loss_decreases_when_correct_logit_grows() {
+        let loss = CrossEntropyLoss::new();
+        let mut logits = Tensor::zeros(&[1, 3]);
+        let (l0, _) = loss.forward(&logits, &[1]);
+        logits.as_mut_slice()[1] = 3.0;
+        let (l1, _) = loss.forward(&logits, &[1]);
+        assert!(l1 < l0);
+    }
+
+    #[test]
+    fn gradient_matches_numerical_derivative() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::randn(&[2, 4], 9);
+        let targets = [2usize, 0];
+        let (_, grad) = loss.forward(&logits, &targets);
+        let eps = 1e-3f32;
+        for idx in 0..logits.numel() {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let (lp, _) = loss.forward(&plus, &targets);
+            let (lm, _) = loss.forward(&minus, &targets);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.as_slice()[idx]).abs() < 1e-3,
+                "grad mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::randn(&[3, 5], 10);
+        let (_, grad) = loss.forward(&logits, &[1, 4, 0]);
+        for row in 0..3 {
+            let s: f32 = grad.as_slice()[row * 5..(row + 1) * 5].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_target() {
+        CrossEntropyLoss::new().forward(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+
+    #[test]
+    fn accuracy_counts_correct_predictions() {
+        let logits = Tensor::from_vec(
+            vec![
+                0.1, 0.9, 0.0, // -> 1 (correct)
+                0.8, 0.1, 0.1, // -> 0 (wrong, target 2)
+                0.0, 0.0, 1.0, // -> 2 (correct)
+                1.0, 0.0, 0.0, // -> 0 (correct)
+            ],
+            &[4, 3],
+        );
+        let acc = accuracy(&logits, &[1, 2, 2, 0]);
+        assert!((acc - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn average_meter_weights_batches() {
+        let mut meter = AverageMeter::new();
+        meter.update(1.0, 10);
+        meter.update(3.0, 30);
+        assert!((meter.mean() - 2.5).abs() < 1e-6);
+        assert_eq!(meter.count(), 40);
+    }
+
+    #[test]
+    fn empty_meter_and_empty_accuracy_are_zero() {
+        assert_eq!(AverageMeter::new().mean(), 0.0);
+        assert_eq!(accuracy(&Tensor::zeros(&[0, 3]), &[]), 0.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Batch normalisation over NCHW activations.
+
+use crate::layer::Layer;
+use dsx_tensor::Tensor;
+
+/// 2-D batch normalisation (per-channel statistics over batch and spatial
+/// dimensions), with learnable scale (`gamma`) and shift (`beta`) and running
+/// statistics for evaluation mode.
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    // Forward cache for the backward pass.
+    cached_normalized: Option<Tensor>,
+    cached_std_inv: Option<Tensor>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature channels.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            cached_normalized: None,
+            cached_std_inv: None,
+        }
+    }
+
+    /// Running mean (evaluation statistics).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Running variance (evaluation statistics).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    fn normalize(&self, input: &Tensor, mean: &Tensor, var: &Tensor) -> (Tensor, Tensor) {
+        let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+        assert_eq!(c, self.channels, "BatchNorm2d channel mismatch");
+        let plane = h * w;
+        let mut normalized = Tensor::zeros(input.shape());
+        let mut std_inv = Tensor::zeros(&[c]);
+        for ch in 0..c {
+            std_inv.as_mut_slice()[ch] = 1.0 / (var.as_slice()[ch] + self.eps).sqrt();
+        }
+        let x = input.as_slice();
+        let out = normalized.as_mut_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                let mu = mean.as_slice()[ch];
+                let si = std_inv.as_slice()[ch];
+                for p in 0..plane {
+                    out[base + p] = (x[base + p] - mu) * si;
+                }
+            }
+        }
+        (normalized, std_inv)
+    }
+
+    fn scale_shift(&self, normalized: &Tensor) -> Tensor {
+        let (n, c, h, w) = (
+            normalized.dim(0),
+            normalized.dim(1),
+            normalized.dim(2),
+            normalized.dim(3),
+        );
+        let plane = h * w;
+        let mut out = Tensor::zeros(normalized.shape());
+        let o = out.as_mut_slice();
+        let x = normalized.as_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                let g = self.gamma.as_slice()[ch];
+                let b = self.beta.as_slice()[ch];
+                for p in 0..plane {
+                    o[base + p] = g * x[base + p] + b;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> String {
+        format!("BatchNorm2d({})", self.channels)
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "BatchNorm2d expects NCHW input");
+        if train {
+            let mean = input.mean_per_channel();
+            let var = input.var_per_channel(&mean);
+            // Update running statistics.
+            for ch in 0..self.channels {
+                let rm = &mut self.running_mean.as_mut_slice()[ch];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean.as_slice()[ch];
+                let rv = &mut self.running_var.as_mut_slice()[ch];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var.as_slice()[ch];
+            }
+            let (normalized, std_inv) = self.normalize(input, &mean, &var);
+            let out = self.scale_shift(&normalized);
+            self.cached_normalized = Some(normalized);
+            self.cached_std_inv = Some(std_inv);
+            out
+        } else {
+            let (normalized, _) = self.normalize(input, &self.running_mean.clone(), &self.running_var.clone());
+            self.scale_shift(&normalized)
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let normalized = self
+            .cached_normalized
+            .as_ref()
+            .expect("BatchNorm2d::backward before forward(train=true)");
+        let std_inv = self.cached_std_inv.as_ref().unwrap();
+        let (n, c, h, w) = (
+            grad_output.dim(0),
+            grad_output.dim(1),
+            grad_output.dim(2),
+            grad_output.dim(3),
+        );
+        let plane = h * w;
+        let m = (n * plane) as f32;
+
+        // Parameter gradients.
+        let go = grad_output.as_slice();
+        let xn = normalized.as_slice();
+        let mut sum_go = vec![0.0f32; c];
+        let mut sum_go_xn = vec![0.0f32; c];
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                for p in 0..plane {
+                    sum_go[ch] += go[base + p];
+                    sum_go_xn[ch] += go[base + p] * xn[base + p];
+                }
+            }
+        }
+        for ch in 0..c {
+            self.grad_beta.as_mut_slice()[ch] += sum_go[ch];
+            self.grad_gamma.as_mut_slice()[ch] += sum_go_xn[ch];
+        }
+
+        // Input gradient (standard batch-norm backward formula):
+        // dx = gamma * std_inv / m * (m * dy - sum(dy) - xn * sum(dy * xn))
+        let mut grad_input = Tensor::zeros(grad_output.shape());
+        let gi = grad_input.as_mut_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                let g = self.gamma.as_slice()[ch];
+                let si = std_inv.as_slice()[ch];
+                let coeff = g * si / m;
+                for p in 0..plane {
+                    gi[base + p] = coeff
+                        * (m * go[base + p] - sum_go[ch] - xn[base + p] * sum_go_xn[ch]);
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.gamma, &mut self.grad_gamma);
+        f(&mut self.beta, &mut self.grad_beta);
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_forward_normalizes_per_channel() {
+        let mut bn = BatchNorm2d::new(3);
+        let input = Tensor::randn(&[4, 3, 5, 5], 1).scale(3.0).map(|v| v + 2.0);
+        let out = bn.forward(&input, true);
+        let mean = out.mean_per_channel();
+        let var = out.var_per_channel(&mean);
+        for ch in 0..3 {
+            assert!(mean.as_slice()[ch].abs() < 1e-3, "channel {ch} mean not ~0");
+            assert!((var.as_slice()[ch] - 1.0).abs() < 1e-2, "channel {ch} var not ~1");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_statistics() {
+        let mut bn = BatchNorm2d::new(2);
+        let input = Tensor::randn(&[8, 2, 4, 4], 2).map(|v| v * 2.0 + 1.0);
+        // Several training passes move the running stats towards the batch
+        // statistics.
+        for _ in 0..50 {
+            bn.forward(&input, true);
+        }
+        let eval_out = bn.forward(&input, false);
+        let mean = eval_out.mean_per_channel();
+        for ch in 0..2 {
+            assert!(mean.as_slice()[ch].abs() < 0.2, "eval output not centred");
+        }
+    }
+
+    #[test]
+    fn backward_input_gradient_matches_numerical() {
+        let mut bn = BatchNorm2d::new(2);
+        let input = Tensor::rand_uniform(&[2, 2, 3, 3], -1.0, 1.0, 3);
+        // Use a non-uniform upstream gradient: with dL/dy = 1 everywhere the
+        // batch-norm input gradient is identically zero (mean removal), which
+        // would not exercise the formula.
+        let weights = Tensor::rand_uniform(&[2, 2, 3, 3], 0.5, 1.5, 4);
+        let out = bn.forward(&input, true);
+        let loss = |o: &Tensor| -> f32 {
+            o.as_slice()
+                .iter()
+                .zip(weights.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let _ = loss(&out);
+        let grad_in = bn.backward(&weights);
+
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 10, 20, 35] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let mut bn_p = BatchNorm2d::new(2);
+            let mut bn_m = BatchNorm2d::new(2);
+            let lp = loss(&bn_p.forward(&plus, true));
+            let lm = loss(&bn_m.forward(&minus, true));
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.as_slice()[idx]).abs() < 2e-2,
+                "bn input grad mismatch at {idx}: numeric {numeric} vs {}",
+                grad_in.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradients_match_numerical() {
+        let mut bn = BatchNorm2d::new(2);
+        let input = Tensor::rand_uniform(&[2, 2, 3, 3], -1.0, 1.0, 5);
+        let out = bn.forward(&input, true);
+        bn.backward(&Tensor::ones(out.shape()));
+        // d(sum(out))/d(beta_c) = number of pixels of channel c.
+        let pixels = (2 * 3 * 3) as f32;
+        for ch in 0..2 {
+            assert!((bn.grad_beta.as_slice()[ch] - pixels).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn has_two_parameter_tensors() {
+        let mut bn = BatchNorm2d::new(4);
+        let mut count = 0;
+        bn.visit_params(&mut |_p, _g| count += 1);
+        assert_eq!(count, 2);
+        assert_eq!(bn.num_params(), 8);
+    }
+}

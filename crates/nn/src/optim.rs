@@ -1,0 +1,199 @@
+//! Optimizers.
+
+use crate::layer::Layer;
+use dsx_tensor::Tensor;
+
+/// Stochastic gradient descent with momentum and weight decay — the
+/// optimizer used by the paper's CIFAR-10 / ImageNet training runs.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    /// One velocity buffer per parameter tensor, in visiting order.
+    velocities: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self::with_config(lr, 0.0, 0.0)
+    }
+
+    /// SGD with momentum and (decoupled-into-the-gradient) weight decay.
+    pub fn with_config(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (e.g. for a step decay schedule).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step to every parameter of `model`, then leaves the
+    /// gradients untouched (call [`Layer::zero_grad`] before the next
+    /// backward pass).
+    pub fn step(&mut self, model: &mut dyn Layer) {
+        let mut index = 0usize;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let weight_decay = self.weight_decay;
+        let velocities = &mut self.velocities;
+        model.visit_params(&mut |param, grad| {
+            if velocities.len() <= index {
+                velocities.push(Tensor::zeros(param.shape()));
+            }
+            let velocity = &mut velocities[index];
+            assert_eq!(
+                velocity.shape(),
+                param.shape(),
+                "parameter {index} changed shape between optimizer steps"
+            );
+            let v = velocity.as_mut_slice();
+            let p = param.as_mut_slice();
+            let g = grad.as_slice();
+            for i in 0..p.len() {
+                let grad_i = g[i] + weight_decay * p[i];
+                v[i] = momentum * v[i] + grad_i;
+                p[i] -= lr * v[i];
+            }
+            index += 1;
+        });
+    }
+
+    /// Convenience: zero gradients of the whole model.
+    pub fn zero_grad(&self, model: &mut dyn Layer) {
+        model.zero_grad();
+    }
+}
+
+/// Step learning-rate schedule: multiplies the rate by `gamma` every
+/// `step_size` epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct StepLr {
+    base_lr: f32,
+    step_size: usize,
+    gamma: f32,
+}
+
+impl StepLr {
+    /// Creates a schedule.
+    pub fn new(base_lr: f32, step_size: usize, gamma: f32) -> Self {
+        assert!(step_size > 0);
+        StepLr {
+            base_lr,
+            step_size,
+            gamma,
+        }
+    }
+
+    /// Learning rate at a given epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        self.base_lr * self.gamma.powi((epoch / self.step_size) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::loss::CrossEntropyLoss;
+    use crate::sequential::Sequential;
+
+    #[test]
+    fn plain_sgd_moves_against_gradient() {
+        let mut model = Sequential::new("m").push(Linear::new(2, 2, 1));
+        let mut sgd = Sgd::new(0.1);
+        let input = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        let loss_fn = CrossEntropyLoss::new();
+
+        let before = {
+            let out = model.forward(&input, true);
+            loss_fn.forward(&out, &[0]).0
+        };
+        for _ in 0..20 {
+            let out = model.forward(&input, true);
+            let (_, grad) = loss_fn.forward(&out, &[0]);
+            model.zero_grad();
+            model.backward(&grad);
+            sgd.step(&mut model);
+        }
+        let after = {
+            let out = model.forward(&input, true);
+            loss_fn.forward(&out, &[0]).0
+        };
+        assert!(after < before, "loss should decrease: {before} -> {after}");
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f32| -> f32 {
+            let mut model = Sequential::new("m").push(Linear::new(4, 2, 2));
+            let mut sgd = Sgd::with_config(0.05, momentum, 0.0);
+            let input = Tensor::randn(&[8, 4], 3);
+            let targets: Vec<usize> = (0..8).map(|i| i % 2).collect();
+            let loss_fn = CrossEntropyLoss::new();
+            let mut last = 0.0;
+            for _ in 0..30 {
+                let out = model.forward(&input, true);
+                let (l, grad) = loss_fn.forward(&out, &targets);
+                last = l;
+                model.zero_grad();
+                model.backward(&grad);
+                sgd.step(&mut model);
+            }
+            last
+        };
+        assert!(run(0.9) <= run(0.0) * 1.05);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut model = Sequential::new("m").push(Linear::new(3, 3, 4));
+        let norm_before: f32 = {
+            let mut n = 0.0;
+            model.visit_params(&mut |p, _| n += p.norm_sq());
+            n
+        };
+        // Gradients are zero, so only the decay term acts.
+        let mut sgd = Sgd::with_config(0.1, 0.0, 0.1);
+        model.zero_grad();
+        for _ in 0..10 {
+            sgd.step(&mut model);
+        }
+        let norm_after: f32 = {
+            let mut n = 0.0;
+            model.visit_params(&mut |p, _| n += p.norm_sq());
+            n
+        };
+        assert!(norm_after < norm_before);
+    }
+
+    #[test]
+    fn step_lr_schedule_decays() {
+        let sched = StepLr::new(0.1, 10, 0.5);
+        assert!((sched.lr_at(0) - 0.1).abs() < 1e-7);
+        assert!((sched.lr_at(9) - 0.1).abs() < 1e-7);
+        assert!((sched.lr_at(10) - 0.05).abs() < 1e-7);
+        assert!((sched.lr_at(25) - 0.025).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_positive_learning_rate() {
+        Sgd::new(0.0);
+    }
+}

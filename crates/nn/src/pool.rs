@@ -1,0 +1,330 @@
+//! Spatial pooling layers.
+
+use crate::layer::Layer;
+use dsx_tensor::Tensor;
+
+/// Max pooling over non-overlapping (or strided) windows.
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    // Flat input index of the argmax for every output element.
+    cached_argmax: Option<Vec<usize>>,
+    cached_input_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with a square window.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0);
+        MaxPool2d {
+            kernel,
+            stride,
+            cached_argmax: None,
+            cached_input_shape: Vec::new(),
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        )
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> String {
+        format!("MaxPool2d(k{}, s{})", self.kernel, self.stride)
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "MaxPool2d expects NCHW input");
+        let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+        assert!(h >= self.kernel && w >= self.kernel, "input smaller than window");
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let x = input.as_slice();
+        let o = out.as_mut_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                let idx = ((img * c + ch) * h + iy) * w + ix;
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let out_idx = ((img * c + ch) * oh + oy) * ow + ox;
+                        o[out_idx] = best;
+                        argmax[out_idx] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cached_argmax = Some(argmax);
+        self.cached_input_shape = input.shape().to_vec();
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .expect("MaxPool2d::backward before forward");
+        let mut grad_input = Tensor::zeros(&self.cached_input_shape);
+        let gi = grad_input.as_mut_slice();
+        for (out_idx, &in_idx) in argmax.iter().enumerate() {
+            gi[in_idx] += grad_output.as_slice()[out_idx];
+        }
+        grad_input
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(input_shape[2], input_shape[3]);
+        vec![input_shape[0], input_shape[1], oh, ow]
+    }
+}
+
+/// Average pooling over square windows.
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    cached_input_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0);
+        AvgPool2d {
+            kernel,
+            stride,
+            cached_input_shape: Vec::new(),
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        )
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> String {
+        format!("AvgPool2d(k{}, s{})", self.kernel, self.stride)
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "AvgPool2d expects NCHW input");
+        let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+        let (oh, ow) = self.out_hw(h, w);
+        let inv = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let x = input.as_slice();
+        let o = out.as_mut_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                acc += x[((img * c + ch) * h + iy) * w + ix];
+                            }
+                        }
+                        o[((img * c + ch) * oh + oy) * ow + ox] = acc * inv;
+                    }
+                }
+            }
+        }
+        self.cached_input_shape = input.shape().to_vec();
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = &self.cached_input_shape;
+        assert!(!shape.is_empty(), "AvgPool2d::backward before forward");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let inv = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut grad_input = Tensor::zeros(shape);
+        let gi = grad_input.as_mut_slice();
+        let go = grad_output.as_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[((img * c + ch) * oh + oy) * ow + ox] * inv;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                gi[((img * c + ch) * h + iy) * w + ix] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(input_shape[2], input_shape[3]);
+        vec![input_shape[0], input_shape[1], oh, ow]
+    }
+}
+
+/// Global average pooling: collapses each channel plane to a single value,
+/// producing a rank-2 `[N, C]` tensor ready for a classifier head.
+pub struct GlobalAvgPool {
+    cached_input_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool {
+            cached_input_shape: Vec::new(),
+        }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> String {
+        "GlobalAvgPool".into()
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "GlobalAvgPool expects NCHW input");
+        let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+        let plane = h * w;
+        let inv = 1.0 / plane as f32;
+        let mut out = Tensor::zeros(&[n, c]);
+        let x = input.as_slice();
+        let o = out.as_mut_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                o[img * c + ch] = x[base..base + plane].iter().sum::<f32>() * inv;
+            }
+        }
+        self.cached_input_shape = input.shape().to_vec();
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = &self.cached_input_shape;
+        assert!(!shape.is_empty(), "GlobalAvgPool::backward before forward");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let plane = h * w;
+        let inv = 1.0 / plane as f32;
+        let mut grad_input = Tensor::zeros(shape);
+        let gi = grad_input.as_mut_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                let g = grad_output.as_slice()[img * c + ch] * inv;
+                let base = (img * c + ch) * plane;
+                for p in 0..plane {
+                    gi[base + p] = g;
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0], input_shape[1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::check_input_gradient;
+
+    #[test]
+    fn maxpool_picks_window_maximum() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        );
+        let out = pool.forward(&input, true);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        pool.forward(&input, true);
+        let grad = pool.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]));
+        assert_eq!(grad.as_slice(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn avgpool_averages_window() {
+        let mut pool = AvgPool2d::new(2, 2);
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let out = pool.forward(&input, true);
+        assert_eq!(out.as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn avgpool_gradient_is_uniform() {
+        let mut pool = AvgPool2d::new(2, 2);
+        check_input_gradient(&mut pool, &[1, 2, 4, 4], 1e-2);
+    }
+
+    #[test]
+    fn global_avg_pool_collapses_spatial_dims() {
+        let mut pool = GlobalAvgPool::new();
+        let input = Tensor::ones(&[2, 3, 4, 4]).scale(2.0);
+        let out = pool.forward(&input, true);
+        assert_eq!(out.shape(), &[2, 3]);
+        assert!(out.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn global_avg_pool_gradient_is_correct() {
+        let mut pool = GlobalAvgPool::new();
+        check_input_gradient(&mut pool, &[1, 2, 3, 3], 1e-2);
+    }
+
+    #[test]
+    fn output_shapes_are_consistent_with_forward() {
+        let mut mp = MaxPool2d::new(2, 2);
+        let input = Tensor::randn(&[2, 4, 8, 8], 1);
+        assert_eq!(mp.forward(&input, true).shape(), mp.output_shape(&[2, 4, 8, 8]).as_slice());
+        let mut gap = GlobalAvgPool::new();
+        assert_eq!(gap.forward(&input, true).shape(), gap.output_shape(&[2, 4, 8, 8]).as_slice());
+    }
+
+    #[test]
+    fn pools_have_no_parameters() {
+        assert_eq!(MaxPool2d::new(2, 2).num_params(), 0);
+        assert_eq!(AvgPool2d::new(2, 2).num_params(), 0);
+        assert_eq!(GlobalAvgPool::new().num_params(), 0);
+    }
+}

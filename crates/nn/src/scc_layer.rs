@@ -1,0 +1,179 @@
+//! [`Layer`] adapter around the sliding-channel convolution from `dsx-core`,
+//! so SCC can be dropped into any model exactly where a pointwise or group
+//! pointwise convolution would sit ("drop-in replacement of the existing
+//! DSCs", paper §I).
+
+use crate::layer::Layer;
+use dsx_core::{SccConfig, SccImplementation, SlidingChannelConv2d};
+use dsx_tensor::Tensor;
+
+/// A sliding-channel 1×1 convolution as a trainable network layer.
+pub struct SccConv2d {
+    inner: SlidingChannelConv2d,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl SccConv2d {
+    /// Creates an SCC layer with the given configuration and the DSXplore
+    /// kernel implementation.
+    pub fn new(cfg: SccConfig, seed: u64) -> Self {
+        Self::with_implementation(cfg, seed, SccImplementation::Dsxplore)
+    }
+
+    /// Creates an SCC layer with an explicit implementation choice (used by
+    /// the runtime comparison experiments).
+    pub fn with_implementation(cfg: SccConfig, seed: u64, implementation: SccImplementation) -> Self {
+        let inner = SlidingChannelConv2d::with_seed(cfg, seed).with_implementation(implementation);
+        SccConv2d {
+            grad_weight: Tensor::zeros(&[cfg.cout(), cfg.group_width()]),
+            grad_bias: Tensor::zeros(&[cfg.cout()]),
+            inner,
+            cached_input: None,
+        }
+    }
+
+    /// Removes the bias term (used when a batch norm immediately follows).
+    pub fn without_bias(mut self) -> Self {
+        self.inner = self.inner.without_bias();
+        self
+    }
+
+    /// The wrapped operator.
+    pub fn operator(&self) -> &SlidingChannelConv2d {
+        &self.inner
+    }
+
+    /// The SCC configuration.
+    pub fn config(&self) -> &SccConfig {
+        self.inner.config()
+    }
+}
+
+impl Layer for SccConv2d {
+    fn name(&self) -> String {
+        format!(
+            "SccConv2d({}->{}, {})",
+            self.config().cin(),
+            self.config().cout(),
+            self.config().tag()
+        )
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.cached_input = Some(input.clone());
+        self.inner.forward(input)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("SccConv2d::backward called before forward");
+        let grads = self.inner.backward(input, grad_output);
+        self.grad_weight.add_assign(&grads.grad_weight);
+        self.grad_bias.add_assign(&grads.grad_bias);
+        grads.grad_input
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(self.inner.weight_mut(), &mut self.grad_weight);
+        // Split borrows: bias lives inside `inner`, its gradient here.
+        if self.inner.bias().is_some() {
+            let grad_bias = &mut self.grad_bias;
+            if let Some(bias) = self.inner.bias_mut() {
+                f(bias, grad_bias);
+            }
+        }
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![
+            input_shape[0],
+            self.config().cout(),
+            input_shape[2],
+            input_shape[3],
+        ]
+    }
+
+    fn forward_macs(&self, input_shape: &[usize]) -> usize {
+        self.config()
+            .forward_macs(input_shape[0], input_shape[2])
+            * input_shape[3]
+            / input_shape[2].max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::check_input_gradient;
+
+    fn layer() -> SccConv2d {
+        SccConv2d::new(SccConfig::new(8, 16, 2, 0.5).unwrap(), 7)
+    }
+
+    #[test]
+    fn forward_produces_cout_channels() {
+        let mut l = layer();
+        let out = l.forward(&Tensor::randn(&[2, 8, 5, 5], 1), true);
+        assert_eq!(out.shape(), &[2, 16, 5, 5]);
+        assert_eq!(l.output_shape(&[2, 8, 5, 5]), vec![2, 16, 5, 5]);
+    }
+
+    #[test]
+    fn input_gradient_is_correct() {
+        let mut l = layer();
+        check_input_gradient(&mut l, &[1, 8, 4, 4], 2e-2);
+    }
+
+    #[test]
+    fn params_are_visited_for_weight_and_bias() {
+        let mut l = layer();
+        let mut count = 0;
+        l.visit_params(&mut |p, g| {
+            assert_eq!(p.shape(), g.shape());
+            count += 1;
+        });
+        assert_eq!(count, 2);
+        assert_eq!(l.num_params(), 16 * 4 + 16);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut l = layer();
+        let input = Tensor::randn(&[1, 8, 3, 3], 2);
+        let out = l.forward(&input, true);
+        l.backward(&Tensor::ones(out.shape()));
+        let after_one = l.grad_weight.norm_sq();
+        let out = l.forward(&input, true);
+        l.backward(&Tensor::ones(out.shape()));
+        assert!(l.grad_weight.norm_sq() > after_one);
+        l.zero_grad();
+        assert_eq!(l.grad_weight.norm_sq(), 0.0);
+    }
+
+    #[test]
+    fn forward_macs_match_config_formula() {
+        let l = layer();
+        assert_eq!(
+            l.forward_macs(&[2, 8, 6, 6]),
+            l.config().forward_macs(2, 6)
+        );
+    }
+
+    #[test]
+    fn different_implementations_are_interchangeable_as_layers() {
+        let input = Tensor::randn(&[1, 8, 4, 4], 3);
+        let cfg = SccConfig::new(8, 16, 2, 0.5).unwrap();
+        let mut reference =
+            SccConv2d::with_implementation(cfg, 7, SccImplementation::Dsxplore);
+        let expected = reference.forward(&input, true);
+        for implementation in SccImplementation::ALL {
+            let mut l = SccConv2d::with_implementation(cfg, 7, implementation);
+            let out = l.forward(&input, true);
+            assert!(dsx_tensor::allclose(&out, &expected, 1e-4));
+        }
+    }
+}

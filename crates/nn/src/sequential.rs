@@ -1,0 +1,323 @@
+//! Sequential container and residual blocks.
+
+use crate::activation::ReLU;
+use crate::conv::Conv2d;
+use crate::layer::Layer;
+use crate::norm::BatchNorm2d;
+use dsx_tensor::Tensor;
+
+/// A container that runs layers one after another and backpropagates through
+/// them in reverse order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    name: String,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sequential {
+            layers: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the container.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to the contained layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// A per-layer summary (name, output shape, parameters, forward MACs) for
+    /// a given input shape.
+    pub fn summary(&mut self, input_shape: &[usize]) -> Vec<LayerSummary> {
+        let mut shape = input_shape.to_vec();
+        let mut rows = Vec::with_capacity(self.layers.len());
+        for layer in self.layers.iter_mut() {
+            let macs = layer.forward_macs(&shape);
+            let out_shape = layer.output_shape(&shape);
+            rows.push(LayerSummary {
+                name: layer.name(),
+                output_shape: out_shape.clone(),
+                params: layer.num_params(),
+                macs,
+            });
+            shape = out_shape;
+        }
+        rows
+    }
+}
+
+/// One row of [`Sequential::summary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSummary {
+    /// Layer name.
+    pub name: String,
+    /// Output shape for the summary's input shape.
+    pub output_shape: Vec<usize>,
+    /// Trainable parameter count.
+    pub params: usize,
+    /// Forward multiply-accumulates.
+    pub macs: usize,
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in self.layers.iter_mut() {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in self.layers.iter_mut() {
+            layer.visit_params(f);
+        }
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let mut shape = input_shape.to_vec();
+        for layer in self.layers.iter() {
+            shape = layer.output_shape(&shape);
+        }
+        shape
+    }
+
+    fn forward_macs(&self, input_shape: &[usize]) -> usize {
+        let mut shape = input_shape.to_vec();
+        let mut macs = 0usize;
+        for layer in self.layers.iter() {
+            macs += layer.forward_macs(&shape);
+            shape = layer.output_shape(&shape);
+        }
+        macs
+    }
+}
+
+/// A residual block: `output = ReLU(main(x) + shortcut(x))`.
+///
+/// The main path is an arbitrary [`Sequential`]; the shortcut is either the
+/// identity (when shapes match) or a projection (1×1 strided convolution +
+/// batch norm), matching the ResNet "basic" and "bottleneck" blocks used in
+/// the paper's ResNet18/50 experiments.
+pub struct ResidualBlock {
+    main: Sequential,
+    shortcut: Option<Sequential>,
+    relu: ReLU,
+    cached_main_out: Option<Tensor>,
+    cached_shortcut_out: Option<Tensor>,
+}
+
+impl ResidualBlock {
+    /// Creates a residual block with an identity shortcut.
+    pub fn identity(main: Sequential) -> Self {
+        ResidualBlock {
+            main,
+            shortcut: None,
+            relu: ReLU::new(),
+            cached_main_out: None,
+            cached_shortcut_out: None,
+        }
+    }
+
+    /// Creates a residual block with a projection shortcut (1×1 convolution
+    /// with the given stride followed by batch norm).
+    pub fn projection(main: Sequential, cin: usize, cout: usize, stride: usize, seed: u64) -> Self {
+        let shortcut = Sequential::new("shortcut")
+            .push(Conv2d::grouped(cin, cout, 1, stride, 0, 1, seed).without_bias())
+            .push(BatchNorm2d::new(cout));
+        ResidualBlock {
+            main,
+            shortcut: Some(shortcut),
+            relu: ReLU::new(),
+            cached_main_out: None,
+            cached_shortcut_out: None,
+        }
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn name(&self) -> String {
+        if self.shortcut.is_some() {
+            "ResidualBlock(projection)".into()
+        } else {
+            "ResidualBlock(identity)".into()
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let main_out = self.main.forward(input, train);
+        let shortcut_out = match self.shortcut.as_mut() {
+            Some(s) => s.forward(input, train),
+            None => input.clone(),
+        };
+        assert_eq!(
+            main_out.shape(),
+            shortcut_out.shape(),
+            "residual branches must produce identical shapes"
+        );
+        let sum = main_out.add(&shortcut_out);
+        self.cached_main_out = Some(main_out);
+        self.cached_shortcut_out = Some(shortcut_out);
+        self.relu.forward(&sum, train)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let grad_sum = self.relu.backward(grad_output);
+        let grad_main = self.main.backward(&grad_sum);
+        let grad_shortcut = match self.shortcut.as_mut() {
+            Some(s) => s.backward(&grad_sum),
+            None => grad_sum,
+        };
+        grad_main.add(&grad_shortcut)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.main.visit_params(f);
+        if let Some(s) = self.shortcut.as_mut() {
+            s.visit_params(f);
+        }
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        self.main.output_shape(input_shape)
+    }
+
+    fn forward_macs(&self, input_shape: &[usize]) -> usize {
+        self.main.forward_macs(input_shape)
+            + self
+                .shortcut
+                .as_ref()
+                .map(|s| s.forward_macs(input_shape))
+                .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::check_input_gradient;
+    use crate::linear::{Flatten, Linear};
+    use crate::pool::GlobalAvgPool;
+
+    fn tiny_net() -> Sequential {
+        Sequential::new("tiny")
+            .push(Conv2d::new(2, 4, 3, 1, 1, 1))
+            .push(BatchNorm2d::new(4))
+            .push(ReLU::new())
+            .push(GlobalAvgPool::new())
+            .push(Linear::new(4, 3, 2))
+    }
+
+    #[test]
+    fn forward_chains_layers() {
+        let mut net = tiny_net();
+        let out = net.forward(&Tensor::randn(&[2, 2, 8, 8], 1), true);
+        assert_eq!(out.shape(), &[2, 3]);
+        assert_eq!(net.output_shape(&[2, 2, 8, 8]), vec![2, 3]);
+    }
+
+    #[test]
+    fn backward_chains_in_reverse() {
+        let mut net = Sequential::new("t")
+            .push(Conv2d::new(2, 3, 3, 1, 1, 3))
+            .push(ReLU::new());
+        check_input_gradient(&mut net, &[1, 2, 4, 4], 2e-2);
+    }
+
+    #[test]
+    fn summary_accumulates_params_and_macs() {
+        let mut net = tiny_net();
+        let rows = net.summary(&[1, 2, 8, 8]);
+        assert_eq!(rows.len(), 5);
+        let total_params: usize = rows.iter().map(|r| r.params).sum();
+        assert_eq!(total_params, net.num_params());
+        assert!(rows[0].macs > 0);
+        assert_eq!(rows.last().unwrap().output_shape, vec![1, 3]);
+    }
+
+    #[test]
+    fn flatten_works_inside_sequential() {
+        let mut net = Sequential::new("flat")
+            .push(Conv2d::new(1, 2, 3, 1, 1, 5))
+            .push(Flatten::new())
+            .push(Linear::new(2 * 4 * 4, 5, 6));
+        let out = net.forward(&Tensor::randn(&[3, 1, 4, 4], 2), true);
+        assert_eq!(out.shape(), &[3, 5]);
+    }
+
+    #[test]
+    fn identity_residual_block_gradient_is_correct() {
+        let main = Sequential::new("main")
+            .push(Conv2d::new(2, 2, 3, 1, 1, 7).without_bias())
+            .push(BatchNorm2d::new(2));
+        let mut block = ResidualBlock::identity(main);
+        let out = block.forward(&Tensor::randn(&[1, 2, 4, 4], 3), true);
+        assert_eq!(out.shape(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn projection_residual_block_changes_shape() {
+        let main = Sequential::new("main")
+            .push(Conv2d::new(2, 4, 3, 2, 1, 8).without_bias())
+            .push(BatchNorm2d::new(4));
+        let mut block = ResidualBlock::projection(main, 2, 4, 2, 9);
+        let out = block.forward(&Tensor::randn(&[1, 2, 8, 8], 4), true);
+        assert_eq!(out.shape(), &[1, 4, 4, 4]);
+        assert_eq!(block.output_shape(&[1, 2, 8, 8]), vec![1, 4, 4, 4]);
+        // Backward must run without shape errors and produce an input-shaped
+        // gradient.
+        let grad = block.backward(&Tensor::ones(&[1, 4, 4, 4]));
+        assert_eq!(grad.shape(), &[1, 2, 8, 8]);
+    }
+
+    #[test]
+    fn residual_block_params_include_both_branches() {
+        let main = Sequential::new("main").push(Conv2d::new(2, 4, 3, 2, 1, 10).without_bias());
+        let mut with_proj = ResidualBlock::projection(main, 2, 4, 2, 11);
+        let main2 = Sequential::new("main").push(Conv2d::new(2, 4, 3, 2, 1, 10).without_bias());
+        let mut main_only = ResidualBlock::identity(main2);
+        assert!(with_proj.num_params() > main_only.num_params());
+    }
+
+    #[test]
+    fn sequential_len_and_empty() {
+        let net = Sequential::new("x");
+        assert!(net.is_empty());
+        let net = net.push(ReLU::new());
+        assert_eq!(net.len(), 1);
+    }
+}

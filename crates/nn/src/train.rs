@@ -1,0 +1,281 @@
+//! Training and evaluation loops, including the simulated multi-device
+//! data-parallel step used by the multi-GPU scalability experiment (Fig. 14).
+
+use crate::layer::Layer;
+use crate::loss::{accuracy, AverageMeter, CrossEntropyLoss};
+use crate::optim::Sgd;
+use dsx_tensor::Tensor;
+
+/// One labelled mini-batch.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Input images, `[N, C, H, W]`.
+    pub images: Tensor,
+    /// One class index per image.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Creates a batch after validating that images and labels agree.
+    pub fn new(images: Tensor, labels: Vec<usize>) -> Self {
+        assert_eq!(images.dim(0), labels.len(), "one label per image required");
+        Batch { images, labels }
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Splits the batch into `shards` near-equal shards (the per-device
+    /// micro-batches of data-parallel training). Shards at the front get the
+    /// remainder samples.
+    pub fn shard(&self, shards: usize) -> Vec<Batch> {
+        assert!(shards > 0, "need at least one shard");
+        let n = self.len();
+        let (c, h, w) = (self.images.dim(1), self.images.dim(2), self.images.dim(3));
+        let base = n / shards;
+        let rem = n % shards;
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for s in 0..shards {
+            let len = base + usize::from(s < rem);
+            if len == 0 {
+                continue;
+            }
+            let plane = c * h * w;
+            let data = self.images.as_slice()[start * plane..(start + len) * plane].to_vec();
+            out.push(Batch::new(
+                Tensor::from_vec(data, &[len, c, h, w]),
+                self.labels[start..start + len].to_vec(),
+            ));
+            start += len;
+        }
+        out
+    }
+}
+
+/// Loss / accuracy pair returned by the training and evaluation helpers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepMetrics {
+    /// Mean cross-entropy loss.
+    pub loss: f32,
+    /// Top-1 accuracy in `[0, 1]`.
+    pub accuracy: f32,
+}
+
+/// Runs one optimisation step on a single batch and returns its metrics.
+pub fn train_step(
+    model: &mut dyn Layer,
+    optimizer: &mut Sgd,
+    loss_fn: &CrossEntropyLoss,
+    batch: &Batch,
+) -> StepMetrics {
+    let logits = model.forward(&batch.images, true);
+    let (loss, grad) = loss_fn.forward(&logits, &batch.labels);
+    let acc = accuracy(&logits, &batch.labels);
+    model.zero_grad();
+    model.backward(&grad);
+    optimizer.step(model);
+    StepMetrics {
+        loss,
+        accuracy: acc,
+    }
+}
+
+/// Runs one *data-parallel* optimisation step: the batch is sharded over
+/// `world_size` logical devices, every shard runs forward/backward on the
+/// same model replica (sequentially here — the cost model in `dsx-gpusim`
+/// captures the parallel timing), the gradients sum up weighted by shard
+/// size, and a single optimizer step applies the averaged gradient. This is
+/// numerically equivalent to synchronous data-parallel SGD with gradient
+/// all-reduce.
+pub fn data_parallel_step(
+    model: &mut dyn Layer,
+    optimizer: &mut Sgd,
+    loss_fn: &CrossEntropyLoss,
+    batch: &Batch,
+    world_size: usize,
+) -> StepMetrics {
+    assert!(world_size > 0, "world_size must be at least 1");
+    let shards = batch.shard(world_size);
+    let total = batch.len() as f32;
+    model.zero_grad();
+    let mut loss_meter = AverageMeter::new();
+    let mut acc_meter = AverageMeter::new();
+    for shard in &shards {
+        let logits = model.forward(&shard.images, true);
+        let (loss, mut grad) = loss_fn.forward(&logits, &shard.labels);
+        loss_meter.update(loss, shard.len());
+        acc_meter.update(accuracy(&logits, &shard.labels), shard.len());
+        // The per-shard loss gradient is normalised by the shard size; weight
+        // it so the accumulated gradient matches the full-batch gradient.
+        grad.scale_in_place(shard.len() as f32 / total);
+        model.backward(&grad);
+    }
+    optimizer.step(model);
+    StepMetrics {
+        loss: loss_meter.mean(),
+        accuracy: acc_meter.mean(),
+    }
+}
+
+/// Trains for one epoch over the given batches.
+pub fn train_epoch(
+    model: &mut dyn Layer,
+    optimizer: &mut Sgd,
+    loss_fn: &CrossEntropyLoss,
+    batches: &[Batch],
+) -> StepMetrics {
+    let mut loss_meter = AverageMeter::new();
+    let mut acc_meter = AverageMeter::new();
+    for batch in batches {
+        let metrics = train_step(model, optimizer, loss_fn, batch);
+        loss_meter.update(metrics.loss, batch.len());
+        acc_meter.update(metrics.accuracy, batch.len());
+    }
+    StepMetrics {
+        loss: loss_meter.mean(),
+        accuracy: acc_meter.mean(),
+    }
+}
+
+/// Evaluates the model (no parameter updates, evaluation-mode layers).
+pub fn evaluate(
+    model: &mut dyn Layer,
+    loss_fn: &CrossEntropyLoss,
+    batches: &[Batch],
+) -> StepMetrics {
+    let mut loss_meter = AverageMeter::new();
+    let mut acc_meter = AverageMeter::new();
+    for batch in batches {
+        let logits = model.forward(&batch.images, false);
+        let (loss, _) = loss_fn.forward(&logits, &batch.labels);
+        loss_meter.update(loss, batch.len());
+        acc_meter.update(accuracy(&logits, &batch.labels), batch.len());
+    }
+    StepMetrics {
+        loss: loss_meter.mean(),
+        accuracy: acc_meter.mean(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::Conv2d;
+    use crate::linear::Linear;
+    use crate::pool::GlobalAvgPool;
+    use crate::sequential::Sequential;
+    use dsx_tensor::allclose;
+
+    fn toy_model(seed: u64) -> Sequential {
+        Sequential::new("toy")
+            .push(Conv2d::new(1, 4, 3, 1, 1, seed))
+            .push(crate::activation::ReLU::new())
+            .push(GlobalAvgPool::new())
+            .push(Linear::new(4, 2, seed + 1))
+    }
+
+    /// A linearly-separable toy batch: class = brightness of the image.
+    fn toy_batch(n: usize, seed: u64) -> Batch {
+        let mut images = Tensor::zeros(&[n, 1, 4, 4]);
+        let mut labels = Vec::with_capacity(n);
+        let noise = Tensor::rand_uniform(&[n * 16], -0.1, 0.1, seed);
+        for i in 0..n {
+            let class = i % 2;
+            labels.push(class);
+            for p in 0..16 {
+                images.as_mut_slice()[i * 16 + p] =
+                    class as f32 * 1.0 - 0.5 + noise.as_slice()[i * 16 + p];
+            }
+        }
+        Batch::new(images, labels)
+    }
+
+    #[test]
+    fn training_reduces_loss_and_reaches_high_accuracy() {
+        let mut model = toy_model(1);
+        let mut sgd = Sgd::with_config(0.1, 0.9, 0.0);
+        let loss_fn = CrossEntropyLoss::new();
+        let batch = toy_batch(16, 2);
+        let first = train_step(&mut model, &mut sgd, &loss_fn, &batch);
+        let mut last = first;
+        for _ in 0..30 {
+            last = train_step(&mut model, &mut sgd, &loss_fn, &batch);
+        }
+        assert!(last.loss < first.loss);
+        assert!(last.accuracy >= 0.9, "accuracy {}", last.accuracy);
+    }
+
+    #[test]
+    fn shard_partitions_all_samples() {
+        let batch = toy_batch(10, 3);
+        let shards = batch.shard(3);
+        assert_eq!(shards.iter().map(Batch::len).sum::<usize>(), 10);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].len(), 4); // remainder goes to the front
+    }
+
+    #[test]
+    fn data_parallel_step_matches_single_device_step() {
+        let batch = toy_batch(8, 4);
+        let loss_fn = CrossEntropyLoss::new();
+
+        let mut single = toy_model(7);
+        let mut sgd_single = Sgd::new(0.05);
+        train_step(&mut single, &mut sgd_single, &loss_fn, &batch);
+
+        let mut multi = toy_model(7);
+        let mut sgd_multi = Sgd::new(0.05);
+        data_parallel_step(&mut multi, &mut sgd_multi, &loss_fn, &batch, 4);
+
+        // After one step from identical initialisation the parameters must
+        // match (same effective gradient).
+        let mut params_single = Vec::new();
+        single.visit_params(&mut |p, _| params_single.push(p.clone()));
+        let mut params_multi = Vec::new();
+        multi.visit_params(&mut |p, _| params_multi.push(p.clone()));
+        // BatchNorm-free model => exact equivalence up to float error.
+        for (a, b) in params_single.iter().zip(params_multi.iter()) {
+            assert!(allclose(a, b, 1e-4));
+        }
+    }
+
+    #[test]
+    fn evaluate_does_not_change_parameters() {
+        let mut model = toy_model(9);
+        let loss_fn = CrossEntropyLoss::new();
+        let batch = toy_batch(6, 5);
+        let mut before = Vec::new();
+        model.visit_params(&mut |p, _| before.push(p.clone()));
+        evaluate(&mut model, &loss_fn, &[batch]);
+        let mut after = Vec::new();
+        model.visit_params(&mut |p, _| after.push(p.clone()));
+        for (a, b) in before.iter().zip(after.iter()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn train_epoch_aggregates_batches() {
+        let mut model = toy_model(11);
+        let mut sgd = Sgd::new(0.05);
+        let loss_fn = CrossEntropyLoss::new();
+        let batches = vec![toy_batch(8, 6), toy_batch(8, 7)];
+        let metrics = train_epoch(&mut model, &mut sgd, &loss_fn, &batches);
+        assert!(metrics.loss > 0.0);
+        assert!((0.0..=1.0).contains(&metrics.accuracy));
+    }
+
+    #[test]
+    #[should_panic]
+    fn batch_requires_matching_lengths() {
+        Batch::new(Tensor::zeros(&[2, 1, 2, 2]), vec![0]);
+    }
+}

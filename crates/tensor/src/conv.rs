@@ -1,0 +1,270 @@
+//! Convolution lowering utilities: zero padding, `im2col` and `col2im`.
+//!
+//! Standard and grouped convolutions in DSXplore-rs are lowered to GEMM via
+//! `im2col`, which is how the cuDNN-backed PyTorch baselines in the paper are
+//! implemented. The SCC kernels in `dsx-core` deliberately do *not* use this
+//! path (the paper explains why a GEMM lowering of SCC is inefficient —
+//! §III-B); they operate directly on NCHW buffers instead.
+
+use crate::par;
+use crate::tensor::Tensor;
+
+/// Zero-pads the spatial dimensions of an NCHW tensor by `pad` pixels on each
+/// side. `pad == 0` returns a plain copy.
+pub fn pad_nchw(input: &Tensor, pad: usize) -> Tensor {
+    assert_eq!(input.rank(), 4, "pad_nchw requires an NCHW tensor");
+    if pad == 0 {
+        return input.clone();
+    }
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (ph, pw) = (h + 2 * pad, w + 2 * pad);
+    let mut out = Tensor::zeros(&[n, c, ph, pw]);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    for img in 0..n {
+        for ch in 0..c {
+            for y in 0..h {
+                let src_base = ((img * c + ch) * h + y) * w;
+                let dst_base = ((img * c + ch) * ph + y + pad) * pw + pad;
+                dst[dst_base..dst_base + w].copy_from_slice(&src[src_base..src_base + w]);
+            }
+        }
+    }
+    out
+}
+
+/// Removes `pad` pixels of spatial padding from each side of an NCHW tensor
+/// (inverse of [`pad_nchw`] for the valid region).
+pub fn unpad_nchw(input: &Tensor, pad: usize) -> Tensor {
+    assert_eq!(input.rank(), 4, "unpad_nchw requires an NCHW tensor");
+    if pad == 0 {
+        return input.clone();
+    }
+    let (n, c, ph, pw) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    assert!(ph > 2 * pad && pw > 2 * pad, "padding larger than tensor");
+    let (h, w) = (ph - 2 * pad, pw - 2 * pad);
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    for img in 0..n {
+        for ch in 0..c {
+            for y in 0..h {
+                let src_base = ((img * c + ch) * ph + y + pad) * pw + pad;
+                let dst_base = ((img * c + ch) * h + y) * w;
+                dst[dst_base..dst_base + w].copy_from_slice(&src[src_base..src_base + w]);
+            }
+        }
+    }
+    out
+}
+
+/// Output spatial size of a convolution with the given geometry.
+pub fn conv_out_size(in_size: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    (in_size + 2 * pad).saturating_sub(kernel) / stride + 1
+}
+
+/// Lowers an NCHW tensor into the im2col matrix for a `kernel x kernel`
+/// convolution with the given stride and padding.
+///
+/// The result has shape `[C * kernel * kernel, N * out_h * out_w]`: one column
+/// per output pixel, one row per (input-channel, kernel-offset) pair, so a
+/// convolution becomes `weights_matrix (Cout x C*K*K) * im2col`.
+pub fn im2col(input: &Tensor, kernel: usize, stride: usize, pad: usize) -> Tensor {
+    assert_eq!(input.rank(), 4, "im2col requires an NCHW tensor");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let out_h = conv_out_size(h, kernel, stride, pad);
+    let out_w = conv_out_size(w, kernel, stride, pad);
+    let rows = c * kernel * kernel;
+    let cols = n * out_h * out_w;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let src = input.as_slice();
+
+    // Each row of the output is written by exactly one worker chunk.
+    let out_slice = out.as_mut_slice();
+    par::parallel_for_each_chunk_mut(out_slice, cols.max(1), |row, row_data| {
+        if cols == 0 {
+            return;
+        }
+        let ch = row / (kernel * kernel);
+        let rem = row % (kernel * kernel);
+        let ky = rem / kernel;
+        let kx = rem % kernel;
+        for img in 0..n {
+            for oy in 0..out_h {
+                // y/x are signed while padding is applied.
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                for ox in 0..out_w {
+                    let ix = (ox * stride + kx) as isize - pad as isize;
+                    let col = (img * out_h + oy) * out_w + ox;
+                    row_data[col] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                        src[((img * c + ch) * h + iy as usize) * w + ix as usize]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Scatters an im2col-shaped gradient matrix back onto an NCHW gradient
+/// tensor (the adjoint of [`im2col`]); overlapping patches accumulate.
+pub fn col2im(
+    cols_mat: &Tensor,
+    input_shape: &[usize],
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    assert_eq!(input_shape.len(), 4, "col2im requires an NCHW target shape");
+    let (n, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
+    let out_h = conv_out_size(h, kernel, stride, pad);
+    let out_w = conv_out_size(w, kernel, stride, pad);
+    assert_eq!(
+        cols_mat.shape(),
+        &[c * kernel * kernel, n * out_h * out_w],
+        "col2im input matrix has unexpected shape"
+    );
+    let mut out = Tensor::zeros(input_shape);
+    let dst = out.as_mut_slice();
+    let src = cols_mat.as_slice();
+    let cols = n * out_h * out_w;
+    for row in 0..c * kernel * kernel {
+        let ch = row / (kernel * kernel);
+        let rem = row % (kernel * kernel);
+        let ky = rem / kernel;
+        let kx = rem % kernel;
+        for img in 0..n {
+            for oy in 0..out_h {
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                for ox in 0..out_w {
+                    let ix = (ox * stride + kx) as isize - pad as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    let col = (img * out_h + oy) * out_w + ox;
+                    dst[((img * c + ch) * h + iy as usize) * w + ix as usize] +=
+                        src[row * cols + col];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_out_size_matches_standard_formula() {
+        assert_eq!(conv_out_size(32, 3, 1, 1), 32);
+        assert_eq!(conv_out_size(32, 3, 2, 1), 16);
+        assert_eq!(conv_out_size(7, 7, 1, 0), 1);
+        assert_eq!(conv_out_size(224, 7, 2, 3), 112);
+    }
+
+    #[test]
+    fn pad_then_unpad_is_identity() {
+        let t = Tensor::randn(&[2, 3, 5, 4], 5);
+        let padded = pad_nchw(&t, 2);
+        assert_eq!(padded.shape(), &[2, 3, 9, 8]);
+        let back = unpad_nchw(&padded, 2);
+        assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn pad_zero_is_copy() {
+        let t = Tensor::randn(&[1, 1, 3, 3], 9);
+        assert_eq!(pad_nchw(&t, 0).as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn pad_border_is_zero() {
+        let t = Tensor::ones(&[1, 1, 2, 2]);
+        let p = pad_nchw(&t, 1);
+        assert_eq!(p.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(p.at4(0, 0, 1, 1), 1.0);
+        assert_eq!(p.at4(0, 0, 3, 3), 0.0);
+    }
+
+    #[test]
+    fn im2col_1x1_is_channel_by_pixel_matrix() {
+        let t = Tensor::arange(&[1, 2, 2, 2]);
+        let m = im2col(&t, 1, 1, 0);
+        assert_eq!(m.shape(), &[2, 4]);
+        assert_eq!(m.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn im2col_3x3_single_output_collects_whole_patch() {
+        let t = Tensor::arange(&[1, 1, 3, 3]);
+        let m = im2col(&t, 3, 1, 0);
+        assert_eq!(m.shape(), &[9, 1]);
+        assert_eq!(m.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn im2col_padding_introduces_zero_rows() {
+        let t = Tensor::ones(&[1, 1, 2, 2]);
+        let m = im2col(&t, 3, 1, 1);
+        // 4 output pixels; the centre tap (ky=1,kx=1) is always inside.
+        assert_eq!(m.shape(), &[9, 4]);
+        let centre_row = &m.as_slice()[4 * 4..5 * 4];
+        assert!(centre_row.iter().all(|&v| v == 1.0));
+        // The top-left tap of the top-left output pixel falls in the padding.
+        assert_eq!(m.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct_computation() {
+        // 1 input channel, 1 output channel, 2x2 kernel of ones, stride 1:
+        // each output pixel is the sum of a 2x2 patch.
+        let input = Tensor::arange(&[1, 1, 3, 3]);
+        let cols = im2col(&input, 2, 1, 0);
+        let weight = Tensor::ones(&[1, 4]);
+        let out = weight.matmul(&cols);
+        assert_eq!(out.shape(), &[1, 4]);
+        assert_eq!(out.as_slice(), &[8.0, 12.0, 20.0, 24.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col_for_inner_product() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the adjoint, which is what backprop relies on.
+        let x = Tensor::randn(&[1, 2, 4, 4], 31);
+        let cols = im2col(&x, 3, 1, 1);
+        let y = Tensor::randn(cols.shape(), 32);
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let back = col2im(&y, &[1, 2, 4, 4], 3, 1, 1);
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-2, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn stride_two_halves_output_size() {
+        let t = Tensor::randn(&[1, 1, 8, 8], 2);
+        let m = im2col(&t, 3, 2, 1);
+        assert_eq!(m.shape(), &[9, 16]);
+    }
+}

@@ -1,0 +1,249 @@
+//! General matrix-matrix multiplication (GEMM).
+//!
+//! The paper's baselines (standard, grouped and pointwise convolutions in
+//! cuDNN/cuBLAS) are GEMM-backed; our CPU reproduction lowers those same
+//! operators through [`crate::conv::im2col`] + this GEMM. Three variants are
+//! provided:
+//!
+//! * [`matmul_naive`] — the textbook triple loop, used as the correctness
+//!   reference in tests and property tests;
+//! * [`matmul_blocked`] — cache-blocked ikj ordering, the default sequential
+//!   kernel;
+//! * [`matmul_parallel`] — rows of the output split across the worker pool.
+//!
+//! `Tensor::matmul` picks between the blocked and parallel variant based on
+//! problem size.
+
+use crate::par;
+use crate::tensor::Tensor;
+
+/// Cache block edge (elements) for the blocked kernel. 64 × 64 f32 blocks of
+/// A, B and C fit comfortably in a typical 32 KiB L1 cache.
+const BLOCK: usize = 64;
+
+/// Problem size (in multiply-accumulates) above which `Tensor::matmul`
+/// switches to the parallel kernel.
+const PARALLEL_THRESHOLD: usize = 1 << 20;
+
+/// Naive reference GEMM: `C[m,n] = sum_k A[m,k] * B[k,n]`.
+pub fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A has wrong length");
+    assert_eq!(b.len(), k * n, "B has wrong length");
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Cache-blocked GEMM with ikj inner ordering (unit-stride access to B and C).
+pub fn matmul_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A has wrong length");
+    assert_eq!(b.len(), k * n, "B has wrong length");
+    let mut c = vec![0.0f32; m * n];
+    matmul_blocked_into(a, b, &mut c, m, k, n);
+    c
+}
+
+/// Blocked GEMM writing into a caller-provided buffer (must be zeroed or hold
+/// a partial sum to accumulate onto).
+pub fn matmul_blocked_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(c.len(), m * n, "C has wrong length");
+    for ib in (0..m).step_by(BLOCK) {
+        let i_end = (ib + BLOCK).min(m);
+        for kb in (0..k).step_by(BLOCK) {
+            let k_end = (kb + BLOCK).min(k);
+            for jb in (0..n).step_by(BLOCK) {
+                let j_end = (jb + BLOCK).min(n);
+                for i in ib..i_end {
+                    for p in kb..k_end {
+                        let a_ip = a[i * k + p];
+                        if a_ip == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[p * n + jb..p * n + j_end];
+                        let c_row = &mut c[i * n + jb..i * n + j_end];
+                        for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                            *cv += a_ip * *bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parallel GEMM: output rows are distributed over the worker pool; each row
+/// is produced by exactly one worker so no synchronisation is required.
+pub fn matmul_parallel(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A has wrong length");
+    assert_eq!(b.len(), k * n, "B has wrong length");
+    let mut c = vec![0.0f32; m * n];
+    par::parallel_for_each_chunk_mut(&mut c, n.max(1), |i, row| {
+        if n == 0 {
+            return;
+        }
+        let a_row = &a[i * k..(i + 1) * k];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, bv) in row.iter_mut().zip(b_row.iter()) {
+                *cv += a_ip * *bv;
+            }
+        }
+    });
+    c
+}
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors.
+    ///
+    /// Chooses the blocked sequential kernel for small problems and the
+    /// row-parallel kernel once the work exceeds ~1 M multiply-accumulates.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (other.dim(0), other.dim(1));
+        assert_eq!(
+            k, k2,
+            "matmul inner dimensions do not agree: {k} vs {k2} (shapes {:?} x {:?})",
+            self.shape(),
+            other.shape()
+        );
+        let work = m * k * n;
+        let data = if work >= PARALLEL_THRESHOLD && par::num_threads() > 1 {
+            matmul_parallel(self.as_slice(), other.as_slice(), m, k, n)
+        } else {
+            matmul_blocked(self.as_slice(), other.as_slice(), m, k, n)
+        };
+        Tensor::from_vec(data, &[m, n])
+    }
+
+    /// Matrix-vector product of a rank-2 tensor with a rank-1 tensor.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matvec lhs must be rank-2");
+        assert_eq!(v.rank(), 1, "matvec rhs must be rank-1");
+        let (m, k) = (self.dim(0), self.dim(1));
+        assert_eq!(k, v.dim(0), "matvec inner dimensions do not agree");
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &self.as_slice()[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(v.as_slice()).map(|(a, b)| a * b).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allclose;
+    use proptest::prelude::*;
+
+    fn dense(m: usize, k: usize, seed: u64) -> Vec<f32> {
+        crate::init::uniform_vec(m * k, -1.0, 1.0, seed)
+    }
+
+    #[test]
+    fn naive_matches_hand_computed_example() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        assert_eq!(matmul_naive(&a, &b, 2, 2, 2), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_non_multiple_sizes() {
+        let (m, k, n) = (37, 53, 29);
+        let a = dense(m, k, 1);
+        let b = dense(k, n, 2);
+        let naive = matmul_naive(&a, &b, m, k, n);
+        let blocked = matmul_blocked(&a, &b, m, k, n);
+        for (x, y) in naive.iter().zip(blocked.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_naive() {
+        let (m, k, n) = (65, 40, 33);
+        let a = dense(m, k, 3);
+        let b = dense(k, n, 4);
+        let naive = matmul_naive(&a, &b, m, k, n);
+        let parallel = matmul_parallel(&a, &b, m, k, n);
+        for (x, y) in naive.iter().zip(parallel.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn tensor_matmul_identity_is_noop() {
+        let a = Tensor::randn(&[5, 5], 10);
+        let i = Tensor::eye(5);
+        assert!(allclose(&a.matmul(&i), &a, 1e-6));
+        assert!(allclose(&i.matmul(&a), &a, 1e-6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_rejects_mismatched_inner_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn matvec_matches_matmul_with_column() {
+        let a = Tensor::randn(&[6, 4], 20);
+        let v = Tensor::randn(&[4], 21);
+        let mv = a.matvec(&v);
+        let col = v.reshape(&[4, 1]);
+        let mm = a.matmul(&col).reshape(&[6]);
+        assert!(allclose(&mv, &mm, 1e-5));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_blocked_equals_naive(
+            m in 1usize..24,
+            k in 1usize..24,
+            n in 1usize..24,
+            seed in 0u64..1000,
+        ) {
+            let a = dense(m, k, seed);
+            let b = dense(k, n, seed.wrapping_add(1));
+            let naive = matmul_naive(&a, &b, m, k, n);
+            let blocked = matmul_blocked(&a, &b, m, k, n);
+            for (x, y) in naive.iter().zip(blocked.iter()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn prop_matmul_is_linear_in_first_argument(
+            m in 1usize..8,
+            k in 1usize..8,
+            n in 1usize..8,
+            alpha in -2.0f32..2.0,
+            seed in 0u64..1000,
+        ) {
+            let a = Tensor::from_vec(dense(m, k, seed), &[m, k]);
+            let b = Tensor::from_vec(dense(k, n, seed + 1), &[k, n]);
+            // (alpha * A) B == alpha * (A B)
+            let lhs = a.scale(alpha).matmul(&b);
+            let rhs = a.matmul(&b).scale(alpha);
+            prop_assert!(allclose(&lhs, &rhs, 1e-3));
+        }
+    }
+}

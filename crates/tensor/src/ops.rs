@@ -1,0 +1,254 @@
+//! Higher-level tensor operators shared by the NN layers: per-channel bias
+//! and statistics for NCHW activations, row softmax for classifier heads, and
+//! simple broadcast helpers.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Adds a per-channel bias (`bias.len() == C`) to every pixel of an NCHW
+    /// tensor, in place.
+    pub fn add_bias_nchw(&mut self, bias: &Tensor) {
+        assert_eq!(self.rank(), 4, "add_bias_nchw requires an NCHW tensor");
+        assert_eq!(bias.rank(), 1, "bias must be rank-1");
+        let (n, c, h, w) = (self.dim(0), self.dim(1), self.dim(2), self.dim(3));
+        assert_eq!(bias.dim(0), c, "bias length must equal channel count");
+        let plane = h * w;
+        let data = self.as_mut_slice();
+        let b = bias.as_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                let bv = b[ch];
+                for v in &mut data[base..base + plane] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+
+    /// Adds a bias vector (`bias.len() == cols`) to every row of a rank-2
+    /// tensor, in place.
+    pub fn add_bias_rows(&mut self, bias: &Tensor) {
+        assert_eq!(self.rank(), 2, "add_bias_rows requires a rank-2 tensor");
+        assert_eq!(bias.rank(), 1, "bias must be rank-1");
+        let (rows, cols) = (self.dim(0), self.dim(1));
+        assert_eq!(bias.dim(0), cols, "bias length must equal column count");
+        let data = self.as_mut_slice();
+        let b = bias.as_slice();
+        for r in 0..rows {
+            for (v, bv) in data[r * cols..(r + 1) * cols].iter_mut().zip(b.iter()) {
+                *v += *bv;
+            }
+        }
+    }
+
+    /// Per-channel sum over batch and spatial dimensions of an NCHW tensor.
+    /// Returns a rank-1 tensor of length `C`.
+    pub fn sum_per_channel(&self) -> Tensor {
+        assert_eq!(self.rank(), 4, "sum_per_channel requires an NCHW tensor");
+        let (n, c, h, w) = (self.dim(0), self.dim(1), self.dim(2), self.dim(3));
+        let plane = h * w;
+        let mut out = vec![0.0f32; c];
+        let data = self.as_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                out[ch] += data[base..base + plane].iter().sum::<f32>();
+            }
+        }
+        Tensor::from_vec(out, &[c])
+    }
+
+    /// Per-channel mean over batch and spatial dimensions.
+    pub fn mean_per_channel(&self) -> Tensor {
+        let (n, h, w) = (self.dim(0), self.dim(2), self.dim(3));
+        let count = (n * h * w).max(1) as f32;
+        let mut s = self.sum_per_channel();
+        s.scale_in_place(1.0 / count);
+        s
+    }
+
+    /// Per-channel (biased) variance over batch and spatial dimensions, given
+    /// a precomputed per-channel mean.
+    pub fn var_per_channel(&self, mean: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 4, "var_per_channel requires an NCHW tensor");
+        let (n, c, h, w) = (self.dim(0), self.dim(1), self.dim(2), self.dim(3));
+        assert_eq!(mean.dim(0), c, "mean length must equal channel count");
+        let plane = h * w;
+        let count = (n * h * w).max(1) as f32;
+        let mut out = vec![0.0f32; c];
+        let data = self.as_slice();
+        let m = mean.as_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                let mu = m[ch];
+                out[ch] += data[base..base + plane]
+                    .iter()
+                    .map(|&v| (v - mu) * (v - mu))
+                    .sum::<f32>();
+            }
+        }
+        for v in &mut out {
+            *v /= count;
+        }
+        Tensor::from_vec(out, &[c])
+    }
+
+    /// Column-wise sum of a rank-2 tensor (used for bias gradients of linear
+    /// layers). Returns a rank-1 tensor of length `cols`.
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "sum_rows requires a rank-2 tensor");
+        let (rows, cols) = (self.dim(0), self.dim(1));
+        let mut out = vec![0.0f32; cols];
+        let data = self.as_slice();
+        for r in 0..rows {
+            for (o, v) in out.iter_mut().zip(&data[r * cols..(r + 1) * cols]) {
+                *o += *v;
+            }
+        }
+        Tensor::from_vec(out, &[cols])
+    }
+
+    /// Numerically stable row-wise softmax of a rank-2 tensor.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "softmax_rows requires a rank-2 tensor");
+        let (rows, cols) = (self.dim(0), self.dim(1));
+        let mut out = self.clone();
+        let data = out.as_mut_slice();
+        for r in 0..rows {
+            let row = &mut data[r * cols..(r + 1) * cols];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum.max(f32::MIN_POSITIVE);
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        out
+    }
+
+    /// Numerically stable row-wise log-softmax of a rank-2 tensor.
+    pub fn log_softmax_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "log_softmax_rows requires a rank-2 tensor");
+        let (rows, cols) = (self.dim(0), self.dim(1));
+        let mut out = self.clone();
+        let data = out.as_mut_slice();
+        for r in 0..rows {
+            let row = &mut data[r * cols..(r + 1) * cols];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+            for v in row.iter_mut() {
+                *v -= log_sum;
+            }
+        }
+        out
+    }
+
+    /// Rectified linear unit, returning a new tensor.
+    pub fn relu(&self) -> Tensor {
+        self.map(|v| v.max(0.0))
+    }
+
+    /// Elementwise mask of the positive entries (1.0 where `self > 0`, else
+    /// 0.0) — the ReLU derivative.
+    pub fn relu_mask(&self) -> Tensor {
+        self.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// Clips every element into `[lo, hi]`, returning a new tensor.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        assert!(lo <= hi, "clamp requires lo <= hi");
+        self.map(|v| v.min(hi).max(lo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allclose;
+
+    #[test]
+    fn add_bias_nchw_broadcasts_per_channel() {
+        let mut t = Tensor::zeros(&[2, 3, 2, 2]);
+        let bias = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        t.add_bias_nchw(&bias);
+        assert_eq!(t.at4(0, 0, 0, 0), 1.0);
+        assert_eq!(t.at4(1, 1, 1, 1), 2.0);
+        assert_eq!(t.at4(0, 2, 1, 0), 3.0);
+    }
+
+    #[test]
+    fn add_bias_rows_broadcasts_per_column() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.add_bias_rows(&Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        assert_eq!(t.as_slice(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn per_channel_statistics_are_correct() {
+        let mut t = Tensor::zeros(&[1, 2, 1, 2]);
+        // channel 0: [1, 3], channel 1: [2, 2]
+        *t.at4_mut(0, 0, 0, 0) = 1.0;
+        *t.at4_mut(0, 0, 0, 1) = 3.0;
+        *t.at4_mut(0, 1, 0, 0) = 2.0;
+        *t.at4_mut(0, 1, 0, 1) = 2.0;
+        let sums = t.sum_per_channel();
+        assert_eq!(sums.as_slice(), &[4.0, 4.0]);
+        let means = t.mean_per_channel();
+        assert_eq!(means.as_slice(), &[2.0, 2.0]);
+        let vars = t.var_per_channel(&means);
+        assert_eq!(vars.as_slice(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn sum_rows_collapses_batch() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(t.sum_rows().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_is_preserved() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = t.softmax_rows();
+        for r in 0..2 {
+            let row = &s.as_slice()[r * 3..(r + 1) * 3];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row[2] > row[1] && row[1] > row[0]);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]);
+        let s = t.softmax_rows();
+        assert!(s.find_non_finite().is_none());
+        assert!((s.as_slice()[0] + s.as_slice()[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let t = Tensor::randn(&[3, 5], 77);
+        let a = t.log_softmax_rows();
+        let b = t.softmax_rows().map(|v| v.ln());
+        assert!(allclose(&a, &b, 1e-4));
+    }
+
+    #[test]
+    fn relu_and_mask_agree() {
+        let t = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(t.relu().as_slice(), &[0.0, 0.0, 2.0]);
+        assert_eq!(t.relu_mask().as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn clamp_bounds_values() {
+        let t = Tensor::from_vec(vec![-5.0, 0.5, 5.0], &[3]);
+        assert_eq!(t.clamp(-1.0, 1.0).as_slice(), &[-1.0, 0.5, 1.0]);
+    }
+}

@@ -1,0 +1,267 @@
+//! CPU parallel runtime: a chunked `parallel_for` built on `crossbeam::scope`.
+//!
+//! The DSXplore GPU kernels launch `N * Cout * Fw * Fw` threads (forward) or
+//! `N * Cin * Fw * Fw` threads (input-centric backward), each handling one
+//! pixel. On a CPU we reproduce the same decomposition by splitting the
+//! iteration space into contiguous chunks and handing each chunk to an OS
+//! thread; the per-"thread" work function receives the global index exactly
+//! like the CUDA `thread_id` in Algorithm 2 of the paper.
+//!
+//! The number of worker threads defaults to the machine's available
+//! parallelism and can be overridden globally ([`set_num_threads`]) or per
+//! call; a value of 1 runs inline with zero thread overhead, which is also
+//! what the test-suite uses to keep results deterministic.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global worker-thread count override. 0 means "not set, use the hardware
+/// default".
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Guards structural changes to the pool configuration (only the thread
+/// count today; kept as an RwLock so future settings can join it without an
+/// API break).
+static CONFIG_LOCK: RwLock<()> = RwLock::new(());
+
+/// Sets the number of worker threads used by [`parallel_for`] and
+/// [`parallel_for_chunks`]. `0` restores the hardware default.
+pub fn set_num_threads(n: usize) {
+    let _guard = CONFIG_LOCK.write();
+    NUM_THREADS.store(n, Ordering::SeqCst);
+}
+
+/// Current number of worker threads [`parallel_for`] will use.
+pub fn num_threads() -> usize {
+    let configured = NUM_THREADS.load(Ordering::SeqCst);
+    if configured != 0 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Minimum number of iterations per spawned thread; below this the loop runs
+/// inline because thread spawn/join costs would dominate.
+pub const MIN_CHUNK: usize = 1024;
+
+/// Runs `body(i)` for every `i in 0..n`, splitting the range over the worker
+/// threads. `body` must be safe to call concurrently for distinct indices.
+///
+/// This mirrors a GPU kernel launch of `n` threads: each index is touched
+/// exactly once and no two workers share an index.
+pub fn parallel_for<F>(n: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    parallel_for_chunks(n, MIN_CHUNK, |start, end| {
+        for i in start..end {
+            body(i);
+        }
+    });
+}
+
+/// Runs `body(start, end)` over disjoint sub-ranges covering `0..n`.
+///
+/// `min_chunk` bounds how small a sub-range may get; the scheduler never
+/// spawns more threads than `num_threads()` and falls back to a single inline
+/// call when `n` is small.
+pub fn parallel_for_chunks<F>(n: usize, min_chunk: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let workers = num_threads();
+    if workers <= 1 || n <= min_chunk.max(1) {
+        body(0, n);
+        return;
+    }
+    let chunks = workers.min(n.div_ceil(min_chunk.max(1)));
+    let chunk_size = n.div_ceil(chunks);
+    crossbeam::scope(|scope| {
+        for c in 0..chunks {
+            let start = c * chunk_size;
+            let end = ((c + 1) * chunk_size).min(n);
+            if start >= end {
+                continue;
+            }
+            let body_ref = &body;
+            scope.spawn(move |_| body_ref(start, end));
+        }
+    })
+    .expect("parallel_for worker panicked");
+}
+
+/// Splits `out` into disjoint mutable chunks of `chunk_len` elements and runs
+/// `body(chunk_index, chunk)` for each in parallel.
+///
+/// This is the pattern used by kernels that own one output row / channel per
+/// logical thread (e.g. the SCC output-centric forward writes each output
+/// channel's spatial map from exactly one chunk), so no synchronisation is
+/// needed.
+pub fn parallel_for_each_chunk_mut<F>(out: &mut [f32], chunk_len: usize, body: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert_eq!(
+        out.len() % chunk_len,
+        0,
+        "output length {} is not a multiple of chunk length {}",
+        out.len(),
+        chunk_len
+    );
+    let n_chunks = out.len() / chunk_len;
+    let workers = num_threads();
+    if workers <= 1 || n_chunks <= 1 {
+        for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            body(i, chunk);
+        }
+        return;
+    }
+    // Hand out chunks to scoped threads round-robin; chunks_mut gives us
+    // disjoint borrows so this is safe without locks.
+    crossbeam::scope(|scope| {
+        let chunks: Vec<(usize, &mut [f32])> = out.chunks_mut(chunk_len).enumerate().collect();
+        let per_worker = chunks.len().div_ceil(workers);
+        let mut iter = chunks.into_iter();
+        loop {
+            let batch: Vec<(usize, &mut [f32])> = iter.by_ref().take(per_worker).collect();
+            if batch.is_empty() {
+                break;
+            }
+            let body_ref = &body;
+            scope.spawn(move |_| {
+                for (i, chunk) in batch {
+                    body_ref(i, chunk);
+                }
+            });
+        }
+    })
+    .expect("parallel_for_each_chunk_mut worker panicked");
+}
+
+/// Reduces `0..n` in parallel: every worker folds its sub-range with `fold`
+/// starting from `identity`, and the per-worker results are combined with
+/// `combine`.
+pub fn parallel_reduce<T, FoldF, CombineF>(
+    n: usize,
+    identity: T,
+    fold: FoldF,
+    combine: CombineF,
+) -> T
+where
+    T: Send + Clone,
+    FoldF: Fn(T, usize) -> T + Sync,
+    CombineF: Fn(T, T) -> T,
+{
+    if n == 0 {
+        return identity;
+    }
+    let workers = num_threads();
+    if workers <= 1 || n <= MIN_CHUNK {
+        let mut acc = identity;
+        for i in 0..n {
+            acc = fold(acc, i);
+        }
+        return acc;
+    }
+    let chunks = workers.min(n.div_ceil(MIN_CHUNK));
+    let chunk_size = n.div_ceil(chunks);
+    let partials = crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..chunks {
+            let start = c * chunk_size;
+            let end = ((c + 1) * chunk_size).min(n);
+            if start >= end {
+                continue;
+            }
+            let fold_ref = &fold;
+            let id = identity.clone();
+            handles.push(scope.spawn(move |_| {
+                let mut acc = id;
+                for i in start..end {
+                    acc = fold_ref(acc, i);
+                }
+                acc
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_reduce worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("parallel_reduce scope failed");
+    partials.into_iter().fold(identity, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        let n = 10_000;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_handles_empty_range() {
+        parallel_for(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn parallel_for_chunks_covers_range_without_overlap() {
+        let n = 5000;
+        let sum = AtomicU64::new(0);
+        parallel_for_chunks(n, 64, |start, end| {
+            let local: u64 = (start..end).map(|i| i as u64).sum();
+            sum.fetch_add(local, Ordering::Relaxed);
+        });
+        let expected: u64 = (0..n as u64).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn chunk_mut_writes_each_chunk() {
+        let mut data = vec![0.0f32; 16 * 8];
+        parallel_for_each_chunk_mut(&mut data, 8, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v = i as f32;
+            }
+        });
+        for (i, chunk) in data.chunks(8).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as f32));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn chunk_mut_rejects_non_multiple_length() {
+        let mut data = vec![0.0f32; 10];
+        parallel_for_each_chunk_mut(&mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    fn parallel_reduce_matches_sequential_sum() {
+        let n = 20_000;
+        let total = parallel_reduce(n, 0u64, |acc, i| acc + i as u64, |a, b| a + b);
+        assert_eq!(total, (0..n as u64).sum());
+    }
+
+    #[test]
+    fn thread_count_override_round_trips() {
+        let original = NUM_THREADS.load(Ordering::SeqCst);
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(original);
+    }
+}

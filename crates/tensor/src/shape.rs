@@ -1,0 +1,212 @@
+//! Shape and stride bookkeeping for dense row-major tensors.
+//!
+//! A [`Shape`] owns the dimension sizes of a tensor and provides the index
+//! arithmetic (row-major strides, flat offsets, iteration counts) that the
+//! kernel crates use when walking NCHW buffers by hand, exactly like the
+//! CUDA kernels in the original DSXplore compute `blockIdx/threadIdx`-derived
+//! offsets.
+
+use std::fmt;
+
+/// Dimension sizes of a dense, row-major tensor.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    ///
+    /// Zero-sized dimensions are allowed (they describe empty tensors), but an
+    /// empty dimension list describes a scalar with one element.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Size of dimension `axis`. Panics if `axis` is out of range.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides, in elements.
+    ///
+    /// `strides()[i]` is the distance in the flat buffer between two elements
+    /// whose indices differ by one in axis `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-dimensional index.
+    ///
+    /// Panics (in debug builds) if the index rank or any coordinate is out of
+    /// range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut off = 0usize;
+        let strides = self.strides();
+        for (i, (&idx, &stride)) in index.iter().zip(strides.iter()).enumerate() {
+            debug_assert!(
+                idx < self.dims[i],
+                "index {} out of range for axis {} with size {}",
+                idx,
+                i,
+                self.dims[i]
+            );
+            off += idx * stride;
+        }
+        off
+    }
+
+    /// Inverse of [`offset`](Self::offset): converts a flat offset back into a
+    /// multi-dimensional index.
+    pub fn unravel(&self, mut offset: usize) -> Vec<usize> {
+        let strides = self.strides();
+        let mut index = vec![0usize; self.dims.len()];
+        for (i, &stride) in strides.iter().enumerate() {
+            if stride > 0 {
+                index[i] = offset / stride;
+                offset %= stride;
+            }
+        }
+        index
+    }
+
+    /// Returns a new shape with the same number of elements, or an error
+    /// message if the element counts differ.
+    pub fn reshape(&self, new_dims: &[usize]) -> Result<Shape, String> {
+        let new = Shape::new(new_dims);
+        if new.numel() != self.numel() {
+            return Err(format!(
+                "cannot reshape {} elements into shape {:?}",
+                self.numel(),
+                new_dims
+            ));
+        }
+        Ok(new)
+    }
+
+    /// Whether this is an NCHW-style 4-D shape.
+    pub fn is_nchw(&self) -> bool {
+        self.rank() == 4
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+    }
+
+    #[test]
+    fn zero_dim_gives_empty() {
+        let s = Shape::new(&[4, 0, 2]);
+        assert_eq!(s.numel(), 0);
+    }
+
+    #[test]
+    fn row_major_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_round_trips_with_unravel() {
+        let s = Shape::new(&[3, 4, 5]);
+        for flat in 0..s.numel() {
+            let idx = s.unravel(flat);
+            assert_eq!(s.offset(&idx), flat);
+        }
+    }
+
+    #[test]
+    fn offset_matches_manual_nchw_arithmetic() {
+        let s = Shape::new(&[2, 8, 16, 16]);
+        let (n, c, h, w) = (1, 5, 10, 3);
+        let expected = ((n * 8 + c) * 16 + h) * 16 + w;
+        assert_eq!(s.offset(&[n, c, h, w]), expected);
+    }
+
+    #[test]
+    fn reshape_preserves_numel() {
+        let s = Shape::new(&[4, 6]);
+        assert!(s.reshape(&[2, 12]).is_ok());
+        assert!(s.reshape(&[5, 5]).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn offset_panics_on_out_of_range_index() {
+        let s = Shape::new(&[2, 2]);
+        s.offset(&[2, 0]);
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        let s = Shape::new(&[1, 2]);
+        assert_eq!(format!("{s}"), "[1, 2]");
+    }
+}

@@ -1,0 +1,214 @@
+//! NCHW channel slicing and concatenation.
+//!
+//! The PyTorch operator-composition baselines in the DSXplore paper (the
+//! *channel-stack* and *convolution-stack* implementations, Fig. 3) are built
+//! from exactly three tensor manipulations: indexing a channel window out of
+//! an NCHW feature map, concatenating feature maps along the channel axis,
+//! and (for the cyclic-optimized variants) repeating a block of channels.
+//! This module provides those operators — including the wrap-around
+//! ("channel-cyclic") window extraction — together with byte accounting used
+//! by the memory experiments (Fig. 10).
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Extracts channels `[start, start + len)` of an NCHW tensor into a new
+    /// `[N, len, H, W]` tensor (a data copy, like `torch.narrow(...)
+    /// .contiguous()`).
+    pub fn narrow_channels(&self, start: usize, len: usize) -> Tensor {
+        assert_eq!(self.rank(), 4, "narrow_channels requires an NCHW tensor");
+        let (n, c, h, w) = (self.dim(0), self.dim(1), self.dim(2), self.dim(3));
+        assert!(
+            start + len <= c,
+            "channel window [{start}, {}) exceeds {c} channels",
+            start + len
+        );
+        let plane = h * w;
+        let mut out = Tensor::zeros(&[n, len, h, w]);
+        let src = self.as_slice();
+        let dst = out.as_mut_slice();
+        for b in 0..n {
+            let src_base = (b * c + start) * plane;
+            let dst_base = b * len * plane;
+            dst[dst_base..dst_base + len * plane]
+                .copy_from_slice(&src[src_base..src_base + len * plane]);
+        }
+        out
+    }
+
+    /// Extracts a channel window of length `len` starting at `start`,
+    /// wrapping around the channel axis when `start + len > C`.
+    ///
+    /// This is the "channel-cyclic" window of the SCC filters: the last input
+    /// channel is logically adjacent to the first one (paper §III-A).
+    pub fn narrow_channels_cyclic(&self, start: usize, len: usize) -> Tensor {
+        assert_eq!(self.rank(), 4, "narrow_channels_cyclic requires NCHW");
+        let (n, c, h, w) = (self.dim(0), self.dim(1), self.dim(2), self.dim(3));
+        assert!(len <= c, "cyclic window of {len} exceeds {c} channels");
+        let start = start % c;
+        if start + len <= c {
+            return self.narrow_channels(start, len);
+        }
+        let first = c - start;
+        let head = self.narrow_channels(start, first);
+        let tail = self.narrow_channels(0, len - first);
+        let _ = (n, h, w);
+        Tensor::cat_channels(&[&head, &tail])
+    }
+
+    /// Concatenates NCHW tensors along the channel axis. All inputs must
+    /// agree in batch and spatial dimensions.
+    pub fn cat_channels(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "cat_channels needs at least one tensor");
+        let first = parts[0];
+        assert_eq!(first.rank(), 4, "cat_channels requires NCHW tensors");
+        let (n, h, w) = (first.dim(0), first.dim(2), first.dim(3));
+        let total_c: usize = parts
+            .iter()
+            .map(|p| {
+                assert_eq!(p.rank(), 4, "cat_channels requires NCHW tensors");
+                assert_eq!(p.dim(0), n, "batch dimension mismatch in cat_channels");
+                assert_eq!(p.dim(2), h, "height mismatch in cat_channels");
+                assert_eq!(p.dim(3), w, "width mismatch in cat_channels");
+                p.dim(1)
+            })
+            .sum();
+        let plane = h * w;
+        let mut out = Tensor::zeros(&[n, total_c, h, w]);
+        let dst = out.as_mut_slice();
+        for b in 0..n {
+            let mut c_off = 0usize;
+            for p in parts {
+                let pc = p.dim(1);
+                let src = p.as_slice();
+                let src_base = b * pc * plane;
+                let dst_base = (b * total_c + c_off) * plane;
+                dst[dst_base..dst_base + pc * plane]
+                    .copy_from_slice(&src[src_base..src_base + pc * plane]);
+                c_off += pc;
+            }
+        }
+        out
+    }
+
+    /// Repeats the channels of an NCHW tensor `times` times along the channel
+    /// axis (the cyclic-optimized channel-stack builds its big tensor this
+    /// way instead of re-slicing the input, Fig. 6a).
+    pub fn repeat_channels(&self, times: usize) -> Tensor {
+        assert_eq!(self.rank(), 4, "repeat_channels requires an NCHW tensor");
+        assert!(times > 0, "repeat_channels requires times >= 1");
+        let refs: Vec<&Tensor> = std::iter::repeat(self).take(times).collect();
+        Tensor::cat_channels(&refs)
+    }
+
+    /// Splits an NCHW tensor into `groups` equal channel groups.
+    pub fn split_channels(&self, groups: usize) -> Vec<Tensor> {
+        assert_eq!(self.rank(), 4, "split_channels requires an NCHW tensor");
+        let c = self.dim(1);
+        assert!(groups > 0 && c % groups == 0, "{c} channels not divisible into {groups} groups");
+        let width = c / groups;
+        (0..groups)
+            .map(|g| self.narrow_channels(g * width, width))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        // 2 batches, 4 channels, 2x2 spatial; values encode (n, c, h, w).
+        let mut t = Tensor::zeros(&[2, 4, 2, 2]);
+        for n in 0..2 {
+            for c in 0..4 {
+                for h in 0..2 {
+                    for w in 0..2 {
+                        *t.at4_mut(n, c, h, w) = (n * 1000 + c * 100 + h * 10 + w) as f32;
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn narrow_channels_extracts_contiguous_window() {
+        let t = sample();
+        let s = t.narrow_channels(1, 2);
+        assert_eq!(s.shape(), &[2, 2, 2, 2]);
+        assert_eq!(s.at4(0, 0, 0, 0), 100.0);
+        assert_eq!(s.at4(0, 1, 1, 1), 211.0);
+        assert_eq!(s.at4(1, 0, 0, 1), 1101.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn narrow_channels_rejects_out_of_range_window() {
+        sample().narrow_channels(3, 2);
+    }
+
+    #[test]
+    fn cyclic_window_wraps_around() {
+        let t = sample();
+        let s = t.narrow_channels_cyclic(3, 2);
+        assert_eq!(s.shape(), &[2, 2, 2, 2]);
+        // First channel of the window is channel 3, second wraps to channel 0.
+        assert_eq!(s.at4(0, 0, 0, 0), 300.0);
+        assert_eq!(s.at4(0, 1, 0, 0), 0.0);
+        assert_eq!(s.at4(1, 1, 1, 0), 1010.0);
+    }
+
+    #[test]
+    fn cyclic_window_without_wrap_equals_plain_narrow() {
+        let t = sample();
+        let a = t.narrow_channels_cyclic(1, 2);
+        let b = t.narrow_channels(1, 2);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn cat_channels_round_trips_split() {
+        let t = sample();
+        let parts = t.split_channels(2);
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let back = Tensor::cat_channels(&refs);
+        assert_eq!(back.shape(), t.shape());
+        assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn cat_channels_sums_channel_dims() {
+        let a = Tensor::ones(&[1, 2, 3, 3]);
+        let b = Tensor::zeros(&[1, 5, 3, 3]);
+        let c = Tensor::cat_channels(&[&a, &b]);
+        assert_eq!(c.shape(), &[1, 7, 3, 3]);
+        assert_eq!(c.at4(0, 1, 2, 2), 1.0);
+        assert_eq!(c.at4(0, 2, 0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cat_channels_rejects_spatial_mismatch() {
+        let a = Tensor::ones(&[1, 2, 3, 3]);
+        let b = Tensor::ones(&[1, 2, 4, 4]);
+        Tensor::cat_channels(&[&a, &b]);
+    }
+
+    #[test]
+    fn repeat_channels_duplicates_content() {
+        let t = sample();
+        let r = t.repeat_channels(3);
+        assert_eq!(r.shape(), &[2, 12, 2, 2]);
+        for c in 0..4 {
+            assert_eq!(r.at4(0, c, 0, 0), r.at4(0, c + 4, 0, 0));
+            assert_eq!(r.at4(0, c, 0, 0), r.at4(0, c + 8, 0, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_channels_requires_divisibility() {
+        sample().split_channels(3);
+    }
+}

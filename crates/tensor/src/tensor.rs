@@ -1,0 +1,506 @@
+//! The dense row-major `f32` [`Tensor`] type.
+
+use crate::init;
+use crate::shape::Shape;
+
+/// A dense, heap-allocated, row-major `f32` tensor.
+///
+/// All DSXplore-rs kernels operate on NCHW (`[batch, channels, height,
+/// width]`) tensors of this type; lower-rank tensors are used for weights,
+/// biases and fully-connected activations.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor(shape={}, ", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, "data={:?})", self.data)
+        } else {
+            write!(
+                f,
+                "data=[{:.4}, {:.4}, ... ; {} elements])",
+                self.data[0],
+                self.data[1],
+                self.numel()
+            )
+        }
+    }
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
+    }
+
+    /// A tensor of ones with the given shape.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
+    }
+
+    /// Builds a tensor from an existing buffer. Panics if the buffer length
+    /// does not match the shape.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "buffer of length {} does not match shape {:?}",
+            data.len(),
+            dims
+        );
+        Tensor { data, shape }
+    }
+
+    /// Identity matrix of size `n x n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// A tensor with elements drawn from a standard normal distribution,
+    /// deterministically seeded.
+    pub fn randn(dims: &[usize], seed: u64) -> Self {
+        let shape = Shape::new(dims);
+        let data = init::normal_vec(shape.numel(), 0.0, 1.0, seed);
+        Tensor { data, shape }
+    }
+
+    /// A tensor with elements drawn uniformly from `[low, high)`,
+    /// deterministically seeded.
+    pub fn rand_uniform(dims: &[usize], low: f32, high: f32, seed: u64) -> Self {
+        let shape = Shape::new(dims);
+        let data = init::uniform_vec(shape.numel(), low, high, seed);
+        Tensor { data, shape }
+    }
+
+    /// A tensor whose flat elements are `0, 1, 2, ...` — handy in tests.
+    pub fn arange(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.numel()).map(|i| i as f32).collect();
+        Tensor { data, shape }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Dimension sizes.
+    pub fn shape(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// The [`Shape`] object (strides, offsets, ...).
+    pub fn shape_obj(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Size of dimension `axis`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.shape.dim(axis)
+    }
+
+    /// Read-only view of the flat buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element at a multi-dimensional index.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Element of an NCHW tensor (rank-4 fast path used by the kernels).
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 4);
+        let dims = self.shape.dims();
+        self.data[((n * dims[1] + c) * dims[2] + h) * dims[3] + w]
+    }
+
+    /// Mutable element of an NCHW tensor.
+    #[inline]
+    pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        debug_assert_eq!(self.rank(), 4);
+        let dims = self.shape.dims();
+        let off = ((n * dims[1] + c) * dims[2] + h) * dims[3] + w;
+        &mut self.data[off]
+    }
+
+    /// Approximate heap memory footprint of the tensor payload, in bytes.
+    pub fn bytes(&self) -> usize {
+        self.numel() * std::mem::size_of::<f32>()
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor sharing the same data with a new shape. Panics if the
+    /// element count changes.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = self
+            .shape
+            .reshape(dims)
+            .unwrap_or_else(|e| panic!("reshape failed: {e}"));
+        Tensor {
+            data: self.data.clone(),
+            shape,
+        }
+    }
+
+    /// In-place reshape (no data copy). Panics if the element count changes.
+    pub fn reshape_in_place(&mut self, dims: &[usize]) {
+        self.shape = self
+            .shape
+            .reshape(dims)
+            .unwrap_or_else(|e| panic!("reshape failed: {e}"));
+    }
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose2 requires a rank-2 tensor");
+        let (rows, cols) = (self.dim(0), self.dim(1));
+        let mut out = Tensor::zeros(&[cols, rows]);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise arithmetic (allocating and in-place)
+    // ------------------------------------------------------------------
+
+    /// Elementwise sum; shapes must match.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference; shapes must match.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise product; shapes must match.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient; shapes must match.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a / b)
+    }
+
+    /// Adds `other` into `self` in place.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// `self += alpha * other` (BLAS axpy), in place.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * *b;
+        }
+    }
+
+    /// Multiplies every element by `s`, returning a new tensor.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_in_place(&mut self, s: f32) {
+        for v in self.data.iter_mut() {
+            *v *= s;
+        }
+    }
+
+    /// Sets every element to zero (reusing the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Fills every element with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|v| *v = value);
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in self.data.iter_mut() {
+            *v = f(*v);
+        }
+    }
+
+    fn zip_with<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "elementwise op shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.numel() == 0 {
+            0.0
+        } else {
+            self.sum() / self.numel() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element in the flat buffer.
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Squared L2 norm of the tensor.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Row-wise argmax of a rank-2 tensor, one index per row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.rank(), 2, "argmax_rows requires a rank-2 tensor");
+        let (rows, cols) = (self.dim(0), self.dim(1));
+        (0..rows)
+            .map(|r| {
+                let row = &self.data[r * cols..(r + 1) * cols];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Checks that every element is finite; returns the first offending flat
+    /// index otherwise.
+    pub fn find_non_finite(&self) -> Option<usize> {
+        self.data.iter().position(|v| !v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_expected_values() {
+        assert!(Tensor::zeros(&[2, 3]).as_slice().iter().all(|&v| v == 0.0));
+        assert!(Tensor::ones(&[4]).as_slice().iter().all(|&v| v == 1.0));
+        assert!(Tensor::full(&[2], 2.5).as_slice().iter().all(|&v| v == 2.5));
+        assert_eq!(Tensor::arange(&[3]).as_slice(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i.at(&[r, c]), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_rejects_wrong_length() {
+        Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn randn_is_deterministic_per_seed() {
+        let a = Tensor::randn(&[32], 7);
+        let b = Tensor::randn(&[32], 7);
+        let c = Tensor::randn(&[32], 8);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn at4_matches_generic_indexing() {
+        let t = Tensor::arange(&[2, 3, 4, 5]);
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..4 {
+                    for w in 0..5 {
+                        assert_eq!(t.at4(n, c, h, w), t.at(&[n, c, h, w]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_ops_work() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).as_slice(), &[4.0, 2.5, 2.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn reductions_are_correct() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[2, 2]);
+        assert!((t.sum() - 2.5).abs() < 1e-6);
+        assert!((t.mean() - 0.625).abs() < 1e-6);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), 2);
+        assert!((t.norm_sq() - (1.0 + 4.0 + 9.0 + 0.25)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_rows_picks_per_row_max() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], &[2, 3]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn reshape_checks_numel() {
+        let t = Tensor::arange(&[2, 6]);
+        let r = t.reshape(&[3, 4]);
+        assert_eq!(r.shape(), &[3, 4]);
+        assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    #[should_panic]
+    fn reshape_panics_on_numel_mismatch() {
+        Tensor::arange(&[2, 3]).reshape(&[4, 2]);
+    }
+
+    #[test]
+    fn transpose2_swaps_axes() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let tt = t.transpose2();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn find_non_finite_detects_nan() {
+        let mut t = Tensor::zeros(&[4]);
+        assert_eq!(t.find_non_finite(), None);
+        t.as_mut_slice()[2] = f32::NAN;
+        assert_eq!(t.find_non_finite(), Some(2));
+    }
+
+    #[test]
+    fn bytes_reports_payload_size() {
+        assert_eq!(Tensor::zeros(&[10, 10]).bytes(), 400);
+    }
+}

@@ -1,0 +1,44 @@
+//! Explores the SCC design space (the `cg` × `co` grid of §V-B) for
+//! MobileNet: analytic cost of every setting plus the modelled V100
+//! training-step time of the DSXplore implementation, i.e. the
+//! accuracy-vs-efficiency trade-off surface DSXplore is meant to expose.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use dsxplore::gpusim::{estimate_training_step, GpuModel};
+use dsxplore::models::{ConvScheme, Dataset, ModelKind};
+use dsxplore::scc::SccImplementation;
+
+fn main() {
+    let gpu = GpuModel::v100();
+    let baseline = ModelKind::MobileNet.spec(Dataset::Cifar10, ConvScheme::Origin);
+    println!(
+        "Baseline DW+PW MobileNet: {:.2} MFLOPs, {:.2}M params",
+        baseline.mflops(),
+        baseline.params_m()
+    );
+    println!(
+        "\n{:<22} {:>10} {:>12} {:>16} {:>14}",
+        "Setting", "MFLOPs", "Params (M)", "FLOP saving (%)", "step time (ms)"
+    );
+    for cg in [2usize, 4, 8] {
+        for co in [0.25, 0.33, 0.5, 0.66, 0.75] {
+            let scheme = ConvScheme::DwScc { cg, co };
+            let spec = ModelKind::MobileNet.spec(Dataset::Cifar10, scheme);
+            let est = estimate_training_step(&gpu, &spec, 128, SccImplementation::Dsxplore);
+            println!(
+                "{:<22} {:>10.2} {:>12.3} {:>16.1} {:>14.2}",
+                scheme.tag(),
+                spec.mflops(),
+                spec.params_m(),
+                100.0 * (1.0 - spec.mflops() / baseline.mflops()),
+                est.total_s * 1e3
+            );
+        }
+    }
+    println!("\nLarger cg cuts cost roughly proportionally; co changes neither FLOPs nor");
+    println!("parameters (it only affects which information each filter sees), which is");
+    println!("exactly the design-exploration freedom the paper advertises.");
+}

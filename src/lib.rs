@@ -1,0 +1,51 @@
+//! # DSXplore-rs
+//!
+//! A Rust reproduction of *DSXplore: Optimizing Convolutional Neural Networks
+//! via Sliding-Channel Convolutions* (Wang, Feng, Ding — IPDPS 2021).
+//!
+//! This umbrella crate re-exports the workspace's public API so that examples
+//! and downstream users can depend on a single crate:
+//!
+//! * [`tensor`] — dense `f32` tensors and the parallel runtime.
+//! * [`scc`] — the sliding-channel convolution kernels (the paper's core
+//!   contribution), the operator-composition baselines, and memory/atomic
+//!   instrumentation.
+//! * [`nn`] — layers, losses, optimizers and the data-parallel trainer.
+//! * [`models`] — VGG16/19, MobileNet, ResNet18/50 builders with pluggable
+//!   convolution schemes and analytic FLOP/parameter counting.
+//! * [`data`] — synthetic CIFAR-like / ImageNet-like datasets.
+//! * [`gpusim`] — the V100-like GPU cost model used to reproduce the paper's
+//!   runtime figures without CUDA.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dsxplore::scc::{SccConfig, SlidingChannelConv2d};
+//! use dsxplore::tensor::Tensor;
+//!
+//! // A sliding-channel convolution with 2 channel groups and 50% overlap,
+//! // mapping 16 input channels to 32 output channels.
+//! let conv = SlidingChannelConv2d::new(SccConfig::new(16, 32, 2, 0.5).unwrap());
+//! let input = Tensor::randn(&[1, 16, 8, 8], 42);
+//! let output = conv.forward(&input);
+//! assert_eq!(output.shape(), &[1, 32, 8, 8]);
+//! ```
+
+pub use dsx_core as scc;
+pub use dsx_data as data;
+pub use dsx_gpusim as gpusim;
+pub use dsx_models as models;
+pub use dsx_nn as nn;
+pub use dsx_tensor as tensor;
+
+/// Crate version of the umbrella package.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_semver_like() {
+        let parts: Vec<_> = super::VERSION.split('.').collect();
+        assert_eq!(parts.len(), 3);
+    }
+}
