@@ -17,8 +17,7 @@ fn bench_fig7_training_step_estimates(c: &mut Criterion) {
         let spec = kind.spec(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT);
         group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
             b.iter(|| {
-                let base =
-                    estimate_training_step(&gpu, &spec, 128, SccImplementation::PytorchBase);
+                let base = estimate_training_step(&gpu, &spec, 128, SccImplementation::PytorchBase);
                 let dsx = estimate_training_step(&gpu, &spec, 128, SccImplementation::Dsxplore);
                 black_box(base.total_s / dsx.total_s)
             })
@@ -32,12 +31,23 @@ fn bench_fig11_groups(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_groups");
     group.sample_size(10);
     for cg in [1usize, 2, 4, 8] {
-        let workload = scc_workload(64, 128, cg, if cg == 1 { 0.0 } else { 0.5 }, 4, 16,
-            SccImplementation::Dsxplore);
+        let workload = scc_workload(
+            64,
+            128,
+            cg,
+            if cg == 1 { 0.0 } else { 0.5 },
+            4,
+            16,
+            SccImplementation::Dsxplore,
+        );
         group.bench_function(BenchmarkId::from_parameter(format!("cg{cg}")), |b| {
             b.iter(|| {
                 let out = workload.layer.forward(black_box(&workload.input));
-                black_box(workload.layer.backward(&workload.input, &workload.grad_output));
+                black_box(
+                    workload
+                        .layer
+                        .backward(&workload.input, &workload.grad_output),
+                );
                 black_box(out)
             })
         });
@@ -81,7 +91,15 @@ fn bench_fig14_multi_gpu_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14_multi_gpu");
     group.sample_size(20);
     group.bench_function("scaling_curve_4gpu", |b| {
-        b.iter(|| black_box(scaling_curve(&gpu, &spec, 512, SccImplementation::Dsxplore, 4)))
+        b.iter(|| {
+            black_box(scaling_curve(
+                &gpu,
+                &spec,
+                512,
+                SccImplementation::Dsxplore,
+                4,
+            ))
+        })
     });
     group.finish();
 }

@@ -29,8 +29,8 @@ fn bench_table4_ablation(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(format!("cg{cg}")), |b| {
             b.iter(|| {
                 let gpw = ModelKind::MobileNet.spec(Dataset::Cifar10, ConvScheme::DwGpw { cg });
-                let scc = ModelKind::MobileNet
-                    .spec(Dataset::Cifar10, ConvScheme::DwScc { cg, co: 0.5 });
+                let scc =
+                    ModelKind::MobileNet.spec(Dataset::Cifar10, ConvScheme::DwScc { cg, co: 0.5 });
                 black_box((gpw.params(), scc.params()))
             })
         });

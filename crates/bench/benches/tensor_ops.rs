@@ -56,5 +56,10 @@ fn bench_channel_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm_variants, bench_im2col, bench_channel_ops);
+criterion_group!(
+    benches,
+    bench_gemm_variants,
+    bench_im2col,
+    bench_channel_ops
+);
 criterion_main!(benches);

@@ -158,10 +158,12 @@ pub fn scc_backward_output_centric(
 
     // Shared scatter targets, implemented with CAS atomics (the CPU analogue
     // of CUDA atomicAdd on floats).
-    let grad_input_atomic: Vec<AtomicU32> =
-        (0..n * cin * plane).map(|_| AtomicU32::new(0f32.to_bits())).collect();
-    let grad_weight_atomic: Vec<AtomicU32> =
-        (0..cout * gw).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+    let grad_input_atomic: Vec<AtomicU32> = (0..n * cin * plane)
+        .map(|_| AtomicU32::new(0f32.to_bits()))
+        .collect();
+    let grad_weight_atomic: Vec<AtomicU32> = (0..cout * gw)
+        .map(|_| AtomicU32::new(0f32.to_bits()))
+        .collect();
     let grad_bias_atomic: Vec<AtomicU32> =
         (0..cout).map(|_| AtomicU32::new(0f32.to_bits())).collect();
     let atomic_count = KernelStats::new();

@@ -252,13 +252,17 @@ impl ComposedScc {
                 gb_data[oc] += go_plane.iter().sum::<f32>();
                 for j in 0..gw {
                     let stacked_c = oc * gw + j;
-                    let st_plane = &st_data
-                        [(img * cout * gw + stacked_c) * plane..(img * cout * gw + stacked_c + 1) * plane];
-                    let gs_plane = &mut gs_data
-                        [(img * cout * gw + stacked_c) * plane..(img * cout * gw + stacked_c + 1) * plane];
+                    let st_plane = &st_data[(img * cout * gw + stacked_c) * plane
+                        ..(img * cout * gw + stacked_c + 1) * plane];
+                    let gs_plane = &mut gs_data[(img * cout * gw + stacked_c) * plane
+                        ..(img * cout * gw + stacked_c + 1) * plane];
                     let wj = w_data[oc * gw + j];
                     let mut acc = 0.0f32;
-                    for ((g, &go), &sv) in gs_plane.iter_mut().zip(go_plane.iter()).zip(st_plane.iter()) {
+                    for ((g, &go), &sv) in gs_plane
+                        .iter_mut()
+                        .zip(go_plane.iter())
+                        .zip(st_plane.iter())
+                    {
                         *g += wj * go;
                         acc += sv * go;
                     }
@@ -285,8 +289,8 @@ impl ComposedScc {
                 for j in 0..gw {
                     let ic = window.channel_at(j);
                     let stacked_c = oc * gw + j;
-                    let src = &gs_data
-                        [(img * cout * gw + stacked_c) * plane..(img * cout * gw + stacked_c + 1) * plane];
+                    let src = &gs_data[(img * cout * gw + stacked_c) * plane
+                        ..(img * cout * gw + stacked_c + 1) * plane];
                     let dst = &mut gi_data[(img * cin + ic) * plane..(img * cin + ic + 1) * plane];
                     for (d, &s) in dst.iter_mut().zip(src.iter()) {
                         *d += s;
@@ -374,8 +378,10 @@ impl ComposedScc {
                         &mut gi_data[(img * cin + ic) * plane..(img * cin + ic + 1) * plane];
                     let wj = w_data[oc * gw + j];
                     let mut acc = 0.0f32;
-                    for ((g, &go), &sv) in
-                        gi_plane.iter_mut().zip(go_plane.iter()).zip(sl_plane.iter())
+                    for ((g, &go), &sv) in gi_plane
+                        .iter_mut()
+                        .zip(go_plane.iter())
+                        .zip(sl_plane.iter())
                     {
                         *g += wj * go;
                         acc += sv * go;
@@ -485,7 +491,11 @@ impl ComposedScc {
         let (n, stacked_c, h, w) = dims4(stacked);
         let cout = cfg.cout();
         let gw = cfg.group_width();
-        assert_eq!(stacked_c, cout * gw, "stacked tensor has unexpected channel count");
+        assert_eq!(
+            stacked_c,
+            cout * gw,
+            "stacked tensor has unexpected channel count"
+        );
         let plane = h * w;
         let mut out = Tensor::zeros(&[n, cout, h, w]);
         let out_data = out.as_mut_slice();
@@ -499,8 +509,8 @@ impl ComposedScc {
                 out_plane.iter_mut().for_each(|v| *v = b);
                 for j in 0..gw {
                     let stacked_ch = oc * gw + j;
-                    let st_plane = &st_data
-                        [(img * stacked_c + stacked_ch) * plane..(img * stacked_c + stacked_ch + 1) * plane];
+                    let st_plane = &st_data[(img * stacked_c + stacked_ch) * plane
+                        ..(img * stacked_c + stacked_ch + 1) * plane];
                     let wj = w_data[oc * gw + j];
                     for (o, &sv) in out_plane.iter_mut().zip(st_plane.iter()) {
                         *o += wj * sv;
@@ -592,7 +602,10 @@ mod tests {
         let (cfg, input, weight, _bias) = setup(8, 12, 2, 0.5);
         let grad_out = Tensor::randn(&[2, 12, 5, 5], 31);
         let kernel = scc_backward_input_centric(&cfg, &input, &weight, &grad_out, None);
-        for composed in [ComposedScc::pytorch_base(cfg), ComposedScc::pytorch_opt(cfg)] {
+        for composed in [
+            ComposedScc::pytorch_base(cfg),
+            ComposedScc::pytorch_opt(cfg),
+        ] {
             let grads = composed.backward(&input, &weight, &grad_out, None);
             assert!(allclose(&grads.grad_input, &kernel.grad_input, 1e-3));
             assert!(allclose(&grads.grad_weight, &kernel.grad_weight, 1e-3));
@@ -604,11 +617,19 @@ mod tests {
     fn cyclic_optimization_reduces_materialized_bytes_for_convolution_stack() {
         let (cfg, input, weight, _bias) = setup(16, 64, 2, 0.5);
         let without = KernelStats::new();
-        ComposedScc::new(cfg, Composition::ConvolutionStack, false)
-            .forward(&input, &weight, None, Some(&without));
+        ComposedScc::new(cfg, Composition::ConvolutionStack, false).forward(
+            &input,
+            &weight,
+            None,
+            Some(&without),
+        );
         let with = KernelStats::new();
-        ComposedScc::new(cfg, Composition::ConvolutionStack, true)
-            .forward(&input, &weight, None, Some(&with));
+        ComposedScc::new(cfg, Composition::ConvolutionStack, true).forward(
+            &input,
+            &weight,
+            None,
+            Some(&with),
+        );
         assert!(
             with.bytes_materialized() < without.bytes_materialized(),
             "cyclic opt should materialise fewer bytes ({} vs {})",
@@ -621,11 +642,19 @@ mod tests {
     fn cyclic_optimization_reduces_slicing_launches_for_channel_stack() {
         let (cfg, input, weight, _bias) = setup(16, 64, 2, 0.5);
         let without = KernelStats::new();
-        ComposedScc::new(cfg, Composition::ChannelStack, false)
-            .forward(&input, &weight, None, Some(&without));
+        ComposedScc::new(cfg, Composition::ChannelStack, false).forward(
+            &input,
+            &weight,
+            None,
+            Some(&without),
+        );
         let with = KernelStats::new();
-        ComposedScc::new(cfg, Composition::ChannelStack, true)
-            .forward(&input, &weight, None, Some(&with));
+        ComposedScc::new(cfg, Composition::ChannelStack, true).forward(
+            &input,
+            &weight,
+            None,
+            Some(&with),
+        );
         assert!(with.kernel_launches() < without.kernel_launches());
     }
 

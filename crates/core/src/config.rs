@@ -86,7 +86,7 @@ impl SccConfig {
         if cin == 0 || cout == 0 || cg == 0 {
             return Err(SccConfigError::ZeroDimension);
         }
-        if cin % cg != 0 {
+        if !cin.is_multiple_of(cg) {
             return Err(SccConfigError::ChannelsNotDivisible { cin, cg });
         }
         if !(0.0..1.0).contains(&co) || !co.is_finite() {
@@ -186,7 +186,11 @@ impl SccConfig {
 
     /// Short textual tag in the paper's notation, e.g. `SCC-cg2-co50%`.
     pub fn tag(&self) -> String {
-        format!("SCC-cg{}-co{}%", self.cg, (self.co * 100.0).round() as usize)
+        format!(
+            "SCC-cg{}-co{}%",
+            self.cg,
+            (self.co * 100.0).round() as usize
+        )
     }
 }
 

@@ -52,9 +52,7 @@ pub mod profile;
 pub mod reference;
 pub mod stats;
 
-pub use backward::{
-    scc_backward_input_centric, scc_backward_output_centric, SccGradients,
-};
+pub use backward::{scc_backward_input_centric, scc_backward_output_centric, SccGradients};
 pub use compose::{ComposedScc, Composition};
 pub use config::{SccConfig, SccConfigError};
 pub use cyclic::{ChannelCycleMap, ChannelWindow};

@@ -324,8 +324,16 @@ mod tests {
     #[test]
     fn profiles_scale_linearly_with_batch() {
         let cfg = cfg();
-        let p1 = forward_profile(&cfg, &LayerShape::square(1, 16), SccImplementation::Dsxplore);
-        let p4 = forward_profile(&cfg, &LayerShape::square(4, 16), SccImplementation::Dsxplore);
+        let p1 = forward_profile(
+            &cfg,
+            &LayerShape::square(1, 16),
+            SccImplementation::Dsxplore,
+        );
+        let p4 = forward_profile(
+            &cfg,
+            &LayerShape::square(4, 16),
+            SccImplementation::Dsxplore,
+        );
         assert_eq!(p4.macs, 4 * p1.macs);
         assert_eq!(p4.threads, 4 * p1.threads);
     }

@@ -90,7 +90,11 @@ pub fn scc_backward_reference(
 
 /// Naive pointwise (1×1 standard) convolution used to cross-check the SCC
 /// special case `cg = 1`.
-pub fn pointwise_forward_reference(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Tensor {
+pub fn pointwise_forward_reference(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+) -> Tensor {
     let (n, cin, h, w) = dims4(input);
     let cout = weight.dim(0);
     assert_eq!(weight.dim(1), cin, "pointwise weight must be [Cout, Cin]");
@@ -135,7 +139,11 @@ pub fn gpw_forward_reference_blockwise(
     let out_per_group = cout / cg;
     let (n, cin_t, h, w) = dims4(input);
     assert_eq!(cin_t, cin);
-    assert_eq!(weight.shape(), &[cout, gw], "GPW weight must be [Cout, group_width]");
+    assert_eq!(
+        weight.shape(),
+        &[cout, gw],
+        "GPW weight must be [Cout, group_width]"
+    );
     let mut out = Tensor::zeros(&[n, cout, h, w]);
     for img in 0..n {
         for oc in 0..cout {
@@ -157,7 +165,12 @@ pub fn gpw_forward_reference_blockwise(
 }
 
 pub(crate) fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
-    assert_eq!(t.rank(), 4, "expected an NCHW tensor, got shape {:?}", t.shape());
+    assert_eq!(
+        t.rank(),
+        4,
+        "expected an NCHW tensor, got shape {:?}",
+        t.shape()
+    );
     (t.dim(0), t.dim(1), t.dim(2), t.dim(3))
 }
 
@@ -220,23 +233,23 @@ mod tests {
         let gw = cin / cg;
         let mut perm = vec![0usize; cout];
         let mut next_in_group = vec![0usize; cg];
-        for oc in 0..cout {
+        for (oc, p) in perm.iter_mut().enumerate() {
             let g = oc % cg;
-            perm[oc] = g * out_per_group + next_in_group[g];
+            *p = g * out_per_group + next_in_group[g];
             next_in_group[g] += 1;
         }
         let mut w_block = Tensor::zeros(&[cout, gw]);
-        for oc in 0..cout {
+        for (oc, &p) in perm.iter().enumerate() {
             for j in 0..gw {
-                w_block.as_mut_slice()[perm[oc] * gw + j] = weight.as_slice()[oc * gw + j];
+                w_block.as_mut_slice()[p * gw + j] = weight.as_slice()[oc * gw + j];
             }
         }
         let gpw = gpw_forward_reference_blockwise(cin, cout, cg, &input, &w_block, None);
-        for oc in 0..cout {
+        for (oc, &p) in perm.iter().enumerate() {
             for y in 0..3 {
                 for x in 0..3 {
                     assert!(
-                        (scc.at4(0, oc, y, x) - gpw.at4(0, perm[oc], y, x)).abs() < 1e-5,
+                        (scc.at4(0, oc, y, x) - gpw.at4(0, p, y, x)).abs() < 1e-5,
                         "mismatch at oc={oc}"
                     );
                 }

@@ -40,7 +40,7 @@ impl DatasetConfig {
         if self.basis_patterns == 0 {
             return Err("need at least one basis pattern".into());
         }
-        if !(self.noise >= 0.0) {
+        if self.noise.is_nan() || self.noise < 0.0 {
             return Err("noise must be non-negative".into());
         }
         Ok(())
@@ -72,11 +72,7 @@ impl LabeledImages {
     pub fn batches(&self, batch_size: usize) -> Vec<(Tensor, Vec<usize>)> {
         assert!(batch_size > 0, "batch_size must be positive");
         let n = self.len();
-        let (c, h, w) = (
-            self.images.dim(1),
-            self.images.dim(2),
-            self.images.dim(3),
-        );
+        let (c, h, w) = (self.images.dim(1), self.images.dim(2), self.images.dim(3));
         let plane = c * h * w;
         let mut out = Vec::new();
         let mut start = 0;
@@ -139,10 +135,15 @@ pub fn generate(config: &DatasetConfig) -> SyntheticDataset {
         .collect();
 
     let mut make_split = |count: usize, split_seed: u64| -> LabeledImages {
-        let mut images = Tensor::zeros(&[count, config.channels, config.image_size, config.image_size]);
+        let mut images =
+            Tensor::zeros(&[count, config.channels, config.image_size, config.image_size]);
         let mut labels = Vec::with_capacity(count);
-        let noise =
-            init::normal_vec(count * config.channels * plane, 0.0, config.noise, split_seed);
+        let noise = init::normal_vec(
+            count * config.channels * plane,
+            0.0,
+            config.noise,
+            split_seed,
+        );
         let data = images.as_mut_slice();
         for i in 0..count {
             let class = rng.gen_range(0..config.classes);
@@ -187,7 +188,12 @@ pub fn generate(config: &DatasetConfig) -> SyntheticDataset {
 /// CIFAR-10-like preset: 32×32×3 images, 10 classes. `scale` shrinks the
 /// image size and sample counts together so tests and laptop experiments can
 /// choose their budget (scale 1 = 32×32; scale 4 = 8×8).
-pub fn cifar_like(train_size: usize, test_size: usize, scale: usize, seed: u64) -> SyntheticDataset {
+pub fn cifar_like(
+    train_size: usize,
+    test_size: usize,
+    scale: usize,
+    seed: u64,
+) -> SyntheticDataset {
     let scale = scale.max(1);
     generate(&DatasetConfig {
         classes: 10,
@@ -277,10 +283,7 @@ mod tests {
         assert_eq!(batches.last().unwrap().1.len(), 4);
         // First batch images are exactly the first ten images.
         let (imgs, _) = &batches[0];
-        assert_eq!(
-            imgs.as_slice(),
-            &ds.train.images.as_slice()[..10 * 3 * 64]
-        );
+        assert_eq!(imgs.as_slice(), &ds.train.images.as_slice()[..10 * 3 * 64]);
     }
 
     #[test]
@@ -329,8 +332,16 @@ mod tests {
             let f = feature(&ds.test.images, i);
             let best = (0..cfg.classes)
                 .min_by(|&a, &b| {
-                    let da: f32 = centroids[a].iter().zip(&f).map(|(c, v)| (c - v) * (c - v)).sum();
-                    let db: f32 = centroids[b].iter().zip(&f).map(|(c, v)| (c - v) * (c - v)).sum();
+                    let da: f32 = centroids[a]
+                        .iter()
+                        .zip(&f)
+                        .map(|(c, v)| (c - v) * (c - v))
+                        .sum();
+                    let db: f32 = centroids[b]
+                        .iter()
+                        .zip(&f)
+                        .map(|(c, v)| (c - v) * (c - v))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();
@@ -339,7 +350,10 @@ mod tests {
             }
         }
         let acc = correct as f32 / ds.test.len() as f32;
-        assert!(acc > 0.5, "cross-channel features only reach {acc} accuracy");
+        assert!(
+            acc > 0.5,
+            "cross-channel features only reach {acc} accuracy"
+        );
     }
 
     #[test]

@@ -265,8 +265,7 @@ pub fn table5() -> Vec<Table5Row> {
             batch,
             gpw_ms: estimate_inference(&gpu, &gpw, batch, SccImplementation::Dsxplore).total_s
                 * 1e3,
-            dsxplore_ms: estimate_inference(&gpu, &scc, batch, SccImplementation::Dsxplore)
-                .total_s
+            dsxplore_ms: estimate_inference(&gpu, &scc, batch, SccImplementation::Dsxplore).total_s
                 * 1e3,
         })
         .collect()
@@ -303,8 +302,7 @@ pub fn fig7() -> Vec<SpeedupRow> {
                 estimate_training_step(&gpu, &spec, CIFAR_BATCH, SccImplementation::PytorchBase);
             let opt =
                 estimate_training_step(&gpu, &spec, CIFAR_BATCH, SccImplementation::PytorchOpt);
-            let dsx =
-                estimate_training_step(&gpu, &spec, CIFAR_BATCH, SccImplementation::Dsxplore);
+            let dsx = estimate_training_step(&gpu, &spec, CIFAR_BATCH, SccImplementation::Dsxplore);
             let fits = base.fits_in_memory;
             rows.push(SpeedupRow {
                 model: kind.name().to_string(),
@@ -325,12 +323,8 @@ pub fn fig8() -> Vec<SpeedupRow> {
     for (cg, co) in figure_settings() {
         for kind in ModelKind::ALL {
             let spec = kind.spec(Dataset::ImageNet, ConvScheme::DwScc { cg, co });
-            let base = estimate_training_step(
-                &gpu,
-                &spec,
-                IMAGENET_BATCH,
-                SccImplementation::PytorchBase,
-            );
+            let base =
+                estimate_training_step(&gpu, &spec, IMAGENET_BATCH, SccImplementation::PytorchBase);
             let opt =
                 estimate_training_step(&gpu, &spec, IMAGENET_BATCH, SccImplementation::PytorchOpt);
             let dsx =
@@ -340,7 +334,11 @@ pub fn fig8() -> Vec<SpeedupRow> {
                 setting: format!(
                     "cg={cg}, co={}%{}",
                     (co * 100.0) as usize,
-                    if base.fits_in_memory { "" } else { " (Pytorch-Base OOM)" }
+                    if base.fits_in_memory {
+                        ""
+                    } else {
+                        " (Pytorch-Base OOM)"
+                    }
                 ),
                 pytorch_opt: Some(1.0),
                 dsxplore: Some(opt.total_s / dsx.total_s),
@@ -498,8 +496,7 @@ pub fn fig13() -> Vec<SeriesPoint> {
     for kind in [ModelKind::Vgg16, ModelKind::MobileNet, ModelKind::ResNet18] {
         let spec = kind.spec(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT);
         for batch in [16usize, 32, 64, 128, 256, 512, 1024] {
-            let t =
-                estimate_training_step(&gpu, &spec, batch, SccImplementation::Dsxplore).total_s;
+            let t = estimate_training_step(&gpu, &spec, batch, SccImplementation::Dsxplore).total_s;
             rows.push(SeriesPoint {
                 model: kind.name().to_string(),
                 x: batch as f64,
@@ -600,9 +597,7 @@ mod tests {
         assert_eq!(rows.len(), 10);
         // GPW-cg2 and SCC-cg2 rows must agree analytically.
         let find = |tag: &str| rows.iter().find(|r| r.scheme.contains(tag)).unwrap();
-        assert!(
-            (find("GPW-cg2").mflops - find("SCC-cg2-co50%").mflops).abs() < 1e-9
-        );
+        assert!((find("GPW-cg2").mflops - find("SCC-cg2-co50%").mflops).abs() < 1e-9);
         assert!(find("SCC-cg8-co50%").mflops < find("SCC-cg2-co50%").mflops);
     }
 

@@ -66,7 +66,10 @@ fn run(command: &str, train_cfg: Option<&TrainConfig>) {
         "table1" => {
             let rows = table1();
             println!("\n=== Table I: SCC vs PW vs GPW (Cin=Cout=256, 16x16) ===");
-            println!("{:<8} {:>10} {:>10} {:>8}", "Kernel", "MFLOPs", "Params", "Acc.");
+            println!(
+                "{:<8} {:>10} {:>10} {:>8}",
+                "Kernel", "MFLOPs", "Params", "Acc."
+            );
             for r in rows {
                 println!(
                     "{:<8} {:>10.2} {:>10} {:>8}",
@@ -79,13 +82,24 @@ fn run(command: &str, train_cfg: Option<&TrainConfig>) {
         "table4" => print_accuracy_rows("Table IV: MobileNet DSC ablation", &table4(train_cfg)),
         "table5" => {
             println!("\n=== Table V: VGG16 inference latency (ms) ===");
-            println!("{:>10} {:>14} {:>14}", "Batch", "DW+GPW (ms)", "DSXplore (ms)");
+            println!(
+                "{:>10} {:>14} {:>14}",
+                "Batch", "DW+GPW (ms)", "DSXplore (ms)"
+            );
             for r in table5() {
                 println!("{:>10} {:>14.2} {:>14.2}", r.batch, r.gpw_ms, r.dsxplore_ms);
             }
         }
-        "fig7" => print_speedups("Figure 7: CIFAR-10 training speedup", &fig7(), "Pytorch-Base"),
-        "fig8" => print_speedups("Figure 8: ImageNet training speedup", &fig8(), "Pytorch-Opt"),
+        "fig7" => print_speedups(
+            "Figure 7: CIFAR-10 training speedup",
+            &fig7(),
+            "Pytorch-Base",
+        ),
+        "fig8" => print_speedups(
+            "Figure 8: ImageNet training speedup",
+            &fig8(),
+            "Pytorch-Opt",
+        ),
         "fig9" => {
             println!("\n=== Figure 9: backward-pass runtime (s) ===");
             println!(
@@ -144,8 +158,8 @@ fn run(command: &str, train_cfg: Option<&TrainConfig>) {
         }
         "all" => {
             for cmd in [
-                "table1", "table2", "table3", "table4", "table5", "fig7", "fig8", "fig9",
-                "fig10", "fig11", "fig12", "fig13", "fig14", "atomics",
+                "table1", "table2", "table3", "table4", "table5", "fig7", "fig8", "fig9", "fig10",
+                "fig11", "fig12", "fig13", "fig14", "atomics",
             ] {
                 run(cmd, train_cfg);
             }

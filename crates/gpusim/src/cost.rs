@@ -93,7 +93,12 @@ pub fn kernel_time(gpu: &GpuModel, profile: &OpProfile) -> TimeBreakdown {
 /// multiply-accumulates, the activation/weight bytes it must stream, and its
 /// launch count. Used for the non-SCC "backbone" layers that are identical
 /// across implementations.
-pub fn library_op_time(gpu: &GpuModel, macs: usize, bytes: usize, launches: usize) -> TimeBreakdown {
+pub fn library_op_time(
+    gpu: &GpuModel,
+    macs: usize,
+    bytes: usize,
+    launches: usize,
+) -> TimeBreakdown {
     TimeBreakdown {
         launch_s: launches as f64 * gpu.launch_overhead_s(),
         compute_s: (2.0 * macs as f64) / (gpu.peak_flops() * gpu.library_efficiency),
@@ -105,7 +110,7 @@ pub fn library_op_time(gpu: &GpuModel, macs: usize, bytes: usize, launches: usiz
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsx_core::{forward_profile, backward_profile, LayerShape, SccConfig, SccImplementation};
+    use dsx_core::{backward_profile, forward_profile, LayerShape, SccConfig, SccImplementation};
 
     fn gpu() -> GpuModel {
         GpuModel::v100()
@@ -131,7 +136,10 @@ mod tests {
     #[test]
     fn dsxplore_forward_is_faster_than_compositions() {
         let shape = LayerShape::square(128, 16);
-        let dsx = kernel_time(&gpu(), &forward_profile(&cfg(), &shape, SccImplementation::Dsxplore));
+        let dsx = kernel_time(
+            &gpu(),
+            &forward_profile(&cfg(), &shape, SccImplementation::Dsxplore),
+        );
         let base = kernel_time(
             &gpu(),
             &forward_profile(&cfg(), &shape, SccImplementation::PytorchBase),
@@ -140,8 +148,18 @@ mod tests {
             &gpu(),
             &forward_profile(&cfg(), &shape, SccImplementation::PytorchOpt),
         );
-        assert!(dsx.total() < opt.total(), "DSXplore {} !< Opt {}", dsx.total(), opt.total());
-        assert!(opt.total() < base.total(), "Opt {} !< Base {}", opt.total(), base.total());
+        assert!(
+            dsx.total() < opt.total(),
+            "DSXplore {} !< Opt {}",
+            dsx.total(),
+            opt.total()
+        );
+        assert!(
+            opt.total() < base.total(),
+            "Opt {} !< Base {}",
+            opt.total(),
+            base.total()
+        );
     }
 
     #[test]

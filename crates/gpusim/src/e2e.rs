@@ -284,7 +284,11 @@ mod tests {
             let base = t(SccImplementation::PytorchBase);
             let opt = t(SccImplementation::PytorchOpt);
             let dsx = t(SccImplementation::Dsxplore);
-            assert!(dsx < opt && opt < base, "{}: {dsx} {opt} {base}", kind.name());
+            assert!(
+                dsx < opt && opt < base,
+                "{}: {dsx} {opt} {base}",
+                kind.name()
+            );
         }
     }
 
@@ -322,7 +326,10 @@ mod tests {
         let opt = t(SccImplementation::PytorchOpt);
         let var = t(SccImplementation::DsxploreVar);
         let dsx = t(SccImplementation::Dsxplore);
-        assert!(base > opt && opt > var && var > dsx, "{base} {opt} {var} {dsx}");
+        assert!(
+            base > opt && opt > var && var > dsx,
+            "{base} {opt} {var} {dsx}"
+        );
     }
 
     #[test]
@@ -399,7 +406,10 @@ mod tests {
         };
         let t25 = t(0.25);
         let t75 = t(0.75);
-        assert!((t25 - t75).abs() / t25 < 0.05, "co changed runtime too much");
+        assert!(
+            (t25 - t75).abs() / t25 < 0.05,
+            "co changed runtime too much"
+        );
     }
 
     #[test]
@@ -411,8 +421,16 @@ mod tests {
         let t16 = t(16);
         let t128 = t(128);
         let t1024 = t(1024);
-        assert!(t128 / t16 < 8.0, "sub-linear region violated: {}", t128 / t16);
-        assert!(t1024 / t128 > 4.0, "linear region violated: {}", t1024 / t128);
+        assert!(
+            t128 / t16 < 8.0,
+            "sub-linear region violated: {}",
+            t128 / t16
+        );
+        assert!(
+            t1024 / t128 > 4.0,
+            "linear region violated: {}",
+            t1024 / t128
+        );
         assert!(t16 < t128 && t128 < t1024);
     }
 
@@ -427,8 +445,10 @@ mod tests {
         let scc = mobilenet(Dataset::Cifar10, ConvScheme::DwScc { cg: 2, co: 0.5 });
         let mut ratios = Vec::new();
         for &batch in &[16usize, 64, 256] {
-            let t_gpw = estimate_inference(&gpu(), &gpw, batch, SccImplementation::Dsxplore).total_s;
-            let t_scc = estimate_inference(&gpu(), &scc, batch, SccImplementation::Dsxplore).total_s;
+            let t_gpw =
+                estimate_inference(&gpu(), &gpw, batch, SccImplementation::Dsxplore).total_s;
+            let t_scc =
+                estimate_inference(&gpu(), &scc, batch, SccImplementation::Dsxplore).total_s;
             let ratio = t_scc / t_gpw;
             assert!(ratio > 0.3 && ratio < 10.0, "batch {batch}: ratio {ratio}");
             ratios.push(ratio);

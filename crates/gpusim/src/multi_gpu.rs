@@ -49,13 +49,17 @@ pub fn scaling_curve(
     max_gpus: usize,
 ) -> Vec<ScalingPoint> {
     assert!(max_gpus >= 1, "need at least one device");
-    assert!(global_batch >= max_gpus, "global batch must cover all devices");
+    assert!(
+        global_batch >= max_gpus,
+        "global batch must cover all devices"
+    );
     let param_bytes = spec.params() * F32;
     let single = estimate_training_step(gpu, spec, global_batch, implementation).total_s;
     (1..=max_gpus)
         .map(|gpus| {
             let per_device_batch = global_batch / gpus;
-            let compute = estimate_training_step(gpu, spec, per_device_batch, implementation).total_s;
+            let compute =
+                estimate_training_step(gpu, spec, per_device_batch, implementation).total_s;
             let allreduce = allreduce_time(gpu, param_bytes, gpus);
             let step = compute + allreduce;
             ScalingPoint {

@@ -56,8 +56,16 @@ pub fn build_model_with(
         let layer_seed = derive_seed(seed, idx as u64);
         let layer: Box<dyn Layer> = match conv.kind {
             ConvKind::Standard { kernel, groups } => Box::new(
-                Conv2d::grouped(conv.cin, conv.cout, kernel, conv.stride, kernel / 2, groups, layer_seed)
-                    .without_bias(),
+                Conv2d::grouped(
+                    conv.cin,
+                    conv.cout,
+                    kernel,
+                    conv.stride,
+                    kernel / 2,
+                    groups,
+                    layer_seed,
+                )
+                .without_bias(),
             ),
             ConvKind::Depthwise { kernel } => Box::new(
                 Conv2d::depthwise(conv.cin, kernel, conv.stride, kernel / 2, layer_seed)
@@ -73,7 +81,11 @@ pub fn build_model_with(
                 let cfg = SccConfig::new(conv.cin, conv.cout, cg, co)
                     .unwrap_or_else(|e| panic!("invalid SCC layer {}: {e}", conv.name));
                 let scc = SccConv2d::with_implementation(cfg, layer_seed, scc_implementation);
-                Box::new(if conv.with_bn { scc.without_bias() } else { scc })
+                Box::new(if conv.with_bn {
+                    scc.without_bias()
+                } else {
+                    scc
+                })
             }
         };
         net.push_boxed(layer);
@@ -142,7 +154,12 @@ mod tests {
         let batch = dsx_nn::Batch::new(images, labels);
         let m1 = dsx_nn::train_step(&mut model, &mut sgd, &loss_fn, &batch);
         let m2 = dsx_nn::train_step(&mut model, &mut sgd, &loss_fn, &batch);
-        assert!(m2.loss <= m1.loss * 1.5, "loss exploded: {} -> {}", m1.loss, m2.loss);
+        assert!(
+            m2.loss <= m1.loss * 1.5,
+            "loss exploded: {} -> {}",
+            m1.loss,
+            m2.loss
+        );
         assert!(m1.loss.is_finite() && m2.loss.is_finite());
     }
 
@@ -152,7 +169,10 @@ mod tests {
         let input = Tensor::randn(&[1, 3, 32, 32], 5);
         let mut reference = build_model_with(&spec, 7, SccImplementation::Dsxplore);
         let expected = reference.forward(&input, false);
-        for implementation in [SccImplementation::PytorchBase, SccImplementation::PytorchOpt] {
+        for implementation in [
+            SccImplementation::PytorchBase,
+            SccImplementation::PytorchOpt,
+        ] {
             let mut model = build_model_with(&spec, 7, implementation);
             let out = model.forward(&input, false);
             assert!(dsx_tensor::allclose(&out, &expected, 1e-3));

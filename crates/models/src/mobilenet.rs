@@ -38,7 +38,10 @@ pub fn mobilenet(dataset: Dataset, scheme: ConvScheme) -> ModelSpec {
     // Stem: standard 3x3 convolution from RGB (never replaced).
     convs.push(ConvLayerSpec {
         name: "stem".to_string(),
-        kind: ConvKind::Standard { kernel: 3, groups: 1 },
+        kind: ConvKind::Standard {
+            kernel: 3,
+            groups: 1,
+        },
         cin: 3,
         cout: STEM_CHANNELS,
         in_hw: hw,
@@ -62,7 +65,7 @@ pub fn mobilenet(dataset: Dataset, scheme: ConvScheme) -> ModelSpec {
         // Fall back to plain pointwise when the group requirement does not
         // divide the channel counts (only relevant for the 32-channel stem
         // output with cg = 8 on very thin models).
-        let kind = if cin % cg == 0 && cout % cg == 0 {
+        let kind = if cin.is_multiple_of(cg) && cout.is_multiple_of(cg) {
             fusion_kind
         } else {
             ConvKind::Pointwise

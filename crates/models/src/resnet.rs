@@ -27,7 +27,10 @@ impl SpecBuilder {
     fn standard_1x1(&mut self, name: &str, cin: usize, cout: usize, hw: usize, stride: usize) {
         self.convs.push(ConvLayerSpec {
             name: name.to_string(),
-            kind: ConvKind::Standard { kernel: 1, groups: 1 },
+            kind: ConvKind::Standard {
+                kernel: 1,
+                groups: 1,
+            },
             cin,
             cout,
             in_hw: hw,
@@ -37,8 +40,10 @@ impl SpecBuilder {
     }
 
     fn conv3x3(&mut self, name: &str, cin: usize, cout: usize, hw: usize, stride: usize) {
-        self.convs
-            .extend(self.scheme.expand_standard_conv(name, cin, cout, 3, hw, stride, true));
+        self.convs.extend(
+            self.scheme
+                .expand_standard_conv(name, cin, cout, 3, hw, stride, true),
+        );
     }
 }
 
@@ -61,7 +66,10 @@ fn resnet_spec(
         Dataset::Cifar10 => {
             b.convs.push(ConvLayerSpec {
                 name: "stem".into(),
-                kind: ConvKind::Standard { kernel: 3, groups: 1 },
+                kind: ConvKind::Standard {
+                    kernel: 3,
+                    groups: 1,
+                },
                 cin: 3,
                 cout: stem_out,
                 in_hw: hw,
@@ -72,7 +80,10 @@ fn resnet_spec(
         Dataset::ImageNet => {
             b.convs.push(ConvLayerSpec {
                 name: "stem".into(),
-                kind: ConvKind::Standard { kernel: 7, groups: 1 },
+                kind: ConvKind::Standard {
+                    kernel: 7,
+                    groups: 1,
+                },
                 cin: 3,
                 cout: stem_out,
                 in_hw: hw,
@@ -89,7 +100,11 @@ fn resnet_spec(
     let mut cin = stem_out;
     for (stage_idx, &(blocks, mid)) in stages.iter().enumerate() {
         for block_idx in 0..blocks {
-            let stride = if stage_idx > 0 && block_idx == 0 { 2 } else { 1 };
+            let stride = if stage_idx > 0 && block_idx == 0 {
+                2
+            } else {
+                1
+            };
             let cout = mid * expansion;
             let prefix = format!("layer{}.{}", stage_idx + 1, block_idx);
             if bottleneck {

@@ -65,13 +65,14 @@ impl ConvScheme {
     /// the input layer — 3 RGB channels — is never replaced, per §V-B).
     pub fn can_replace(&self, cin: usize, cout: usize) -> bool {
         let cg = self.group_requirement();
-        cin > 3 && cin % cg == 0 && cout % cg == 0
+        cin > 3 && cin.is_multiple_of(cg) && cout.is_multiple_of(cg)
     }
 
     /// Expands one standard `kernel × kernel` convolution of the Origin
     /// network into the layers this scheme uses for it. `replaceable` is
     /// false for layers the paper keeps standard (the input layer and the
     /// 1×1 convolutions inside bottleneck blocks).
+    #[allow(clippy::too_many_arguments)]
     pub fn expand_standard_conv(
         &self,
         name: &str,
@@ -140,7 +141,13 @@ mod tests {
     fn origin_keeps_standard_convolutions() {
         let layers = ConvScheme::Origin.expand_standard_conv("c", 64, 128, 3, 32, 1, true);
         assert_eq!(layers.len(), 1);
-        assert_eq!(layers[0].kind, ConvKind::Standard { kernel: 3, groups: 1 });
+        assert_eq!(
+            layers[0].kind,
+            ConvKind::Standard {
+                kernel: 3,
+                groups: 1
+            }
+        );
     }
 
     #[test]
@@ -150,10 +157,7 @@ mod tests {
         assert_eq!(layers.len(), 2);
         assert_eq!(layers[0].kind, ConvKind::Depthwise { kernel: 3 });
         assert_eq!(layers[0].stride, 2);
-        assert_eq!(
-            layers[1].kind,
-            ConvKind::SlidingChannel { cg: 2, co: 0.5 }
-        );
+        assert_eq!(layers[1].kind, ConvKind::SlidingChannel { cg: 2, co: 0.5 });
         // The fusion stage runs on the already-downsampled feature map.
         assert_eq!(layers[1].in_hw, 16);
         assert_eq!(layers[1].stride, 1);
@@ -170,10 +174,17 @@ mod tests {
     fn non_replaceable_and_1x1_layers_stay_standard() {
         let scheme = ConvScheme::DSXPLORE_DEFAULT;
         assert_eq!(
-            scheme.expand_standard_conv("c", 64, 64, 3, 8, 1, false).len(),
+            scheme
+                .expand_standard_conv("c", 64, 64, 3, 8, 1, false)
+                .len(),
             1
         );
-        assert_eq!(scheme.expand_standard_conv("c", 64, 256, 1, 8, 1, true).len(), 1);
+        assert_eq!(
+            scheme
+                .expand_standard_conv("c", 64, 256, 1, 8, 1, true)
+                .len(),
+            1
+        );
     }
 
     #[test]

@@ -208,7 +208,10 @@ impl ModelSpec {
     /// The channel-fusion layers (PW / GPW / SCC) of the model — the layers
     /// whose implementation the runtime experiments swap out.
     pub fn channel_fusion_layers(&self) -> Vec<&ConvLayerSpec> {
-        self.convs.iter().filter(|c| c.is_channel_fusion()).collect()
+        self.convs
+            .iter()
+            .filter(|c| c.is_channel_fusion())
+            .collect()
     }
 
     /// Returns a copy with every channel count divided by `factor` (minimum
@@ -217,24 +220,32 @@ impl ModelSpec {
     /// experiments while keeping the architecture shape.
     pub fn scale_channels(&self, factor: usize) -> ModelSpec {
         assert!(factor >= 1, "factor must be at least 1");
-        let scale = |c: usize, groups: usize| -> usize {
-            if c <= 3 {
-                return c; // input image channels stay
-            }
-            let scaled = (c / factor).max(groups.max(4));
-            // Round up to a multiple of the group requirement.
-            scaled.div_ceil(groups) * groups
-        };
-        let mut convs = Vec::with_capacity(self.convs.len());
-        for c in &self.convs {
-            let groups = match c.kind {
+        // One model-wide channel alignment: the chain-repair pass below feeds
+        // each layer's output into its successor, so every scaled count must
+        // divide by *every* layer's group requirement — aligning per layer
+        // lets a depthwise stage (alignment 1, floor 4) strand 4 channels in
+        // front of a cg=8 fusion layer.
+        let align = self
+            .convs
+            .iter()
+            .map(|c| match c.kind {
                 ConvKind::Standard { groups, .. } => groups,
                 ConvKind::GroupPointwise { cg } => cg,
                 ConvKind::SlidingChannel { cg, .. } => cg,
                 _ => 1,
-            };
-            let cin = scale(c.cin, groups);
-            let cout = scale(c.cout, groups);
+            })
+            .fold(1, lcm);
+        let scale = |c: usize| -> usize {
+            if c <= 3 {
+                return c; // input image channels stay
+            }
+            let scaled = (c / factor).max(align.max(4));
+            scaled.div_ceil(align) * align
+        };
+        let mut convs = Vec::with_capacity(self.convs.len());
+        for c in &self.convs {
+            let cin = scale(c.cin);
+            let cout = scale(c.cout);
             let kind = match c.kind {
                 ConvKind::Depthwise { kernel } => ConvKind::Depthwise { kernel },
                 other => other,
@@ -256,15 +267,6 @@ impl ModelSpec {
             c.cin = prev_out;
             if matches!(c.kind, ConvKind::Depthwise { .. }) {
                 c.cout = c.cin;
-            } else {
-                // Re-round cout to group divisibility.
-                let groups = match c.kind {
-                    ConvKind::Standard { groups, .. } => groups,
-                    ConvKind::GroupPointwise { cg } => cg,
-                    ConvKind::SlidingChannel { cg, .. } => cg,
-                    _ => 1,
-                };
-                c.cout = c.cout.div_ceil(groups) * groups;
             }
             prev_out = c.cout;
         }
@@ -277,6 +279,18 @@ impl ModelSpec {
             classes: self.classes,
         }
     }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
 }
 
 #[cfg(test)]
@@ -297,7 +311,16 @@ mod tests {
 
     #[test]
     fn standard_conv_costs_match_closed_form() {
-        let l = layer(ConvKind::Standard { kernel: 3, groups: 1 }, 64, 128, 32, 1);
+        let l = layer(
+            ConvKind::Standard {
+                kernel: 3,
+                groups: 1,
+            },
+            64,
+            128,
+            32,
+            1,
+        );
         assert_eq!(l.params(), 128 * 64 * 9 + 256);
         assert_eq!(l.macs(), 128 * 32 * 32 * 64 * 9);
         assert_eq!(l.out_hw(), 32);
@@ -305,7 +328,16 @@ mod tests {
 
     #[test]
     fn strided_conv_halves_output() {
-        let l = layer(ConvKind::Standard { kernel: 3, groups: 1 }, 64, 64, 32, 2);
+        let l = layer(
+            ConvKind::Standard {
+                kernel: 3,
+                groups: 1,
+            },
+            64,
+            64,
+            32,
+            2,
+        );
         assert_eq!(l.out_hw(), 16);
         assert_eq!(l.macs(), 64 * 16 * 16 * 64 * 9);
     }
@@ -315,7 +347,16 @@ mod tests {
         // DSC (DW + PW) cost relative to a standard KxK conv is
         // 1/Cout + 1/K^2 (paper §II-B).
         let (cin, cout, k, hw) = (128usize, 256usize, 3usize, 28usize);
-        let std = layer(ConvKind::Standard { kernel: k, groups: 1 }, cin, cout, hw, 1);
+        let std = layer(
+            ConvKind::Standard {
+                kernel: k,
+                groups: 1,
+            },
+            cin,
+            cout,
+            hw,
+            1,
+        );
         let dw = layer(ConvKind::Depthwise { kernel: k }, cin, cin, hw, 1);
         let pw = layer(ConvKind::Pointwise, cin, cout, hw, 1);
         let ratio = (dw.macs() + pw.macs()) as f64 / std.macs() as f64;
@@ -339,7 +380,9 @@ mod tests {
         let l = layer(ConvKind::SlidingChannel { cg: 2, co: 0.5 }, 64, 128, 16, 1);
         let cfg = l.scc_config().unwrap();
         assert_eq!(cfg.group_width(), 32);
-        assert!(layer(ConvKind::Pointwise, 4, 4, 4, 1).scc_config().is_none());
+        assert!(layer(ConvKind::Pointwise, 4, 4, 4, 1)
+            .scc_config()
+            .is_none());
     }
 
     #[test]
@@ -349,7 +392,16 @@ mod tests {
             dataset: Dataset::Cifar10,
             scheme_tag: "Origin".into(),
             convs: vec![
-                layer(ConvKind::Standard { kernel: 3, groups: 1 }, 3, 8, 32, 1),
+                layer(
+                    ConvKind::Standard {
+                        kernel: 3,
+                        groups: 1,
+                    },
+                    3,
+                    8,
+                    32,
+                    1,
+                ),
                 layer(ConvKind::Pointwise, 8, 16, 32, 1),
             ],
             classifier_in: 16,
@@ -368,7 +420,16 @@ mod tests {
             dataset: Dataset::Cifar10,
             scheme_tag: "DW+SCC-cg2-co50%".into(),
             convs: vec![
-                layer(ConvKind::Standard { kernel: 3, groups: 1 }, 3, 64, 32, 1),
+                layer(
+                    ConvKind::Standard {
+                        kernel: 3,
+                        groups: 1,
+                    },
+                    3,
+                    64,
+                    32,
+                    1,
+                ),
                 layer(ConvKind::Depthwise { kernel: 3 }, 64, 64, 32, 1),
                 layer(ConvKind::SlidingChannel { cg: 2, co: 0.5 }, 64, 128, 32, 1),
             ],

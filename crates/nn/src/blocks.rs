@@ -87,7 +87,9 @@ pub fn separable_block(
     block.push_boxed(Box::new(ReLU::new()));
     match stage {
         ChannelStage::Pointwise => {
-            block.push_boxed(Box::new(Conv2d::pointwise(cin, cout, seed + 1).without_bias()));
+            block.push_boxed(Box::new(
+                Conv2d::pointwise(cin, cout, seed + 1).without_bias(),
+            ));
         }
         ChannelStage::GroupPointwise { cg } => {
             block.push_boxed(Box::new(
@@ -214,6 +216,9 @@ mod tests {
     #[test]
     fn group_requirement_reflects_stage() {
         assert_eq!(ChannelStage::Pointwise.group_requirement(), 1);
-        assert_eq!(ChannelStage::GroupPointwise { cg: 8 }.group_requirement(), 8);
+        assert_eq!(
+            ChannelStage::GroupPointwise { cg: 8 }.group_requirement(),
+            8
+        );
     }
 }

@@ -31,7 +31,14 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Creates a standard convolution (`groups = 1`).
-    pub fn new(cin: usize, cout: usize, kernel: usize, stride: usize, pad: usize, seed: u64) -> Self {
+    pub fn new(
+        cin: usize,
+        cout: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
         Self::grouped(cin, cout, kernel, stride, pad, 1, seed)
     }
 
@@ -46,8 +53,16 @@ impl Conv2d {
         seed: u64,
     ) -> Self {
         assert!(groups > 0, "groups must be positive");
-        assert_eq!(cin % groups, 0, "cin {cin} not divisible by groups {groups}");
-        assert_eq!(cout % groups, 0, "cout {cout} not divisible by groups {groups}");
+        assert_eq!(
+            cin % groups,
+            0,
+            "cin {cin} not divisible by groups {groups}"
+        );
+        assert_eq!(
+            cout % groups,
+            0,
+            "cout {cout} not divisible by groups {groups}"
+        );
         let cin_g = cin / groups;
         let fan_in = cin_g * kernel * kernel;
         let weight = Tensor::from_vec(
@@ -155,7 +170,7 @@ impl Layer for Conv2d {
                 &[cout_g, cin_g * k2],
             );
             let out_mat = w_mat.matmul(&cols); // [cout_g, n * oh * ow]
-            // Scatter back into NCHW output.
+                                               // Scatter back into NCHW output.
             let out_data = output.as_mut_slice();
             let om = out_mat.as_slice();
             for oc in 0..cout_g {

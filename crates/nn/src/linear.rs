@@ -168,7 +168,11 @@ mod tests {
             assert!((numeric - l.grad_weight.as_slice()[idx]).abs() < 1e-2);
         }
         // Bias gradient with all-ones upstream is the batch size.
-        assert!(l.grad_bias.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-4));
+        assert!(l
+            .grad_bias
+            .as_slice()
+            .iter()
+            .all(|&v| (v - 2.0).abs() < 1e-4));
     }
 
     #[test]

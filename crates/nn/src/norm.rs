@@ -121,7 +121,8 @@ impl Layer for BatchNorm2d {
             self.cached_std_inv = Some(std_inv);
             out
         } else {
-            let (normalized, _) = self.normalize(input, &self.running_mean.clone(), &self.running_var.clone());
+            let (normalized, _) =
+                self.normalize(input, &self.running_mean.clone(), &self.running_var.clone());
             self.scale_shift(&normalized)
         }
     }
@@ -171,8 +172,8 @@ impl Layer for BatchNorm2d {
                 let si = std_inv.as_slice()[ch];
                 let coeff = g * si / m;
                 for p in 0..plane {
-                    gi[base + p] = coeff
-                        * (m * go[base + p] - sum_go[ch] - xn[base + p] * sum_go_xn[ch]);
+                    gi[base + p] =
+                        coeff * (m * go[base + p] - sum_go[ch] - xn[base + p] * sum_go_xn[ch]);
                 }
             }
         }
@@ -202,7 +203,10 @@ mod tests {
         let var = out.var_per_channel(&mean);
         for ch in 0..3 {
             assert!(mean.as_slice()[ch].abs() < 1e-3, "channel {ch} mean not ~0");
-            assert!((var.as_slice()[ch] - 1.0).abs() < 1e-2, "channel {ch} var not ~1");
+            assert!(
+                (var.as_slice()[ch] - 1.0).abs() < 1e-2,
+                "channel {ch} var not ~1"
+            );
         }
     }
 

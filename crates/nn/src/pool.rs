@@ -40,7 +40,10 @@ impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.rank(), 4, "MaxPool2d expects NCHW input");
         let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
-        assert!(h >= self.kernel && w >= self.kernel, "input smaller than window");
+        assert!(
+            h >= self.kernel && w >= self.kernel,
+            "input smaller than window"
+        );
         let (oh, ow) = self.out_hw(h, w);
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let mut argmax = vec![0usize; n * c * oh * ow];
@@ -266,7 +269,10 @@ mod tests {
     fn maxpool_picks_window_maximum() {
         let mut pool = MaxPool2d::new(2, 2);
         let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         );
         let out = pool.forward(&input, true);
@@ -316,9 +322,15 @@ mod tests {
     fn output_shapes_are_consistent_with_forward() {
         let mut mp = MaxPool2d::new(2, 2);
         let input = Tensor::randn(&[2, 4, 8, 8], 1);
-        assert_eq!(mp.forward(&input, true).shape(), mp.output_shape(&[2, 4, 8, 8]).as_slice());
+        assert_eq!(
+            mp.forward(&input, true).shape(),
+            mp.output_shape(&[2, 4, 8, 8]).as_slice()
+        );
         let mut gap = GlobalAvgPool::new();
-        assert_eq!(gap.forward(&input, true).shape(), gap.output_shape(&[2, 4, 8, 8]).as_slice());
+        assert_eq!(
+            gap.forward(&input, true).shape(),
+            gap.output_shape(&[2, 4, 8, 8]).as_slice()
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ impl SccConv2d {
 
     /// Creates an SCC layer with an explicit implementation choice (used by
     /// the runtime comparison experiments).
-    pub fn with_implementation(cfg: SccConfig, seed: u64, implementation: SccImplementation) -> Self {
+    pub fn with_implementation(
+        cfg: SccConfig,
+        seed: u64,
+        implementation: SccImplementation,
+    ) -> Self {
         let inner = SlidingChannelConv2d::with_seed(cfg, seed).with_implementation(implementation);
         SccConv2d {
             grad_weight: Tensor::zeros(&[cfg.cout(), cfg.group_width()]),
@@ -98,9 +102,7 @@ impl Layer for SccConv2d {
     }
 
     fn forward_macs(&self, input_shape: &[usize]) -> usize {
-        self.config()
-            .forward_macs(input_shape[0], input_shape[2])
-            * input_shape[3]
+        self.config().forward_macs(input_shape[0], input_shape[2]) * input_shape[3]
             / input_shape[2].max(1)
     }
 }
@@ -157,18 +159,14 @@ mod tests {
     #[test]
     fn forward_macs_match_config_formula() {
         let l = layer();
-        assert_eq!(
-            l.forward_macs(&[2, 8, 6, 6]),
-            l.config().forward_macs(2, 6)
-        );
+        assert_eq!(l.forward_macs(&[2, 8, 6, 6]), l.config().forward_macs(2, 6));
     }
 
     #[test]
     fn different_implementations_are_interchangeable_as_layers() {
         let input = Tensor::randn(&[1, 8, 4, 4], 3);
         let cfg = SccConfig::new(8, 16, 2, 0.5).unwrap();
-        let mut reference =
-            SccConv2d::with_implementation(cfg, 7, SccImplementation::Dsxplore);
+        let mut reference = SccConv2d::with_implementation(cfg, 7, SccImplementation::Dsxplore);
         let expected = reference.forward(&input, true);
         for implementation in SccImplementation::ALL {
             let mut l = SccConv2d::with_implementation(cfg, 7, implementation);

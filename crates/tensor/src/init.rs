@@ -51,8 +51,7 @@ pub fn xavier_uniform(n: usize, fan_in: usize, fan_out: usize, seed: u64) -> Vec
 /// Mixes a base seed with a per-layer index so each layer gets an
 /// independent, reproducible stream (SplitMix64 finaliser).
 pub fn derive_seed(base: u64, index: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

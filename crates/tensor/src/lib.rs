@@ -44,6 +44,7 @@ pub mod shape;
 pub mod slice;
 pub mod tensor;
 
+pub use par::{num_threads, set_num_threads};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -114,7 +114,8 @@ impl Tensor {
         let (m, k) = (self.dim(0), self.dim(1));
         let (k2, n) = (other.dim(0), other.dim(1));
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul inner dimensions do not agree: {k} vs {k2} (shapes {:?} x {:?})",
             self.shape(),
             other.shape()
@@ -134,11 +135,11 @@ impl Tensor {
         assert_eq!(v.rank(), 1, "matvec rhs must be rank-1");
         let (m, k) = (self.dim(0), self.dim(1));
         assert_eq!(k, v.dim(0), "matvec inner dimensions do not agree");
-        let mut out = vec![0.0f32; m];
-        for i in 0..m {
-            let row = &self.as_slice()[i * k..(i + 1) * k];
-            out[i] = row.iter().zip(v.as_slice()).map(|(a, b)| a * b).sum();
-        }
+        let out: Vec<f32> = self
+            .as_slice()
+            .chunks_exact(k)
+            .map(|row| row.iter().zip(v.as_slice()).map(|(a, b)| a * b).sum())
+            .collect();
         Tensor::from_vec(out, &[m])
     }
 }

@@ -16,9 +16,8 @@ impl Tensor {
         let data = self.as_mut_slice();
         let b = bias.as_slice();
         for img in 0..n {
-            for ch in 0..c {
+            for (ch, &bv) in b.iter().enumerate() {
                 let base = (img * c + ch) * plane;
-                let bv = b[ch];
                 for v in &mut data[base..base + plane] {
                     *v += bv;
                 }
@@ -51,9 +50,9 @@ impl Tensor {
         let mut out = vec![0.0f32; c];
         let data = self.as_slice();
         for img in 0..n {
-            for ch in 0..c {
+            for (ch, acc) in out.iter_mut().enumerate() {
                 let base = (img * c + ch) * plane;
-                out[ch] += data[base..base + plane].iter().sum::<f32>();
+                *acc += data[base..base + plane].iter().sum::<f32>();
             }
         }
         Tensor::from_vec(out, &[c])

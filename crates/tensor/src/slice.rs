@@ -97,7 +97,7 @@ impl Tensor {
     pub fn repeat_channels(&self, times: usize) -> Tensor {
         assert_eq!(self.rank(), 4, "repeat_channels requires an NCHW tensor");
         assert!(times > 0, "repeat_channels requires times >= 1");
-        let refs: Vec<&Tensor> = std::iter::repeat(self).take(times).collect();
+        let refs: Vec<&Tensor> = std::iter::repeat_n(self, times).collect();
         Tensor::cat_channels(&refs)
     }
 
@@ -105,7 +105,10 @@ impl Tensor {
     pub fn split_channels(&self, groups: usize) -> Vec<Tensor> {
         assert_eq!(self.rank(), 4, "split_channels requires an NCHW tensor");
         let c = self.dim(1);
-        assert!(groups > 0 && c % groups == 0, "{c} channels not divisible into {groups} groups");
+        assert!(
+            groups > 0 && c.is_multiple_of(groups),
+            "{c} channels not divisible into {groups} groups"
+        );
         let width = c / groups;
         (0..groups)
             .map(|g| self.narrow_channels(g * width, width))

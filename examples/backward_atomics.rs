@@ -20,12 +20,14 @@ fn main() {
 
     let out_stats = KernelStats::new();
     let start = Instant::now();
-    let output_centric = scc_backward_output_centric(&cfg, &input, &weight, &grad_out, Some(&out_stats));
+    let output_centric =
+        scc_backward_output_centric(&cfg, &input, &weight, &grad_out, Some(&out_stats));
     let out_time = start.elapsed();
 
     let in_stats = KernelStats::new();
     let start = Instant::now();
-    let input_centric = scc_backward_input_centric(&cfg, &input, &weight, &grad_out, Some(&in_stats));
+    let input_centric =
+        scc_backward_input_centric(&cfg, &input, &weight, &grad_out, Some(&in_stats));
     let in_time = start.elapsed();
 
     println!("Gradient agreement (max abs diff):");
@@ -38,7 +40,10 @@ fn main() {
         max_abs_diff(&output_centric.grad_weight, &input_centric.grad_weight)
     );
 
-    println!("\n{:<28} {:>14} {:>12}", "Backward design", "atomic updates", "time (ms)");
+    println!(
+        "\n{:<28} {:>14} {:>12}",
+        "Backward design", "atomic updates", "time (ms)"
+    );
     println!(
         "{:<28} {:>14} {:>12.2}",
         "output-centric (DSXplore-Var)",
@@ -51,7 +56,7 @@ fn main() {
         in_stats.atomic_updates(),
         in_time.as_secs_f64() * 1e3
     );
-    let reduction = 100.0
-        * (1.0 - in_stats.atomic_updates() as f64 / out_stats.atomic_updates().max(1) as f64);
+    let reduction =
+        100.0 * (1.0 - in_stats.atomic_updates() as f64 / out_stats.atomic_updates().max(1) as f64);
     println!("\nAtomic-update reduction: {reduction:.1}% (paper reports >90% on average).");
 }

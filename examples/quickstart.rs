@@ -13,8 +13,14 @@ fn main() {
     // 50% overlap between adjacent filters (the paper's default setting).
     let cfg = SccConfig::new(64, 128, 2, 0.5).expect("valid configuration");
     println!("SCC configuration : {}", cfg.tag());
-    println!("  group width     : {} channels per filter", cfg.group_width());
-    println!("  overlap         : {} channels between adjacent filters", cfg.overlap_channels());
+    println!(
+        "  group width     : {} channels per filter",
+        cfg.group_width()
+    );
+    println!(
+        "  overlap         : {} channels between adjacent filters",
+        cfg.overlap_channels()
+    );
     println!("  weight params   : {}", cfg.weight_params());
 
     let layer = SlidingChannelConv2d::new(cfg);

@@ -29,7 +29,10 @@ fn main() {
     let epochs = 5;
 
     println!("Training MobileNet (1/16 width) on the synthetic CIFAR-like dataset");
-    println!("{:<20} {:>10} {:>12} {:>10}", "Scheme", "MFLOPs", "Params (M)", "Test acc.");
+    println!(
+        "{:<20} {:>10} {:>12} {:>10}",
+        "Scheme", "MFLOPs", "Params (M)", "Test acc."
+    );
     for scheme in schemes {
         let spec = ModelKind::MobileNet
             .spec(Dataset::Cifar10, scheme)
@@ -57,5 +60,7 @@ fn main() {
             test.accuracy * 100.0
         );
     }
-    println!("\nExpected ordering (paper Table IV): DW+SCC >= DW+GPW at equal cost, close to DW+PW.");
+    println!(
+        "\nExpected ordering (paper Table IV): DW+SCC >= DW+GPW at equal cost, close to DW+PW."
+    );
 }

@@ -8,6 +8,18 @@ use dsxplore::nn::{evaluate, train_epoch, Batch, CrossEntropyLoss, Layer, Sgd};
 use dsxplore::scc::SccImplementation;
 use dsxplore::tensor::{allclose, Tensor};
 
+/// Pins the `par` runtime to one worker for the whole test binary.
+///
+/// The thread count is process-global state shared by concurrently running
+/// tests, and the DSXplore-Var backward accumulates float gradients through
+/// atomics whose ordering depends on the thread schedule — single-threaded
+/// execution is what makes the loss values and cross-implementation
+/// comparisons below bit-exact across runs and CI machines. Every test in
+/// this binary calls this before touching a kernel.
+fn pin_single_thread() {
+    dsxplore::tensor::set_num_threads(1);
+}
+
 fn to_batches(pairs: Vec<(Tensor, Vec<usize>)>) -> Vec<Batch> {
     pairs
         .into_iter()
@@ -17,6 +29,7 @@ fn to_batches(pairs: Vec<(Tensor, Vec<usize>)>) -> Vec<Batch> {
 
 #[test]
 fn dsxplore_mobilenet_trains_and_loss_decreases() {
+    pin_single_thread();
     let spec = ModelKind::MobileNet
         .spec(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT)
         .scale_channels(16);
@@ -44,6 +57,7 @@ fn dsxplore_mobilenet_trains_and_loss_decreases() {
 
 #[test]
 fn every_scheme_produces_a_trainable_vgg() {
+    pin_single_thread();
     // Full 32x32 resolution so all five VGG pooling stages apply.
     let dataset = cifar_like(48, 16, 1, 5);
     let train = to_batches(dataset.train.batches(32));
@@ -71,6 +85,7 @@ fn every_scheme_produces_a_trainable_vgg() {
 
 #[test]
 fn scc_implementations_agree_inside_a_full_model() {
+    pin_single_thread();
     let spec = ModelKind::MobileNet
         .spec(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT)
         .scale_channels(16);
@@ -93,6 +108,7 @@ fn scc_implementations_agree_inside_a_full_model() {
 
 #[test]
 fn model_spec_costs_agree_with_built_networks_across_models() {
+    pin_single_thread();
     // ResNet is excluded: its projection shortcuts form a parallel branch the
     // flat sequential builder does not materialise (see EXPERIMENTS.md).
     for kind in [ModelKind::Vgg16, ModelKind::MobileNet] {
@@ -112,6 +128,7 @@ fn model_spec_costs_agree_with_built_networks_across_models() {
 
 #[test]
 fn gpu_cost_model_reproduces_headline_orderings_end_to_end() {
+    pin_single_thread();
     use dsxplore::gpusim::{estimate_training_step, GpuModel};
     let gpu = GpuModel::v100();
     let spec = ModelKind::Vgg16.spec(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT);
@@ -121,7 +138,6 @@ fn gpu_cost_model_reproduces_headline_orderings_end_to_end() {
     assert!(dsx.total_s < opt.total_s && opt.total_s < base.total_s);
     // ImageNet Pytorch-Base exceeds device memory, as in §V-C.
     let imagenet = ModelKind::ResNet50.spec(Dataset::ImageNet, ConvScheme::DSXPLORE_DEFAULT);
-    let base_imagenet =
-        estimate_training_step(&gpu, &imagenet, 64, SccImplementation::PytorchBase);
+    let base_imagenet = estimate_training_step(&gpu, &imagenet, 64, SccImplementation::PytorchBase);
     assert!(!base_imagenet.fits_in_memory);
 }

@@ -1,0 +1,101 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the one piece of `crossbeam` the workspace uses: [`scope`]d threads with
+//! the `crossbeam 0.8` calling convention (`scope(|s| { s.spawn(|_| ...) })`
+//! returning a `Result` that is `Err` when a child thread panicked).
+//! Internally it is a thin wrapper over `std::thread::scope`, which has been
+//! stable since Rust 1.63 and provides the same non-`'static` borrowing.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::{Scope as StdScope, ScopedJoinHandle as StdJoinHandle};
+
+/// A scope for spawning threads that may borrow from the caller's stack.
+///
+/// Mirrors `crossbeam::thread::Scope`; it is `Copy` so the `|scope|` closure
+/// argument can be passed by value into spawned children, matching the
+/// `spawn(|_| ...)` call shape crossbeam uses.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope StdScope<'scope, 'env>,
+}
+
+/// Handle to a thread spawned inside a [`scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: StdJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning `Err` if it panicked.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope itself (by
+    /// value — it is `Copy`) so nested spawns are possible, matching the
+    /// crossbeam `|scope| ...` signature at every call site in practice
+    /// (`|_|` closures type-check against either form).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(scope)),
+        }
+    }
+}
+
+/// Creates a scope in which threads borrowing the environment can be
+/// spawned; all spawned threads are joined before `scope` returns.
+///
+/// Returns `Err` with the first panic payload if the closure or any
+/// not-yet-joined child thread panicked, like `crossbeam::scope`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_threads_see_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn join_returns_child_value() {
+        let doubled = scope(|s| s.spawn(|_| 21 * 2).join().unwrap()).unwrap();
+        assert_eq!(doubled, 42);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with a `#![proptest_config(...)]` header and
+//!   `arg in strategy` bindings;
+//! * range strategies (`1usize..24`, `-2.0f32..2.0`, ...) and
+//!   [`prop::sample::select`];
+//! * [`prop_assert!`] and early `return Ok(())` from a test body.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! regression file: each test runs `cases` deterministic samples (the case
+//! index seeds the generator), so failures reproduce exactly across runs and
+//! machines — which is what a CI-gated reproduction needs most.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of proptest's `prop` module (`prop::sample::select`).
+pub mod prop {
+    /// Strategies that sample from explicit collections.
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// block is expanded into a test that runs `config.cases` deterministic
+/// samples of the strategies and executes the body for each.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut runner_rng =
+                        $crate::test_runner::TestRng::deterministic(u64::from(case));
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strategy), &mut runner_rng);
+                    )+
+                    let outcome = (move || -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(error) = outcome {
+                        ::std::panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            error
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $( $arg in $strategy ),+ ) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body; on failure the current
+/// case returns an error (reported with the case number) instead of
+/// panicking mid-closure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            n in 1usize..24,
+            x in -2.0f32..2.0,
+            seed in 0u64..1000,
+        ) {
+            prop_assert!((1..24).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!(seed < 1000);
+        }
+
+        #[test]
+        fn select_draws_from_the_list(
+            v in prop::sample::select(vec![0.25f64, 0.5, 0.75]),
+        ) {
+            prop_assert!([0.25, 0.5, 0.75].contains(&v));
+        }
+
+        #[test]
+        fn early_ok_return_is_supported(n in 0usize..10) {
+            if n % 2 == 0 {
+                return Ok(());
+            }
+            prop_assert!(n % 2 == 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(n in 0u32..5) {
+            prop_assert!(n < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            #[allow(dead_code)]
+            fn always_fails(n in 0usize..10) {
+                prop_assert!(n > 100, "n was {}", n);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strategy = 0usize..1000;
+        let a: Vec<usize> = (0..16)
+            .map(|case| strategy.sample(&mut TestRng::deterministic(case)))
+            .collect();
+        let b: Vec<usize> = (0..16)
+            .map(|case| strategy.sample(&mut TestRng::deterministic(case)))
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).any(|w| w[0] != w[1]), "cases should vary");
+    }
+}

@@ -1,0 +1,75 @@
+//! Test-run configuration, deterministic RNG, and case failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        assert!(cases > 0, "a property must run at least one case");
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic per-case random generator.
+///
+/// Each case derives its seed purely from the case index, so a failure
+/// message like "failed at case 7" reproduces identically on every machine
+/// and run — the offline replacement for proptest's regression files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Generator for one test case. The constant is an arbitrary odd salt
+    /// keeping property streams distinct from seeds used elsewhere.
+    pub fn deterministic(case: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(case.wrapping_mul(0x9E37_79B9).wrapping_add(0xD5)),
+        }
+    }
+
+    /// Access to the underlying generator for strategies.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// A failed property case (from [`prop_assert!`](crate::prop_assert) or an
+/// explicit `Err` return).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
