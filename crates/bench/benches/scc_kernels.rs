@@ -1,22 +1,32 @@
-//! Kernel-level microbenchmarks of the four SCC implementations.
+//! Kernel-level microbenchmarks of the four SCC implementations, each run on
+//! every kernel backend (naive chunked loops vs blocked/autovectorized).
 //!
 //! Covers the ablations behind Fig. 9 (input-centric vs output-centric
 //! backward) and the forward comparison between the DSXplore kernel and the
 //! operator-composition baselines, measured on the real CPU kernels.
+//!
+//! After the criterion groups run, the JSON perf reporter measures the
+//! forward/backward medians per backend on the default workload, writes
+//! `BENCH_PR2.json` at the repo root, and (when `DSX_BENCH_MIN_SPEEDUP` is
+//! set, as in the CI perf job) fails the process if the blocked forward
+//! speedup over naive drops below the threshold.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsx_bench::default_workload;
-use dsx_core::SccImplementation;
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use dsx_bench::default_workload_with_backend;
+use dsx_core::{BackendKind, SccImplementation};
 use std::hint::black_box;
 
 fn bench_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("scc_forward");
     group.sample_size(10);
     for implementation in SccImplementation::ALL {
-        let workload = default_workload(implementation);
-        group.bench_function(BenchmarkId::from_parameter(implementation.name()), |b| {
-            b.iter(|| black_box(workload.layer.forward(black_box(&workload.input))))
-        });
+        for backend in BackendKind::ALL {
+            let workload = default_workload_with_backend(implementation, backend);
+            let id = BenchmarkId::from_parameter(format!("{}[{}]", implementation.name(), backend));
+            group.bench_function(id, |b| {
+                b.iter(|| black_box(workload.layer.forward(black_box(&workload.input))))
+            });
+        }
     }
     group.finish();
 }
@@ -25,16 +35,32 @@ fn bench_backward(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_backward");
     group.sample_size(10);
     for implementation in SccImplementation::ALL {
-        let workload = default_workload(implementation);
-        group.bench_function(BenchmarkId::from_parameter(implementation.name()), |b| {
-            b.iter(|| {
-                black_box(
-                    workload
-                        .layer
-                        .backward(black_box(&workload.input), black_box(&workload.grad_output)),
-                )
-            })
-        });
+        // Only the DSXplore input-centric backward dispatches through the
+        // kernel backend; the composed autograd emulations and the
+        // DSXplore-Var atomic scatter are deliberately backend-independent,
+        // so benching them per backend would duplicate identical code.
+        let backends: &[BackendKind] = if implementation == SccImplementation::Dsxplore {
+            &BackendKind::ALL
+        } else {
+            &[BackendKind::Naive]
+        };
+        for &backend in backends {
+            let workload = default_workload_with_backend(implementation, backend);
+            let label = if backends.len() > 1 {
+                format!("{}[{}]", implementation.name(), backend)
+            } else {
+                implementation.name().to_string()
+            };
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| {
+                    black_box(
+                        workload
+                            .layer
+                            .backward(black_box(&workload.input), black_box(&workload.grad_output)),
+                    )
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -54,4 +80,8 @@ fn bench_cycle_map(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_forward, bench_backward, bench_cycle_map);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    dsx_bench::report::run_default_report();
+}

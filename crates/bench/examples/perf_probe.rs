@@ -1,0 +1,4 @@
+//! Quick probe of the perf report (same measurement the CI gate uses).
+fn main() {
+    dsx_bench::report::run_default_report();
+}

@@ -4,8 +4,38 @@
 //! paper (see DESIGN.md §4); this library provides the common fixtures so the
 //! benches measure exactly the same kernels and shapes the experiments use.
 
-use dsx_core::{SccConfig, SccImplementation, SlidingChannelConv2d};
+use dsx_core::{BackendKind, SccConfig, SccImplementation, SlidingChannelConv2d};
 use dsx_tensor::Tensor;
+
+pub mod report;
+
+/// The default CIFAR-scale workload shape, shared by the benches and the
+/// JSON perf report so the CI gate always measures the same problem.
+pub const DEFAULT_WORKLOAD: WorkloadShape = WorkloadShape {
+    cin: 64,
+    cout: 128,
+    cg: 2,
+    co: 0.5,
+    batch: 8,
+    hw: 16,
+};
+
+/// Shape of an SCC benchmark workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadShape {
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Channel groups.
+    pub cg: usize,
+    /// Overlap ratio.
+    pub co: f64,
+    /// Batch size.
+    pub batch: usize,
+    /// Square feature-map side.
+    pub hw: usize,
+}
 
 /// A ready-to-run SCC layer workload: layer + input + upstream gradient.
 pub struct SccWorkload {
@@ -31,18 +61,48 @@ pub fn scc_workload(
     hw: usize,
     implementation: SccImplementation,
 ) -> SccWorkload {
-    let cfg = SccConfig::new(cin, cout, cg, co).expect("valid bench config");
-    let layer = SlidingChannelConv2d::with_seed(cfg, 42).with_implementation(implementation);
+    let shape = WorkloadShape {
+        cin,
+        cout,
+        cg,
+        co,
+        batch,
+        hw,
+    };
+    shaped_workload(shape, implementation, BackendKind::Naive)
+}
+
+/// Builds a workload for an explicit shape, implementation and kernel
+/// backend (the per-backend benches and the JSON perf report use this).
+pub fn shaped_workload(
+    shape: WorkloadShape,
+    implementation: SccImplementation,
+    backend: BackendKind,
+) -> SccWorkload {
+    let cfg =
+        SccConfig::new(shape.cin, shape.cout, shape.cg, shape.co).expect("valid bench config");
+    let layer = SlidingChannelConv2d::with_seed(cfg, 42)
+        .with_implementation(implementation)
+        .with_backend(backend);
     SccWorkload {
-        input: Tensor::randn(&[batch, cin, hw, hw], 1),
-        grad_output: Tensor::randn(&[batch, cout, hw, hw], 2),
+        input: Tensor::randn(&[shape.batch, shape.cin, shape.hw, shape.hw], 1),
+        grad_output: Tensor::randn(&[shape.batch, shape.cout, shape.hw, shape.hw], 2),
         layer,
     }
 }
 
-/// Default CIFAR-scale workload used by most benches.
+/// Default CIFAR-scale workload used by most benches (naive backend, the
+/// historical baseline).
 pub fn default_workload(implementation: SccImplementation) -> SccWorkload {
-    scc_workload(64, 128, 2, 0.5, 8, 16, implementation)
+    default_workload_with_backend(implementation, BackendKind::Naive)
+}
+
+/// Default CIFAR-scale workload on an explicit kernel backend.
+pub fn default_workload_with_backend(
+    implementation: SccImplementation,
+    backend: BackendKind,
+) -> SccWorkload {
+    shaped_workload(DEFAULT_WORKLOAD, implementation, backend)
 }
 
 #[cfg(test)]

@@ -1,0 +1,251 @@
+//! Machine-readable perf report for the CI gate.
+//!
+//! Measures the median wall-clock time of the SCC forward and backward
+//! kernels per [`BackendKind`] on the default CIFAR-scale workload, renders
+//! the result as JSON (written to `BENCH_PR2.json` at the repo root by the
+//! `scc_kernels` bench), and optionally enforces a minimum blocked-over-naive
+//! forward speedup so the blocked backend can never silently regress below
+//! the naive oracle.
+//!
+//! Environment knobs (read by [`run_default_report`]):
+//!
+//! * `DSX_BENCH_JSON` — override the output path (default:
+//!   `<repo root>/BENCH_PR2.json`).
+//! * `DSX_BENCH_MIN_SPEEDUP` — when set (e.g. `1.3`), the process exits
+//!   non-zero if the blocked forward speedup falls below it. This is the CI
+//!   perf gate.
+//! * `DSX_BENCH_SAMPLES` — sample count override (default 30).
+
+use crate::{default_workload_with_backend, DEFAULT_WORKLOAD};
+use dsx_core::{BackendKind, SccImplementation};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Default number of timed samples per kernel/backend pair.
+pub const DEFAULT_SAMPLES: usize = 30;
+
+/// Median runtime of one kernel on one backend.
+#[derive(Debug, Clone)]
+pub struct KernelTiming {
+    /// Which kernel was measured (`"forward"` or `"backward"`).
+    pub kernel: &'static str,
+    /// Which backend executed it.
+    pub backend: BackendKind,
+    /// Median wall-clock nanoseconds per call.
+    pub median_ns: f64,
+}
+
+/// Measures forward and backward medians for every backend on the default
+/// workload. `samples` timed calls per pair, after two warm-up calls.
+pub fn measure_default_kernels(samples: usize) -> Vec<KernelTiming> {
+    let mut timings = Vec::new();
+    for backend in BackendKind::ALL {
+        let w = default_workload_with_backend(SccImplementation::Dsxplore, backend);
+        timings.push(KernelTiming {
+            kernel: "forward",
+            backend,
+            median_ns: median_ns(samples, || {
+                black_box(w.layer.forward(black_box(&w.input)));
+            }),
+        });
+        timings.push(KernelTiming {
+            kernel: "backward",
+            backend,
+            median_ns: median_ns(samples, || {
+                black_box(
+                    w.layer
+                        .backward(black_box(&w.input), black_box(&w.grad_output)),
+                );
+            }),
+        });
+    }
+    timings
+}
+
+fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    f();
+    f(); // two warm-up calls populate caches and page tables
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    times[times.len() / 2]
+}
+
+/// The blocked-over-naive speedup of `kernel`, if both medians are present.
+pub fn speedup(timings: &[KernelTiming], kernel: &str) -> Option<f64> {
+    let find = |backend: BackendKind| {
+        timings
+            .iter()
+            .find(|t| t.kernel == kernel && t.backend == backend)
+            .map(|t| t.median_ns)
+    };
+    match (find(BackendKind::Naive), find(BackendKind::Blocked)) {
+        (Some(naive), Some(blocked)) if blocked > 0.0 => Some(naive / blocked),
+        _ => None,
+    }
+}
+
+/// Renders the report as a stable, dependency-free JSON document.
+pub fn render_json(timings: &[KernelTiming], samples: usize) -> String {
+    let shape = DEFAULT_WORKLOAD;
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"dsx-bench/scc-kernels/1\",\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"cin\": {}, \"cout\": {}, \"cg\": {}, \"co\": {}, \"batch\": {}, \"hw\": {}}},\n",
+        shape.cin, shape.cout, shape.cg, shape.co, shape.batch, shape.hw
+    ));
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str("  \"kernels\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"backend\": \"{}\", \"median_ns\": {:.0}}}{}\n",
+            t.kernel,
+            t.backend,
+            t.median_ns,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let fmt_speedup = |k: &str| {
+        speedup(timings, k)
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".to_string())
+    };
+    out.push_str(&format!(
+        "  \"forward_speedup_blocked_vs_naive\": {},\n",
+        fmt_speedup("forward")
+    ));
+    out.push_str(&format!(
+        "  \"backward_speedup_blocked_vs_naive\": {}\n",
+        fmt_speedup("backward")
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Where the report lands: `DSX_BENCH_JSON` if set, else `BENCH_PR2.json`
+/// at the repository root (two levels above this crate's manifest).
+pub fn default_json_path() -> PathBuf {
+    if let Ok(path) = std::env::var("DSX_BENCH_JSON") {
+        return PathBuf::from(path);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR2.json")
+}
+
+/// Measures, writes the JSON report, prints a human summary, and enforces
+/// `DSX_BENCH_MIN_SPEEDUP` when set. Returns the timings.
+///
+/// Exits the process with status 1 when the gate fails, so the CI perf job
+/// fails the build.
+pub fn run_default_report() -> Vec<KernelTiming> {
+    let samples = std::env::var("DSX_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(DEFAULT_SAMPLES);
+    let timings = measure_default_kernels(samples);
+    let json = render_json(&timings, samples);
+    let path = default_json_path();
+    std::fs::write(&path, &json)
+        .unwrap_or_else(|e| panic!("cannot write perf report {}: {e}", path.display()));
+
+    println!("\nperf report ({} samples/kernel)", samples);
+    for t in &timings {
+        println!(
+            "  {:<8} {:<8} median {:>12.0} ns",
+            t.kernel,
+            t.backend.name(),
+            t.median_ns
+        );
+    }
+    let forward = speedup(&timings, "forward");
+    let backward = speedup(&timings, "backward");
+    println!(
+        "  forward  blocked vs naive: {}",
+        forward.map(|s| format!("{s:.2}x")).unwrap_or("n/a".into())
+    );
+    println!(
+        "  backward blocked vs naive: {}",
+        backward.map(|s| format!("{s:.2}x")).unwrap_or("n/a".into())
+    );
+    println!("  wrote {}", path.display());
+
+    if let Ok(min) = std::env::var("DSX_BENCH_MIN_SPEEDUP") {
+        let min: f64 = min
+            .parse()
+            .unwrap_or_else(|e| panic!("DSX_BENCH_MIN_SPEEDUP must be a float: {e}"));
+        let got = forward.expect("both backends were measured");
+        if got < min {
+            eprintln!(
+                "PERF GATE FAILED: blocked forward speedup {got:.2}x is below the required \
+                 {min:.2}x on the default workload"
+            );
+            std::process::exit(1);
+        }
+        println!("  perf gate passed: {got:.2}x >= {min:.2}x");
+    }
+    timings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(kernel: &'static str, backend: BackendKind, median_ns: f64) -> KernelTiming {
+        KernelTiming {
+            kernel,
+            backend,
+            median_ns,
+        }
+    }
+
+    #[test]
+    fn speedup_divides_naive_by_blocked() {
+        let timings = vec![
+            fake("forward", BackendKind::Naive, 300.0),
+            fake("forward", BackendKind::Blocked, 150.0),
+        ];
+        assert_eq!(speedup(&timings, "forward"), Some(2.0));
+        assert_eq!(speedup(&timings, "backward"), None);
+    }
+
+    #[test]
+    fn json_contains_every_timing_and_the_speedups() {
+        let timings = vec![
+            fake("forward", BackendKind::Naive, 400.0),
+            fake("forward", BackendKind::Blocked, 200.0),
+            fake("backward", BackendKind::Naive, 900.0),
+            fake("backward", BackendKind::Blocked, 450.0),
+        ];
+        let json = render_json(&timings, 7);
+        assert!(json.contains("\"schema\": \"dsx-bench/scc-kernels/1\""));
+        assert!(json.contains("\"samples\": 7"));
+        assert!(json.contains("\"backend\": \"naive\", \"median_ns\": 400"));
+        assert!(json.contains("\"backend\": \"blocked\", \"median_ns\": 450"));
+        assert!(json.contains("\"forward_speedup_blocked_vs_naive\": 2.000"));
+        assert!(json.contains("\"backward_speedup_blocked_vs_naive\": 2.000"));
+        // Exactly one trailing comma pattern per kernel entry; last has none.
+        assert_eq!(json.matches("median_ns").count(), 4);
+    }
+
+    #[test]
+    fn missing_backend_renders_null_speedup() {
+        let timings = vec![fake("forward", BackendKind::Naive, 400.0)];
+        let json = render_json(&timings, 1);
+        assert!(json.contains("\"forward_speedup_blocked_vs_naive\": null"));
+    }
+
+    #[test]
+    fn measure_produces_positive_medians_for_all_pairs() {
+        let timings = measure_default_kernels(1);
+        assert_eq!(timings.len(), 2 * BackendKind::ALL.len());
+        assert!(timings.iter().all(|t| t.median_ns > 0.0));
+    }
+}

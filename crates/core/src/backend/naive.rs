@@ -1,0 +1,60 @@
+//! The original chunked-loop kernels, wrapped as a [`KernelBackend`].
+//!
+//! Delegates to the historical free functions in [`crate::forward`] and
+//! [`crate::backward`], which stay where they are (with their tests) so the
+//! public `scc_forward` / `scc_backward_input_centric` API is untouched.
+//! This backend is the correctness oracle the blocked backend is proven
+//! against, and the baseline of the CI perf gate.
+
+use super::{BackendKind, KernelBackend};
+use crate::backward::{naive_grad_bias, naive_grad_input, naive_grad_weight};
+use crate::config::SccConfig;
+use crate::cyclic::ChannelCycleMap;
+use crate::forward::scc_forward_with_map;
+use crate::stats::KernelStats;
+use dsx_tensor::Tensor;
+
+/// The straightforward chunked-loop execution substrate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveBackend;
+
+impl KernelBackend for NaiveBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Naive
+    }
+
+    fn forward(
+        &self,
+        cfg: &SccConfig,
+        map: &ChannelCycleMap,
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stats: Option<&KernelStats>,
+    ) -> Tensor {
+        scc_forward_with_map(cfg, map, input, weight, bias, stats)
+    }
+
+    fn grad_input(
+        &self,
+        cfg: &SccConfig,
+        map: &ChannelCycleMap,
+        weight: &Tensor,
+        grad_output: &Tensor,
+    ) -> Tensor {
+        naive_grad_input(cfg, map, weight, grad_output)
+    }
+
+    fn grad_weight_bias(
+        &self,
+        cfg: &SccConfig,
+        map: &ChannelCycleMap,
+        input: &Tensor,
+        grad_output: &Tensor,
+    ) -> (Tensor, Tensor) {
+        (
+            naive_grad_weight(cfg, map, input, grad_output),
+            naive_grad_bias(cfg, grad_output),
+        )
+    }
+}

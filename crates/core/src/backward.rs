@@ -64,18 +64,48 @@ pub fn scc_backward_input_centric_with_map(
     stats: Option<&KernelStats>,
 ) -> SccGradients {
     validate_shapes(cfg, input, weight, None);
-    let (n, cin, h, w) = dims4(input);
-    let cout = cfg.cout();
+    let (n, _, h, w) = dims4(input);
+    assert_eq!(
+        grad_output.shape(),
+        &[n, cfg.cout(), h, w],
+        "grad_output shape"
+    );
+
+    let grad_input = naive_grad_input(cfg, map, weight, grad_output);
+    let grad_weight = naive_grad_weight(cfg, map, input, grad_output);
+    let grad_bias = naive_grad_bias(cfg, grad_output);
+
+    if let Some(s) = stats {
+        s.add_launches(3);
+        // grad_input and grad_weight each cost N*Cout*plane*gw MACs.
+        s.add_macs(2 * n * cfg.cout() * h * w * cfg.group_width() + n * cfg.cout() * h * w);
+        // The input-centric design needs no atomic updates at all.
+        s.add_bytes_moved(grad_input.bytes() + grad_weight.bytes() + grad_bias.bytes());
+    }
+
+    SccGradients {
+        grad_input,
+        grad_weight,
+        grad_bias,
+    }
+}
+
+/// Input-gradient kernel of the input-centric design: one chunk per
+/// (image, input channel) plane; each plane has exactly one writer which
+/// PULLS from the covering output channels.
+pub(crate) fn naive_grad_input(
+    cfg: &SccConfig,
+    map: &ChannelCycleMap,
+    weight: &Tensor,
+    grad_output: &Tensor,
+) -> Tensor {
+    let (n, cout, h, w) = dims4(grad_output);
+    let cin = cfg.cin();
     let gw = cfg.group_width();
     let plane = h * w;
-    assert_eq!(grad_output.shape(), &[n, cout, h, w], "grad_output shape");
-
-    let in_data = input.as_slice();
     let go_data = grad_output.as_slice();
     let w_data = weight.as_slice();
 
-    // --- grad_input: one chunk per (image, input channel) plane; each plane
-    // has exactly one writer which PULLS from the covering output channels.
     let reverse = map.input_to_outputs();
     let mut grad_input = Tensor::zeros(&[n, cin, h, w]);
     par::parallel_for_each_chunk_mut(grad_input.as_mut_slice(), plane, |chunk_idx, gi_plane| {
@@ -89,9 +119,24 @@ pub fn scc_backward_input_centric_with_map(
             }
         }
     });
+    grad_input
+}
 
-    // --- grad_weight: one chunk per filter row [gw]; a single writer
-    // accumulates over all images and pixels of its window.
+/// Weight-gradient kernel: one chunk per filter row `[gw]`; a single writer
+/// accumulates over all images and pixels of its window.
+pub(crate) fn naive_grad_weight(
+    cfg: &SccConfig,
+    map: &ChannelCycleMap,
+    input: &Tensor,
+    grad_output: &Tensor,
+) -> Tensor {
+    let (n, cin, h, w) = dims4(input);
+    let cout = cfg.cout();
+    let gw = cfg.group_width();
+    let plane = h * w;
+    let in_data = input.as_slice();
+    let go_data = grad_output.as_slice();
+
     let mut grad_weight = Tensor::zeros(&[cout, gw]);
     par::parallel_for_each_chunk_mut(grad_weight.as_mut_slice(), gw, |oc, gw_row| {
         let window = map.window_for_output(oc);
@@ -108,8 +153,15 @@ pub fn scc_backward_input_centric_with_map(
             }
         }
     });
+    grad_weight
+}
 
-    // --- grad_bias: one chunk per output channel.
+/// Bias-gradient kernel: one chunk per output channel.
+pub(crate) fn naive_grad_bias(cfg: &SccConfig, grad_output: &Tensor) -> Tensor {
+    let (n, cout, h, w) = dims4(grad_output);
+    debug_assert_eq!(cout, cfg.cout());
+    let plane = h * w;
+    let go_data = grad_output.as_slice();
     let mut grad_bias = Tensor::zeros(&[cout]);
     par::parallel_for_each_chunk_mut(grad_bias.as_mut_slice(), 1, |oc, slot| {
         let mut acc = 0.0f32;
@@ -119,20 +171,7 @@ pub fn scc_backward_input_centric_with_map(
         }
         slot[0] = acc;
     });
-
-    if let Some(s) = stats {
-        s.add_launches(3);
-        // grad_input and grad_weight each cost N*Cout*plane*gw MACs.
-        s.add_macs(2 * n * cout * plane * gw + n * cout * plane);
-        // The input-centric design needs no atomic updates at all.
-        s.add_bytes_moved(grad_input.bytes() + grad_weight.bytes() + grad_bias.bytes());
-    }
-
-    SccGradients {
-        grad_input,
-        grad_weight,
-        grad_bias,
-    }
+    grad_bias
 }
 
 /// Output-centric backward pass (DSXplore-Var): reverses the forward flow and

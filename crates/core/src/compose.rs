@@ -20,6 +20,7 @@
 //! launches — the quantities the GPU cost model replays to reproduce the
 //! paper's speedup figures.
 
+use crate::backend::{self, BackendKind};
 use crate::backward::SccGradients;
 use crate::config::SccConfig;
 use crate::cyclic::ChannelCycleMap;
@@ -45,6 +46,7 @@ pub struct ComposedScc {
     map: ChannelCycleMap,
     composition: Composition,
     cyclic_opt: bool,
+    backend: BackendKind,
 }
 
 impl ComposedScc {
@@ -56,7 +58,19 @@ impl ComposedScc {
             map,
             composition,
             cyclic_opt,
+            backend: backend::default_backend(),
         }
+    }
+
+    /// Selects the kernel backend executing the composition's *forward*
+    /// convolution stages (the grouped pointwise over the stack and the
+    /// per-filter small convolutions). The backward paths deliberately stay
+    /// backend-independent: they emulate, launch by launch, what a
+    /// framework's autograd would execute, and that emulation — not kernel
+    /// throughput — is what the Fig. 9 comparison measures.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// The paper's Pytorch-Base configuration: channel-stack without the
@@ -84,6 +98,11 @@ impl ComposedScc {
     /// Whether the channel-cyclic optimization is enabled.
     pub fn cyclic_opt(&self) -> bool {
         self.cyclic_opt
+    }
+
+    /// The kernel backend executing the convolution stages.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     // ------------------------------------------------------------------
@@ -167,7 +186,7 @@ impl ComposedScc {
             // One tiny single-filter pointwise convolution per output channel.
             let filter = &weight.as_slice()[oc * gw..(oc + 1) * gw];
             let b = bias.map(|t| t.as_slice()[oc]).unwrap_or(0.0);
-            let out_c = single_filter_pointwise(&slice, filter, b);
+            let out_c = self.single_filter_pointwise(&slice, filter, b);
             record(stats, |s| {
                 let (n, _, h, w) = dims4(&slice);
                 s.add_macs(n * h * w * gw);
@@ -480,6 +499,11 @@ impl ComposedScc {
     /// Grouped 1×1 convolution with `groups = Cout` over the stacked tensor:
     /// output channel `oc` is the dot product of filter `oc` with stacked
     /// channels `[oc·gw, (oc+1)·gw)`.
+    ///
+    /// The stack layout makes this exactly an SCC with zero overlap and
+    /// `cg = Cout` over the stacked channels, so the grouped convolution is
+    /// executed by the selected [`KernelBackend`](crate::backend::KernelBackend)
+    /// rather than a bespoke loop nest.
     fn grouped_pointwise_over_stack(
         &self,
         stacked: &Tensor,
@@ -496,57 +520,35 @@ impl ComposedScc {
             cout * gw,
             "stacked tensor has unexpected channel count"
         );
-        let plane = h * w;
-        let mut out = Tensor::zeros(&[n, cout, h, w]);
-        let out_data = out.as_mut_slice();
-        let st_data = stacked.as_slice();
-        let w_data = weight.as_slice();
-        for img in 0..n {
-            for oc in 0..cout {
-                let b = bias.map(|t| t.as_slice()[oc]).unwrap_or(0.0);
-                let out_plane =
-                    &mut out_data[(img * cout + oc) * plane..(img * cout + oc + 1) * plane];
-                out_plane.iter_mut().for_each(|v| *v = b);
-                for j in 0..gw {
-                    let stacked_ch = oc * gw + j;
-                    let st_plane = &st_data[(img * stacked_c + stacked_ch) * plane
-                        ..(img * stacked_c + stacked_ch + 1) * plane];
-                    let wj = w_data[oc * gw + j];
-                    for (o, &sv) in out_plane.iter_mut().zip(st_plane.iter()) {
-                        *o += wj * sv;
-                    }
-                }
-            }
-        }
+        let stack_cfg = SccConfig::group_pointwise(cout * gw, cout, cout)
+            .expect("the stacked layout is always a valid group-pointwise config");
+        let stack_map = ChannelCycleMap::build(&stack_cfg);
+        let out = self
+            .backend
+            .backend()
+            .forward(&stack_cfg, &stack_map, stacked, weight, bias, None);
         record(stats, |s| {
-            s.add_macs(n * cout * plane * gw);
+            s.add_macs(n * cout * h * w * gw);
             s.add_bytes_materialized(out.bytes());
             s.add_launch();
         });
         out
     }
-}
 
-/// Applies a single 1×1 filter (length = channel count of `input`) plus bias
-/// to an NCHW tensor, producing `[N, 1, H, W]`.
-fn single_filter_pointwise(input: &Tensor, filter: &[f32], bias: f32) -> Tensor {
-    let (n, c, h, w) = dims4(input);
-    assert_eq!(c, filter.len(), "filter length must equal channel count");
-    let plane = h * w;
-    let mut out = Tensor::zeros(&[n, 1, h, w]);
-    let out_data = out.as_mut_slice();
-    let in_data = input.as_slice();
-    for img in 0..n {
-        let out_plane = &mut out_data[img * plane..(img + 1) * plane];
-        out_plane.iter_mut().for_each(|v| *v = bias);
-        for (j, &wj) in filter.iter().enumerate() {
-            let in_plane = &in_data[(img * c + j) * plane..(img * c + j + 1) * plane];
-            for (o, &iv) in out_plane.iter_mut().zip(in_plane.iter()) {
-                *o += wj * iv;
-            }
-        }
+    /// Applies a single 1×1 filter (length = channel count of `input`) plus
+    /// bias to an NCHW tensor, producing `[N, 1, H, W]` — a pointwise SCC
+    /// with one output channel, executed by the selected backend.
+    fn single_filter_pointwise(&self, input: &Tensor, filter: &[f32], bias: f32) -> Tensor {
+        let (_, c, _, _) = dims4(input);
+        assert_eq!(c, filter.len(), "filter length must equal channel count");
+        let pw_cfg = SccConfig::pointwise(c, 1);
+        let pw_map = ChannelCycleMap::build(&pw_cfg);
+        let filter_t = Tensor::from_vec(filter.to_vec(), &[1, c]);
+        let bias_t = Tensor::from_vec(vec![bias], &[1]);
+        self.backend
+            .backend()
+            .forward(&pw_cfg, &pw_map, input, &filter_t, Some(&bias_t), None)
     }
-    out
 }
 
 fn record(stats: Option<&KernelStats>, f: impl FnOnce(&KernelStats)) {

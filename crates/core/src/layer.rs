@@ -5,13 +5,11 @@
 //! evaluates (Pytorch-Base, Pytorch-Opt, DSXplore-Var, DSXplore). It is the
 //! type the `dsx-nn` layer stack and the examples use.
 
-use crate::backward::{
-    scc_backward_input_centric_with_map, scc_backward_output_centric, SccGradients,
-};
+use crate::backend::{self, BackendKind};
+use crate::backward::{scc_backward_output_centric, SccGradients};
 use crate::compose::{ComposedScc, Composition};
 use crate::config::SccConfig;
 use crate::cyclic::ChannelCycleMap;
-use crate::forward::scc_forward_with_map;
 use crate::stats::KernelStats;
 use dsx_tensor::{init, Tensor};
 
@@ -60,6 +58,7 @@ pub struct SlidingChannelConv2d {
     weight: Tensor,
     bias: Option<Tensor>,
     implementation: SccImplementation,
+    backend: BackendKind,
     stats: KernelStats,
 }
 
@@ -84,6 +83,7 @@ impl SlidingChannelConv2d {
             weight,
             bias,
             implementation: SccImplementation::Dsxplore,
+            backend: backend::default_backend(),
             stats: KernelStats::new(),
         }
     }
@@ -92,6 +92,13 @@ impl SlidingChannelConv2d {
     /// [`backward`](Self::backward).
     pub fn with_implementation(mut self, implementation: SccImplementation) -> Self {
         self.implementation = implementation;
+        self
+    }
+
+    /// Selects the kernel execution backend (naive loops vs blocked/SIMD).
+    /// Layers start on [`backend::default_backend`].
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -109,6 +116,11 @@ impl SlidingChannelConv2d {
     /// The implementation currently selected.
     pub fn implementation(&self) -> SccImplementation {
         self.implementation
+    }
+
+    /// The kernel execution backend currently selected.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// The channel-cycle map (Algorithm 1 output) of this layer.
@@ -159,26 +171,22 @@ impl SlidingChannelConv2d {
     /// Forward pass; input is `[N, Cin, H, W]`, output `[N, Cout, H, W]`.
     pub fn forward(&self, input: &Tensor) -> Tensor {
         match self.implementation {
-            SccImplementation::PytorchBase => ComposedScc::pytorch_base(self.cfg).forward(
-                input,
-                &self.weight,
-                self.bias.as_ref(),
-                Some(&self.stats),
-            ),
-            SccImplementation::PytorchOpt => ComposedScc::pytorch_opt(self.cfg).forward(
-                input,
-                &self.weight,
-                self.bias.as_ref(),
-                Some(&self.stats),
-            ),
-            SccImplementation::DsxploreVar | SccImplementation::Dsxplore => scc_forward_with_map(
-                &self.cfg,
-                &self.map,
-                input,
-                &self.weight,
-                self.bias.as_ref(),
-                Some(&self.stats),
-            ),
+            SccImplementation::PytorchBase => ComposedScc::pytorch_base(self.cfg)
+                .with_backend(self.backend)
+                .forward(input, &self.weight, self.bias.as_ref(), Some(&self.stats)),
+            SccImplementation::PytorchOpt => ComposedScc::pytorch_opt(self.cfg)
+                .with_backend(self.backend)
+                .forward(input, &self.weight, self.bias.as_ref(), Some(&self.stats)),
+            SccImplementation::DsxploreVar | SccImplementation::Dsxplore => {
+                self.backend.backend().forward(
+                    &self.cfg,
+                    &self.map,
+                    input,
+                    &self.weight,
+                    self.bias.as_ref(),
+                    Some(&self.stats),
+                )
+            }
         }
     }
 
@@ -186,18 +194,12 @@ impl SlidingChannelConv2d {
     /// and bias.
     pub fn backward(&self, input: &Tensor, grad_output: &Tensor) -> SccGradients {
         match self.implementation {
-            SccImplementation::PytorchBase => ComposedScc::pytorch_base(self.cfg).backward(
-                input,
-                &self.weight,
-                grad_output,
-                Some(&self.stats),
-            ),
-            SccImplementation::PytorchOpt => ComposedScc::pytorch_opt(self.cfg).backward(
-                input,
-                &self.weight,
-                grad_output,
-                Some(&self.stats),
-            ),
+            SccImplementation::PytorchBase => ComposedScc::pytorch_base(self.cfg)
+                .with_backend(self.backend)
+                .backward(input, &self.weight, grad_output, Some(&self.stats)),
+            SccImplementation::PytorchOpt => ComposedScc::pytorch_opt(self.cfg)
+                .with_backend(self.backend)
+                .backward(input, &self.weight, grad_output, Some(&self.stats)),
             SccImplementation::DsxploreVar => scc_backward_output_centric(
                 &self.cfg,
                 input,
@@ -205,7 +207,7 @@ impl SlidingChannelConv2d {
                 grad_output,
                 Some(&self.stats),
             ),
-            SccImplementation::Dsxplore => scc_backward_input_centric_with_map(
+            SccImplementation::Dsxplore => self.backend.backend().backward(
                 &self.cfg,
                 &self.map,
                 input,
@@ -309,6 +311,41 @@ mod tests {
             let grads = l.backward(&input, &grad_out);
             l.apply_gradients(&grads, 0.01);
         }
+    }
+
+    #[test]
+    fn blocked_backend_agrees_with_naive_across_implementations() {
+        let input = Tensor::randn(&[2, 8, 5, 5], 21);
+        let grad_out = Tensor::randn(&[2, 16, 5, 5], 22);
+        let fwd_ref = layer().forward(&input);
+        let bwd_ref = layer().backward(&input, &grad_out);
+        for implementation in SccImplementation::ALL {
+            let l = layer()
+                .with_implementation(implementation)
+                .with_backend(BackendKind::Blocked);
+            assert_eq!(l.backend(), BackendKind::Blocked);
+            assert!(
+                allclose(&l.forward(&input), &fwd_ref, TEST_TOLERANCE),
+                "{} forward diverges on the blocked backend",
+                implementation.name()
+            );
+            let grads = l.backward(&input, &grad_out);
+            assert!(allclose(&grads.grad_input, &bwd_ref.grad_input, 1e-3));
+            assert!(allclose(&grads.grad_weight, &bwd_ref.grad_weight, 1e-3));
+            assert!(allclose(&grads.grad_bias, &bwd_ref.grad_bias, 1e-3));
+        }
+    }
+
+    #[test]
+    fn layers_pick_up_the_process_default_backend_at_construction() {
+        let _guard = crate::backend::test_default_backend_lock();
+        let original = crate::backend::default_backend();
+        crate::backend::set_default_backend(BackendKind::Blocked);
+        let l = layer();
+        crate::backend::set_default_backend(original);
+        assert_eq!(l.backend(), BackendKind::Blocked);
+        // Restoring the default never touches an existing layer.
+        assert_eq!(layer().backend(), original);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!
 //! ## Modules
 //!
+//! * [`backend`] — [`KernelBackend`]: pluggable execution substrates for the
+//!   kernels (naive chunked loops vs register-blocked/autovectorized).
 //! * [`config`] — [`SccConfig`]: validated `(cin, cout, cg, co)` parameters.
 //! * [`cyclic`] — Algorithm 1/2: the channel-cycle map and its reverse map.
 //! * [`forward`] — the output-centric forward kernel.
@@ -21,7 +23,7 @@
 //!   compositions (the paper's Pytorch-Base / Pytorch-Opt baselines).
 //! * [`layer`] — [`SlidingChannelConv2d`], the high-level operator with owned
 //!   weights that dispatches across implementations.
-//! * [`reference`] — naive scalar implementations used as ground truth.
+//! * [`mod@reference`] — naive scalar implementations used as ground truth.
 //! * [`profile`] — closed-form resource profiles per implementation, consumed
 //!   by the `dsx-gpusim` cost model.
 //! * [`stats`] — instrumentation counters (MACs, bytes, launches, atomics).
@@ -42,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod backward;
 pub mod compose;
 pub mod config;
@@ -52,6 +55,9 @@ pub mod profile;
 pub mod reference;
 pub mod stats;
 
+pub use backend::{
+    default_backend, set_default_backend, BackendKind, BlockedBackend, KernelBackend, NaiveBackend,
+};
 pub use backward::{scc_backward_input_centric, scc_backward_output_centric, SccGradients};
 pub use compose::{ComposedScc, Composition};
 pub use config::{SccConfig, SccConfigError};

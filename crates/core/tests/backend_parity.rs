@@ -1,0 +1,183 @@
+//! Cross-backend parity property suite.
+//!
+//! Asserts `BlockedBackend` matches `NaiveBackend` *and* the scalar
+//! reference within `TEST_TOLERANCE` (no tolerance widening) across
+//! `cg ∈ {1, 2, 4, 8}`, `co ∈ {0, 0.25, 0.33, 0.5, 0.75}`, non-square
+//! spatial dims, and plane sizes that do not divide the blocked kernel's
+//! tile width (`LANES`).
+
+use dsx_core::backend::LANES;
+use dsx_core::reference::{scc_backward_reference, scc_forward_reference};
+use dsx_core::{BackendKind, ChannelCycleMap, SccConfig, SccGradients};
+use dsx_tensor::{allclose, Tensor, TEST_TOLERANCE};
+use proptest::prelude::*;
+
+struct Case {
+    cfg: SccConfig,
+    map: ChannelCycleMap,
+    input: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    grad_output: Tensor,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_case(
+    cg: usize,
+    cin_mult: usize,
+    cout: usize,
+    co: f64,
+    n: usize,
+    h: usize,
+    w: usize,
+    seed: u64,
+) -> Option<Case> {
+    let cin = cg * cin_mult;
+    let cfg = SccConfig::new(cin, cout, cg, co).ok()?;
+    let map = ChannelCycleMap::build(&cfg);
+    Some(Case {
+        input: Tensor::randn(&[n, cin, h, w], seed),
+        weight: Tensor::randn(&[cout, cfg.group_width()], seed + 1),
+        bias: Tensor::randn(&[cout], seed + 2),
+        grad_output: Tensor::randn(&[n, cout, h, w], seed + 3),
+        cfg,
+        map,
+    })
+}
+
+fn forward_of(case: &Case, kind: BackendKind) -> Tensor {
+    kind.backend().forward(
+        &case.cfg,
+        &case.map,
+        &case.input,
+        &case.weight,
+        Some(&case.bias),
+        None,
+    )
+}
+
+fn backward_of(case: &Case, kind: BackendKind) -> SccGradients {
+    kind.backend().backward(
+        &case.cfg,
+        &case.map,
+        &case.input,
+        &case.weight,
+        &case.grad_output,
+        None,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Forward parity: blocked == naive == scalar reference, TEST_TOLERANCE.
+    #[test]
+    fn prop_forward_parity(
+        cg in prop::sample::select(vec![1usize, 2, 4, 8]),
+        cin_mult in 1usize..4,
+        cout in 1usize..24,
+        co in prop::sample::select(vec![0.0f64, 0.25, 0.33, 0.5, 0.75]),
+        n in 1usize..3,
+        h in 1usize..8,
+        w in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let Some(case) = build_case(cg, cin_mult, cout, co, n, h, w, seed) else {
+            return Ok(()); // degenerate (cg, co) combination
+        };
+        let naive = forward_of(&case, BackendKind::Naive);
+        let blocked = forward_of(&case, BackendKind::Blocked);
+        let reference =
+            scc_forward_reference(&case.cfg, &case.input, &case.weight, Some(&case.bias));
+        prop_assert!(
+            allclose(&blocked, &naive, TEST_TOLERANCE),
+            "blocked != naive for {:?} {h}x{w}", case.cfg
+        );
+        prop_assert!(
+            allclose(&blocked, &reference, TEST_TOLERANCE),
+            "blocked != reference for {:?} {h}x{w}", case.cfg
+        );
+    }
+
+    /// Backward parity: all three gradients agree across backends and with
+    /// the scalar reference, TEST_TOLERANCE.
+    #[test]
+    fn prop_backward_parity(
+        cg in prop::sample::select(vec![1usize, 2, 4, 8]),
+        cin_mult in 1usize..3,
+        cout in 1usize..16,
+        co in prop::sample::select(vec![0.0f64, 0.25, 0.33, 0.5, 0.75]),
+        h in 1usize..7,
+        w in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let Some(case) = build_case(cg, cin_mult, cout, co, 1, h, w, seed) else {
+            return Ok(());
+        };
+        let naive = backward_of(&case, BackendKind::Naive);
+        let blocked = backward_of(&case, BackendKind::Blocked);
+        let (ref_gi, ref_gw, ref_gb) =
+            scc_backward_reference(&case.cfg, &case.input, &case.weight, &case.grad_output);
+        prop_assert!(allclose(&blocked.grad_input, &naive.grad_input, TEST_TOLERANCE));
+        prop_assert!(allclose(&blocked.grad_weight, &naive.grad_weight, TEST_TOLERANCE));
+        prop_assert!(allclose(&blocked.grad_bias, &naive.grad_bias, TEST_TOLERANCE));
+        prop_assert!(allclose(&blocked.grad_input, &ref_gi, TEST_TOLERANCE));
+        prop_assert!(allclose(&blocked.grad_weight, &ref_gw, TEST_TOLERANCE));
+        prop_assert!(allclose(&blocked.grad_bias, &ref_gb, TEST_TOLERANCE));
+    }
+}
+
+/// Deterministic sweep of the exact grid the issue names, including plane
+/// sizes straddling the tile width on both sides.
+#[test]
+fn parity_grid_over_cg_co_and_ragged_planes() {
+    let spatial = [
+        (1usize, 1usize),
+        (1, LANES - 1),
+        (1, LANES),
+        (3, 5),
+        (5, 7),
+        (4, LANES),
+    ];
+    for cg in [1usize, 2, 4, 8] {
+        for co in [0.0f64, 0.25, 0.33, 0.5, 0.75] {
+            let cin = cg * 2;
+            let cout = cin + 2; // not a multiple of most cycle lengths
+            let Ok(cfg) = SccConfig::new(cin, cout, cg, co) else {
+                continue;
+            };
+            let map = ChannelCycleMap::build(&cfg);
+            for (h, w) in spatial {
+                let input = Tensor::randn(&[2, cin, h, w], 77);
+                let weight = Tensor::randn(&[cout, cfg.group_width()], 78);
+                let grad_out = Tensor::randn(&[2, cout, h, w], 79);
+                let naive_f = BackendKind::Naive
+                    .backend()
+                    .forward(&cfg, &map, &input, &weight, None, None);
+                let blocked_f = BackendKind::Blocked
+                    .backend()
+                    .forward(&cfg, &map, &input, &weight, None, None);
+                assert!(
+                    allclose(&blocked_f, &naive_f, TEST_TOLERANCE),
+                    "forward parity fails for cg={cg} co={co} {h}x{w}"
+                );
+                let naive_b = BackendKind::Naive
+                    .backend()
+                    .backward(&cfg, &map, &input, &weight, &grad_out, None);
+                let blocked_b = BackendKind::Blocked
+                    .backend()
+                    .backward(&cfg, &map, &input, &weight, &grad_out, None);
+                for (got, want, name) in [
+                    (&blocked_b.grad_input, &naive_b.grad_input, "grad_input"),
+                    (&blocked_b.grad_weight, &naive_b.grad_weight, "grad_weight"),
+                    (&blocked_b.grad_bias, &naive_b.grad_bias, "grad_bias"),
+                ] {
+                    assert!(
+                        allclose(got, want, TEST_TOLERANCE),
+                        "{name} parity fails for cg={cg} co={co} {h}x{w}"
+                    );
+                }
+            }
+        }
+    }
+}

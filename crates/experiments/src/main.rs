@@ -2,7 +2,7 @@
 //! figure of the DSXplore paper.
 //!
 //! ```text
-//! dsx-experiments <command> [--train]
+//! dsx-experiments <command> [--train] [--backend <naive|blocked>]
 //!
 //! Commands:
 //!   table1 table2 table3 table4 table5
@@ -14,6 +14,11 @@
 //! `--train` additionally measures the accuracy columns by briefly training
 //! channel-scaled models on the synthetic datasets (a few minutes on a
 //! laptop); without it only the analytic columns are printed.
+//!
+//! `--backend` selects the SCC kernel execution backend for everything that
+//! runs real CPU kernels (the training runs and the atomics study): it sets
+//! the process-default backend before any layer is constructed. Analytic
+//! columns are backend-independent.
 
 use dsx_experiments::*;
 
@@ -176,12 +181,36 @@ fn run(command: &str, train_cfg: Option<&TrainConfig>) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let train = args.iter().any(|a| a == "--train");
-    let command = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let mut train = false;
+    let mut command: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let backend_value = if arg == "--backend" {
+            Some(iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("--backend needs a value (naive or blocked)");
+                std::process::exit(2);
+            }))
+        } else {
+            arg.strip_prefix("--backend=").map(str::to_string)
+        };
+        if let Some(value) = backend_value {
+            match value.parse::<dsx_core::BackendKind>() {
+                Ok(kind) => {
+                    dsx_core::set_default_backend(kind);
+                    println!("kernel backend: {kind}");
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--train" {
+            train = true;
+        } else if !arg.starts_with("--") {
+            command.get_or_insert_with(|| arg.clone());
+        }
+    }
+    let command = command.unwrap_or_else(|| "all".to_string());
     let train_cfg = TrainConfig::default();
     run(&command, train.then_some(&train_cfg));
 }

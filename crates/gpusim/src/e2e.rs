@@ -4,8 +4,9 @@
 //!
 //! For every convolution entry of a [`ModelSpec`]:
 //!
-//! * sliding-channel layers are costed from their analytic [`OpProfile`]s
-//!   (`dsx-core::profile`) under the chosen [`SccImplementation`];
+//! * sliding-channel layers are costed from their analytic
+//!   [`OpProfile`](dsx_core::OpProfile)s (`dsx-core::profile`) under the
+//!   chosen [`SccImplementation`];
 //! * every other layer (standard / depthwise / pointwise / GPW convolutions)
 //!   is executed by library kernels in all four implementations, so it gets
 //!   the same library roofline cost everywhere;

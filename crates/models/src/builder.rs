@@ -11,25 +11,38 @@
 //! accounting.
 
 use crate::spec::{ConvKind, ModelSpec};
-use dsx_core::{SccConfig, SccImplementation};
+use dsx_core::{BackendKind, SccConfig, SccImplementation};
 use dsx_nn::{
     BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Linear, MaxPool2d, ReLU, SccConv2d, Sequential,
 };
 use dsx_tensor::init::derive_seed;
 
 /// Builds a trainable network from a model spec using the DSXplore kernel for
-/// every SCC layer.
+/// every SCC layer (on the process-default kernel backend).
 pub fn build_model(spec: &ModelSpec, seed: u64) -> Sequential {
     build_model_with(spec, seed, SccImplementation::Dsxplore)
 }
 
 /// Builds a trainable network, selecting the implementation used by the SCC
 /// layers (so the runtime experiments can train the same architecture under
-/// Pytorch-Base / Pytorch-Opt / DSXplore kernels).
+/// Pytorch-Base / Pytorch-Opt / DSXplore kernels). SCC layers run on the
+/// process-default kernel backend.
 pub fn build_model_with(
     spec: &ModelSpec,
     seed: u64,
     scc_implementation: SccImplementation,
+) -> Sequential {
+    build_model_with_backend(spec, seed, scc_implementation, dsx_core::default_backend())
+}
+
+/// Builds a trainable network with explicit implementation *and* kernel
+/// backend choices for the SCC layers (the perf experiments compare the
+/// naive and blocked substrates on identical architectures).
+pub fn build_model_with_backend(
+    spec: &ModelSpec,
+    seed: u64,
+    scc_implementation: SccImplementation,
+    backend: BackendKind,
 ) -> Sequential {
     let mut net = Sequential::new(format!("{} [{}]", spec.name, spec.scheme_tag));
     let mut current_hw = spec
@@ -80,7 +93,8 @@ pub fn build_model_with(
             ConvKind::SlidingChannel { cg, co } => {
                 let cfg = SccConfig::new(conv.cin, conv.cout, cg, co)
                     .unwrap_or_else(|e| panic!("invalid SCC layer {}: {e}", conv.name));
-                let scc = SccConv2d::with_implementation(cfg, layer_seed, scc_implementation);
+                let scc = SccConv2d::with_implementation(cfg, layer_seed, scc_implementation)
+                    .with_backend(backend);
                 Box::new(if conv.with_bn {
                     scc.without_bias()
                 } else {
@@ -177,6 +191,27 @@ mod tests {
             let out = model.forward(&input, false);
             assert!(dsx_tensor::allclose(&out, &expected, 1e-3));
         }
+    }
+
+    #[test]
+    fn backend_choice_does_not_change_outputs() {
+        let spec = mobilenet(Dataset::Cifar10, ConvScheme::DSXPLORE_DEFAULT).scale_channels(16);
+        let input = Tensor::randn(&[1, 3, 32, 32], 9);
+        let mut naive = build_model_with_backend(
+            &spec,
+            7,
+            SccImplementation::Dsxplore,
+            dsx_core::BackendKind::Naive,
+        );
+        let mut blocked = build_model_with_backend(
+            &spec,
+            7,
+            SccImplementation::Dsxplore,
+            dsx_core::BackendKind::Blocked,
+        );
+        let expected = naive.forward(&input, false);
+        let out = blocked.forward(&input, false);
+        assert!(dsx_tensor::allclose(&out, &expected, 1e-3));
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod scheme;
 pub mod spec;
 pub mod vgg;
 
-pub use builder::{build_model, build_model_with};
+pub use builder::{build_model, build_model_with, build_model_with_backend};
 pub use mobilenet::mobilenet;
 pub use resnet::{resnet18, resnet50};
 pub use scheme::ConvScheme;

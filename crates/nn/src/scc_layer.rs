@@ -4,7 +4,7 @@
 //! DSCs", paper §I).
 
 use crate::layer::Layer;
-use dsx_core::{SccConfig, SccImplementation, SlidingChannelConv2d};
+use dsx_core::{BackendKind, SccConfig, SccImplementation, SlidingChannelConv2d};
 use dsx_tensor::Tensor;
 
 /// A sliding-channel 1×1 convolution as a trainable network layer.
@@ -41,6 +41,12 @@ impl SccConv2d {
     /// Removes the bias term (used when a batch norm immediately follows).
     pub fn without_bias(mut self) -> Self {
         self.inner = self.inner.without_bias();
+        self
+    }
+
+    /// Selects the kernel execution backend of the wrapped operator.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.inner = self.inner.with_backend(backend);
         self
     }
 
@@ -173,5 +179,20 @@ mod tests {
             let out = l.forward(&input, true);
             assert!(dsx_tensor::allclose(&out, &expected, 1e-4));
         }
+    }
+
+    #[test]
+    fn backends_are_interchangeable_as_layers() {
+        let input = Tensor::randn(&[1, 8, 4, 4], 5);
+        let cfg = SccConfig::new(8, 16, 2, 0.5).unwrap();
+        let mut naive = SccConv2d::new(cfg, 7).with_backend(BackendKind::Naive);
+        let expected = naive.forward(&input, true);
+        let naive_grad = naive.backward(&Tensor::ones(expected.shape()));
+        let mut blocked = SccConv2d::new(cfg, 7).with_backend(BackendKind::Blocked);
+        assert_eq!(blocked.operator().backend(), BackendKind::Blocked);
+        let out = blocked.forward(&input, true);
+        assert!(dsx_tensor::allclose(&out, &expected, 1e-4));
+        let blocked_grad = blocked.backward(&Tensor::ones(expected.shape()));
+        assert!(dsx_tensor::allclose(&blocked_grad, &naive_grad, 1e-4));
     }
 }

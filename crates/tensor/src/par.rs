@@ -106,14 +106,7 @@ pub fn parallel_for_each_chunk_mut<F>(out: &mut [f32], chunk_len: usize, body: F
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
-    assert!(chunk_len > 0, "chunk_len must be positive");
-    assert_eq!(
-        out.len() % chunk_len,
-        0,
-        "output length {} is not a multiple of chunk length {}",
-        out.len(),
-        chunk_len
-    );
+    check_chunk_math("parallel_for_each_chunk_mut", out.len(), chunk_len);
     let n_chunks = out.len() / chunk_len;
     let workers = num_threads();
     if workers <= 1 || n_chunks <= 1 {
@@ -142,6 +135,94 @@ where
         }
     })
     .expect("parallel_for_each_chunk_mut worker panicked");
+}
+
+/// Validates the caller's chunk decomposition of a slice, panicking with a
+/// message that spells out the failed chunk math instead of a bare modulo
+/// assertion deep inside the runtime.
+fn check_chunk_math(caller: &str, len: usize, chunk_len: usize) {
+    assert!(
+        chunk_len > 0,
+        "{caller}: chunk_len must be positive (a zero-length chunk can never tile the \
+         {len}-element slice)"
+    );
+    let remainder = len % chunk_len;
+    assert!(
+        remainder == 0,
+        "{caller}: a slice of {len} f32s does not split into whole chunks of {chunk_len} \
+         ({len} = {} x {chunk_len} + {remainder}); the caller's chunk math is wrong — its \
+         slice length and chunk length must agree (e.g. plane = H*W chunks over an \
+         N*C*H*W buffer), so fix the chunk length or pad the buffer to a multiple of it.",
+        len / chunk_len,
+    );
+}
+
+/// Splits `out` into disjoint chunks of `chunk_len` elements, assigns every
+/// chunk to a *group* via `group_of(chunk_index)`, and runs
+/// `body(group_index, chunks_of_that_group)` with each group handled by
+/// exactly one worker thread.
+///
+/// This is the tiled companion to [`parallel_for_each_chunk_mut`] for kernels
+/// whose unit of cache reuse spans *several* non-contiguous chunks: e.g. the
+/// blocked SCC forward kernel groups all output-channel planes that share one
+/// input-channel window (`group = img * cyclic_dist + oc % cyclic_dist`) so
+/// one worker can stream the window's input tiles once and accumulate every
+/// plane of the group from registers. Each chunk still has exactly one
+/// writer, so no synchronisation is needed.
+///
+/// The chunks of a group are passed as `(chunk_index, chunk)` pairs in
+/// ascending chunk order. Groups may be empty. Panics if `out.len()` is not
+/// a multiple of `chunk_len` or if `group_of` returns an index `>=
+/// num_groups`.
+pub fn parallel_for_each_chunk_group_mut<G, F>(
+    out: &mut [f32],
+    chunk_len: usize,
+    num_groups: usize,
+    group_of: G,
+    body: F,
+) where
+    G: Fn(usize) -> usize + Sync,
+    F: Fn(usize, &mut [(usize, &mut [f32])]) + Sync,
+{
+    /// One group's chunks: `(chunk_index, chunk)` pairs in ascending order.
+    type ChunkGroup<'a> = Vec<(usize, &'a mut [f32])>;
+    check_chunk_math("parallel_for_each_chunk_group_mut", out.len(), chunk_len);
+    let mut groups: Vec<ChunkGroup<'_>> = (0..num_groups).map(|_| Vec::new()).collect();
+    for (idx, chunk) in out.chunks_mut(chunk_len).enumerate() {
+        let group = group_of(idx);
+        assert!(
+            group < num_groups,
+            "parallel_for_each_chunk_group_mut: group_of({idx}) returned {group} but only \
+             {num_groups} groups were declared; the caller's group math must map every \
+             chunk index below {} into 0..{num_groups}",
+            out.len() / chunk_len.max(1),
+        );
+        groups[group].push((idx, chunk));
+    }
+    let workers = num_threads();
+    if workers <= 1 || num_groups <= 1 {
+        for (group_idx, group) in groups.iter_mut().enumerate() {
+            body(group_idx, group);
+        }
+        return;
+    }
+    crossbeam::scope(|scope| {
+        let per_worker = groups.len().div_ceil(workers);
+        let mut iter = groups.into_iter().enumerate();
+        loop {
+            let batch: Vec<(usize, ChunkGroup<'_>)> = iter.by_ref().take(per_worker).collect();
+            if batch.is_empty() {
+                break;
+            }
+            let body_ref = &body;
+            scope.spawn(move |_| {
+                for (group_idx, mut group) in batch {
+                    body_ref(group_idx, &mut group);
+                }
+            });
+        }
+    })
+    .expect("parallel_for_each_chunk_group_mut worker panicked");
 }
 
 /// Reduces `0..n` in parallel: every worker folds its sub-range with `fold`
@@ -244,10 +325,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn chunk_mut_rejects_non_multiple_length() {
+    #[should_panic(expected = "10 = 3 x 3 + 1")]
+    fn chunk_mut_rejects_non_multiple_length_naming_the_chunk_math() {
         let mut data = vec![0.0f32; 10];
         parallel_for_each_chunk_mut(&mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn chunk_mut_rejects_zero_chunk_len() {
+        let mut data = vec![0.0f32; 8];
+        parallel_for_each_chunk_mut(&mut data, 0, |_, _| {});
+    }
+
+    #[test]
+    fn chunk_group_mut_hands_each_group_its_chunks_in_order() {
+        // 12 chunks of 4 elements, grouped round-robin into 3 groups.
+        let mut data = vec![0.0f32; 12 * 4];
+        parallel_for_each_chunk_group_mut(
+            &mut data,
+            4,
+            3,
+            |idx| idx % 3,
+            |group, chunks| {
+                assert_eq!(chunks.len(), 4);
+                let mut last = None;
+                for (idx, chunk) in chunks.iter_mut() {
+                    assert_eq!(*idx % 3, group);
+                    assert!(
+                        last.map(|l| l < *idx).unwrap_or(true),
+                        "chunks out of order"
+                    );
+                    last = Some(*idx);
+                    for v in chunk.iter_mut() {
+                        *v = *idx as f32;
+                    }
+                }
+            },
+        );
+        for (idx, chunk) in data.chunks(4).enumerate() {
+            assert!(chunk.iter().all(|&v| v == idx as f32));
+        }
+    }
+
+    #[test]
+    fn chunk_group_mut_allows_empty_groups() {
+        let mut data = vec![0.0f32; 8];
+        let touched = AtomicUsize::new(0);
+        parallel_for_each_chunk_group_mut(
+            &mut data,
+            4,
+            5,
+            |_| 4,
+            |group, chunks| {
+                if !chunks.is_empty() {
+                    assert_eq!(group, 4);
+                    touched.fetch_add(chunks.len(), Ordering::Relaxed);
+                }
+            },
+        );
+        assert_eq!(touched.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "9 = 2 x 4 + 1")]
+    fn chunk_group_mut_rejects_non_multiple_length_naming_the_chunk_math() {
+        let mut data = vec![0.0f32; 9];
+        parallel_for_each_chunk_group_mut(&mut data, 4, 1, |_| 0, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "group_of(1) returned 7")]
+    fn chunk_group_mut_rejects_out_of_range_group() {
+        let mut data = vec![0.0f32; 8];
+        parallel_for_each_chunk_group_mut(
+            &mut data,
+            4,
+            2,
+            |idx| if idx == 1 { 7 } else { 0 },
+            |_, _| {},
+        );
     }
 
     #[test]
