@@ -1,0 +1,187 @@
+//! Serving throughput workload: batched engine vs. serial-unbatched
+//! requests, per kernel backend, with a machine-readable report for the CI
+//! `serve` gate.
+//!
+//! Writes `BENCH_PR3.json` at the repo root (override with
+//! `DSX_SERVE_BENCH_JSON`) and exits non-zero when the blocked backend's
+//! batched-over-serial speedup at `max_batch = 8` falls below
+//! `DSX_SERVE_MIN_SPEEDUP` (the CI serve gate sets `2.0`).
+//!
+//! Environment knobs:
+//!
+//! * `DSX_SERVE_BENCH_JSON` — output path (default `<repo>/BENCH_PR3.json`).
+//! * `DSX_SERVE_REQUESTS` — batched request count (default 128).
+//! * `DSX_SERVE_MIN_SPEEDUP` — when set, enforce the gate.
+//!
+//! Both kernel-level threading and the engine's worker pool are pinned to
+//! ONE thread so the measured speedup isolates request *batching*: the
+//! serial baseline is one thread issuing one request per forward pass, the
+//! engine is the same single thread fusing up to `max_batch` requests per
+//! pass. On a multi-core runner a worker pool would clear the gate by
+//! parallelism alone and a batching regression (occupancy collapsing to 1)
+//! would slip through. The `dsx-serve` binary's CI smoke still runs the
+//! default multi-worker pool.
+
+use dsx_core::BackendKind;
+use dsx_serve::{build_serving_model, run_load, run_serial, serving_spec, LoadConfig, ServeConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const MAX_BATCH: usize = 8;
+const MAX_WAIT: Duration = Duration::from_micros(2000);
+const CONCURRENCY: usize = 16;
+const DEFAULT_REQUESTS: usize = 128;
+/// One worker on purpose — see the module docs: the gate measures batching,
+/// not core count.
+const WORKERS: usize = 1;
+
+/// One backend's measurements.
+struct BackendRow {
+    backend: BackendKind,
+    serial_rps: f64,
+    batched_rps: f64,
+    mean_batch_occupancy: f64,
+    mean_latency_us: f64,
+}
+
+impl BackendRow {
+    fn speedup(&self) -> f64 {
+        self.batched_rps / self.serial_rps
+    }
+}
+
+fn json_path() -> PathBuf {
+    if let Ok(path) = std::env::var("DSX_SERVE_BENCH_JSON") {
+        return PathBuf::from(path);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR3.json")
+}
+
+fn render_json(rows: &[BackendRow], requests: usize, workers: usize) -> String {
+    let spec = serving_spec();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"dsx-bench/serve-throughput/1\",\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"model\": \"{}\", \"input_hw\": {}, \"classes\": {}, \
+         \"mflops_per_request\": {:.2}}},\n",
+        spec.name,
+        dsx_serve::loadgen::INPUT_HW,
+        dsx_serve::loadgen::CLASSES,
+        spec.mflops(),
+    ));
+    out.push_str(&format!(
+        "  \"engine\": {{\"max_batch\": {MAX_BATCH}, \"max_wait_us\": {}, \"workers\": {workers}, \
+         \"concurrency\": {CONCURRENCY}, \"requests\": {requests}}},\n",
+        MAX_WAIT.as_micros(),
+    ));
+    out.push_str("  \"backends\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"serial_rps\": {:.1}, \"batched_rps\": {:.1}, \
+             \"speedup_batched_vs_serial\": {:.3}, \"mean_batch_occupancy\": {:.2}, \
+             \"mean_latency_us\": {:.0}}}{}\n",
+            row.backend,
+            row.serial_rps,
+            row.batched_rps,
+            row.speedup(),
+            row.mean_batch_occupancy,
+            row.mean_latency_us,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let blocked = rows
+        .iter()
+        .find(|r| r.backend == BackendKind::Blocked)
+        .map(|r| format!("{:.3}", r.speedup()))
+        .unwrap_or_else(|| "null".to_string());
+    out.push_str(&format!(
+        "  \"blocked_speedup_batched_vs_serial\": {blocked}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    // One kernel thread per forward pass: request-level parallelism (the
+    // engine's worker pool) is part of what is being measured; kernel-level
+    // threads oversubscribing it is not.
+    dsx_tensor::set_num_threads(1);
+    let requests = std::env::var("DSX_SERVE_REQUESTS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_REQUESTS);
+    let workers = WORKERS;
+    let spec = serving_spec();
+    println!(
+        "serve throughput workload: {} ({:.2} MFLOPs/request), {} requests, \
+         max_batch {MAX_BATCH}, {} workers",
+        spec.name,
+        spec.mflops(),
+        requests,
+        workers
+    );
+
+    let mut rows = Vec::new();
+    for backend in BackendKind::ALL {
+        let model = build_serving_model(&spec, backend);
+        // Warm both code paths (page-in weights, JIT-ish first-call costs).
+        run_serial(&*model, 2);
+        let serial = run_serial(&*model, (requests / 2).max(8));
+        let snapshot = run_load(
+            Arc::clone(&model),
+            &LoadConfig {
+                requests,
+                concurrency: CONCURRENCY,
+                engine: ServeConfig::default()
+                    .with_max_batch(MAX_BATCH)
+                    .with_max_wait(MAX_WAIT)
+                    .with_workers(workers),
+            },
+        );
+        println!(
+            "  {:<8} serial {:>8.1} req/s | batched {:>8.1} req/s | {:.2}x | occupancy {:.2} | \
+             latency mean {:.0} us",
+            backend.name(),
+            serial.throughput_rps,
+            snapshot.throughput_rps,
+            snapshot.throughput_rps / serial.throughput_rps,
+            snapshot.mean_batch_occupancy,
+            snapshot.mean_latency_us,
+        );
+        rows.push(BackendRow {
+            backend,
+            serial_rps: serial.throughput_rps,
+            batched_rps: snapshot.throughput_rps,
+            mean_batch_occupancy: snapshot.mean_batch_occupancy,
+            mean_latency_us: snapshot.mean_latency_us,
+        });
+    }
+
+    let json = render_json(&rows, requests, workers);
+    let path = json_path();
+    std::fs::write(&path, &json)
+        .unwrap_or_else(|e| panic!("cannot write serve report {}: {e}", path.display()));
+    println!("  wrote {}", path.display());
+
+    if let Ok(min) = std::env::var("DSX_SERVE_MIN_SPEEDUP") {
+        let min: f64 = min
+            .parse()
+            .unwrap_or_else(|e| panic!("DSX_SERVE_MIN_SPEEDUP must be a float: {e}"));
+        let got = rows
+            .iter()
+            .find(|r| r.backend == BackendKind::Blocked)
+            .expect("blocked backend was measured")
+            .speedup();
+        if got < min {
+            eprintln!(
+                "SERVE GATE FAILED: batched throughput is only {got:.2}x serial-unbatched \
+                 at max_batch={MAX_BATCH} on the blocked backend (required {min:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        println!("  serve gate passed: {got:.2}x >= {min:.2}x");
+    }
+}

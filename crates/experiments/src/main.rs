@@ -179,38 +179,110 @@ fn run(command: &str, train_cfg: Option<&TrainConfig>) {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Fully parsed command line. Parsing is side-effect free so every flag —
+/// wherever it sits relative to the command — is validated *before* any
+/// process state changes or any layer is constructed.
+#[derive(Debug, Clone, PartialEq)]
+struct Cli {
+    command: String,
+    train: bool,
+    backend: Option<dsx_core::BackendKind>,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut train = false;
     let mut command: Option<String> = None;
+    let mut backend = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let backend_value = if arg == "--backend" {
-            Some(iter.next().cloned().unwrap_or_else(|| {
-                eprintln!("--backend needs a value (naive or blocked)");
-                std::process::exit(2);
-            }))
+            Some(
+                iter.next()
+                    .cloned()
+                    .ok_or("--backend needs a value (naive or blocked)")?,
+            )
         } else {
             arg.strip_prefix("--backend=").map(str::to_string)
         };
         if let Some(value) = backend_value {
-            match value.parse::<dsx_core::BackendKind>() {
-                Ok(kind) => {
-                    dsx_core::set_default_backend(kind);
-                    println!("kernel backend: {kind}");
-                }
-                Err(e) => {
-                    eprintln!("{e}");
-                    std::process::exit(2);
-                }
-            }
+            backend = Some(value.parse::<dsx_core::BackendKind>()?);
         } else if arg == "--train" {
             train = true;
         } else if !arg.starts_with("--") {
             command.get_or_insert_with(|| arg.clone());
+        } else {
+            return Err(format!(
+                "unknown flag '{arg}' (flags: --train, --backend <naive|blocked>)"
+            ));
         }
     }
-    let command = command.unwrap_or_else(|| "all".to_string());
+    Ok(Cli {
+        command: command.unwrap_or_else(|| "all".to_string()),
+        train,
+        backend,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    // Apply the backend before anything builds a layer: the process-wide
+    // default is read at construction time, so ordering is correctness, not
+    // cosmetics. The announcement line is printed first so the output
+    // itself witnesses the ordering (the CLI tests assert on it).
+    if let Some(kind) = cli.backend {
+        dsx_core::set_default_backend(kind);
+        println!("kernel backend: {kind}");
+    }
     let train_cfg = TrainConfig::default();
-    run(&command, train.then_some(&train_cfg));
+    run(&cli.command, cli.train.then_some(&train_cfg));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsx_core::BackendKind;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_to_running_everything() {
+        let cli = parse_cli(&[]).unwrap();
+        assert_eq!(cli.command, "all");
+        assert!(!cli.train);
+        assert_eq!(cli.backend, None);
+    }
+
+    #[test]
+    fn backend_parses_in_both_spellings_and_any_position() {
+        for list in [
+            ["--backend", "blocked", "table1"],
+            ["table1", "--backend", "blocked"],
+            ["table1", "--backend=blocked", "--train"],
+        ] {
+            let cli = parse_cli(&args(&list)).unwrap();
+            assert_eq!(cli.backend, Some(BackendKind::Blocked), "{list:?}");
+            assert_eq!(cli.command, "table1");
+        }
+    }
+
+    #[test]
+    fn invalid_backend_is_an_error_before_anything_runs() {
+        let err = parse_cli(&args(&["--backend", "cuda", "table1"])).unwrap_err();
+        assert!(err.contains("unknown kernel backend"), "{err}");
+        assert!(parse_cli(&args(&["--backend"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse_cli(&args(&["--frobnicate"])).is_err());
+    }
 }

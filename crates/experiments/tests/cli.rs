@@ -1,0 +1,66 @@
+//! End-to-end tests of the `dsx-experiments` binary's flag handling: exit
+//! codes and the backend-before-construction ordering guarantee.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dsx-experiments"))
+        .args(args)
+        .output()
+        .expect("running the dsx-experiments binary failed")
+}
+
+#[test]
+fn invalid_backend_exits_non_zero_without_running_anything() {
+    let out = run(&["table1", "--backend", "cuda"]);
+    assert_eq!(out.status.code(), Some(2), "must exit 2, not fall through");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown kernel backend"),
+        "stderr must name the bad backend, got: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("Table I"),
+        "no experiment output may be produced after a flag error"
+    );
+}
+
+#[test]
+fn backend_flag_without_a_value_exits_non_zero() {
+    let out = run(&["table1", "--backend"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_flag_exits_non_zero() {
+    let out = run(&["table1", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_command_exits_non_zero() {
+    let out = run(&["not-a-command"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn backend_is_applied_before_any_experiment_output() {
+    // The flag sits *after* the command on purpose: wherever it appears in
+    // argv, the process-wide backend default must be set before the command
+    // runs (layers read the default at construction time). The announcement
+    // line printed at apply time makes the ordering observable.
+    let out = run(&["table1", "--backend", "blocked"]);
+    assert!(out.status.success(), "table1 must succeed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let backend_at = stdout
+        .find("kernel backend: blocked")
+        .expect("the backend announcement must be printed");
+    let table_at = stdout
+        .find("Table I")
+        .expect("table1 output must be printed");
+    assert!(
+        backend_at < table_at,
+        "backend must be applied (and announced) before the experiment runs:\n{stdout}"
+    );
+}

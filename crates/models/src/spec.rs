@@ -453,6 +453,68 @@ mod tests {
         }
     }
 
+    /// Regression test for the PR 1 `--train`-path crash: channel scaling
+    /// used to round each layer independently, so a depthwise stage (group
+    /// requirement 1, floor 4) could hand 4 channels to a following cg=8
+    /// fusion layer, which panics at construction. The fix aligns the whole
+    /// model to the LCM of every layer's group requirement.
+    #[test]
+    fn scale_channels_aligns_model_wide_to_the_lcm_of_group_requirements() {
+        let spec = ModelSpec {
+            name: "lcm-regression".into(),
+            dataset: Dataset::Cifar10,
+            scheme_tag: "DW+SCC-cg8".into(),
+            convs: vec![
+                layer(
+                    ConvKind::Standard {
+                        kernel: 3,
+                        groups: 1,
+                    },
+                    3,
+                    64,
+                    32,
+                    1,
+                ),
+                // Depthwise alone would clamp to 4 channels under factor 16…
+                layer(ConvKind::Depthwise { kernel: 3 }, 64, 64, 32, 1),
+                // …which an eight-group sliding-channel stage cannot accept.
+                layer(ConvKind::SlidingChannel { cg: 8, co: 0.5 }, 64, 128, 32, 1),
+                // A GPW stage with a different group count joins the LCM.
+                layer(ConvKind::GroupPointwise { cg: 4 }, 128, 128, 32, 1),
+            ],
+            classifier_in: 128,
+            classes: 10,
+        };
+        for factor in [4, 8, 16, 64] {
+            let small = spec.scale_channels(factor);
+            for c in &small.convs {
+                if c.cin > 3 {
+                    assert_eq!(
+                        c.cin % 8,
+                        0,
+                        "factor {factor}: layer {} got {} input channels, not a multiple \
+                         of the model-wide alignment",
+                        c.name,
+                        c.cin
+                    );
+                }
+            }
+            // The SCC config of the scaled spec must construct (this is the
+            // exact call that crashed before the LCM fix)…
+            for scc in small.scc_layers() {
+                scc.scc_config().expect("scaled SCC layer must be valid");
+            }
+            // …and the whole model must build and run a forward pass.
+            let mut model = crate::builder::build_model(&small, 3);
+            let out = dsx_nn::Layer::forward(
+                &mut model,
+                &dsx_tensor::Tensor::randn(&[1, 3, 32, 32], 1),
+                true,
+            );
+            assert_eq!(out.shape(), &[1, 10], "factor {factor}");
+        }
+    }
+
     #[test]
     fn dataset_geometry() {
         assert_eq!(Dataset::Cifar10.input_size(), 32);

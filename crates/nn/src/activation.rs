@@ -26,8 +26,12 @@ impl Layer for ReLU {
         "ReLU".into()
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.mask = Some(input.relu_mask());
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.mask = train.then(|| input.relu_mask());
+        input.relu()
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         input.relu()
     }
 
@@ -73,5 +77,12 @@ mod tests {
     fn has_no_parameters() {
         let mut relu = ReLU::new();
         assert_eq!(relu.num_params(), 0);
+    }
+
+    #[test]
+    fn infer_matches_eval_forward_and_skips_the_mask() {
+        let mut relu = ReLU::new();
+        crate::layer::check_infer_parity(&mut relu, &[4, 5], 0.0);
+        assert!(relu.mask.is_none(), "eval forward must not cache the mask");
     }
 }

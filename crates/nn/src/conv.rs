@@ -123,25 +123,11 @@ impl Conv2d {
             conv_out_size(w, self.kernel, self.stride, self.pad),
         )
     }
-}
 
-impl Layer for Conv2d {
-    fn name(&self) -> String {
-        if self.groups == 1 && self.kernel == 1 {
-            format!("PointwiseConv({}->{})", self.cin, self.cout)
-        } else if self.groups == self.cin && self.cout == self.cin {
-            format!("DepthwiseConv({}, k{})", self.cin, self.kernel)
-        } else if self.groups > 1 {
-            format!(
-                "GroupConv({}->{}, k{}, g{})",
-                self.cin, self.cout, self.kernel, self.groups
-            )
-        } else {
-            format!("Conv2d({}->{}, k{})", self.cin, self.cout, self.kernel)
-        }
-    }
-
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    /// The im2col + GEMM forward computation, shared by the training path
+    /// (which keeps each group's lowered matrix for backward via `cache`)
+    /// and the cache-free `infer` path.
+    fn run_forward(&self, input: &Tensor, mut cache: Option<&mut Vec<Tensor>>) -> Tensor {
         assert_eq!(input.rank(), 4, "Conv2d expects NCHW input");
         assert_eq!(input.dim(1), self.cin, "Conv2d channel mismatch");
         let (n, h, w) = (input.dim(0), input.dim(2), input.dim(3));
@@ -149,9 +135,6 @@ impl Layer for Conv2d {
         let cin_g = self.cin / self.groups;
         let cout_g = self.cout / self.groups;
         let k2 = self.kernel * self.kernel;
-
-        self.cached_cols.clear();
-        self.cached_input_shape = input.shape().to_vec();
 
         let mut output = Tensor::zeros(&[n, self.cout, oh, ow]);
         let out_plane = oh * ow;
@@ -181,12 +164,49 @@ impl Layer for Conv2d {
                     out_data[dst_base..dst_base + out_plane].copy_from_slice(src);
                 }
             }
-            self.cached_cols.push(cols);
+            if let Some(cache) = cache.as_deref_mut() {
+                cache.push(cols);
+            }
         }
         if let Some(bias) = &self.bias {
             output.add_bias_nchw(bias);
         }
         output
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> String {
+        if self.groups == 1 && self.kernel == 1 {
+            format!("PointwiseConv({}->{})", self.cin, self.cout)
+        } else if self.groups == self.cin && self.cout == self.cin {
+            format!("DepthwiseConv({}, k{})", self.cin, self.kernel)
+        } else if self.groups > 1 {
+            format!(
+                "GroupConv({}->{}, k{}, g{})",
+                self.cin, self.cout, self.kernel, self.groups
+            )
+        } else {
+            format!("Conv2d({}->{}, k{})", self.cin, self.cout, self.kernel)
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.cached_cols.clear();
+        self.cached_input_shape.clear();
+        if !train {
+            return self.run_forward(input, None);
+        }
+        self.cached_input_shape = input.shape().to_vec();
+        // Move the cache out so the shared `&self` helper can fill it.
+        let mut cols = std::mem::take(&mut self.cached_cols);
+        let output = self.run_forward(input, Some(&mut cols));
+        self.cached_cols = cols;
+        output
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.run_forward(input, None)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -336,7 +356,7 @@ pub fn conv2d_reference(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layer::check_input_gradient;
+    use crate::layer::{check_infer_parity, check_input_gradient};
     use dsx_tensor::{allclose, TEST_TOLERANCE};
 
     #[test]
@@ -460,6 +480,23 @@ mod tests {
         assert!(conv.grad_weight.norm_sq() > 0.0);
         conv.zero_grad();
         assert_eq!(conv.grad_weight.norm_sq(), 0.0);
+    }
+
+    #[test]
+    fn infer_matches_eval_forward_without_caching() {
+        for mut conv in [
+            Conv2d::new(3, 8, 3, 1, 1, 60),
+            Conv2d::grouped(8, 12, 3, 2, 1, 4, 61),
+            Conv2d::depthwise(6, 3, 1, 1, 62),
+            Conv2d::pointwise(4, 10, 63),
+        ] {
+            let cin = conv.cin;
+            check_infer_parity(&mut conv, &[2, cin, 6, 6], TEST_TOLERANCE);
+            assert!(
+                conv.cached_cols.is_empty() && conv.cached_input_shape.is_empty(),
+                "eval forward must not cache im2col matrices"
+            );
+        }
     }
 
     #[test]

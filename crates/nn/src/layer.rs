@@ -5,17 +5,36 @@
 //! it needs during `forward` and consumes it in `backward`. This mirrors how
 //! the paper's CUDA kernels are integrated into PyTorch as custom
 //! autograd functions with hand-written backward passes.
+//!
+//! Training and inference are split into two entry points:
+//!
+//! * [`Layer::forward`] takes `&mut self` because training needs the
+//!   activation caches the backward pass consumes (and, in batch norm,
+//!   updates the running statistics);
+//! * [`Layer::infer`] takes `&self`, touches no caches and uses evaluation
+//!   behaviour everywhere (running statistics in batch norm). Because the
+//!   trait requires `Send + Sync`, a built model is shareable behind an
+//!   `Arc` and many threads can run `infer` on it concurrently — the
+//!   foundation of the `dsx-serve` request-batching engine.
 
 use dsx_tensor::Tensor;
 
 /// A differentiable network building block with owned parameters.
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// Human-readable layer name (used in model summaries).
     fn name(&self) -> String;
 
     /// Runs the layer on `input`. `train` selects training behaviour
-    /// (e.g. batch statistics in batch norm).
+    /// (e.g. batch statistics in batch norm). With `train = true` the layer
+    /// caches whatever its backward pass needs; with `train = false` it must
+    /// skip those caches (evaluation never calls [`Layer::backward`]).
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Shared-state inference: numerically identical to
+    /// `forward(input, false)` but takes `&self`, so a model behind an `Arc`
+    /// can serve many threads at once. Implementations must not mutate any
+    /// observable state (interior-mutable instrumentation counters are fine).
+    fn infer(&self, input: &Tensor) -> Tensor;
 
     /// Propagates `grad_output` backwards, accumulating parameter gradients
     /// internally and returning the gradient with respect to the input.
@@ -51,6 +70,23 @@ pub trait Layer: Send {
         let _ = input_shape;
         0
     }
+}
+
+/// Checks that [`Layer::infer`] matches `forward(train = false)` within
+/// `tol` on a random input — shared helper for layer test-suites. The
+/// forward pass runs first so a stale training cache can never leak into
+/// the comparison.
+#[doc(hidden)]
+pub fn check_infer_parity<L: Layer>(layer: &mut L, input_shape: &[usize], tol: f32) {
+    let input = Tensor::rand_uniform(input_shape, -1.0, 1.0, 4321);
+    let eval = layer.forward(&input, false);
+    let inferred = layer.infer(&input);
+    assert!(
+        dsx_tensor::allclose(&inferred, &eval, tol),
+        "{}: infer diverges from forward(train=false) by {}",
+        layer.name(),
+        dsx_tensor::max_abs_diff(&inferred, &eval),
+    );
 }
 
 /// Checks that a layer's numerical input gradient matches its analytic
@@ -108,8 +144,12 @@ mod tests {
             "Scale".into()
         }
 
-        fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-            self.cached = Some(input.clone());
+        fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+            self.cached = train.then(|| input.clone());
+            input.scale(self.factor.as_slice()[0])
+        }
+
+        fn infer(&self, input: &Tensor) -> Tensor {
             input.scale(self.factor.as_slice()[0])
         }
 
@@ -158,6 +198,9 @@ mod tests {
             }
             fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
                 self.0.forward(input, train)
+            }
+            fn infer(&self, input: &Tensor) -> Tensor {
+                self.0.infer(input)
             }
             fn backward(&mut self, grad_output: &Tensor) -> Tensor {
                 // Wrong: ignores the scale factor.

@@ -44,10 +44,14 @@ impl Layer for Linear {
         format!("Linear({}->{})", self.in_features, self.out_features)
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.cached_input = train.then(|| input.clone());
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.rank(), 2, "Linear expects [batch, features] input");
         assert_eq!(input.dim(1), self.in_features, "Linear feature mismatch");
-        self.cached_input = Some(input.clone());
         let mut out = input.matmul(&self.weight.transpose2());
         out.add_bias_rows(&self.bias);
         out
@@ -104,8 +108,16 @@ impl Layer for Flatten {
         "Flatten".into()
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.cached_input_shape = input.shape().to_vec();
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.cached_input_shape = if train {
+            input.shape().to_vec()
+        } else {
+            Vec::new()
+        };
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         let batch = input.dim(0);
         let features = input.numel() / batch.max(1);
         input.reshape(&[batch, features])
@@ -184,6 +196,16 @@ mod tests {
         let back = f.backward(&out);
         assert_eq!(back.shape(), input.shape());
         assert_eq!(back.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn infer_matches_eval_forward_without_caching() {
+        let mut l = Linear::new(4, 3, 8);
+        crate::layer::check_infer_parity(&mut l, &[2, 4], 1e-6);
+        assert!(l.cached_input.is_none(), "eval forward must not cache");
+        let mut f = Flatten::new();
+        crate::layer::check_infer_parity(&mut f, &[2, 3, 4, 4], 0.0);
+        assert!(f.cached_input_shape.is_empty());
     }
 
     #[test]

@@ -121,10 +121,19 @@ impl Layer for BatchNorm2d {
             self.cached_std_inv = Some(std_inv);
             out
         } else {
-            let (normalized, _) =
-                self.normalize(input, &self.running_mean.clone(), &self.running_var.clone());
-            self.scale_shift(&normalized)
+            // Clear rather than keep a stale training cache: a backward
+            // after an eval forward must panic, not consume old activations.
+            self.cached_normalized = None;
+            self.cached_std_inv = None;
+            self.infer(input)
         }
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 4, "BatchNorm2d expects NCHW input");
+        // Evaluation mode: running statistics, no cache, no stat updates.
+        let (normalized, _) = self.normalize(input, &self.running_mean, &self.running_var);
+        self.scale_shift(&normalized)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -275,6 +284,38 @@ mod tests {
         for ch in 0..2 {
             assert!((bn.grad_beta.as_slice()[ch] - pixels).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn train_and_eval_forward_diverge_once_running_stats_settle() {
+        // Running stats start at mean 0 / var 1; feed a shifted distribution
+        // so batch statistics and running statistics genuinely differ, then
+        // check the two modes produce different outputs while eval == infer.
+        let mut bn = BatchNorm2d::new(2);
+        let input = Tensor::randn(&[4, 2, 3, 3], 11).map(|v| v * 3.0 + 5.0);
+        let train_out = bn.forward(&input, true);
+        let eval_out = bn.forward(&input, false);
+        assert!(
+            dsx_tensor::max_abs_diff(&train_out, &eval_out) > 0.1,
+            "train-mode output must use batch statistics, not running ones"
+        );
+        assert!(dsx_tensor::allclose(&bn.infer(&input), &eval_out, 1e-6));
+    }
+
+    #[test]
+    fn infer_matches_eval_forward_without_caching() {
+        let mut bn = BatchNorm2d::new(3);
+        // Populate non-trivial running statistics first.
+        let warm = Tensor::randn(&[4, 3, 4, 4], 12).map(|v| v * 2.0 - 1.0);
+        for _ in 0..5 {
+            bn.forward(&warm, true);
+        }
+        assert!(bn.cached_normalized.is_some(), "training pass must cache");
+        crate::layer::check_infer_parity(&mut bn, &[2, 3, 4, 4], 1e-6);
+        assert!(
+            bn.cached_normalized.is_none() && bn.cached_std_inv.is_none(),
+            "eval forward must clear the backward cache, not keep a stale one"
+        );
     }
 
     #[test]

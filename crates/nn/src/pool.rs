@@ -30,14 +30,10 @@ impl MaxPool2d {
             (w - self.kernel) / self.stride + 1,
         )
     }
-}
 
-impl Layer for MaxPool2d {
-    fn name(&self) -> String {
-        format!("MaxPool2d(k{}, s{})", self.kernel, self.stride)
-    }
-
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    /// Window-max scan; fills `argmax` (flat input index per output element)
+    /// only when the training path needs it for backward routing.
+    fn run_forward(&self, input: &Tensor, mut argmax: Option<&mut Vec<usize>>) -> Tensor {
         assert_eq!(input.rank(), 4, "MaxPool2d expects NCHW input");
         let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
         assert!(
@@ -46,7 +42,10 @@ impl Layer for MaxPool2d {
         );
         let (oh, ow) = self.out_hw(h, w);
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
-        let mut argmax = vec![0usize; n * c * oh * ow];
+        if let Some(am) = argmax.as_deref_mut() {
+            am.clear();
+            am.resize(n * c * oh * ow, 0);
+        }
         let x = input.as_slice();
         let o = out.as_mut_slice();
         for img in 0..n {
@@ -68,14 +67,37 @@ impl Layer for MaxPool2d {
                         }
                         let out_idx = ((img * c + ch) * oh + oy) * ow + ox;
                         o[out_idx] = best;
-                        argmax[out_idx] = best_idx;
+                        if let Some(am) = argmax.as_deref_mut() {
+                            am[out_idx] = best_idx;
+                        }
                     }
                 }
             }
         }
+        out
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> String {
+        format!("MaxPool2d(k{}, s{})", self.kernel, self.stride)
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.cached_argmax = None;
+        self.cached_input_shape.clear();
+        if !train {
+            return self.run_forward(input, None);
+        }
+        let mut argmax = Vec::new();
+        let out = self.run_forward(input, Some(&mut argmax));
         self.cached_argmax = Some(argmax);
         self.cached_input_shape = input.shape().to_vec();
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.run_forward(input, None)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -128,7 +150,16 @@ impl Layer for AvgPool2d {
         format!("AvgPool2d(k{}, s{})", self.kernel, self.stride)
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.cached_input_shape = if train {
+            input.shape().to_vec()
+        } else {
+            Vec::new()
+        };
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.rank(), 4, "AvgPool2d expects NCHW input");
         let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
         let (oh, ow) = self.out_hw(h, w);
@@ -153,7 +184,6 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        self.cached_input_shape = input.shape().to_vec();
         out
     }
 
@@ -217,7 +247,16 @@ impl Layer for GlobalAvgPool {
         "GlobalAvgPool".into()
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.cached_input_shape = if train {
+            input.shape().to_vec()
+        } else {
+            Vec::new()
+        };
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.rank(), 4, "GlobalAvgPool expects NCHW input");
         let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
         let plane = h * w;
@@ -231,7 +270,6 @@ impl Layer for GlobalAvgPool {
                 o[img * c + ch] = x[base..base + plane].iter().sum::<f32>() * inv;
             }
         }
-        self.cached_input_shape = input.shape().to_vec();
         out
     }
 
@@ -331,6 +369,19 @@ mod tests {
             gap.forward(&input, true).shape(),
             gap.output_shape(&[2, 4, 8, 8]).as_slice()
         );
+    }
+
+    #[test]
+    fn infer_matches_eval_forward_without_caching() {
+        let mut mp = MaxPool2d::new(2, 2);
+        crate::layer::check_infer_parity(&mut mp, &[2, 3, 6, 6], 0.0);
+        assert!(mp.cached_argmax.is_none() && mp.cached_input_shape.is_empty());
+        let mut ap = AvgPool2d::new(2, 2);
+        crate::layer::check_infer_parity(&mut ap, &[2, 3, 6, 6], 0.0);
+        assert!(ap.cached_input_shape.is_empty());
+        let mut gap = GlobalAvgPool::new();
+        crate::layer::check_infer_parity(&mut gap, &[2, 3, 6, 6], 0.0);
+        assert!(gap.cached_input_shape.is_empty());
     }
 
     #[test]

@@ -71,8 +71,14 @@ impl Layer for SccConv2d {
         )
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.cached_input = Some(input.clone());
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        // Only the training path pays for the backward-pass input cache;
+        // evaluation is a pure kernel call.
+        self.cached_input = train.then(|| input.clone());
+        self.inner.forward(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         self.inner.forward(input)
     }
 
@@ -160,6 +166,31 @@ mod tests {
         assert!(l.grad_weight.norm_sq() > after_one);
         l.zero_grad();
         assert_eq!(l.grad_weight.norm_sq(), 0.0);
+    }
+
+    #[test]
+    fn eval_forward_skips_the_input_cache() {
+        let mut l = layer();
+        let input = Tensor::randn(&[1, 8, 4, 4], 9);
+        let eval = l.forward(&input, false);
+        assert!(
+            l.cached_input.is_none(),
+            "forward(train=false) must not clone the input"
+        );
+        assert!(dsx_tensor::allclose(&l.infer(&input), &eval, 1e-6));
+        l.forward(&input, true);
+        assert!(l.cached_input.is_some());
+        // A later eval pass clears the stale cache instead of keeping it.
+        l.forward(&input, false);
+        assert!(l.cached_input.is_none());
+    }
+
+    #[test]
+    fn infer_matches_eval_forward() {
+        for backend in [BackendKind::Naive, BackendKind::Blocked] {
+            let mut l = layer().with_backend(backend);
+            crate::layer::check_infer_parity(&mut l, &[2, 8, 5, 5], 1e-6);
+        }
     }
 
     #[test]

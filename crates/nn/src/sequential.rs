@@ -94,6 +94,14 @@ impl Layer for Sequential {
         x
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in self.layers.iter() {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let mut g = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -190,9 +198,28 @@ impl Layer for ResidualBlock {
             "residual branches must produce identical shapes"
         );
         let sum = main_out.add(&shortcut_out);
-        self.cached_main_out = Some(main_out);
-        self.cached_shortcut_out = Some(shortcut_out);
+        if train {
+            self.cached_main_out = Some(main_out);
+            self.cached_shortcut_out = Some(shortcut_out);
+        } else {
+            self.cached_main_out = None;
+            self.cached_shortcut_out = None;
+        }
         self.relu.forward(&sum, train)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let main_out = self.main.infer(input);
+        let shortcut_out = match self.shortcut.as_ref() {
+            Some(s) => s.infer(input),
+            None => input.clone(),
+        };
+        assert_eq!(
+            main_out.shape(),
+            shortcut_out.shape(),
+            "residual branches must produce identical shapes"
+        );
+        self.relu.infer(&main_out.add(&shortcut_out))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -311,6 +338,37 @@ mod tests {
         let main2 = Sequential::new("main").push(Conv2d::new(2, 4, 3, 2, 1, 10).without_bias());
         let mut main_only = ResidualBlock::identity(main2);
         assert!(with_proj.num_params() > main_only.num_params());
+    }
+
+    #[test]
+    fn sequential_infer_matches_eval_forward() {
+        let mut net = tiny_net();
+        // Shift the batch-norm running stats away from their defaults first.
+        for _ in 0..3 {
+            net.forward(&Tensor::randn(&[4, 2, 8, 8], 6), true);
+        }
+        crate::layer::check_infer_parity(&mut net, &[2, 2, 8, 8], 1e-5);
+    }
+
+    #[test]
+    fn residual_block_infer_matches_eval_forward() {
+        let main = Sequential::new("main")
+            .push(Conv2d::new(2, 4, 3, 2, 1, 12).without_bias())
+            .push(BatchNorm2d::new(4));
+        let mut block = ResidualBlock::projection(main, 2, 4, 2, 13);
+        block.forward(&Tensor::randn(&[2, 2, 8, 8], 7), true);
+        crate::layer::check_infer_parity(&mut block, &[2, 2, 8, 8], 1e-5);
+        assert!(
+            block.cached_main_out.is_none() && block.cached_shortcut_out.is_none(),
+            "eval forward must clear the branch caches"
+        );
+    }
+
+    #[test]
+    fn shared_model_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Sequential>();
+        assert_send_sync::<std::sync::Arc<dyn Layer>>();
     }
 
     #[test]

@@ -1,0 +1,491 @@
+//! The dynamic micro-batching engine.
+//!
+//! Many clients submit single-request tensors through clonable
+//! [`ServeHandle`]s into one bounded MPMC queue (backpressure: submissions
+//! block while the queue is full). A pool of worker threads drains the
+//! queue; each worker gathers up to `max_batch` requests — waiting at most
+//! `max_wait` after the first one arrives — stacks them into one batched
+//! NCHW tensor ([`Tensor::cat_batch`]), runs a **single** [`Layer::infer`]
+//! on the shared `Arc` model, and scatters the per-request slices of the
+//! output back through per-request response channels
+//! ([`Tensor::split_batch`]).
+//!
+//! This is the serving-side counterpart of the paper's kernel argument:
+//! sliding-channel convolution wins by raising the arithmetic intensity of
+//! each launch, and micro-batching raises it further by amortising every
+//! per-launch cost (weight repacking, GEMM tile setup, allocator traffic)
+//! over the whole batch. `infer` takes `&self`, so the engine needs no lock
+//! around the model — concurrency safety is by construction.
+
+use crate::stats::{ServeSnapshot, ServeStats};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use dsx_nn::Layer;
+use dsx_tensor::Tensor;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the batching engine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Largest number of requests fused into one forward pass.
+    pub max_batch: usize,
+    /// How long a partially-filled batch waits for more requests after its
+    /// first one arrived.
+    pub max_wait: Duration,
+    /// Bound of the shared request queue; submissions block (backpressure)
+    /// while this many requests are already waiting.
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue. Each runs its own batches, so on
+    /// a multi-core host the pool adds parallelism on top of batching.
+    pub workers: usize,
+    /// When set, the per-request trailing dimensions (`[C, H, W]`) every
+    /// submission must carry; mismatches are rejected at `submit` time with
+    /// [`ServeError::InvalidRequest`] instead of poisoning a whole batch.
+    pub request_dims: Option<Vec<usize>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 32,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            request_dims: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the largest fused batch (builder style).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the batch-formation deadline (builder style).
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Sets the request-queue bound (builder style).
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Sets the worker-pool size (builder style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Requires every submission to carry these trailing (`[C, H, W]`)
+    /// dimensions (builder style).
+    pub fn with_request_dims(mut self, dims: &[usize]) -> Self {
+        self.request_dims = Some(dims.to_vec());
+        self
+    }
+}
+
+/// Error returned by submissions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The engine's workers are gone (or the batch carrying this request
+    /// failed); the request was not served.
+    Shutdown,
+    /// The submission did not match the engine's declared request shape.
+    InvalidRequest(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Shutdown => f.write_str("the serving engine has shut down"),
+            ServeError::InvalidRequest(why) => write!(f, "invalid serve request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One queued inference request: an NCHW input (usually batch 1, but any
+/// batch size — including zero — rides along) plus its response channel.
+struct Request {
+    input: Tensor,
+    enqueued: Instant,
+    respond: Sender<Tensor>,
+}
+
+/// A client-side handle: cheap to clone, safe to use from many threads.
+///
+/// Dropping every handle *and* the engine's own sender is what lets the
+/// workers drain and exit, so drop handles before calling
+/// [`ServeEngine::shutdown`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    queue: Sender<Request>,
+    request_dims: Option<Arc<[usize]>>,
+}
+
+/// An in-flight request; [`PendingResponse::wait`] blocks for its output.
+pub struct PendingResponse {
+    rx: Receiver<Tensor>,
+}
+
+impl PendingResponse {
+    /// Blocks until the batched forward pass that carries this request
+    /// completes, returning this request's slice of the output.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Shutdown)
+    }
+}
+
+impl ServeHandle {
+    /// Enqueues an inference request, blocking while the queue is full.
+    /// `input` must be a rank-4 NCHW tensor (its batch axis may hold any
+    /// number of samples, including zero) matching the engine's declared
+    /// request dimensions, if any — a mismatch is rejected here, where only
+    /// the offending client pays, not the batch it would have poisoned.
+    pub fn submit(&self, input: Tensor) -> Result<PendingResponse, ServeError> {
+        if input.rank() != 4 {
+            return Err(ServeError::InvalidRequest(format!(
+                "expected a rank-4 NCHW tensor, got rank {}",
+                input.rank()
+            )));
+        }
+        if let Some(dims) = self.request_dims.as_deref() {
+            if &input.shape()[1..] != dims {
+                return Err(ServeError::InvalidRequest(format!(
+                    "expected per-sample dimensions {:?}, got {:?}",
+                    dims,
+                    &input.shape()[1..]
+                )));
+            }
+        }
+        let (tx, rx) = channel::bounded(1);
+        self.queue
+            .send(Request {
+                input,
+                enqueued: Instant::now(),
+                respond: tx,
+            })
+            .map_err(|_| ServeError::Shutdown)?;
+        Ok(PendingResponse { rx })
+    }
+
+    /// Submits and waits: the blocking request/response round trip a client
+    /// thread performs.
+    pub fn infer(&self, input: Tensor) -> Result<Tensor, ServeError> {
+        self.submit(input)?.wait()
+    }
+}
+
+/// The running engine: owns the worker pool and the serving counters.
+pub struct ServeEngine {
+    queue: Sender<Request>,
+    request_dims: Option<Arc<[usize]>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<ServeStats>,
+    started: Instant,
+}
+
+impl ServeEngine {
+    /// Spawns the worker pool over a shared model. The model is any
+    /// [`Layer`] behind an `Arc` — the `Send + Sync` bound on the trait is
+    /// what makes the sharing sound.
+    pub fn start(model: Arc<dyn Layer>, config: ServeConfig) -> Self {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.workers >= 1, "the worker pool needs a thread");
+        let (tx, rx) = channel::bounded(config.queue_capacity);
+        let stats = Arc::new(ServeStats::new());
+        let workers = (0..config.workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let model = Arc::clone(&model);
+                let stats = Arc::clone(&stats);
+                let (max_batch, max_wait) = (config.max_batch, config.max_wait);
+                std::thread::Builder::new()
+                    .name(format!("dsx-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&*model, &rx, &stats, max_batch, max_wait))
+                    .expect("spawning a serve worker failed")
+            })
+            .collect();
+        ServeEngine {
+            queue: tx,
+            request_dims: config.request_dims.map(Arc::from),
+            workers,
+            stats,
+            started: Instant::now(),
+        }
+    }
+
+    /// A new client handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            queue: self.queue.clone(),
+            request_dims: self.request_dims.clone(),
+        }
+    }
+
+    /// The live serving counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Stops accepting requests, waits for the workers to drain everything
+    /// still queued, and returns the final serving report. Outstanding
+    /// [`ServeHandle`] clones must be dropped first or this blocks until
+    /// they are.
+    pub fn shutdown(self) -> ServeSnapshot {
+        let ServeEngine {
+            queue,
+            request_dims: _,
+            workers,
+            stats,
+            started,
+        } = self;
+        drop(queue);
+        for worker in workers {
+            worker.join().expect("serve worker panicked");
+        }
+        stats.snapshot(started.elapsed())
+    }
+}
+
+/// One worker: block for a first request, top the batch up until `max_batch`
+/// or the `max_wait` deadline, run the fused pass, scatter the outputs.
+fn worker_loop(
+    model: &dyn Layer,
+    rx: &Receiver<Request>,
+    stats: &ServeStats,
+    max_batch: usize,
+    max_wait: Duration,
+) {
+    loop {
+        let first = match rx.recv() {
+            Ok(request) => request,
+            Err(_) => return, // every sender gone and the queue drained
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + max_wait;
+        while batch.len() < max_batch {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(remaining) {
+                Ok(request) => batch.push(request),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // A panicking batch (a model assertion on adversarial input) must
+        // not take the worker down with it: contain the unwind, drop the
+        // batch — its response senders go with it, so every affected client
+        // observes `ServeError::Shutdown` — and keep serving.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_batch(model, batch, stats)
+        }))
+        .is_err()
+        {
+            eprintln!("dsx-serve: a batch panicked; its requests were dropped");
+        }
+    }
+}
+
+/// Stacks a gathered batch, runs the single shared forward pass, and routes
+/// each request's output slice back to its caller.
+fn run_batch(model: &dyn Layer, batch: Vec<Request>, stats: &ServeStats) {
+    let sizes: Vec<usize> = batch.iter().map(|r| r.input.dim(0)).collect();
+    let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
+    let stacked = Tensor::cat_batch(&inputs);
+    let output = model.infer(&stacked);
+    let parts = output.split_batch(&sizes);
+    stats.record_batch(batch.len());
+    for (request, part) in batch.into_iter().zip(parts) {
+        stats.record_latency(request.enqueued.elapsed());
+        // A client that gave up on its response is not an engine error.
+        let _ = request.respond.send(part);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsx_nn::{GlobalAvgPool, Linear, ReLU, Sequential};
+
+    /// A tiny model: [N, 2, 4, 4] -> [N, 3] logits.
+    fn tiny_model() -> Arc<dyn Layer> {
+        Arc::new(
+            Sequential::new("tiny-serve")
+                .push(ReLU::new())
+                .push(GlobalAvgPool::new())
+                .push(Linear::new(2, 3, 7)),
+        )
+    }
+
+    fn request(seed: u64) -> Tensor {
+        Tensor::randn(&[1, 2, 4, 4], seed)
+    }
+
+    #[test]
+    fn single_request_round_trips_within_the_wait_deadline() {
+        let engine = ServeEngine::start(
+            tiny_model(),
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_wait(Duration::from_millis(1)),
+        );
+        let handle = engine.handle();
+        let out = handle.infer(request(1)).unwrap();
+        assert_eq!(out.shape(), &[1, 3]);
+        drop(handle);
+        let snap = engine.shutdown();
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.batches, 1);
+    }
+
+    #[test]
+    fn burst_of_requests_is_fused_into_batches() {
+        let engine = ServeEngine::start(
+            tiny_model(),
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_batch(4)
+                .with_max_wait(Duration::from_millis(50)),
+        );
+        let handle = engine.handle();
+        let pending: Vec<_> = (0..8)
+            .map(|i| handle.submit(request(i as u64)).unwrap())
+            .collect();
+        for p in pending {
+            assert_eq!(p.wait().unwrap().shape(), &[1, 3]);
+        }
+        drop(handle);
+        let snap = engine.shutdown();
+        assert_eq!(snap.requests, 8);
+        assert!(
+            snap.batches < 8,
+            "a burst must fuse into fewer forward passes, got {} batches",
+            snap.batches
+        );
+        assert!(snap.max_batch_occupancy > 1);
+        assert!(snap.mean_batch_occupancy > 1.0);
+    }
+
+    #[test]
+    fn batched_outputs_match_direct_inference() {
+        let model = tiny_model();
+        let engine = ServeEngine::start(
+            Arc::clone(&model),
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_batch(8)
+                .with_max_wait(Duration::from_millis(20)),
+        );
+        let handle = engine.handle();
+        let inputs: Vec<Tensor> = (0..6).map(|i| request(100 + i as u64)).collect();
+        let pending: Vec<_> = inputs
+            .iter()
+            .map(|input| handle.submit(input.clone()).unwrap())
+            .collect();
+        for (input, p) in inputs.iter().zip(pending) {
+            let served = p.wait().unwrap();
+            let direct = model.infer(input);
+            assert!(dsx_tensor::allclose(&served, &direct, 1e-6));
+        }
+        drop(handle);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn multi_sample_and_zero_sample_requests_ride_along() {
+        let engine = ServeEngine::start(tiny_model(), ServeConfig::default().with_workers(1));
+        let handle = engine.handle();
+        let wide = handle.submit(Tensor::randn(&[3, 2, 4, 4], 5)).unwrap();
+        // A zero-size batch must flow through stacking, the kernels and the
+        // scatter without tripping any chunk math.
+        let empty = handle.submit(Tensor::zeros(&[0, 2, 4, 4])).unwrap();
+        assert_eq!(wide.wait().unwrap().shape(), &[3, 3]);
+        assert_eq!(empty.wait().unwrap().shape(), &[0, 3]);
+        drop(handle);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn declared_request_dims_reject_mismatches_at_submit_time() {
+        let engine = ServeEngine::start(
+            tiny_model(),
+            ServeConfig::default()
+                .with_workers(1)
+                .with_request_dims(&[2, 4, 4]),
+        );
+        let handle = engine.handle();
+        assert!(matches!(
+            handle.submit(Tensor::zeros(&[1, 2, 5, 5])),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            handle.submit(Tensor::zeros(&[4])),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        // Conforming requests (any batch size) still flow.
+        assert_eq!(handle.infer(request(3)).unwrap().shape(), &[1, 3]);
+        drop(handle);
+        let snap = engine.shutdown();
+        assert_eq!(snap.requests, 1, "rejected submissions never enqueue");
+    }
+
+    #[test]
+    fn a_poison_batch_fails_its_requests_but_not_the_engine() {
+        // No declared request dims, so a bad shape only surfaces inside the
+        // worker: [1, 3, 4, 4] sails through ReLU and GlobalAvgPool and
+        // panics in Linear's feature check, however it was batched. The
+        // affected client must see an error, later requests must still be
+        // served, and shutdown must not observe a dead worker.
+        let engine = ServeEngine::start(tiny_model(), ServeConfig::default().with_workers(1));
+        let handle = engine.handle();
+        let bad = handle.submit(Tensor::zeros(&[1, 3, 4, 4])).unwrap();
+        assert_eq!(bad.wait(), Err(ServeError::Shutdown));
+        // The worker survived the poison batch and keeps serving.
+        assert_eq!(handle.infer(request(2)).unwrap().shape(), &[1, 3]);
+        drop(handle);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_reports_queue_latency() {
+        let engine = ServeEngine::start(tiny_model(), ServeConfig::default().with_workers(1));
+        let handle = engine.handle();
+        for i in 0..4 {
+            handle.infer(request(i)).unwrap();
+        }
+        drop(handle);
+        let snap = engine.shutdown();
+        assert_eq!(snap.requests, 4);
+        assert!(snap.throughput_rps > 0.0);
+        assert!(snap.max_latency_us as f64 >= snap.mean_latency_us);
+    }
+
+    #[test]
+    fn submissions_fail_cleanly_after_shutdown() {
+        let engine = ServeEngine::start(tiny_model(), ServeConfig::default().with_workers(1));
+        let handle = engine.handle();
+        // Workers only exit once every sender is gone, so test the client
+        // side of the contract: a handle whose engine (and sibling handles)
+        // are gone gets `Shutdown`, not a hang or a panic.
+        let probe = handle.clone();
+        drop(handle);
+        let rx_dead = {
+            let engine_queue_gone = probe.submit(request(1)).unwrap();
+            engine_queue_gone.wait().unwrap()
+        };
+        assert_eq!(rx_dead.shape(), &[1, 3]);
+        drop(probe);
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,52 @@
+//! # dsx-serve
+//!
+//! A dynamic micro-batching inference engine over the DSXplore model zoo:
+//! many concurrent clients share one forward pass.
+//!
+//! The crate builds on the `Layer::infer(&self)` path added to `dsx-nn`
+//! (evaluation-mode inference with no activation caches), which makes a
+//! built model `Send + Sync` — one `Arc<dyn Layer>` serves every thread
+//! with zero locks:
+//!
+//! * [`engine`] — the batching engine: a bounded MPMC request queue (with
+//!   backpressure), a worker pool that drains up to `max_batch` requests or
+//!   a `max_wait` deadline, stacks them into one batched tensor, runs a
+//!   single `infer` and scatters the per-request outputs back;
+//! * [`stats`] — per-request latency, batch occupancy and throughput
+//!   counters;
+//! * [`loadgen`] — the serving workload model, a multi-threaded load
+//!   generator and the serial-unbatched baseline (what the `dsx-serve`
+//!   binary and the `serve_throughput` bench drive).
+//!
+//! ## Example
+//!
+//! ```
+//! use dsx_serve::{ServeConfig, ServeEngine};
+//! use dsx_nn::{GlobalAvgPool, Layer, Linear, Sequential};
+//! use dsx_tensor::Tensor;
+//! use std::sync::Arc;
+//!
+//! let model: Arc<dyn Layer> = Arc::new(
+//!     Sequential::new("m").push(GlobalAvgPool::new()).push(Linear::new(2, 3, 1)),
+//! );
+//! let engine = ServeEngine::start(model, ServeConfig::default());
+//! let handle = engine.handle();
+//! let logits = handle.infer(Tensor::randn(&[1, 2, 4, 4], 7)).unwrap();
+//! assert_eq!(logits.shape(), &[1, 3]);
+//! drop(handle);
+//! let report = engine.shutdown();
+//! assert_eq!(report.requests, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod loadgen;
+pub mod stats;
+
+pub use engine::{PendingResponse, ServeConfig, ServeEngine, ServeError, ServeHandle};
+pub use loadgen::{
+    build_serving_model, request_input, run_load, run_serial, serving_spec, serving_spec_with,
+    LoadConfig, SerialReport,
+};
+pub use stats::{ServeSnapshot, ServeStats};

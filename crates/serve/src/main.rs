@@ -1,0 +1,219 @@
+//! `dsx-serve` — drives the micro-batching engine with a built-in load
+//! generator and prints batched vs. serial-unbatched throughput.
+//!
+//! ```text
+//! dsx-serve [--requests N] [--concurrency N] [--backend <naive|blocked>]
+//!           [--max-batch N] [--max-wait-us N] [--workers N]
+//!           [--queue-capacity N] [--par-threads N] [--skip-serial]
+//! ```
+//!
+//! Every flag is parsed (and validated) *before* the model is built: the
+//! kernel backend is a process-wide construction-time default in `dsx-core`,
+//! so a flag error after construction would be both too late and misleading.
+//! Invalid flags exit with status 2.
+
+use dsx_core::BackendKind;
+use dsx_serve::{build_serving_model, run_load, run_serial, serving_spec, LoadConfig, ServeConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct Cli {
+    requests: usize,
+    concurrency: usize,
+    backend: BackendKind,
+    max_batch: usize,
+    max_wait: Duration,
+    workers: usize,
+    queue_capacity: usize,
+    /// Kernel-level threads inside one forward pass. Defaults to 1 so the
+    /// worker pool (request-level parallelism) is the only thread source
+    /// and batched-vs-serial numbers compare like for like.
+    par_threads: usize,
+    skip_serial: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            requests: 256,
+            concurrency: 16,
+            backend: BackendKind::Blocked,
+            max_batch: 8,
+            max_wait: Duration::from_micros(2000),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_capacity: 32,
+            par_threads: 1,
+            skip_serial: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: dsx-serve [--requests N] [--concurrency N] \
+[--backend <naive|blocked>] [--max-batch N] [--max-wait-us N] [--workers N] \
+[--queue-capacity N] [--par-threads N] [--skip-serial]";
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        // Accept both `--flag value` and `--flag=value`.
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((flag, value)) => (flag, Some(value.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = |flag: &str| -> Result<String, String> {
+            match &inline_value {
+                Some(v) => Ok(v.clone()),
+                None => iter
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value\n{USAGE}")),
+            }
+        };
+        let parse_usize = |flag: &str, value: String| -> Result<usize, String> {
+            value
+                .parse::<usize>()
+                .map_err(|e| format!("{flag} must be a non-negative integer: {e}\n{USAGE}"))
+        };
+        match flag {
+            "--requests" => cli.requests = parse_usize(flag, value(flag)?)?,
+            "--concurrency" => cli.concurrency = parse_usize(flag, value(flag)?)?.max(1),
+            "--backend" => cli.backend = value(flag)?.parse::<BackendKind>()?,
+            "--max-batch" => {
+                cli.max_batch = parse_usize(flag, value(flag)?)?;
+                if cli.max_batch == 0 {
+                    return Err(format!("--max-batch must be at least 1\n{USAGE}"));
+                }
+            }
+            "--max-wait-us" => {
+                cli.max_wait = Duration::from_micros(parse_usize(flag, value(flag)?)? as u64)
+            }
+            "--workers" => cli.workers = parse_usize(flag, value(flag)?)?.max(1),
+            "--queue-capacity" => cli.queue_capacity = parse_usize(flag, value(flag)?)?.max(1),
+            "--par-threads" => cli.par_threads = parse_usize(flag, value(flag)?)?,
+            "--skip-serial" => cli.skip_serial = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+
+    // Flags are fully validated; only now may construction-time state be
+    // touched (the backend default is read when layers are built).
+    dsx_core::set_default_backend(cli.backend);
+    dsx_tensor::set_num_threads(cli.par_threads);
+
+    let spec = serving_spec();
+    println!(
+        "serving model: {} ({:.2} MFLOPs/request, backend {})",
+        spec.name,
+        spec.mflops(),
+        cli.backend
+    );
+    let model = build_serving_model(&spec, cli.backend);
+
+    let serial = if cli.skip_serial {
+        None
+    } else {
+        let report = run_serial(&*model, cli.requests.clamp(1, 64));
+        println!(
+            "serial-unbatched: {} requests, {:.1} req/s ({:.3} ms/request)",
+            report.requests,
+            report.throughput_rps,
+            1e3 * report.elapsed_secs / report.requests as f64
+        );
+        Some(report)
+    };
+
+    let cfg = LoadConfig {
+        requests: cli.requests,
+        concurrency: cli.concurrency,
+        engine: ServeConfig {
+            max_batch: cli.max_batch,
+            max_wait: cli.max_wait,
+            queue_capacity: cli.queue_capacity,
+            workers: cli.workers,
+            // run_load fills in the serving model's request shape.
+            request_dims: None,
+        },
+    };
+    println!(
+        "batched engine: max_batch {}, max_wait {} us, {} workers, {} clients",
+        cli.max_batch,
+        cli.max_wait.as_micros(),
+        cli.workers,
+        cli.concurrency
+    );
+    let snapshot = run_load(Arc::clone(&model), &cfg);
+    println!("batched: {snapshot}");
+
+    if let Some(serial) = serial {
+        println!(
+            "speedup: {:.2}x batched over serial-unbatched",
+            snapshot.throughput_rps / serial.throughput_rps
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply_with_no_flags() {
+        let cli = parse_cli(&[]).unwrap();
+        assert_eq!(cli, Cli::default());
+    }
+
+    #[test]
+    fn flags_parse_in_both_spellings() {
+        let cli = parse_cli(&args(&[
+            "--requests",
+            "32",
+            "--backend=naive",
+            "--max-batch=4",
+            "--max-wait-us",
+            "500",
+            "--skip-serial",
+        ]))
+        .unwrap();
+        assert_eq!(cli.requests, 32);
+        assert_eq!(cli.backend, BackendKind::Naive);
+        assert_eq!(cli.max_batch, 4);
+        assert_eq!(cli.max_wait, Duration::from_micros(500));
+        assert!(cli.skip_serial);
+    }
+
+    #[test]
+    fn invalid_backend_is_a_parse_error_not_a_warning() {
+        let err = parse_cli(&args(&["--backend", "cuda"])).unwrap_err();
+        assert!(err.contains("unknown kernel backend"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_and_missing_values_error_out() {
+        assert!(parse_cli(&args(&["--frobnicate"])).is_err());
+        assert!(parse_cli(&args(&["--requests"])).is_err());
+        assert!(parse_cli(&args(&["--max-batch", "0"])).is_err());
+        assert!(parse_cli(&args(&["--requests", "many"])).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Serving-side instrumentation: request latency, batch occupancy and
+//! throughput counters shared between the engine's worker threads.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Thread-safe serving counters. Workers record into these as batches
+/// complete; [`ServeStats::snapshot`] folds them into a report.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    requests: AtomicUsize,
+    batches: AtomicUsize,
+    batch_size_sum: AtomicUsize,
+    batch_size_max: AtomicUsize,
+    latency_sum_us: AtomicU64,
+    latency_max_us: AtomicU64,
+}
+
+impl ServeStats {
+    /// New, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed batch of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(size, Ordering::Relaxed);
+        self.batch_size_sum.fetch_add(size, Ordering::Relaxed);
+        self.batch_size_max.fetch_max(size, Ordering::Relaxed);
+    }
+
+    /// Records one request's queue-to-response latency.
+    pub fn record_latency(&self, latency: Duration) {
+        let us = latency.as_micros() as u64;
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Requests completed so far.
+    pub fn requests(&self) -> usize {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Batches executed so far.
+    pub fn batches(&self) -> usize {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Folds the counters into a report for a serving window of `elapsed`
+    /// wall-clock time.
+    pub fn snapshot(&self, elapsed: Duration) -> ServeSnapshot {
+        let requests = self.requests();
+        let batches = self.batches();
+        let secs = elapsed.as_secs_f64();
+        ServeSnapshot {
+            requests,
+            batches,
+            mean_batch_occupancy: if batches == 0 {
+                0.0
+            } else {
+                self.batch_size_sum.load(Ordering::Relaxed) as f64 / batches as f64
+            },
+            max_batch_occupancy: self.batch_size_max.load(Ordering::Relaxed),
+            mean_latency_us: if requests == 0 {
+                0.0
+            } else {
+                self.latency_sum_us.load(Ordering::Relaxed) as f64 / requests as f64
+            },
+            max_latency_us: self.latency_max_us.load(Ordering::Relaxed),
+            elapsed_secs: secs,
+            throughput_rps: if secs > 0.0 {
+                requests as f64 / secs
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// A point-in-time serving report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSnapshot {
+    /// Requests completed in the window.
+    pub requests: usize,
+    /// Batches executed in the window.
+    pub batches: usize,
+    /// Mean requests per executed batch.
+    pub mean_batch_occupancy: f64,
+    /// Largest batch executed.
+    pub max_batch_occupancy: usize,
+    /// Mean queue-to-response latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Worst queue-to-response latency in microseconds.
+    pub max_latency_us: u64,
+    /// Wall-clock length of the serving window in seconds.
+    pub elapsed_secs: f64,
+    /// Completed requests per second over the window.
+    pub throughput_rps: f64,
+}
+
+impl std::fmt::Display for ServeSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests in {:.2} s ({:.1} req/s) over {} batches \
+             (occupancy mean {:.2}, max {}); latency mean {:.0} us, max {} us",
+            self.requests,
+            self.elapsed_secs,
+            self.throughput_rps,
+            self.batches,
+            self.mean_batch_occupancy,
+            self.max_batch_occupancy,
+            self.mean_latency_us,
+            self.max_latency_us,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_derives_means_and_throughput() {
+        let stats = ServeStats::new();
+        stats.record_batch(8);
+        stats.record_batch(4);
+        for _ in 0..12 {
+            stats.record_latency(Duration::from_micros(500));
+        }
+        let snap = stats.snapshot(Duration::from_secs(2));
+        assert_eq!(snap.requests, 12);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.mean_batch_occupancy, 6.0);
+        assert_eq!(snap.max_batch_occupancy, 8);
+        assert_eq!(snap.mean_latency_us, 500.0);
+        assert_eq!(snap.max_latency_us, 500);
+        assert_eq!(snap.throughput_rps, 6.0);
+        // The report renders without panicking.
+        assert!(format!("{snap}").contains("12 requests"));
+    }
+
+    #[test]
+    fn empty_window_snapshots_to_zeroes() {
+        let snap = ServeStats::new().snapshot(Duration::ZERO);
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.mean_batch_occupancy, 0.0);
+        assert_eq!(snap.mean_latency_us, 0.0);
+        assert_eq!(snap.throughput_rps, 0.0);
+    }
+}

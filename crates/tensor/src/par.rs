@@ -98,6 +98,9 @@ where
 /// Splits `out` into disjoint mutable chunks of `chunk_len` elements and runs
 /// `body(chunk_index, chunk)` for each in parallel.
 ///
+/// An empty `out` is a no-op (zero chunks) regardless of `chunk_len`; a
+/// non-empty `out` requires a positive `chunk_len` that divides its length.
+///
 /// This is the pattern used by kernels that own one output row / channel per
 /// logical thread (e.g. the SCC output-centric forward writes each output
 /// channel's spatial map from exactly one chunk), so no synchronisation is
@@ -106,6 +109,13 @@ pub fn parallel_for_each_chunk_mut<F>(out: &mut [f32], chunk_len: usize, body: F
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
+    if out.is_empty() {
+        // Unified degenerate-case contract (shared with the grouped
+        // variant): an empty slice holds zero chunks, so the call is a
+        // no-op regardless of `chunk_len` — a zero-size batch coming out of
+        // the serve batcher must not trip the chunk-math validation below.
+        return;
+    }
     check_chunk_math("parallel_for_each_chunk_mut", out.len(), chunk_len);
     let n_chunks = out.len() / chunk_len;
     let workers = num_threads();
@@ -171,8 +181,10 @@ fn check_chunk_math(caller: &str, len: usize, chunk_len: usize) {
 /// writer, so no synchronisation is needed.
 ///
 /// The chunks of a group are passed as `(chunk_index, chunk)` pairs in
-/// ascending chunk order. Groups may be empty. Panics if `out.len()` is not
-/// a multiple of `chunk_len` or if `group_of` returns an index `>=
+/// ascending chunk order. Groups may be empty. An empty `out` is a no-op
+/// regardless of `chunk_len` (the same degenerate-case contract as
+/// [`parallel_for_each_chunk_mut`]); a non-empty `out` panics if its length
+/// is not a multiple of `chunk_len` or if `group_of` returns an index `>=
 /// num_groups`.
 pub fn parallel_for_each_chunk_group_mut<G, F>(
     out: &mut [f32],
@@ -186,6 +198,11 @@ pub fn parallel_for_each_chunk_group_mut<G, F>(
 {
     /// One group's chunks: `(chunk_index, chunk)` pairs in ascending order.
     type ChunkGroup<'a> = Vec<(usize, &'a mut [f32])>;
+    if out.is_empty() {
+        // Same degenerate-case contract as `parallel_for_each_chunk_mut`:
+        // zero chunks means nothing to do, whatever `chunk_len` says.
+        return;
+    }
     check_chunk_math("parallel_for_each_chunk_group_mut", out.len(), chunk_len);
     let mut groups: Vec<ChunkGroup<'_>> = (0..num_groups).map(|_| Vec::new()).collect();
     for (idx, chunk) in out.chunks_mut(chunk_len).enumerate() {
@@ -336,6 +353,35 @@ mod tests {
     fn chunk_mut_rejects_zero_chunk_len() {
         let mut data = vec![0.0f32; 8];
         parallel_for_each_chunk_mut(&mut data, 0, |_, _| {});
+    }
+
+    #[test]
+    fn chunk_mut_treats_empty_output_as_a_no_op() {
+        // A zero-size batch (e.g. an empty tensor reaching a kernel through
+        // the serve batcher) holds zero chunks: no body call, no panic —
+        // even with a chunk length that could never tile a non-empty slice.
+        let mut data: Vec<f32> = Vec::new();
+        parallel_for_each_chunk_mut(&mut data, 4, |_, _| panic!("no chunks to visit"));
+        parallel_for_each_chunk_mut(&mut data, 0, |_, _| panic!("no chunks to visit"));
+    }
+
+    #[test]
+    fn chunk_group_mut_treats_empty_output_as_a_no_op() {
+        let mut data: Vec<f32> = Vec::new();
+        parallel_for_each_chunk_group_mut(
+            &mut data,
+            4,
+            3,
+            |_| 0,
+            |_, _| panic!("no chunks to visit"),
+        );
+        parallel_for_each_chunk_group_mut(
+            &mut data,
+            0,
+            3,
+            |_| 0,
+            |_, _| panic!("no chunks to visit"),
+        );
     }
 
     #[test]

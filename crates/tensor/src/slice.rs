@@ -101,6 +101,73 @@ impl Tensor {
         Tensor::cat_channels(&refs)
     }
 
+    /// Stacks tensors along the batch (first) axis into one contiguous
+    /// tensor: inputs of shape `[n_i, D...]` produce `[sum(n_i), D...]`.
+    ///
+    /// This is the gather half of the serving batcher: per-request inputs
+    /// (usually `[1, C, H, W]`) are stacked into a single batched tensor so
+    /// one `infer` call serves every request. All inputs must agree in rank
+    /// and trailing dimensions; batch-0 inputs are allowed and contribute
+    /// nothing.
+    pub fn cat_batch(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "cat_batch needs at least one tensor");
+        let first = parts[0];
+        assert!(first.rank() >= 1, "cat_batch requires rank >= 1 tensors");
+        let trailing = &first.shape()[1..];
+        let total_n: usize = parts
+            .iter()
+            .map(|p| {
+                assert_eq!(
+                    &p.shape()[1..],
+                    trailing,
+                    "cat_batch trailing-dimension mismatch: {:?} vs {:?}",
+                    p.shape(),
+                    first.shape()
+                );
+                p.dim(0)
+            })
+            .sum();
+        let mut dims = vec![total_n];
+        dims.extend_from_slice(trailing);
+        let mut out = Tensor::zeros(&dims);
+        let mut offset = 0usize;
+        let dst = out.as_mut_slice();
+        for p in parts {
+            let src = p.as_slice();
+            dst[offset..offset + src.len()].copy_from_slice(src);
+            offset += src.len();
+        }
+        out
+    }
+
+    /// Splits a tensor along the batch (first) axis into pieces of the given
+    /// batch sizes (which must sum to `dim(0)`) — the scatter half of the
+    /// serving batcher, carving per-request outputs back out of a batched
+    /// result. Zero-sized pieces are allowed.
+    pub fn split_batch(&self, batch_sizes: &[usize]) -> Vec<Tensor> {
+        assert!(self.rank() >= 1, "split_batch requires a rank >= 1 tensor");
+        let total: usize = batch_sizes.iter().sum();
+        assert_eq!(
+            total,
+            self.dim(0),
+            "split_batch sizes sum to {total} but the batch axis holds {}",
+            self.dim(0)
+        );
+        let stride: usize = self.shape()[1..].iter().product();
+        let mut out = Vec::with_capacity(batch_sizes.len());
+        let mut start = 0usize;
+        for &n in batch_sizes {
+            let mut dims = vec![n];
+            dims.extend_from_slice(&self.shape()[1..]);
+            out.push(Tensor::from_vec(
+                self.as_slice()[start * stride..(start + n) * stride].to_vec(),
+                &dims,
+            ));
+            start += n;
+        }
+        out
+    }
+
     /// Splits an NCHW tensor into `groups` equal channel groups.
     pub fn split_channels(&self, groups: usize) -> Vec<Tensor> {
         assert_eq!(self.rank(), 4, "split_channels requires an NCHW tensor");
@@ -213,5 +280,65 @@ mod tests {
     #[should_panic]
     fn split_channels_requires_divisibility() {
         sample().split_channels(3);
+    }
+
+    #[test]
+    fn cat_batch_stacks_along_the_first_axis() {
+        let a = Tensor::arange(&[1, 2, 2, 2]);
+        let b = a.map(|v| v + 100.0);
+        let c = Tensor::cat_batch(&[&a, &b]);
+        assert_eq!(c.shape(), &[2, 2, 2, 2]);
+        assert_eq!(&c.as_slice()[..8], a.as_slice());
+        assert_eq!(&c.as_slice()[8..], b.as_slice());
+        // Mixed batch sizes and rank-2 tensors work too.
+        let x = Tensor::arange(&[2, 3]);
+        let y = Tensor::arange(&[1, 3]);
+        assert_eq!(Tensor::cat_batch(&[&x, &y]).shape(), &[3, 3]);
+    }
+
+    #[test]
+    fn cat_batch_allows_zero_sized_batches() {
+        let empty = Tensor::zeros(&[0, 2, 2, 2]);
+        let one = Tensor::ones(&[1, 2, 2, 2]);
+        let c = Tensor::cat_batch(&[&empty, &one, &empty]);
+        assert_eq!(c.shape(), &[1, 2, 2, 2]);
+        assert_eq!(c.as_slice(), one.as_slice());
+        let all_empty = Tensor::cat_batch(&[&empty]);
+        assert_eq!(all_empty.shape(), &[0, 2, 2, 2]);
+        assert_eq!(all_empty.numel(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cat_batch_rejects_trailing_dim_mismatch() {
+        let a = Tensor::zeros(&[1, 2, 2, 2]);
+        let b = Tensor::zeros(&[1, 3, 2, 2]);
+        Tensor::cat_batch(&[&a, &b]);
+    }
+
+    #[test]
+    fn split_batch_round_trips_cat_batch() {
+        let a = Tensor::arange(&[2, 3]);
+        let b = Tensor::arange(&[1, 3]).map(|v| v + 50.0);
+        let joined = Tensor::cat_batch(&[&a, &b]);
+        let parts = joined.split_batch(&[2, 1]);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].as_slice(), a.as_slice());
+        assert_eq!(parts[1].as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn split_batch_allows_zero_sized_pieces() {
+        let t = Tensor::arange(&[2, 4]);
+        let parts = t.split_batch(&[0, 2, 0]);
+        assert_eq!(parts[0].shape(), &[0, 4]);
+        assert_eq!(parts[1].as_slice(), t.as_slice());
+        assert_eq!(parts[2].numel(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_batch_rejects_wrong_total() {
+        Tensor::arange(&[3, 2]).split_batch(&[2, 2]);
     }
 }

@@ -1,13 +1,20 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! The build environment has no access to crates.io, so this crate provides
-//! the one piece of `crossbeam` the workspace uses: [`scope`]d threads with
-//! the `crossbeam 0.8` calling convention (`scope(|s| { s.spawn(|_| ...) })`
-//! returning a `Result` that is `Err` when a child thread panicked).
-//! Internally it is a thin wrapper over `std::thread::scope`, which has been
-//! stable since Rust 1.63 and provides the same non-`'static` borrowing.
+//! the two pieces of `crossbeam` the workspace uses:
+//!
+//! * [`scope`]d threads with the `crossbeam 0.8` calling convention
+//!   (`scope(|s| { s.spawn(|_| ...) })` returning a `Result` that is `Err`
+//!   when a child thread panicked). Internally a thin wrapper over
+//!   `std::thread::scope`, which has been stable since Rust 1.63 and
+//!   provides the same non-`'static` borrowing.
+//! * [`channel`] — clonable MPMC FIFO channels (`bounded` / `unbounded`)
+//!   with blocking, timeout and non-blocking operations, the request queue
+//!   of the `dsx-serve` batching engine.
 
 #![warn(missing_docs)]
+
+pub mod channel;
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
