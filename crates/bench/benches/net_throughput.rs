@@ -1,0 +1,234 @@
+//! Network-path serving throughput: batched serving over a real TCP
+//! socket vs. the serial-unbatched network baseline, per kernel backend,
+//! with a machine-readable report for the CI `serve` gate.
+//!
+//! Writes `BENCH_PR4.json` at the repo root (override with
+//! `DSX_NET_BENCH_JSON`) and exits non-zero when the blocked backend
+//! misses either gate:
+//!
+//! * `DSX_NET_MIN_SPEEDUP` — required batched-over-serial speedup at
+//!   `max_batch = 8` (the acceptance bar is 1.5);
+//! * `DSX_NET_MIN_RPS` — required absolute batched network throughput in
+//!   requests/second (set generously for shared runners).
+//!
+//! Other knobs: `DSX_NET_REQUESTS` (batched request count, default 96).
+//!
+//! Methodology mirrors `serve_throughput`, moved onto the wire:
+//!
+//! * the **serial baseline** is its own server at `max_batch = 1` (so a
+//!   lone connection pays no batch-formation wait) driven by ONE
+//!   connection doing blocking round trips — one request per forward pass,
+//!   plus the full protocol cost: encode, syscalls, loopback RTT, decode;
+//! * the **batched run** is a fresh server at `max_batch = 8` driven by 16
+//!   concurrent connections, everything else identical.
+//!
+//! Kernel threads and the engine worker pool are pinned to ONE thread so
+//! the measured speedup isolates request batching (plus the protocol's
+//! ability to keep the batcher fed), not core count.
+
+use dsx_core::BackendKind;
+use dsx_net::{run_net_load, NetLoadConfig, NetLoadReport, NetServer};
+use dsx_serve::loadgen::INPUT_HW;
+use dsx_serve::{build_serving_model, serving_spec, ServeConfig};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const MAX_BATCH: usize = 8;
+const MAX_WAIT: Duration = Duration::from_micros(2000);
+const CONCURRENCY: usize = 16;
+const DEFAULT_REQUESTS: usize = 96;
+/// One worker on purpose — see the module docs: the gate measures
+/// batching, not core count.
+const WORKERS: usize = 1;
+
+/// One backend's measurements.
+struct BackendRow {
+    backend: BackendKind,
+    serial: NetLoadReport,
+    batched: NetLoadReport,
+}
+
+impl BackendRow {
+    fn speedup(&self) -> f64 {
+        self.batched.throughput_rps / self.serial.throughput_rps
+    }
+}
+
+fn json_path() -> PathBuf {
+    if let Ok(path) = std::env::var("DSX_NET_BENCH_JSON") {
+        return PathBuf::from(path);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json")
+}
+
+fn render_json(rows: &[BackendRow], requests: usize) -> String {
+    let spec = serving_spec();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"dsx-bench/net-throughput/1\",\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"model\": \"{}\", \"input_hw\": {}, \
+         \"mflops_per_request\": {:.2}, \"transport\": \"tcp-loopback\"}},\n",
+        spec.name,
+        INPUT_HW,
+        spec.mflops(),
+    ));
+    out.push_str(&format!(
+        "  \"engine\": {{\"max_batch\": {MAX_BATCH}, \"max_wait_us\": {}, \
+         \"workers\": {WORKERS}, \"connections\": {CONCURRENCY}, \"requests\": {requests}}},\n",
+        MAX_WAIT.as_micros(),
+    ));
+    out.push_str("  \"backends\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"serial_rps\": {:.1}, \"batched_rps\": {:.1}, \
+             \"speedup_batched_vs_serial\": {:.3}, \"serial_p50_us\": {}, \
+             \"batched_p50_us\": {}, \"batched_p95_us\": {}, \"batched_p99_us\": {}}}{}\n",
+            row.backend,
+            row.serial.throughput_rps,
+            row.batched.throughput_rps,
+            row.speedup(),
+            row.serial.p50_latency_us,
+            row.batched.p50_latency_us,
+            row.batched.p95_latency_us,
+            row.batched.p99_latency_us,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let blocked = rows.iter().find(|r| r.backend == BackendKind::Blocked);
+    out.push_str(&format!(
+        "  \"blocked_net_speedup_batched_vs_serial\": {},\n",
+        blocked
+            .map(|r| format!("{:.3}", r.speedup()))
+            .unwrap_or_else(|| "null".to_string())
+    ));
+    out.push_str(&format!(
+        "  \"blocked_net_batched_rps\": {}\n",
+        blocked
+            .map(|r| format!("{:.1}", r.batched.throughput_rps))
+            .unwrap_or_else(|| "null".to_string())
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Starts a server on an ephemeral loopback port, runs one load shape
+/// against it, and shuts it down.
+fn measure(backend: BackendKind, max_batch: usize, load: &NetLoadConfig) -> NetLoadReport {
+    let model = build_serving_model(&serving_spec(), backend);
+    let server = NetServer::start(
+        "127.0.0.1:0",
+        model,
+        ServeConfig::default()
+            .with_max_batch(max_batch)
+            .with_max_wait(MAX_WAIT)
+            .with_workers(WORKERS)
+            .with_request_dims(&[3, INPUT_HW, INPUT_HW]),
+    )
+    .expect("binding the bench server");
+    let report = run_net_load(server.local_addr(), load);
+    server.shutdown();
+    report
+}
+
+fn gate(name: &str, env: &str, got: f64) -> bool {
+    let Ok(min) = std::env::var(env) else {
+        return true;
+    };
+    let min: f64 = min
+        .parse()
+        .unwrap_or_else(|e| panic!("{env} must be a float: {e}"));
+    if got < min {
+        eprintln!("NET GATE FAILED: {name} is {got:.2} (required {min:.2})");
+        false
+    } else {
+        println!("  net gate passed: {name} {got:.2} >= {min:.2}");
+        true
+    }
+}
+
+fn main() {
+    // One kernel thread per forward pass: request-level concurrency is the
+    // thing under test.
+    dsx_tensor::set_num_threads(1);
+    let requests = std::env::var("DSX_NET_REQUESTS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_REQUESTS);
+    let spec = serving_spec();
+    println!(
+        "net throughput workload: {} ({:.2} MFLOPs/request) over TCP loopback, \
+         {requests} requests, max_batch {MAX_BATCH}, {WORKERS} worker",
+        spec.name,
+        spec.mflops(),
+    );
+
+    let mut rows = Vec::new();
+    for backend in BackendKind::ALL {
+        // Warm the connect path and the model once before timing.
+        measure(
+            backend,
+            1,
+            &NetLoadConfig {
+                requests: 2,
+                concurrency: 1,
+            },
+        );
+        let serial = measure(
+            backend,
+            1,
+            &NetLoadConfig {
+                requests: (requests / 2).max(8),
+                concurrency: 1,
+            },
+        );
+        let batched = measure(
+            backend,
+            MAX_BATCH,
+            &NetLoadConfig {
+                requests,
+                concurrency: CONCURRENCY,
+            },
+        );
+        println!(
+            "  {:<8} serial {:>8.1} req/s | batched {:>8.1} req/s | {:.2}x | \
+             batched p50/p99 {}/{} us",
+            backend.name(),
+            serial.throughput_rps,
+            batched.throughput_rps,
+            batched.throughput_rps / serial.throughput_rps,
+            batched.p50_latency_us,
+            batched.p99_latency_us,
+        );
+        rows.push(BackendRow {
+            backend,
+            serial,
+            batched,
+        });
+    }
+
+    let json = render_json(&rows, requests);
+    let path = json_path();
+    std::fs::write(&path, &json)
+        .unwrap_or_else(|e| panic!("cannot write net report {}: {e}", path.display()));
+    println!("  wrote {}", path.display());
+
+    let blocked = rows
+        .iter()
+        .find(|r| r.backend == BackendKind::Blocked)
+        .expect("blocked backend was measured");
+    let speedup_ok = gate(
+        "blocked batched-vs-serial network speedup",
+        "DSX_NET_MIN_SPEEDUP",
+        blocked.speedup(),
+    );
+    let rps_ok = gate(
+        "blocked batched network throughput (req/s)",
+        "DSX_NET_MIN_RPS",
+        blocked.batched.throughput_rps,
+    );
+    if !(speedup_ok && rps_ok) {
+        std::process::exit(1);
+    }
+}

@@ -43,6 +43,9 @@ struct BackendRow {
     batched_rps: f64,
     mean_batch_occupancy: f64,
     mean_latency_us: f64,
+    p50_latency_us: u64,
+    p95_latency_us: u64,
+    p99_latency_us: u64,
 }
 
 impl BackendRow {
@@ -80,13 +83,17 @@ fn render_json(rows: &[BackendRow], requests: usize, workers: usize) -> String {
         out.push_str(&format!(
             "    {{\"backend\": \"{}\", \"serial_rps\": {:.1}, \"batched_rps\": {:.1}, \
              \"speedup_batched_vs_serial\": {:.3}, \"mean_batch_occupancy\": {:.2}, \
-             \"mean_latency_us\": {:.0}}}{}\n",
+             \"mean_latency_us\": {:.0}, \"p50_latency_us\": {}, \"p95_latency_us\": {}, \
+             \"p99_latency_us\": {}}}{}\n",
             row.backend,
             row.serial_rps,
             row.batched_rps,
             row.speedup(),
             row.mean_batch_occupancy,
             row.mean_latency_us,
+            row.p50_latency_us,
+            row.p95_latency_us,
+            row.p99_latency_us,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -143,13 +150,15 @@ fn main() {
         );
         println!(
             "  {:<8} serial {:>8.1} req/s | batched {:>8.1} req/s | {:.2}x | occupancy {:.2} | \
-             latency mean {:.0} us",
+             latency mean {:.0} us, p50 {} us, p99 {} us",
             backend.name(),
             serial.throughput_rps,
             snapshot.throughput_rps,
             snapshot.throughput_rps / serial.throughput_rps,
             snapshot.mean_batch_occupancy,
             snapshot.mean_latency_us,
+            snapshot.p50_latency_us,
+            snapshot.p99_latency_us,
         );
         rows.push(BackendRow {
             backend,
@@ -157,6 +166,9 @@ fn main() {
             batched_rps: snapshot.throughput_rps,
             mean_batch_occupancy: snapshot.mean_batch_occupancy,
             mean_latency_us: snapshot.mean_latency_us,
+            p50_latency_us: snapshot.p50_latency_us,
+            p95_latency_us: snapshot.p95_latency_us,
+            p99_latency_us: snapshot.p99_latency_us,
         });
     }
 

@@ -1,0 +1,147 @@
+//! The client half of the wire protocol: a blocking [`NetClient`] that can
+//! run simple round trips or pipeline many tagged requests and reassemble
+//! the out-of-order responses by id.
+
+use crate::protocol::{self, ErrorCode, Frame, WireError};
+use dsx_tensor::Tensor;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// An error surfaced to a client caller.
+#[derive(Debug)]
+pub enum NetError {
+    /// The socket failed (or closed unexpectedly mid-conversation).
+    Io(io::Error),
+    /// A frame off the wire did not parse.
+    Wire(WireError),
+    /// The server answered with an error frame.
+    Server {
+        /// The typed code the server sent.
+        code: ErrorCode,
+        /// The server's human-readable detail.
+        message: String,
+    },
+    /// The server sent a frame kind a client should never receive.
+    UnexpectedFrame(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Wire(e) => write!(f, "protocol error: {e}"),
+            NetError::Server { code, message } => write!(f, "server error: {code}: {message}"),
+            NetError::UnexpectedFrame(what) => write!(f, "unexpected frame from server: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => NetError::Io(io),
+            other => NetError::Wire(other),
+        }
+    }
+}
+
+/// A blocking protocol client over one TCP connection.
+///
+/// Ids are assigned monotonically by [`NetClient::send_request`]; since the
+/// server replies in batch-completion order, a pipelining caller must match
+/// responses to requests by the echoed id ([`NetClient::read_reply`]
+/// returns it) rather than by arrival order.
+pub struct NetClient {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+/// One reply off the wire: the echoed request id plus the served tensor or
+/// the server's typed error.
+#[derive(Debug)]
+pub struct Reply {
+    /// The request id this reply answers (0 for unattributable protocol
+    /// errors).
+    pub id: u64,
+    /// The served output, or the server's error frame.
+    pub result: Result<Tensor, (ErrorCode, String)>,
+}
+
+impl NetClient {
+    /// Connects to a `dsx-net` server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient {
+            writer: BufWriter::new(stream.try_clone()?),
+            reader: BufReader::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request frame carrying `input`, returning the id assigned
+    /// to it. Does not wait for the reply — callers may pipeline.
+    pub fn send_request(&mut self, input: &Tensor) -> Result<u64, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_request_with_id(id, input)?;
+        Ok(id)
+    }
+
+    /// Sends one request frame under a caller-chosen id (tests use this to
+    /// interleave id spaces). The caller owns uniqueness.
+    pub fn send_request_with_id(&mut self, id: u64, input: &Tensor) -> Result<(), NetError> {
+        protocol::write_frame(
+            &mut self.writer,
+            &Frame::Request {
+                id,
+                tensor: input.clone(),
+            },
+        )?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Blocks for the next reply frame, whatever request it answers.
+    pub fn read_reply(&mut self) -> Result<Reply, NetError> {
+        match protocol::read_frame(&mut self.reader)? {
+            Frame::Response { id, tensor } => Ok(Reply {
+                id,
+                result: Ok(tensor),
+            }),
+            Frame::Error { id, code, message } => Ok(Reply {
+                id,
+                result: Err((code, message)),
+            }),
+            Frame::Request { id, .. } => Err(NetError::UnexpectedFrame(format!(
+                "request frame (id {id}) from the server"
+            ))),
+        }
+    }
+
+    /// One blocking round trip: send `input`, wait for *its* reply (replies
+    /// to other pipelined ids are an error here — use
+    /// [`NetClient::read_reply`] when pipelining), and unwrap the output.
+    pub fn infer(&mut self, input: &Tensor) -> Result<Tensor, NetError> {
+        let id = self.send_request(input)?;
+        let reply = self.read_reply()?;
+        if reply.id != id {
+            return Err(NetError::UnexpectedFrame(format!(
+                "reply for id {} while waiting for id {id}",
+                reply.id
+            )));
+        }
+        reply
+            .result
+            .map_err(|(code, message)| NetError::Server { code, message })
+    }
+}

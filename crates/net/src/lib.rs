@@ -1,0 +1,55 @@
+//! # dsx-net
+//!
+//! A TCP wire-protocol front-end for the `dsx-serve` micro-batching
+//! engine: the piece that makes the whole serving stack exercisable from
+//! outside the process.
+//!
+//! * [`protocol`] — the length-prefixed binary frame format (`len | magic
+//!   "DSXN" | version | kind | request id | payload`), tensor payloads via
+//!   `dsx_tensor::wire`, and typed error frames;
+//! * [`server`] — [`NetServer`]: an acceptor plus a reader/writer thread
+//!   pair per connection, submitting into the shared engine through
+//!   `ServeHandle::submit_tagged` and streaming responses back in
+//!   batch-completion order (out-of-order by request id);
+//! * [`client`] — [`NetClient`]: blocking round trips or pipelined tagged
+//!   requests over one connection;
+//! * [`netload`] — the network load generator behind `dsx-serve
+//!   --connect`, with client-observed latency percentiles.
+//!
+//! The `dsx-serve` binary lives in this crate (it needs the network modes,
+//! and `dsx-net` depends on `dsx-serve`'s library): without flags it runs
+//! the in-process load generator as before; `--listen ADDR` serves the
+//! engine over TCP; `--connect ADDR` drives a remote server.
+//!
+//! ## Example
+//!
+//! ```
+//! use dsx_net::{NetClient, NetServer};
+//! use dsx_nn::{GlobalAvgPool, Layer, Linear, Sequential};
+//! use dsx_serve::ServeConfig;
+//! use dsx_tensor::Tensor;
+//! use std::sync::Arc;
+//!
+//! let model: Arc<dyn Layer> = Arc::new(
+//!     Sequential::new("m").push(GlobalAvgPool::new()).push(Linear::new(2, 3, 1)),
+//! );
+//! let server = NetServer::start("127.0.0.1:0", model, ServeConfig::default()).unwrap();
+//! let mut client = NetClient::connect(server.local_addr()).unwrap();
+//! let logits = client.infer(&Tensor::randn(&[1, 2, 4, 4], 7)).unwrap();
+//! assert_eq!(logits.shape(), &[1, 3]);
+//! drop(client);
+//! let report = server.shutdown();
+//! assert_eq!(report.requests, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod netload;
+pub mod protocol;
+pub mod server;
+
+pub use client::{NetClient, NetError, Reply};
+pub use netload::{run_net_load, NetLoadConfig, NetLoadReport};
+pub use protocol::{ErrorCode, Frame, WireError, MAGIC, MAX_FRAME_LEN, VERSION};
+pub use server::NetServer;

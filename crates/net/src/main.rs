@@ -1,0 +1,411 @@
+//! `dsx-serve` — the serving binary: an in-process load generator (the
+//! PR-3 behaviour), a TCP server mode, and a network load-generator mode.
+//!
+//! ```text
+//! dsx-serve [--requests N] [--concurrency N] [--backend <naive|blocked>]
+//!           [--max-batch N] [--max-wait-us N] [--workers N]
+//!           [--queue-capacity N] [--par-threads N] [--skip-serial]
+//!           [--adaptive]
+//!           [--listen IP:PORT [--serve-secs S]] | [--connect IP:PORT]
+//! ```
+//!
+//! * no address flag — build the serving model, drive the in-process
+//!   batching engine with the built-in load generator, report batched vs.
+//!   serial-unbatched throughput;
+//! * `--listen IP:PORT` — serve the model over the `dsx-net` wire protocol
+//!   (port 0 picks an ephemeral port; the bound address is printed). Runs
+//!   for `--serve-secs` seconds (default: forever), then drains and prints
+//!   the serving report;
+//! * `--connect IP:PORT` — no model is built; drive a remote server with
+//!   `--requests` round trips over `--concurrency` connections and report
+//!   client-observed throughput and latency percentiles.
+//!
+//! Every flag is parsed (and validated) *before* the model is built: the
+//! kernel backend is a process-wide construction-time default in
+//! `dsx-core`, so a flag error after construction would be both too late
+//! and misleading. Invalid flags — including `--listen` together with
+//! `--connect`, and unparseable socket addresses — exit with status 2.
+
+use dsx_core::BackendKind;
+use dsx_net::{NetLoadConfig, NetServer};
+use dsx_serve::loadgen::INPUT_HW;
+use dsx_serve::{
+    build_serving_model, run_load, run_serial, serving_spec, AdaptiveWaitConfig, LoadConfig,
+    ServeConfig,
+};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct Cli {
+    requests: usize,
+    concurrency: usize,
+    backend: BackendKind,
+    max_batch: usize,
+    max_wait: Duration,
+    workers: usize,
+    queue_capacity: usize,
+    /// Kernel-level threads inside one forward pass. Defaults to 1 so the
+    /// worker pool (request-level parallelism) is the only thread source
+    /// and batched-vs-serial numbers compare like for like.
+    par_threads: usize,
+    skip_serial: bool,
+    /// Enable the adaptive `max_wait` controller on the engine.
+    adaptive: bool,
+    /// Serve the engine over TCP on this address.
+    listen: Option<SocketAddr>,
+    /// Drive a remote server at this address instead of running locally.
+    connect: Option<SocketAddr>,
+    /// With `--listen`: serve this many seconds, then drain and report.
+    /// `None` = run until killed.
+    serve_secs: Option<f64>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            requests: 256,
+            concurrency: 16,
+            backend: BackendKind::Blocked,
+            max_batch: 8,
+            max_wait: Duration::from_micros(2000),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_capacity: 32,
+            par_threads: 1,
+            skip_serial: false,
+            adaptive: false,
+            listen: None,
+            connect: None,
+            serve_secs: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: dsx-serve [--requests N] [--concurrency N] \
+[--backend <naive|blocked>] [--max-batch N] [--max-wait-us N] [--workers N] \
+[--queue-capacity N] [--par-threads N] [--skip-serial] [--adaptive] \
+[--listen IP:PORT [--serve-secs S]] | [--connect IP:PORT]";
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        // Accept both `--flag value` and `--flag=value`.
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((flag, value)) => (flag, Some(value.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = |flag: &str| -> Result<String, String> {
+            match &inline_value {
+                Some(v) => Ok(v.clone()),
+                None => iter
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value\n{USAGE}")),
+            }
+        };
+        let parse_usize = |flag: &str, value: String| -> Result<usize, String> {
+            value
+                .parse::<usize>()
+                .map_err(|e| format!("{flag} must be a non-negative integer: {e}\n{USAGE}"))
+        };
+        let parse_addr = |flag: &str, value: String| -> Result<SocketAddr, String> {
+            value.parse::<SocketAddr>().map_err(|e| {
+                format!("{flag} must be a socket address like 127.0.0.1:7878: {e}\n{USAGE}")
+            })
+        };
+        match flag {
+            "--requests" => cli.requests = parse_usize(flag, value(flag)?)?,
+            "--concurrency" => cli.concurrency = parse_usize(flag, value(flag)?)?.max(1),
+            "--backend" => cli.backend = value(flag)?.parse::<BackendKind>()?,
+            "--max-batch" => {
+                cli.max_batch = parse_usize(flag, value(flag)?)?;
+                if cli.max_batch == 0 {
+                    return Err(format!("--max-batch must be at least 1\n{USAGE}"));
+                }
+            }
+            "--max-wait-us" => {
+                cli.max_wait = Duration::from_micros(parse_usize(flag, value(flag)?)? as u64)
+            }
+            "--workers" => cli.workers = parse_usize(flag, value(flag)?)?.max(1),
+            "--queue-capacity" => cli.queue_capacity = parse_usize(flag, value(flag)?)?.max(1),
+            "--par-threads" => cli.par_threads = parse_usize(flag, value(flag)?)?,
+            "--skip-serial" => cli.skip_serial = true,
+            "--adaptive" => cli.adaptive = true,
+            "--listen" => cli.listen = Some(parse_addr(flag, value(flag)?)?),
+            "--connect" => cli.connect = Some(parse_addr(flag, value(flag)?)?),
+            "--serve-secs" => {
+                let raw = value(flag)?;
+                let secs = raw.parse::<f64>().map_err(|e| {
+                    format!("--serve-secs must be a number of seconds: {e}\n{USAGE}")
+                })?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--serve-secs must be positive\n{USAGE}"));
+                }
+                cli.serve_secs = Some(secs);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if cli.listen.is_some() && cli.connect.is_some() {
+        return Err(format!(
+            "--listen and --connect are mutually exclusive (serve *or* drive, not both)\n{USAGE}"
+        ));
+    }
+    if cli.serve_secs.is_some() && cli.listen.is_none() {
+        return Err(format!("--serve-secs only applies with --listen\n{USAGE}"));
+    }
+    if cli.adaptive && cli.connect.is_some() {
+        return Err(format!(
+            "--adaptive tunes the local engine; it has no effect with --connect\n{USAGE}"
+        ));
+    }
+    Ok(cli)
+}
+
+/// The engine configuration the in-process and `--listen` modes share.
+fn engine_config(cli: &Cli) -> ServeConfig {
+    let mut config = ServeConfig {
+        max_batch: cli.max_batch,
+        max_wait: cli.max_wait,
+        queue_capacity: cli.queue_capacity,
+        workers: cli.workers,
+        request_dims: None,
+        adaptive: None,
+    };
+    if cli.adaptive {
+        config.adaptive = Some(AdaptiveWaitConfig::default());
+    }
+    config
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(addr) = cli.connect {
+        run_connect_mode(&cli, addr);
+        return;
+    }
+
+    // Flags are fully validated; only now may construction-time state be
+    // touched (the backend default is read when layers are built).
+    dsx_core::set_default_backend(cli.backend);
+    dsx_tensor::set_num_threads(cli.par_threads);
+
+    let spec = serving_spec();
+    println!(
+        "serving model: {} ({:.2} MFLOPs/request, backend {})",
+        spec.name,
+        spec.mflops(),
+        cli.backend
+    );
+    let model = build_serving_model(&spec, cli.backend);
+
+    if let Some(addr) = cli.listen {
+        run_listen_mode(&cli, addr, model);
+        return;
+    }
+
+    let serial = if cli.skip_serial {
+        None
+    } else {
+        let report = run_serial(&*model, cli.requests.clamp(1, 64));
+        println!(
+            "serial-unbatched: {} requests, {:.1} req/s ({:.3} ms/request)",
+            report.requests,
+            report.throughput_rps,
+            1e3 * report.elapsed_secs / report.requests as f64
+        );
+        Some(report)
+    };
+
+    let cfg = LoadConfig {
+        requests: cli.requests,
+        concurrency: cli.concurrency,
+        engine: engine_config(&cli),
+    };
+    println!(
+        "batched engine: max_batch {}, max_wait {} us{}, {} workers, {} clients",
+        cli.max_batch,
+        cli.max_wait.as_micros(),
+        if cli.adaptive { " (adaptive)" } else { "" },
+        cli.workers,
+        cli.concurrency
+    );
+    let snapshot = run_load(Arc::clone(&model), &cfg);
+    println!("batched: {snapshot}");
+
+    if let Some(serial) = serial {
+        println!(
+            "speedup: {:.2}x batched over serial-unbatched",
+            snapshot.throughput_rps / serial.throughput_rps
+        );
+    }
+}
+
+/// `--listen`: serve the engine over TCP, forever or for `--serve-secs`.
+fn run_listen_mode(cli: &Cli, addr: SocketAddr, model: Arc<dyn dsx_nn::Layer>) {
+    let mut config = engine_config(cli);
+    // Network clients speak the serving model's request shape; declaring it
+    // turns a stray shape into a per-request error frame instead of a
+    // poisoned batch.
+    config.request_dims = Some(vec![3, INPUT_HW, INPUT_HW]);
+    let server = match NetServer::start(&addr.to_string(), model, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("dsx-serve: cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The exact line (with the resolved ephemeral port) scripts parse.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    match cli.serve_secs {
+        Some(secs) => {
+            std::thread::sleep(Duration::from_secs_f64(secs));
+            let snapshot = server.shutdown();
+            println!("served: {snapshot}");
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+}
+
+/// `--connect`: drive a remote server and report client-observed numbers.
+fn run_connect_mode(cli: &Cli, addr: SocketAddr) {
+    println!(
+        "net loadgen -> {addr}: {} requests over {} connections",
+        cli.requests, cli.concurrency
+    );
+    let serial = if cli.skip_serial {
+        None
+    } else {
+        let report = dsx_net::run_net_load(
+            addr,
+            &NetLoadConfig {
+                requests: cli.requests.clamp(1, 64),
+                concurrency: 1,
+            },
+        );
+        println!("net serial (1 connection): {report}");
+        Some(report)
+    };
+    let report = dsx_net::run_net_load(
+        addr,
+        &NetLoadConfig {
+            requests: cli.requests,
+            concurrency: cli.concurrency,
+        },
+    );
+    println!("net batched ({} connections): {report}", cli.concurrency);
+    if let Some(serial) = serial {
+        println!(
+            "speedup: {:.2}x concurrent over single-connection",
+            report.throughput_rps / serial.throughput_rps
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply_with_no_flags() {
+        let cli = parse_cli(&[]).unwrap();
+        assert_eq!(cli, Cli::default());
+    }
+
+    #[test]
+    fn flags_parse_in_both_spellings() {
+        let cli = parse_cli(&args(&[
+            "--requests",
+            "32",
+            "--backend=naive",
+            "--max-batch=4",
+            "--max-wait-us",
+            "500",
+            "--skip-serial",
+        ]))
+        .unwrap();
+        assert_eq!(cli.requests, 32);
+        assert_eq!(cli.backend, BackendKind::Naive);
+        assert_eq!(cli.max_batch, 4);
+        assert_eq!(cli.max_wait, Duration::from_micros(500));
+        assert!(cli.skip_serial);
+    }
+
+    #[test]
+    fn invalid_backend_is_a_parse_error_not_a_warning() {
+        let err = parse_cli(&args(&["--backend", "cuda"])).unwrap_err();
+        assert!(err.contains("unknown kernel backend"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_and_missing_values_error_out() {
+        assert!(parse_cli(&args(&["--frobnicate"])).is_err());
+        assert!(parse_cli(&args(&["--requests"])).is_err());
+        assert!(parse_cli(&args(&["--max-batch", "0"])).is_err());
+        assert!(parse_cli(&args(&["--requests", "many"])).is_err());
+    }
+
+    #[test]
+    fn network_addresses_parse_and_validate() {
+        let cli = parse_cli(&args(&["--listen", "127.0.0.1:0"])).unwrap();
+        assert_eq!(cli.listen.unwrap().port(), 0);
+        let cli = parse_cli(&args(&["--connect=127.0.0.1:7878"])).unwrap();
+        assert_eq!(cli.connect.unwrap().port(), 7878);
+        // Hostnames, bare ports and junk are rejected up front.
+        for bad in ["localhost:7878", "7878", "127.0.0.1", "1.2.3.4:notaport"] {
+            let err = parse_cli(&args(&["--listen", bad])).unwrap_err();
+            assert!(err.contains("socket address"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn listen_and_connect_are_mutually_exclusive() {
+        let err = parse_cli(&args(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--connect",
+            "127.0.0.1:1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn serve_secs_requires_listen_and_positivity() {
+        assert!(parse_cli(&args(&["--serve-secs", "5"])).is_err());
+        assert!(parse_cli(&args(&["--listen", "127.0.0.1:0", "--serve-secs", "0"])).is_err());
+        assert!(parse_cli(&args(&["--listen", "127.0.0.1:0", "--serve-secs", "nan"])).is_err());
+        let cli = parse_cli(&args(&["--listen", "127.0.0.1:0", "--serve-secs", "2.5"])).unwrap();
+        assert_eq!(cli.serve_secs, Some(2.5));
+    }
+
+    #[test]
+    fn adaptive_conflicts_with_connect_but_not_listen() {
+        assert!(parse_cli(&args(&["--connect", "127.0.0.1:1", "--adaptive"])).is_err());
+        let cli = parse_cli(&args(&["--listen", "127.0.0.1:0", "--adaptive"])).unwrap();
+        assert!(cli.adaptive);
+        assert!(engine_config(&cli).adaptive.is_some());
+    }
+}

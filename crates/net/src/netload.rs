@@ -1,0 +1,140 @@
+//! The network load generator: concurrent [`NetClient`] connections
+//! hammering a `dsx-net` server, with client-observed latency percentiles
+//! — the socket-side counterpart of `dsx_serve::loadgen`.
+
+use crate::client::NetClient;
+use dsx_serve::loadgen::{request_input, CLASSES};
+use std::net::ToSocketAddrs;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load shape: how many requests, over how many concurrent connections.
+#[derive(Debug, Clone)]
+pub struct NetLoadConfig {
+    /// Total requests to send across all connections.
+    pub requests: usize,
+    /// Concurrent client connections (each its own TCP stream + thread).
+    pub concurrency: usize,
+}
+
+/// What a load run measured, from the client's side of the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetLoadReport {
+    /// Requests completed.
+    pub requests: usize,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_secs: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Mean client-observed round-trip latency in µs.
+    pub mean_latency_us: f64,
+    /// Median client-observed round-trip latency in µs.
+    pub p50_latency_us: u64,
+    /// 95th-percentile client-observed round-trip latency in µs.
+    pub p95_latency_us: u64,
+    /// 99th-percentile client-observed round-trip latency in µs.
+    pub p99_latency_us: u64,
+    /// Worst client-observed round-trip latency in µs.
+    pub max_latency_us: u64,
+}
+
+impl std::fmt::Display for NetLoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests in {:.2} s ({:.1} req/s); round-trip latency mean {:.0} us, \
+             p50 {} us, p95 {} us, p99 {} us, max {} us",
+            self.requests,
+            self.elapsed_secs,
+            self.throughput_rps,
+            self.mean_latency_us,
+            self.p50_latency_us,
+            self.p95_latency_us,
+            self.p99_latency_us,
+            self.max_latency_us,
+        )
+    }
+}
+
+/// Exact percentile over a sorted latency sample (nearest-rank).
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Drives a server at `addr` with `cfg.concurrency` connections issuing
+/// `cfg.requests` blocking round trips in total (the serving-tower request
+/// shape), and folds the client-observed latencies into a report. Panics on
+/// any transport or server error — a load run with silent failures would
+/// report fiction.
+pub fn run_net_load<A: ToSocketAddrs + Sync>(addr: A, cfg: &NetLoadConfig) -> NetLoadReport {
+    assert!(cfg.concurrency >= 1, "need at least one connection");
+    let latencies = Mutex::new(Vec::with_capacity(cfg.requests));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..cfg.concurrency {
+            // Front connections take the remainder so exactly `requests` flow.
+            let share = cfg.requests / cfg.concurrency
+                + usize::from(client < cfg.requests % cfg.concurrency);
+            let addr = &addr;
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut conn = NetClient::connect(addr).expect("connecting the load client");
+                let mut observed = Vec::with_capacity(share);
+                for i in 0..share {
+                    let seed = (client * 1_000_003 + i) as u64;
+                    let sent = Instant::now();
+                    let out = conn
+                        .infer(&request_input(seed))
+                        .expect("round trip failed mid-load");
+                    observed.push(sent.elapsed());
+                    assert_eq!(out.shape(), &[1, CLASSES], "response shape mismatch");
+                }
+                latencies.lock().unwrap().extend(observed);
+            });
+        }
+    });
+    let elapsed = started.elapsed().max(Duration::from_nanos(1));
+    let mut latencies_us: Vec<u64> = latencies
+        .into_inner()
+        .unwrap()
+        .iter()
+        .map(|d| d.as_micros() as u64)
+        .collect();
+    latencies_us.sort_unstable();
+    let requests = latencies_us.len();
+    let sum: u64 = latencies_us.iter().sum();
+    NetLoadReport {
+        requests,
+        elapsed_secs: elapsed.as_secs_f64(),
+        throughput_rps: requests as f64 / elapsed.as_secs_f64(),
+        mean_latency_us: if requests == 0 {
+            0.0
+        } else {
+            sum as f64 / requests as f64
+        },
+        p50_latency_us: percentile_us(&latencies_us, 0.50),
+        p95_latency_us: percentile_us(&latencies_us, 0.95),
+        p99_latency_us: percentile_us(&latencies_us, 0.99),
+        max_latency_us: latencies_us.last().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_the_sorted_sample() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&sorted, 0.50), 50);
+        assert_eq!(percentile_us(&sorted, 0.95), 95);
+        assert_eq!(percentile_us(&sorted, 0.99), 99);
+        assert_eq!(percentile_us(&sorted, 1.0), 100);
+        assert_eq!(percentile_us(&[], 0.5), 0);
+        assert_eq!(percentile_us(&[7], 0.99), 7);
+    }
+}

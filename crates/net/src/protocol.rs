@@ -1,0 +1,525 @@
+//! The `dsx-net` wire protocol: length-prefixed binary frames carrying
+//! tensors (requests/responses) or typed errors, multiplexed by request id.
+//!
+//! ```text
+//!  0        4        8    10   11           19
+//! +--------+--------+----+----+------------+----------------------------+
+//! | len    | magic  | ver|kind| request id | payload                    |
+//! | u32 LE | "DSXN" | u16| u8 | u64 LE     | (tensor or error, below)   |
+//! +--------+--------+----+----+------------+----------------------------+
+//!
+//! tensor payload (kind 1 = request, kind 2 = response):
+//!   rank: u8 | dims[rank]: u32 LE | data[numel]: f32 LE
+//! error payload (kind 3):
+//!   code: u16 LE | msg_len: u32 LE | message: utf-8 bytes
+//! ```
+//!
+//! `len` counts the bytes *after* the length field (magic onward). The
+//! request id is chosen by the client and echoed verbatim in the response
+//! or error frame, so responses may stream back in any order — the engine
+//! completes batches as they fill, not as connections sent them.
+//!
+//! Decoding distinguishes recoverable malformations (the length prefix was
+//! honest, so the stream is still framed: bad magic, bad version, unknown
+//! kind, garbled payload — answer with an error frame and keep the
+//! connection) from unrecoverable ones (an absurd length prefix means the
+//! framing itself cannot be trusted: answer and close).
+
+use dsx_tensor::Tensor;
+use std::io::{self, Read, Write};
+
+/// The four bytes every frame body starts with: `b"DSXN"` on the wire.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"DSXN");
+
+/// Protocol version this build speaks.
+pub const VERSION: u16 = 1;
+
+/// Upper bound on a frame body (`len` field): 64 MiB. A batch-256 CIFAR
+/// request is ~3 MB, so this is generous headroom, not a real workload
+/// limit.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Frame kind tags on the wire.
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+const KIND_ERROR: u8 = 3;
+
+/// Bytes of a frame body before the payload: magic + version + kind + id.
+const HEADER_LEN: usize = 4 + 2 + 1 + 8;
+
+/// Typed error codes carried by error frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame could not be parsed (bad magic, unknown kind, garbled
+    /// payload). The connection survives — the length prefix kept framing.
+    Malformed,
+    /// The length prefix exceeded [`MAX_FRAME_LEN`]; the server closes the
+    /// connection after sending this, since framing is no longer trusted.
+    FrameTooLarge,
+    /// The frame declared a protocol version this server does not speak.
+    UnsupportedVersion,
+    /// The request was well-formed but rejected by the engine (wrong tensor
+    /// shape for the served model).
+    BadRequest,
+    /// The serving engine is shutting down (or the batch carrying the
+    /// request failed); retry on a new connection.
+    Shutdown,
+    /// Any other server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The on-wire `u16` for this code.
+    pub fn as_u16(self) -> u16 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::FrameTooLarge => 2,
+            ErrorCode::UnsupportedVersion => 3,
+            ErrorCode::BadRequest => 4,
+            ErrorCode::Shutdown => 5,
+            ErrorCode::Internal => 6,
+        }
+    }
+
+    /// Parses an on-wire code; unknown values collapse to
+    /// [`ErrorCode::Internal`] so old clients survive new servers.
+    pub fn from_u16(raw: u16) -> Self {
+        match raw {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::FrameTooLarge,
+            3 => ErrorCode::UnsupportedVersion,
+            4 => ErrorCode::BadRequest,
+            5 => ErrorCode::Shutdown,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Malformed => "malformed frame",
+            ErrorCode::FrameTooLarge => "frame too large",
+            ErrorCode::UnsupportedVersion => "unsupported protocol version",
+            ErrorCode::BadRequest => "bad request",
+            ErrorCode::Shutdown => "server shutting down",
+            ErrorCode::Internal => "internal server error",
+        };
+        write!(f, "{name} (code {})", self.as_u16())
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A client's inference request: `id` is echoed in the reply.
+    Request {
+        /// Client-chosen id multiplexing this connection.
+        id: u64,
+        /// The input tensor (NCHW for the serving engine).
+        tensor: Tensor,
+    },
+    /// The served output for request `id`.
+    Response {
+        /// The id of the request this answers.
+        id: u64,
+        /// The output tensor.
+        tensor: Tensor,
+    },
+    /// A typed failure. `id` is the offending request's id, or 0 when the
+    /// failure was not attributable to one (e.g. an unparseable frame).
+    Error {
+        /// The id of the request this answers (0 if unattributable).
+        id: u64,
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// The request id this frame carries.
+    pub fn id(&self) -> u64 {
+        match self {
+            Frame::Request { id, .. } | Frame::Response { id, .. } | Frame::Error { id, .. } => *id,
+        }
+    }
+}
+
+/// Why reading a frame failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed (including EOF mid-frame).
+    Io(io::Error),
+    /// The connection closed cleanly at a frame boundary.
+    Closed,
+    /// The frame body did not parse; the stream is still framed (the
+    /// declared length was consumed), so the connection is recoverable.
+    /// `id` is the request id parsed from the frame header — 0 when the
+    /// failure struck before an id could be trusted — so the peer can
+    /// attribute the resulting error frame to its request.
+    Malformed {
+        /// The offending frame's request id (0 if unattributable).
+        id: u64,
+        /// What failed to parse.
+        why: String,
+    },
+    /// The frame declared an unsupported version; recoverable like
+    /// [`WireError::Malformed`].
+    BadVersion {
+        /// The offending frame's request id.
+        id: u64,
+        /// The version the peer claimed to speak.
+        version: u16,
+    },
+    /// The length prefix exceeded [`MAX_FRAME_LEN`]; the stream can no
+    /// longer be trusted and the connection should close.
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Closed => f.write_str("connection closed"),
+            WireError::Malformed { why, .. } => write!(f, "malformed frame: {why}"),
+            WireError::BadVersion { version, .. } => {
+                write!(
+                    f,
+                    "unsupported protocol version {version} (this build speaks {VERSION})"
+                )
+            }
+            WireError::TooLarge(len) => {
+                write!(
+                    f,
+                    "frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Whether the connection's framing survived this error (the peer can
+    /// be answered with an error frame and kept).
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            WireError::Malformed { .. } | WireError::BadVersion { .. }
+        )
+    }
+
+    /// The request id the failing frame carried, when one was parsed (0
+    /// otherwise).
+    pub fn frame_id(&self) -> u64 {
+        match self {
+            WireError::Malformed { id, .. } | WireError::BadVersion { id, .. } => *id,
+            _ => 0,
+        }
+    }
+}
+
+/// Serialises `frame` into its on-wire bytes (length prefix included).
+///
+/// The payload length is computable up front for every frame kind, so the
+/// whole frame is built in one buffer — no assemble-then-prepend copy,
+/// which matters at multi-megabyte tensor payloads.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let (kind, id, payload_len) = match frame {
+        Frame::Request { id, tensor } => (KIND_REQUEST, *id, tensor.wire_len()),
+        Frame::Response { id, tensor } => (KIND_RESPONSE, *id, tensor.wire_len()),
+        Frame::Error { id, message, .. } => (KIND_ERROR, *id, 6 + message.len()),
+    };
+    let body_len = HEADER_LEN + payload_len;
+    let mut out = Vec::with_capacity(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&id.to_le_bytes());
+    match frame {
+        Frame::Request { tensor, .. } | Frame::Response { tensor, .. } => {
+            tensor.encode_wire(&mut out);
+        }
+        Frame::Error { code, message, .. } => {
+            out.extend_from_slice(&code.as_u16().to_le_bytes());
+            let msg = message.as_bytes();
+            out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+            out.extend_from_slice(msg);
+        }
+    }
+    debug_assert_eq!(out.len(), 4 + body_len, "length prefix must be exact");
+    out
+}
+
+/// Writes `frame` to `w` (no flush — callers batch flushes per drain).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+/// Reads one frame from `r`.
+///
+/// Returns [`WireError::Closed`] on EOF at a frame boundary (the peer hung
+/// up cleanly) and [`WireError::Io`] on EOF mid-frame (the peer died).
+/// Recoverable parse failures consume the whole declared frame, so the
+/// caller may keep reading subsequent frames off the same stream.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(WireError::Closed),
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::TooLarge(len));
+    }
+    if len < HEADER_LEN {
+        // Still consume the declared bytes so framing survives.
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        return Err(WireError::Malformed {
+            id: 0,
+            why: format!("frame body of {len} bytes is shorter than the {HEADER_LEN}-byte header"),
+        });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    parse_body(&body)
+}
+
+/// Parses a fully-read frame body.
+fn parse_body(body: &[u8]) -> Result<Frame, WireError> {
+    let magic = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+    if magic != MAGIC {
+        // With the magic wrong nothing else in the header is trustworthy,
+        // including the id field.
+        return Err(WireError::Malformed {
+            id: 0,
+            why: format!("bad magic {magic:#010x} (expected {MAGIC:#010x})"),
+        });
+    }
+    // The id sits after the version byte but is parsed up front: failures
+    // below should stay attributable to the request that caused them.
+    let id = u64::from_le_bytes(body[7..15].try_into().expect("8 header bytes"));
+    let version = u16::from_le_bytes([body[4], body[5]]);
+    if version != VERSION {
+        return Err(WireError::BadVersion { id, version });
+    }
+    let kind = body[6];
+    let payload = &body[HEADER_LEN..];
+    match kind {
+        KIND_REQUEST | KIND_RESPONSE => {
+            let (tensor, consumed) =
+                Tensor::decode_wire(payload).map_err(|e| WireError::Malformed {
+                    id,
+                    why: format!("tensor payload: {e}"),
+                })?;
+            if consumed != payload.len() {
+                return Err(WireError::Malformed {
+                    id,
+                    why: format!(
+                        "{} trailing bytes after the tensor payload",
+                        payload.len() - consumed
+                    ),
+                });
+            }
+            Ok(if kind == KIND_REQUEST {
+                Frame::Request { id, tensor }
+            } else {
+                Frame::Response { id, tensor }
+            })
+        }
+        KIND_ERROR => {
+            if payload.len() < 6 {
+                return Err(WireError::Malformed {
+                    id,
+                    why: "error payload shorter than code + length".to_string(),
+                });
+            }
+            let code = ErrorCode::from_u16(u16::from_le_bytes([payload[0], payload[1]]));
+            let msg_len =
+                u32::from_le_bytes([payload[2], payload[3], payload[4], payload[5]]) as usize;
+            if payload.len() != 6 + msg_len {
+                return Err(WireError::Malformed {
+                    id,
+                    why: format!(
+                        "error message length {msg_len} disagrees with payload size {}",
+                        payload.len() - 6
+                    ),
+                });
+            }
+            let message = String::from_utf8_lossy(&payload[6..]).into_owned();
+            Ok(Frame::Error { id, code, message })
+        }
+        other => Err(WireError::Malformed {
+            id,
+            why: format!("unknown frame kind {other}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) -> Frame {
+        let bytes = encode_frame(&frame);
+        let mut cursor = io::Cursor::new(bytes);
+        read_frame(&mut cursor).expect("round trip")
+    }
+
+    #[test]
+    fn request_and_response_frames_round_trip() {
+        let tensor = Tensor::randn(&[1, 3, 8, 8], 7);
+        let req = Frame::Request {
+            id: 42,
+            tensor: tensor.clone(),
+        };
+        assert_eq!(round_trip(req.clone()), req);
+        let resp = Frame::Response { id: 42, tensor };
+        assert_eq!(round_trip(resp.clone()), resp);
+    }
+
+    #[test]
+    fn error_frames_round_trip_with_code_and_message() {
+        let err = Frame::Error {
+            id: 9,
+            code: ErrorCode::BadRequest,
+            message: "expected [3, 8, 8]".to_string(),
+        };
+        assert_eq!(round_trip(err.clone()), err);
+        // Empty messages are fine too.
+        let bare = Frame::Error {
+            id: 0,
+            code: ErrorCode::Shutdown,
+            message: String::new(),
+        };
+        assert_eq!(round_trip(bare.clone()), bare);
+    }
+
+    #[test]
+    fn wire_bytes_start_with_len_then_dsxn() {
+        let bytes = encode_frame(&Frame::Error {
+            id: 1,
+            code: ErrorCode::Internal,
+            message: "x".to_string(),
+        });
+        assert_eq!(&bytes[4..8], b"DSXN");
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, bytes.len() - 4);
+    }
+
+    #[test]
+    fn eof_at_a_boundary_is_closed_but_mid_frame_is_io() {
+        let mut empty = io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut empty), Err(WireError::Closed)));
+        let bytes = encode_frame(&Frame::Request {
+            id: 1,
+            tensor: Tensor::arange(&[2, 2]),
+        });
+        let mut truncated = io::Cursor::new(bytes[..bytes.len() - 3].to_vec());
+        assert!(matches!(read_frame(&mut truncated), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn bad_magic_is_recoverable_and_consumes_the_frame() {
+        let mut bytes = encode_frame(&Frame::Request {
+            id: 1,
+            tensor: Tensor::arange(&[2, 2]),
+        });
+        bytes[4] = b'X'; // corrupt the magic
+        let good = encode_frame(&Frame::Error {
+            id: 2,
+            code: ErrorCode::Shutdown,
+            message: String::new(),
+        });
+        bytes.extend_from_slice(&good);
+        let mut cursor = io::Cursor::new(bytes);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert!(err.is_recoverable(), "{err}");
+        // The stream is still framed: the next frame parses cleanly.
+        let next = read_frame(&mut cursor).unwrap();
+        assert_eq!(next.id(), 2);
+    }
+
+    #[test]
+    fn unsupported_version_is_recoverable() {
+        let mut bytes = encode_frame(&Frame::Request {
+            id: 3,
+            tensor: Tensor::arange(&[1]),
+        });
+        bytes[8] = 99; // version low byte
+        let err = read_frame(&mut io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, WireError::BadVersion { id: 3, version: 99 }));
+        assert!(err.is_recoverable());
+        assert_eq!(err.frame_id(), 3);
+    }
+
+    #[test]
+    fn oversize_length_prefix_is_unrecoverable() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 32]);
+        let err = read_frame(&mut io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, WireError::TooLarge(_)));
+        assert!(!err.is_recoverable());
+    }
+
+    #[test]
+    fn garbled_payloads_and_unknown_kinds_are_malformed() {
+        // Unknown kind.
+        let mut bytes = encode_frame(&Frame::Request {
+            id: 4,
+            tensor: Tensor::arange(&[1]),
+        });
+        bytes[10] = 77; // kind byte
+        let err = read_frame(&mut io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, WireError::Malformed { id: 4, .. }));
+        assert_eq!(err.frame_id(), 4, "garbled kinds stay attributable");
+        // Trailing junk after a valid tensor payload.
+        let mut bytes = encode_frame(&Frame::Request {
+            id: 5,
+            tensor: Tensor::arange(&[1]),
+        });
+        let padded_len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) + 2;
+        bytes[..4].copy_from_slice(&padded_len.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0]);
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(bytes)).unwrap_err(),
+            WireError::Malformed { id: 5, .. }
+        ));
+        // Body shorter than the header.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(bytes)).unwrap_err(),
+            WireError::Malformed { id: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_unknowns_collapse_to_internal() {
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::FrameTooLarge,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::BadRequest,
+            ErrorCode::Shutdown,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code.as_u16()), code);
+        }
+        assert_eq!(ErrorCode::from_u16(999), ErrorCode::Internal);
+    }
+}

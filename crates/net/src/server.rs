@@ -1,0 +1,305 @@
+//! The TCP serving front-end: an acceptor thread plus a reader/writer
+//! thread pair per connection, all feeding the one shared
+//! [`ServeEngine`].
+//!
+//! Data path: a connection's **reader** parses request frames off the
+//! socket and calls [`ServeHandle::submit_tagged`](dsx_serve::ServeHandle::submit_tagged),
+//! which routes every engine outcome — served output, shape rejection,
+//! batch failure — onto the connection's `done` channel keyed by request
+//! id. The **writer** drains that channel and streams response/error
+//! frames back, so replies leave in batch-completion order, not submission
+//! order; the request id is what lets the client reassemble. Requests from
+//! *all* connections meet in the engine's queue, which is where
+//! cross-client batching (the whole point of the front-end) happens.
+//!
+//! Both threads share the buffered write half behind a mutex: the writer
+//! streams engine outcomes, the reader injects protocol-level error frames
+//! (malformed frame, bad version) without interleaving bytes mid-frame.
+//!
+//! Failure containment mirrors the engine's: a malformed frame is answered
+//! with an error frame and the connection lives on (the length prefix kept
+//! the stream framed); an untrustworthy length prefix closes only that
+//! connection; a client that disconnects mid-request just stops receiving
+//! — its in-flight work completes and the delivery attempt fails silently,
+//! touching neither the worker pool nor other connections.
+
+use crate::protocol::{self, ErrorCode, Frame, WireError};
+use crossbeam::channel::{self, Receiver};
+use dsx_nn::Layer;
+use dsx_serve::{ServeConfig, ServeEngine, ServeError, ServeHandle, ServeSnapshot, TaggedResponse};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the acceptor sleeps between polls of its non-blocking listener
+/// (the price of interruptible `accept` on std-only sockets).
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// A live connection's handles, kept so shutdown can close the socket and
+/// join both threads.
+struct Connection {
+    stream: TcpStream,
+    reader: JoinHandle<()>,
+    writer: JoinHandle<()>,
+}
+
+/// The running TCP front-end: owns the engine, the acceptor and every
+/// connection thread.
+pub struct NetServer {
+    engine: ServeEngine,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: JoinHandle<()>,
+    connections: Arc<Mutex<Vec<Connection>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral test port), starts the
+    /// batching engine over `model` with `config`, and begins accepting
+    /// connections.
+    pub fn start(addr: &str, model: Arc<dyn Layer>, config: ServeConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let engine = ServeEngine::start(model, config);
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            let handle = engine.handle();
+            std::thread::Builder::new()
+                .name("dsx-net-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &handle, &stop, &connections))
+                .expect("spawning the acceptor failed")
+        };
+        Ok(NetServer {
+            engine,
+            local_addr,
+            stop,
+            acceptor,
+            connections,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine's live serving counters.
+    pub fn stats(&self) -> &dsx_serve::ServeStats {
+        self.engine.stats()
+    }
+
+    /// The batcher's current `max_wait` (moves under the adaptive
+    /// controller).
+    pub fn max_wait(&self) -> Duration {
+        self.engine.max_wait()
+    }
+
+    /// Stops accepting, closes every connection, drains the engine and
+    /// returns the final serving report.
+    pub fn shutdown(self) -> ServeSnapshot {
+        self.stop.store(true, Ordering::Relaxed);
+        self.acceptor.join().expect("acceptor panicked");
+        // Closing the sockets unblocks the per-connection readers; their
+        // engine handles drop as they exit, which is what lets the engine
+        // drain its queue and retire the workers.
+        let connections = std::mem::take(&mut *self.connections.lock().unwrap());
+        for connection in &connections {
+            let _ = connection.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for connection in connections {
+            let _ = connection.reader.join();
+            let _ = connection.writer.join();
+        }
+        self.engine.shutdown()
+    }
+}
+
+/// The acceptor: poll the non-blocking listener, spawn a reader/writer
+/// pair per accepted connection, and park their handles for shutdown.
+fn accept_loop(
+    listener: &TcpListener,
+    handle: &ServeHandle,
+    stop: &AtomicBool,
+    connections: &Mutex<Vec<Connection>>,
+) {
+    let mut next_conn = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Frames are small and latency-sensitive; Nagling them
+                // would serialise the request/response ping-pong.
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nonblocking(false);
+                match spawn_connection(stream, handle.clone(), next_conn) {
+                    Ok(connection) => {
+                        let mut connections = connections.lock().unwrap();
+                        // Reap dead connections here, where one is being
+                        // added anyway: a registry that only grew would
+                        // leak one duplicated fd (plus two JoinHandles)
+                        // per closed connection until the fd limit killed
+                        // `accept` on a long-running server.
+                        connections.retain(|c| !c.reader.is_finished() || !c.writer.is_finished());
+                        connections.push(connection);
+                    }
+                    Err(e) => eprintln!("dsx-net: failed to serve a connection: {e}"),
+                }
+                next_conn += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) => {
+                eprintln!("dsx-net: accept failed: {e}");
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+/// Writes one frame and flushes, under the shared write-half lock.
+fn send_frame(out: &Mutex<BufWriter<TcpStream>>, frame: &Frame) -> io::Result<()> {
+    let mut out = out.lock().unwrap_or_else(|e| e.into_inner());
+    protocol::write_frame(&mut *out, frame)?;
+    out.flush()
+}
+
+/// Spawns the reader/writer pair for one accepted stream.
+fn spawn_connection(
+    stream: TcpStream,
+    handle: ServeHandle,
+    index: usize,
+) -> io::Result<Connection> {
+    let registry_stream = stream.try_clone()?;
+    let out = Arc::new(Mutex::new(BufWriter::new(stream.try_clone()?)));
+    let (done_tx, done_rx) = channel::unbounded::<TaggedResponse>();
+    let writer = {
+        let out = Arc::clone(&out);
+        std::thread::Builder::new()
+            .name(format!("dsx-net-writer-{index}"))
+            .spawn(move || writer_loop(&out, &done_rx))?
+    };
+    let reader = std::thread::Builder::new()
+        .name(format!("dsx-net-reader-{index}"))
+        .spawn(move || {
+            reader_loop(stream, &handle, &out, &done_tx);
+            // Reader gone: drop its `done` sender. Once the engine's
+            // in-flight clones drain too, the writer's recv disconnects and
+            // it exits — after the last pending response is flushed.
+            drop(done_tx);
+        })?;
+    Ok(Connection {
+        stream: registry_stream,
+        reader,
+        writer,
+    })
+}
+
+/// One connection's writer: stream engine outcomes back as frames until
+/// every `done` sender is gone or the socket dies — then close the socket.
+///
+/// The close is correct in both exit cases: the channel only disconnects
+/// once the reader exited *and* every in-flight engine response was
+/// delivered (nothing more will ever flow), and a write error means the
+/// client is gone — closing kicks a reader still blocked on that socket so
+/// it stops submitting work nobody will read.
+fn writer_loop(out: &Mutex<BufWriter<TcpStream>>, done_rx: &Receiver<TaggedResponse>) {
+    drain_responses(out, done_rx);
+    let out = out.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = out.get_ref().shutdown(std::net::Shutdown::Both);
+}
+
+/// The writer's drain loop, split out so the socket close above runs on
+/// every exit path.
+fn drain_responses(out: &Mutex<BufWriter<TcpStream>>, done_rx: &Receiver<TaggedResponse>) {
+    while let Ok(response) = done_rx.recv() {
+        let frame = match response.result {
+            Ok(tensor) => Frame::Response {
+                id: response.id,
+                tensor,
+            },
+            Err(err) => Frame::Error {
+                id: response.id,
+                code: match &err {
+                    ServeError::InvalidRequest(_) => ErrorCode::BadRequest,
+                    ServeError::Shutdown => ErrorCode::Shutdown,
+                },
+                message: err.to_string(),
+            },
+        };
+        if send_frame(out, &frame).is_err() {
+            // The client vanished. Dropping the receiver (by returning)
+            // makes the engine's remaining sends for this connection fail
+            // silently — cancelled responses, healthy workers.
+            return;
+        }
+    }
+}
+
+/// One connection's reader: parse frames, submit requests, answer protocol
+/// errors in place, and decide whether a malformation is survivable.
+fn reader_loop(
+    stream: TcpStream,
+    handle: &ServeHandle,
+    out: &Mutex<BufWriter<TcpStream>>,
+    done: &channel::Sender<TaggedResponse>,
+) {
+    let mut input = BufReader::new(stream);
+    loop {
+        match protocol::read_frame(&mut input) {
+            Ok(Frame::Request { id, tensor }) => handle.submit_tagged(id, tensor, done),
+            Ok(unexpected) => {
+                // Clients may only send requests; answer and keep going.
+                let _ = send_frame(
+                    out,
+                    &Frame::Error {
+                        id: unexpected.id(),
+                        code: ErrorCode::Malformed,
+                        message: "only request frames are accepted by the server".to_string(),
+                    },
+                );
+            }
+            Err(WireError::Closed) => return,
+            Err(err @ (WireError::Malformed { .. } | WireError::BadVersion { .. })) => {
+                // The length prefix held, so the stream is still framed:
+                // answer with a typed protocol error — attributed to the
+                // request id when the header yielded one (0 otherwise) —
+                // and keep the connection.
+                let code = match &err {
+                    WireError::BadVersion { .. } => ErrorCode::UnsupportedVersion,
+                    _ => ErrorCode::Malformed,
+                };
+                if send_frame(
+                    out,
+                    &Frame::Error {
+                        id: err.frame_id(),
+                        code,
+                        message: err.to_string(),
+                    },
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
+            Err(err @ WireError::TooLarge(_)) => {
+                // Framing can no longer be trusted: best-effort answer,
+                // then close this connection (the server lives on).
+                let _ = send_frame(
+                    out,
+                    &Frame::Error {
+                        id: 0,
+                        code: ErrorCode::FrameTooLarge,
+                        message: err.to_string(),
+                    },
+                );
+                return;
+            }
+            Err(WireError::Io(_)) => return, // the peer died mid-frame
+        }
+    }
+}

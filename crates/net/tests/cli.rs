@@ -1,0 +1,122 @@
+//! End-to-end tests of the `dsx-serve` binary's flag handling: conflicting
+//! and invalid network flags must exit 2 *before* any layer construction
+//! (the PR-3 CLI contract), and a listen/connect round trip must work over
+//! a real socket.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Output, Stdio};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dsx-serve"))
+        .args(args)
+        .output()
+        .expect("running the dsx-serve binary failed")
+}
+
+/// Asserts the canonical flag-error contract: exit code 2, a stderr that
+/// names the problem, and no model construction (no "serving model:" line).
+fn assert_flag_error(args: &[&str], stderr_needle: &str) {
+    let out = run(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} must exit 2, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(stderr_needle),
+        "{args:?}: stderr must mention '{stderr_needle}', got: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("serving model:"),
+        "{args:?}: no model may be built after a flag error:\n{stdout}"
+    );
+}
+
+#[test]
+fn listen_plus_connect_is_rejected_before_construction() {
+    assert_flag_error(
+        &["--listen", "127.0.0.1:0", "--connect", "127.0.0.1:1"],
+        "mutually exclusive",
+    );
+}
+
+#[test]
+fn invalid_addresses_are_rejected_before_construction() {
+    assert_flag_error(&["--listen", "not-an-address"], "socket address");
+    assert_flag_error(&["--connect", "localhost:7878"], "socket address");
+    assert_flag_error(&["--listen", "127.0.0.1:notaport"], "socket address");
+    assert_flag_error(&["--listen"], "needs a value");
+}
+
+#[test]
+fn serve_secs_without_listen_is_rejected() {
+    assert_flag_error(&["--serve-secs", "5"], "--serve-secs only applies");
+}
+
+#[test]
+fn adaptive_with_connect_is_rejected() {
+    assert_flag_error(&["--connect", "127.0.0.1:1", "--adaptive"], "--adaptive");
+}
+
+#[test]
+fn unknown_flags_still_exit_two() {
+    assert_flag_error(&["--frobnicate"], "unknown flag");
+}
+
+/// Spawns `dsx-serve --listen 127.0.0.1:0` and parses the bound address
+/// off its stdout.
+fn spawn_listener(extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dsx-serve"))
+        .args(["--listen", "127.0.0.1:0", "--serve-secs", "30"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning the listener failed");
+    let stdout = child.stdout.take().expect("captured stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("listener exited before announcing its address")
+            .expect("reading listener stdout");
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            break addr.to_string();
+        }
+    };
+    // Keep draining stdout in the background so the child never blocks on
+    // a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+#[test]
+fn listen_and_connect_round_trip_over_a_real_socket() {
+    let (mut server, addr) = spawn_listener(&["--adaptive"]);
+    let out = run(&[
+        "--connect",
+        &addr,
+        "--requests",
+        "12",
+        "--concurrency",
+        "3",
+        "--skip-serial",
+    ]);
+    server.kill().expect("stopping the listener");
+    server.wait().expect("reaping the listener");
+    assert!(
+        out.status.success(),
+        "loadgen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("net batched (3 connections):"), "{stdout}");
+    assert!(stdout.contains("12 requests"), "{stdout}");
+    assert!(
+        stdout.contains("p99"),
+        "percentiles in the summary: {stdout}"
+    );
+}

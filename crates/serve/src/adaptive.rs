@@ -1,0 +1,293 @@
+//! Adaptive `max_wait` tuning from live occupancy and queue-depth signals.
+//!
+//! The batcher's `max_wait` knob trades latency for occupancy: a longer
+//! wait lets a trickle of requests accumulate into fuller (cheaper per
+//! request) batches, but under saturating load the queue already holds a
+//! full batch the moment a worker looks, so any wait is pure added
+//! latency. The right setting therefore depends on the *live* arrival
+//! rate — which is exactly what [`ServeStats`](crate::ServeStats) already
+//! observes. [`AdaptiveWait`] closes that loop: once per epoch it looks at
+//! the batches completed since the last epoch and the current queue depth,
+//! and nudges `max_wait`:
+//!
+//! * **shrink toward zero under saturation** — the queue is at least a
+//!   full batch deep, or batches are already running (nearly) full, so
+//!   waiting buys no occupancy and only stretches the latency tail;
+//! * **raise under light, under-occupied load** — batches complete mostly
+//!   empty while the queue is shallow, so giving stragglers more time to
+//!   arrive is the only way to fuse them;
+//! * **hold** otherwise (occupancy healthy, queue moving).
+//!
+//! The decision function is pure (`step` takes the observed deltas and
+//! returns the new wait) so its direction of movement is unit-testable
+//! without threads; the engine runs it on a small controller thread
+//! against the live counters.
+
+use std::time::Duration;
+
+/// Tuning knobs of the adaptive-wait controller.
+#[derive(Debug, Clone)]
+pub struct AdaptiveWaitConfig {
+    /// How often the controller re-evaluates `max_wait`.
+    pub epoch: Duration,
+    /// Lower clamp of the tuned wait (usually zero).
+    pub min_wait: Duration,
+    /// Upper clamp of the tuned wait — the worst queueing latency the
+    /// controller may introduce chasing occupancy.
+    pub max_wait: Duration,
+    /// Occupancy below this fraction of `max_batch` counts as
+    /// under-occupied (a raise candidate).
+    pub low_occupancy_frac: f64,
+    /// Occupancy at or above this fraction of `max_batch` counts as
+    /// saturated even with an empty queue: batches fill before the
+    /// deadline, so the deadline is not the binding constraint.
+    pub full_occupancy_frac: f64,
+    /// Queue depth (in units of `max_batch`) at or above which the system
+    /// is saturated regardless of occupancy.
+    pub saturation_depth_batches: f64,
+    /// Queue depth (in units of `max_batch`) below which the queue counts
+    /// as shallow (a raise is allowed).
+    pub low_depth_batches: f64,
+    /// Multiplier applied when raising (`> 1`).
+    pub grow: f64,
+    /// Multiplier applied when shrinking (`< 1`).
+    pub shrink: f64,
+    /// The wait a raise jumps to when the current wait is (near) zero —
+    /// multiplying zero would go nowhere.
+    pub grow_floor: Duration,
+}
+
+impl Default for AdaptiveWaitConfig {
+    fn default() -> Self {
+        AdaptiveWaitConfig {
+            epoch: Duration::from_millis(10),
+            min_wait: Duration::ZERO,
+            max_wait: Duration::from_millis(10),
+            low_occupancy_frac: 0.5,
+            full_occupancy_frac: 0.95,
+            saturation_depth_batches: 1.0,
+            low_depth_batches: 0.5,
+            grow: 2.0,
+            shrink: 0.5,
+            grow_floor: Duration::from_micros(100),
+        }
+    }
+}
+
+/// What one controller epoch observed (deltas since the previous epoch
+/// plus the instantaneous queue depth).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochObservation {
+    /// Batches completed during the epoch.
+    pub batches: usize,
+    /// Requests completed during the epoch.
+    pub requests: usize,
+    /// Requests waiting in the queue at epoch end.
+    pub queue_depth: usize,
+}
+
+/// The direction `step` moved the wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitAdjustment {
+    /// The wait grew (under-occupied batches, shallow queue).
+    Raised,
+    /// The wait shrank (saturation).
+    Shrunk,
+    /// No change (healthy occupancy, or an idle epoch).
+    Held,
+}
+
+/// The stateful controller: owns the config and the per-epoch decision.
+#[derive(Debug, Clone)]
+pub struct AdaptiveWait {
+    config: AdaptiveWaitConfig,
+    max_batch: usize,
+}
+
+impl AdaptiveWait {
+    /// A controller for an engine fusing up to `max_batch` requests.
+    pub fn new(config: AdaptiveWaitConfig, max_batch: usize) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.grow > 1.0, "grow must exceed 1");
+        assert!(
+            config.shrink > 0.0 && config.shrink < 1.0,
+            "shrink must be in (0, 1)"
+        );
+        assert!(
+            config.min_wait <= config.max_wait,
+            "min_wait must not exceed max_wait"
+        );
+        AdaptiveWait { config, max_batch }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &AdaptiveWaitConfig {
+        &self.config
+    }
+
+    /// One epoch of the control loop: given what the epoch observed and
+    /// the current wait, returns the new wait and which way it moved.
+    pub fn step(&self, obs: EpochObservation, current: Duration) -> (Duration, WaitAdjustment) {
+        let cfg = &self.config;
+        let saturation_depth =
+            (self.max_batch as f64 * cfg.saturation_depth_batches).ceil() as usize;
+        let low_depth = (self.max_batch as f64 * cfg.low_depth_batches).ceil() as usize;
+        let occupancy = if obs.batches == 0 {
+            None
+        } else {
+            Some(obs.requests as f64 / obs.batches as f64)
+        };
+
+        let saturated = obs.queue_depth >= saturation_depth.max(1)
+            || occupancy.is_some_and(|o| o >= cfg.full_occupancy_frac * self.max_batch as f64);
+        if saturated {
+            let shrunk = Duration::from_micros((current.as_micros() as f64 * cfg.shrink) as u64)
+                .max(cfg.min_wait);
+            return if shrunk < current {
+                (shrunk, WaitAdjustment::Shrunk)
+            } else {
+                (current, WaitAdjustment::Held)
+            };
+        }
+
+        // An idle epoch (no batches at all) teaches nothing: the wait only
+        // matters once a first request has arrived.
+        let Some(occupancy) = occupancy else {
+            return (current, WaitAdjustment::Held);
+        };
+
+        if occupancy < cfg.low_occupancy_frac * self.max_batch as f64
+            && obs.queue_depth < low_depth.max(1)
+            && self.max_batch > 1
+        {
+            let grown = Duration::from_micros((current.as_micros() as f64 * cfg.grow) as u64)
+                .max(cfg.grow_floor)
+                .min(cfg.max_wait);
+            return if grown > current {
+                (grown, WaitAdjustment::Raised)
+            } else {
+                (current, WaitAdjustment::Held)
+            };
+        }
+
+        (current, WaitAdjustment::Held)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> AdaptiveWait {
+        AdaptiveWait::new(AdaptiveWaitConfig::default(), 8)
+    }
+
+    fn obs(batches: usize, requests: usize, queue_depth: usize) -> EpochObservation {
+        EpochObservation {
+            batches,
+            requests,
+            queue_depth,
+        }
+    }
+
+    #[test]
+    fn under_occupied_low_depth_raises_the_wait() {
+        let ctl = controller();
+        // 10 batches of ~1 request, empty queue: a trickle worth waiting for.
+        let (next, adj) = ctl.step(obs(10, 12, 0), Duration::from_micros(500));
+        assert_eq!(adj, WaitAdjustment::Raised);
+        assert_eq!(next, Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn a_raise_from_zero_jumps_to_the_grow_floor() {
+        let ctl = controller();
+        let (next, adj) = ctl.step(obs(5, 5, 0), Duration::ZERO);
+        assert_eq!(adj, WaitAdjustment::Raised);
+        assert_eq!(next, ctl.config().grow_floor);
+    }
+
+    #[test]
+    fn raises_clamp_at_the_configured_cap() {
+        let ctl = controller();
+        let cap = ctl.config().max_wait;
+        let (next, adj) = ctl.step(obs(3, 3, 0), cap);
+        assert_eq!(adj, WaitAdjustment::Held, "already at the cap");
+        assert_eq!(next, cap);
+        // One step below the cap still raises, but only up to the cap.
+        let (next, adj) = ctl.step(obs(3, 3, 0), cap - Duration::from_micros(1));
+        assert_eq!(adj, WaitAdjustment::Raised);
+        assert_eq!(next, cap);
+    }
+
+    #[test]
+    fn a_deep_queue_shrinks_the_wait() {
+        let ctl = controller();
+        // Queue at 8 = one full batch deep: saturated.
+        let (next, adj) = ctl.step(obs(4, 8, 8), Duration::from_micros(2000));
+        assert_eq!(adj, WaitAdjustment::Shrunk);
+        assert_eq!(next, Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn full_batches_shrink_even_with_an_empty_queue() {
+        let ctl = controller();
+        // Every batch ran full: the deadline is not binding, stop paying it.
+        let (next, adj) = ctl.step(obs(4, 32, 0), Duration::from_micros(2000));
+        assert_eq!(adj, WaitAdjustment::Shrunk);
+        assert!(next < Duration::from_micros(2000));
+    }
+
+    #[test]
+    fn shrinking_converges_to_the_min_and_then_holds() {
+        let ctl = controller();
+        let mut wait = Duration::from_micros(4000);
+        let mut shrinks = 0;
+        for _ in 0..64 {
+            let (next, adj) = ctl.step(obs(4, 8, 16), wait);
+            match adj {
+                WaitAdjustment::Shrunk => {
+                    assert!(next < wait);
+                    shrinks += 1;
+                }
+                WaitAdjustment::Held => {
+                    assert_eq!(next, ctl.config().min_wait);
+                    break;
+                }
+                WaitAdjustment::Raised => panic!("saturation must never raise"),
+            }
+            wait = next;
+        }
+        assert!(shrinks >= 2, "expected a multiplicative descent");
+        assert_eq!(wait.max(ctl.config().min_wait), wait);
+    }
+
+    #[test]
+    fn healthy_occupancy_holds_steady() {
+        let ctl = controller();
+        // Mean occupancy 6/8 = 75%: above low (50%), below full (95%),
+        // shallow queue — nothing to fix.
+        let current = Duration::from_micros(1500);
+        let (next, adj) = ctl.step(obs(4, 24, 1), current);
+        assert_eq!(adj, WaitAdjustment::Held);
+        assert_eq!(next, current);
+    }
+
+    #[test]
+    fn idle_epochs_hold_steady() {
+        let ctl = controller();
+        let current = Duration::from_micros(800);
+        let (next, adj) = ctl.step(obs(0, 0, 0), current);
+        assert_eq!(adj, WaitAdjustment::Held);
+        assert_eq!(next, current);
+    }
+
+    #[test]
+    fn max_batch_one_never_raises() {
+        // Waiting can never fuse anything when batches hold one request.
+        let ctl = AdaptiveWait::new(AdaptiveWaitConfig::default(), 1);
+        let (next, adj) = ctl.step(obs(10, 10, 0), Duration::ZERO);
+        assert_eq!(adj, WaitAdjustment::Held);
+        assert_eq!(next, Duration::ZERO);
+    }
+}

@@ -11,9 +11,16 @@
 //! * [`engine`] — the batching engine: a bounded MPMC request queue (with
 //!   backpressure), a worker pool that drains up to `max_batch` requests or
 //!   a `max_wait` deadline, stacks them into one batched tensor, runs a
-//!   single `infer` and scatters the per-request outputs back;
-//! * [`stats`] — per-request latency, batch occupancy and throughput
-//!   counters;
+//!   single `infer` and scatters the per-request outputs back — through a
+//!   per-request one-shot channel ([`ServeHandle::submit`]) or tagged onto
+//!   a caller-owned channel by request id ([`ServeHandle::submit_tagged`],
+//!   the route the `dsx-net` TCP front-end streams responses from);
+//! * [`adaptive`] — the [`AdaptiveWait`] controller that retunes the
+//!   batcher's `max_wait` each epoch from live occupancy and queue-depth
+//!   stats (raise when batches run under-occupied at low queue depth,
+//!   shrink toward zero under saturation);
+//! * [`stats`] — per-request latency (mean, max and p50/p95/p99
+//!   percentiles), batch occupancy and throughput counters;
 //! * [`loadgen`] — the serving workload model, a multi-threaded load
 //!   generator and the serial-unbatched baseline (what the `dsx-serve`
 //!   binary and the `serve_throughput` bench drive).
@@ -40,11 +47,15 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod engine;
 pub mod loadgen;
 pub mod stats;
 
-pub use engine::{PendingResponse, ServeConfig, ServeEngine, ServeError, ServeHandle};
+pub use adaptive::{AdaptiveWait, AdaptiveWaitConfig, EpochObservation, WaitAdjustment};
+pub use engine::{
+    PendingResponse, ServeConfig, ServeEngine, ServeError, ServeHandle, TaggedResponse,
+};
 pub use loadgen::{
     build_serving_model, request_input, run_load, run_serial, serving_spec, serving_spec_with,
     LoadConfig, SerialReport,

@@ -1,12 +1,43 @@
-//! Serving-side instrumentation: request latency, batch occupancy and
-//! throughput counters shared between the engine's worker threads.
+//! Serving-side instrumentation: request latency (mean, maximum and
+//! log-bucketed percentiles), batch occupancy and throughput counters
+//! shared between the engine's worker threads, plus the adaptive-wait
+//! controller's gauge and adjustment counters.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
+/// Number of log-spaced latency histogram buckets (see [`bucket_index`]).
+const HIST_BUCKETS: usize = 256;
+
+/// Maps a latency in microseconds to its histogram bucket.
+///
+/// Values below 16 µs get one bucket each (exact); above that, each
+/// power-of-two octave is split into 4 sub-buckets, so the relative
+/// quantisation error of a percentile estimate is at most ~19%. The top
+/// bucket index for any `u64` is 255, so the table never overflows.
+fn bucket_index(us: u64) -> usize {
+    if us < 16 {
+        return us as usize;
+    }
+    let octave = us.ilog2() as usize; // >= 4
+    let sub = ((us >> (octave - 2)) & 3) as usize;
+    16 + (octave - 4) * 4 + sub
+}
+
+/// The smallest latency (µs) that lands in bucket `idx` — the conservative
+/// value percentile estimates report.
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < 16 {
+        return idx as u64;
+    }
+    let octave = 4 + (idx - 16) / 4;
+    let sub = ((idx - 16) % 4) as u64;
+    (1u64 << octave) | (sub << (octave - 2))
+}
+
 /// Thread-safe serving counters. Workers record into these as batches
 /// complete; [`ServeStats::snapshot`] folds them into a report.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServeStats {
     requests: AtomicUsize,
     batches: AtomicUsize,
@@ -14,6 +45,29 @@ pub struct ServeStats {
     batch_size_max: AtomicUsize,
     latency_sum_us: AtomicU64,
     latency_max_us: AtomicU64,
+    latency_hist: Box<[AtomicU64]>,
+    /// The batcher's *current* `max_wait` in µs — a gauge the engine (and
+    /// the adaptive controller) keeps up to date, not a counter.
+    wait_gauge_us: AtomicU64,
+    adaptive_raises: AtomicUsize,
+    adaptive_shrinks: AtomicUsize,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats {
+            requests: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
+            batch_size_sum: AtomicUsize::new(0),
+            batch_size_max: AtomicUsize::new(0),
+            latency_sum_us: AtomicU64::new(0),
+            latency_max_us: AtomicU64::new(0),
+            latency_hist: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            wait_gauge_us: AtomicU64::new(0),
+            adaptive_raises: AtomicUsize::new(0),
+            adaptive_shrinks: AtomicUsize::new(0),
+        }
+    }
 }
 
 impl ServeStats {
@@ -35,6 +89,24 @@ impl ServeStats {
         let us = latency.as_micros() as u64;
         self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
         self.latency_max_us.fetch_max(us, Ordering::Relaxed);
+        self.latency_hist[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the `max_wait` gauge (the engine calls this at start and on
+    /// every adaptive retune).
+    pub fn set_wait_gauge(&self, wait: Duration) {
+        self.wait_gauge_us
+            .store(wait.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Records one adaptive-wait adjustment (`raised = true` when the wait
+    /// grew, `false` when it shrank).
+    pub fn record_adaptive(&self, raised: bool) {
+        if raised {
+            self.adaptive_raises.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.adaptive_shrinks.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Requests completed so far.
@@ -45,6 +117,31 @@ impl ServeStats {
     /// Batches executed so far.
     pub fn batches(&self) -> usize {
         self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the recorded latencies
+    /// from the log-spaced histogram, in µs. Returns 0 before any request
+    /// completed. The estimate is the floor of the bucket holding the
+    /// quantile rank, so it never over-reports.
+    pub fn latency_percentile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .latency_hist
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, &count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return bucket_floor(idx);
+            }
+        }
+        self.latency_max_us.load(Ordering::Relaxed)
     }
 
     /// Folds the counters into a report for a serving window of `elapsed`
@@ -67,7 +164,13 @@ impl ServeStats {
             } else {
                 self.latency_sum_us.load(Ordering::Relaxed) as f64 / requests as f64
             },
+            p50_latency_us: self.latency_percentile_us(0.50),
+            p95_latency_us: self.latency_percentile_us(0.95),
+            p99_latency_us: self.latency_percentile_us(0.99),
             max_latency_us: self.latency_max_us.load(Ordering::Relaxed),
+            max_wait_us: self.wait_gauge_us.load(Ordering::Relaxed),
+            adaptive_raises: self.adaptive_raises.load(Ordering::Relaxed),
+            adaptive_shrinks: self.adaptive_shrinks.load(Ordering::Relaxed),
             elapsed_secs: secs,
             throughput_rps: if secs > 0.0 {
                 requests as f64 / secs
@@ -91,8 +194,21 @@ pub struct ServeSnapshot {
     pub max_batch_occupancy: usize,
     /// Mean queue-to-response latency in microseconds.
     pub mean_latency_us: f64,
+    /// Median queue-to-response latency in microseconds (histogram floor).
+    pub p50_latency_us: u64,
+    /// 95th-percentile queue-to-response latency in microseconds.
+    pub p95_latency_us: u64,
+    /// 99th-percentile queue-to-response latency in microseconds.
+    pub p99_latency_us: u64,
     /// Worst queue-to-response latency in microseconds.
     pub max_latency_us: u64,
+    /// The batcher's `max_wait` at snapshot time, in microseconds (moves
+    /// under the adaptive controller).
+    pub max_wait_us: u64,
+    /// How many times the adaptive controller raised `max_wait`.
+    pub adaptive_raises: usize,
+    /// How many times the adaptive controller shrank `max_wait`.
+    pub adaptive_shrinks: usize,
     /// Wall-clock length of the serving window in seconds.
     pub elapsed_secs: f64,
     /// Completed requests per second over the window.
@@ -104,7 +220,8 @@ impl std::fmt::Display for ServeSnapshot {
         write!(
             f,
             "{} requests in {:.2} s ({:.1} req/s) over {} batches \
-             (occupancy mean {:.2}, max {}); latency mean {:.0} us, max {} us",
+             (occupancy mean {:.2}, max {}); latency mean {:.0} us, \
+             p50 {} us, p95 {} us, p99 {} us, max {} us; max_wait {} us",
             self.requests,
             self.elapsed_secs,
             self.throughput_rps,
@@ -112,8 +229,20 @@ impl std::fmt::Display for ServeSnapshot {
             self.mean_batch_occupancy,
             self.max_batch_occupancy,
             self.mean_latency_us,
+            self.p50_latency_us,
+            self.p95_latency_us,
+            self.p99_latency_us,
             self.max_latency_us,
-        )
+            self.max_wait_us,
+        )?;
+        if self.adaptive_raises > 0 || self.adaptive_shrinks > 0 {
+            write!(
+                f,
+                " (adaptive: {} raises, {} shrinks)",
+                self.adaptive_raises, self.adaptive_shrinks
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -147,6 +276,68 @@ mod tests {
         assert_eq!(snap.requests, 0);
         assert_eq!(snap.mean_batch_occupancy, 0.0);
         assert_eq!(snap.mean_latency_us, 0.0);
+        assert_eq!(snap.p50_latency_us, 0);
+        assert_eq!(snap.p99_latency_us, 0);
         assert_eq!(snap.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn sub_16us_percentiles_are_exact() {
+        // Latencies below 16 µs get one bucket each, so percentiles over
+        // them are exact — 100 samples of 1..=10 µs, 10 of each.
+        let stats = ServeStats::new();
+        for us in 1..=10u64 {
+            for _ in 0..10 {
+                stats.record_latency(Duration::from_micros(us));
+            }
+        }
+        assert_eq!(stats.latency_percentile_us(0.50), 5);
+        assert_eq!(stats.latency_percentile_us(0.95), 10);
+        assert_eq!(stats.latency_percentile_us(0.99), 10);
+        assert_eq!(stats.latency_percentile_us(0.01), 1);
+        assert_eq!(stats.latency_percentile_us(1.0), 10);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded_by_max() {
+        let stats = ServeStats::new();
+        for us in [3u64, 120, 950, 4_000, 60_000, 2_000_000] {
+            stats.record_latency(Duration::from_micros(us));
+        }
+        let p50 = stats.latency_percentile_us(0.50);
+        let p95 = stats.latency_percentile_us(0.95);
+        let p99 = stats.latency_percentile_us(0.99);
+        let snap = stats.snapshot(Duration::from_secs(1));
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= snap.max_latency_us);
+        // Log buckets never over-report: each estimate is a bucket floor.
+        assert!(p50 <= 950);
+    }
+
+    #[test]
+    fn bucket_mapping_round_trips_as_a_floor() {
+        for us in (0..16).chain([16, 17, 31, 32, 100, 1000, 123_456, u64::MAX / 2]) {
+            let idx = bucket_index(us);
+            let floor = bucket_floor(idx);
+            assert!(floor <= us, "floor({idx}) = {floor} > {us}");
+            // The next bucket starts above this value.
+            if idx + 1 < HIST_BUCKETS {
+                assert!(bucket_floor(idx + 1) > us, "value {us} fits bucket {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_counters_and_gauge_surface_in_the_snapshot() {
+        let stats = ServeStats::new();
+        stats.set_wait_gauge(Duration::from_micros(750));
+        stats.record_adaptive(true);
+        stats.record_adaptive(true);
+        stats.record_adaptive(false);
+        let snap = stats.snapshot(Duration::from_secs(1));
+        assert_eq!(snap.max_wait_us, 750);
+        assert_eq!(snap.adaptive_raises, 2);
+        assert_eq!(snap.adaptive_shrinks, 1);
+        assert!(format!("{snap}").contains("adaptive: 2 raises, 1 shrinks"));
     }
 }

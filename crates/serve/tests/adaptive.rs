@@ -1,0 +1,123 @@
+//! End-to-end behaviour of the adaptive `max_wait` controller on a running
+//! engine: a low-rate phase must *raise* the wait (chasing occupancy), a
+//! saturating phase must *shrink* it (cutting pointless queueing latency).
+//!
+//! The phases poll with generous deadlines instead of asserting exact
+//! timings, so the test stays robust on loaded single-core runners; the
+//! fine-grained decision function is covered deterministically by the unit
+//! tests in `dsx_serve::adaptive`.
+
+use dsx_nn::{GlobalAvgPool, Layer, Linear, ReLU, Sequential};
+use dsx_serve::{AdaptiveWaitConfig, ServeConfig, ServeEngine};
+use dsx_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tiny_model() -> Arc<dyn Layer> {
+    Arc::new(
+        Sequential::new("tiny-adaptive")
+            .push(ReLU::new())
+            .push(GlobalAvgPool::new())
+            .push(Linear::new(2, 3, 11)),
+    )
+}
+
+fn request(seed: u64) -> Tensor {
+    Tensor::randn(&[1, 2, 4, 4], seed)
+}
+
+#[test]
+fn adaptive_wait_raises_on_trickle_and_shrinks_under_saturation() {
+    let initial = Duration::from_micros(400);
+    let engine = ServeEngine::start(
+        tiny_model(),
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_batch(4)
+            .with_queue_capacity(16)
+            .with_max_wait(initial)
+            .with_adaptive(AdaptiveWaitConfig {
+                epoch: Duration::from_millis(15),
+                max_wait: Duration::from_millis(8),
+                ..AdaptiveWaitConfig::default()
+            }),
+    );
+    let handle = engine.handle();
+
+    // Phase 1 — low rate: one blocking round trip at a time with a pause in
+    // between keeps occupancy at ~1 and the queue empty, so the controller
+    // must raise the wait. Poll until it has (or a generous deadline).
+    let phase1_deadline = Instant::now() + Duration::from_secs(20);
+    let mut seed = 0u64;
+    while engine.max_wait() <= initial {
+        assert!(
+            Instant::now() < phase1_deadline,
+            "controller never raised max_wait above {initial:?} under trickle load \
+             (stuck at {:?})",
+            engine.max_wait()
+        );
+        handle.infer(request(seed)).expect("engine died mid-test");
+        seed += 1;
+        std::thread::sleep(Duration::from_millis(4));
+    }
+    let raised_to = engine.max_wait();
+    assert!(raised_to > initial, "phase 1 must raise: {raised_to:?}");
+    assert!(
+        engine
+            .stats()
+            .snapshot(Duration::from_secs(1))
+            .adaptive_raises
+            > 0,
+        "the raise must be counted in stats"
+    );
+
+    // Phase 2 — saturation: 8 clients hammering a max_batch=4 engine keep
+    // every batch full and the queue deep, so the controller must shrink
+    // the wait back below its phase-1 peak. Clients run until told to stop.
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        for client in 0..8u64 {
+            let handle = engine.handle();
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    handle
+                        .infer(request(client * 1_000_000 + i))
+                        .expect("engine died mid-saturation");
+                    i += 1;
+                }
+            });
+        }
+        let phase2_deadline = Instant::now() + Duration::from_secs(20);
+        while engine.max_wait() >= raised_to {
+            assert!(
+                Instant::now() < phase2_deadline,
+                "controller never shrank max_wait below the phase-1 peak {raised_to:?} \
+                 under saturating load (stuck at {:?}, queue depth {})",
+                engine.max_wait(),
+                engine.queue_depth()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let shrunk_to = engine.max_wait();
+    assert!(
+        shrunk_to < raised_to,
+        "phase 2 must shrink: {shrunk_to:?} vs peak {raised_to:?}"
+    );
+
+    drop(handle);
+    let snap = engine.shutdown();
+    assert!(snap.adaptive_raises > 0, "raises recorded: {snap}");
+    assert!(snap.adaptive_shrinks > 0, "shrinks recorded: {snap}");
+    // The saturating phase fused requests: occupancy must beat the
+    // trickle's 1-per-batch floor, which is what the tuning buys.
+    assert!(
+        snap.mean_batch_occupancy > 1.0,
+        "saturation must have fused batches: {snap}"
+    );
+    assert_eq!(snap.max_wait_us, shrunk_to.as_micros() as u64);
+}

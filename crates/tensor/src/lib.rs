@@ -43,10 +43,12 @@ pub mod par;
 pub mod shape;
 pub mod slice;
 pub mod tensor;
+pub mod wire;
 
 pub use par::{num_threads, set_num_threads};
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use wire::{WireDecodeError, MAX_WIRE_NUMEL, MAX_WIRE_RANK};
 
 /// Absolute tolerance used by the test-suites of every crate in the
 /// workspace when comparing floating-point tensors produced by different but

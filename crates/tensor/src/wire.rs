@@ -1,0 +1,228 @@
+//! Wire encoding of tensors: the shape + `f32` payload layout the
+//! `dsx-net` TCP protocol carries inside its frames.
+//!
+//! The layout is deliberately minimal and fully little-endian:
+//!
+//! ```text
+//! rank: u8 | dims[rank]: u32 LE | data[numel]: f32 LE
+//! ```
+//!
+//! Decoding is defensive — it is fed bytes straight off a socket, so every
+//! length, rank and element count is validated (with overflow-checked
+//! arithmetic) before any allocation larger than the input itself.
+
+use crate::tensor::Tensor;
+
+/// Largest rank the wire encoding accepts. Everything in the workspace is
+/// rank ≤ 4 (NCHW); 8 leaves headroom without letting a hostile byte
+/// allocate a huge dims vector.
+pub const MAX_WIRE_RANK: usize = 8;
+
+/// Largest element count the wire decoder accepts (256 Mi elements = 1 GiB
+/// of `f32`), a hard cap against absurd shapes in otherwise well-formed
+/// frames.
+pub const MAX_WIRE_NUMEL: usize = 1 << 28;
+
+impl Tensor {
+    /// Appends this tensor's wire encoding (`rank | dims | f32 payload`,
+    /// all little-endian) to `out`.
+    ///
+    /// Panics if the tensor's rank exceeds [`MAX_WIRE_RANK`] or any
+    /// dimension exceeds `u32::MAX` — both impossible for tensors this
+    /// workspace builds.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        let dims = self.shape();
+        assert!(
+            dims.len() <= MAX_WIRE_RANK,
+            "rank {} exceeds the wire limit {MAX_WIRE_RANK}",
+            dims.len()
+        );
+        out.reserve(1 + 4 * dims.len() + 4 * self.numel());
+        out.push(dims.len() as u8);
+        for &d in dims {
+            let d = u32::try_from(d).expect("dimension exceeds u32 on the wire");
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        for &v in self.as_slice() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// The number of bytes [`Tensor::encode_wire`] appends for this tensor.
+    pub fn wire_len(&self) -> usize {
+        1 + 4 * self.rank() + 4 * self.numel()
+    }
+
+    /// Decodes one wire-encoded tensor from the front of `bytes`, returning
+    /// it together with the number of bytes consumed. Trailing bytes are
+    /// left for the caller (frames may append nothing, but the contract is
+    /// explicit about consumption either way).
+    pub fn decode_wire(bytes: &[u8]) -> Result<(Tensor, usize), WireDecodeError> {
+        let mut offset = 0usize;
+        let take = |offset: &mut usize, n: usize| -> Result<&[u8], WireDecodeError> {
+            let end = offset
+                .checked_add(n)
+                .filter(|&end| end <= bytes.len())
+                .ok_or(WireDecodeError::Truncated {
+                    needed: n,
+                    available: bytes.len() - *offset,
+                })?;
+            let slice = &bytes[*offset..end];
+            *offset = end;
+            Ok(slice)
+        };
+
+        let rank = take(&mut offset, 1)?[0] as usize;
+        if rank > MAX_WIRE_RANK {
+            return Err(WireDecodeError::RankTooLarge(rank));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        let mut numel = 1usize;
+        for _ in 0..rank {
+            let raw = take(&mut offset, 4)?;
+            let d = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]) as usize;
+            numel = numel
+                .checked_mul(d)
+                .filter(|&n| n <= MAX_WIRE_NUMEL)
+                .ok_or(WireDecodeError::TooManyElements)?;
+            dims.push(d);
+        }
+        let payload = take(&mut offset, 4 * numel)?;
+        let data: Vec<f32> = payload
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Ok((Tensor::from_vec(data, &dims), offset))
+    }
+}
+
+/// Why a wire-encoded tensor failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireDecodeError {
+    /// The buffer ended before the encoding did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually left in the buffer.
+        available: usize,
+    },
+    /// The declared rank exceeds [`MAX_WIRE_RANK`].
+    RankTooLarge(usize),
+    /// The declared dimensions multiply past [`MAX_WIRE_NUMEL`] (or
+    /// overflow `usize`).
+    TooManyElements,
+}
+
+impl std::fmt::Display for WireDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireDecodeError::Truncated { needed, available } => write!(
+                f,
+                "truncated tensor encoding: needed {needed} more bytes, {available} left"
+            ),
+            WireDecodeError::RankTooLarge(rank) => {
+                write!(
+                    f,
+                    "tensor rank {rank} exceeds the wire limit {MAX_WIRE_RANK}"
+                )
+            }
+            WireDecodeError::TooManyElements => write!(
+                f,
+                "tensor element count exceeds the wire limit {MAX_WIRE_NUMEL}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_across_ranks_and_zero_sizes() {
+        for dims in [
+            vec![],
+            vec![3],
+            vec![2, 3],
+            vec![1, 3, 8, 8],
+            vec![0, 2, 2, 2],
+        ] {
+            let t = if dims.iter().product::<usize>() == 0 {
+                Tensor::zeros(&dims)
+            } else {
+                Tensor::randn(&dims, 42)
+            };
+            let mut bytes = Vec::new();
+            t.encode_wire(&mut bytes);
+            assert_eq!(bytes.len(), t.wire_len(), "{dims:?}");
+            let (back, consumed) = Tensor::decode_wire(&bytes).unwrap();
+            assert_eq!(consumed, bytes.len(), "{dims:?}");
+            assert_eq!(back.shape(), t.shape());
+            assert_eq!(back.as_slice(), t.as_slice());
+        }
+    }
+
+    #[test]
+    fn decode_reports_consumed_bytes_and_ignores_trailing_data() {
+        let t = Tensor::arange(&[2, 2]);
+        let mut bytes = Vec::new();
+        t.encode_wire(&mut bytes);
+        let encoded = bytes.len();
+        bytes.extend_from_slice(&[0xAA; 7]);
+        let (back, consumed) = Tensor::decode_wire(&bytes).unwrap();
+        assert_eq!(consumed, encoded);
+        assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn truncated_buffers_error_instead_of_panicking() {
+        let t = Tensor::arange(&[2, 3]);
+        let mut bytes = Vec::new();
+        t.encode_wire(&mut bytes);
+        for cut in 0..bytes.len() {
+            let err = Tensor::decode_wire(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireDecodeError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_rank_and_element_counts_are_rejected() {
+        // Rank 200: rejected before any dims are read.
+        assert_eq!(
+            Tensor::decode_wire(&[200]),
+            Err(WireDecodeError::RankTooLarge(200))
+        );
+        // Two u32::MAX dims: the product overflows; rejected before any
+        // payload-sized allocation.
+        let mut bytes = vec![2u8];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Tensor::decode_wire(&bytes),
+            Err(WireDecodeError::TooManyElements)
+        );
+        // A single huge-but-not-overflowing dim still trips the cap.
+        let mut bytes = vec![1u8];
+        bytes.extend_from_slice(&(MAX_WIRE_NUMEL as u32 + 1).to_le_bytes());
+        assert_eq!(
+            Tensor::decode_wire(&bytes),
+            Err(WireDecodeError::TooManyElements)
+        );
+    }
+
+    #[test]
+    fn scalar_rank_zero_round_trips() {
+        let t = Tensor::full(&[], 3.25);
+        let mut bytes = Vec::new();
+        t.encode_wire(&mut bytes);
+        assert_eq!(bytes.len(), 1 + 4);
+        let (back, consumed) = Tensor::decode_wire(&bytes).unwrap();
+        assert_eq!(consumed, 5);
+        assert_eq!(back.as_slice(), &[3.25]);
+    }
+}
