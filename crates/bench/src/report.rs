@@ -39,8 +39,15 @@ pub struct KernelTiming {
 /// Measures forward and backward medians for every backend on the default
 /// workload. `samples` timed calls per pair, after two warm-up calls.
 pub fn measure_default_kernels(samples: usize) -> Vec<KernelTiming> {
+    measure_kernels_for(&BackendKind::ALL, samples)
+}
+
+/// Measures forward and backward medians for an explicit backend subset on
+/// the default workload (the `perf_probe` example uses this to probe one
+/// backend without paying for the rest).
+pub fn measure_kernels_for(backends: &[BackendKind], samples: usize) -> Vec<KernelTiming> {
     let mut timings = Vec::new();
-    for backend in BackendKind::ALL {
+    for &backend in backends {
         let w = default_workload_with_backend(SccImplementation::Dsxplore, backend);
         timings.push(KernelTiming {
             kernel: "forward",
@@ -63,7 +70,10 @@ pub fn measure_default_kernels(samples: usize) -> Vec<KernelTiming> {
     timings
 }
 
-fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+/// Median wall-clock nanoseconds of `samples` calls to `f`, after two
+/// warm-up calls (shared by the PR2 and PR5 reports so their timings stay
+/// comparable).
+pub(crate) fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
     assert!(samples > 0, "need at least one sample");
     f();
     f(); // two warm-up calls populate caches and page tables

@@ -76,6 +76,11 @@ impl KernelBackend for BlockedBackend {
         let w_data = weight.as_slice();
         let b_data = bias.map(|b| b.as_slice());
 
+        // Per-window tap offsets and pre-broadcast weight tables, resolved
+        // once per call and reused by every image that reads the window.
+        let window_bases = build_window_bases(map, cd, plane);
+        let window_tables = build_all_window_tables(cd, cout, w_data, b_data, gw);
+
         // One group per (image, channel window): all output-channel planes of
         // the group read the same input channels, so one worker streams each
         // input tile once and feeds OC_BLOCK accumulator rows from it.
@@ -90,24 +95,15 @@ impl KernelBackend for BlockedBackend {
             },
             |group_idx, planes| {
                 let img = group_idx / cd;
-                let window = map.windows()[group_idx % cd];
-                // Per-tap channel base offsets into this image, resolved once.
-                let bases: Vec<usize> = window.channels().iter().map(|ic| ic * plane).collect();
+                let window = group_idx % cd;
                 let image = &in_data[img * cin * plane..(img + 1) * cin * plane];
-                let mut rest = planes;
-                while !rest.is_empty() {
-                    let take = rest.len().min(OC_BLOCK);
-                    let (block, tail) = rest.split_at_mut(take);
-                    match take {
-                        6 => forward_block::<6>(block, &bases, image, w_data, b_data, gw, cout),
-                        5 => forward_block::<5>(block, &bases, image, w_data, b_data, gw, cout),
-                        4 => forward_block::<4>(block, &bases, image, w_data, b_data, gw, cout),
-                        3 => forward_block::<3>(block, &bases, image, w_data, b_data, gw, cout),
-                        2 => forward_block::<2>(block, &bases, image, w_data, b_data, gw, cout),
-                        _ => forward_block::<1>(block, &bases, image, w_data, b_data, gw, cout),
-                    }
-                    rest = tail;
-                }
+                forward_blocks(
+                    planes,
+                    0,
+                    &window_bases[window],
+                    image,
+                    &window_tables[window],
+                );
             },
         );
 
@@ -137,34 +133,8 @@ impl KernelBackend for BlockedBackend {
             |chunk_idx, gi_plane| {
                 let img = chunk_idx / cin;
                 let ic = chunk_idx % cin;
-                let pairs = &reverse[ic];
                 let go_image = &go_data[img * cout * plane..(img + 1) * cout * plane];
-                let mut t = 0usize;
-                // Pull every covering filter's contribution into a register tile
-                // and write the strip once (the naive kernel re-reads and
-                // re-writes the plane once per covering filter).
-                while t + LANES <= plane {
-                    let mut acc = [0.0f32; LANES];
-                    for &(oc, offset) in pairs {
-                        let wj = w_data[oc * gw + offset];
-                        let g: [f32; LANES] = go_image[oc * plane + t..oc * plane + t + LANES]
-                            .try_into()
-                            .expect("strip is LANES wide");
-                        for l in 0..LANES {
-                            acc[l] += wj * g[l];
-                        }
-                    }
-                    gi_plane[t..t + LANES].copy_from_slice(&acc);
-                    t += LANES;
-                }
-                while t < plane {
-                    let mut acc = 0.0f32;
-                    for &(oc, offset) in pairs {
-                        acc += w_data[oc * gw + offset] * go_image[oc * plane + t];
-                    }
-                    gi_plane[t] = acc;
-                    t += 1;
-                }
+                grad_input_strip(gi_plane, 0, &reverse[ic], go_image, plane, w_data, gw);
             },
         );
         grad_input
@@ -185,66 +155,60 @@ impl KernelBackend for BlockedBackend {
         let go_data = grad_output.as_slice();
 
         let mut grad_weight = Tensor::zeros(&[cout, gw]);
-        par::parallel_for_each_chunk_mut(grad_weight.as_mut_slice(), gw, |oc, gw_row| {
-            let window = map.window_for_output(oc);
-            let ics = window.channels();
-            for img in 0..n {
-                let go_plane = &go_data[(img * cout + oc) * plane..(img * cout + oc + 1) * plane];
-                let image = &in_data[img * cin * plane..(img + 1) * cin * plane];
-                let mut j = 0usize;
-                while j < gw {
-                    let take = (gw - j).min(TAP_BLOCK);
-                    let taps = &ics[j..j + take];
-                    let row = &mut gw_row[j..j + take];
-                    match take {
-                        4 => grad_weight_taps::<4>(row, taps, go_plane, image, plane),
-                        3 => grad_weight_taps::<3>(row, taps, go_plane, image, plane),
-                        2 => grad_weight_taps::<2>(row, taps, go_plane, image, plane),
-                        _ => grad_weight_taps::<1>(row, taps, go_plane, image, plane),
-                    }
-                    j += take;
+        // Grain 1: each gw-element row reduces over every image's whole
+        // plane, so the length-proportional claim heuristic would batch
+        // (or inline) rows that should spread across the pool.
+        par::parallel_for_each_chunk_mut_with_grain(
+            grad_weight.as_mut_slice(),
+            gw,
+            1,
+            |oc, gw_row| {
+                let window = map.window_for_output(oc);
+                let ics = window.channels();
+                for img in 0..n {
+                    let go_plane =
+                        &go_data[(img * cout + oc) * plane..(img * cout + oc + 1) * plane];
+                    let image = &in_data[img * cin * plane..(img + 1) * cin * plane];
+                    grad_weight_tap_blocks(gw_row, &ics, go_plane, image, plane, 0, plane);
                 }
-            }
-        });
+            },
+        );
         (grad_weight, naive_grad_bias(cfg, grad_output))
     }
 }
 
-/// Computes one spatial pass of `OCB` output-channel planes that share an
+/// Computes one spatial pass of `OCB` output-channel strips that share an
 /// input-channel window: for every [`LANES`]-wide strip, each input tile is
 /// loaded once and multiplied into `OCB` register accumulator rows.
 ///
-/// The per-tap filter weights are pre-broadcast into a `[gw][OCB]`
-/// `[f32; LANES]` table so the hot loop is pure loads + mul/add on
-/// fixed-width arrays — no scalar broadcasts, no index arithmetic beyond
-/// `base + t`, and the only branches are the (predictable) slice checks.
-#[allow(clippy::too_many_arguments)]
-fn forward_block<const OCB: usize>(
+/// Each `block` entry is `(chunk_idx, strip)` where `strip` covers the
+/// plane's spatial range `[t0, t0 + strip.len())`. [`BlockedBackend`]
+/// passes whole planes (`t0 = 0`); the tiled backend passes cache-sized
+/// row strips.
+///
+/// `wtab`/`biases` come pre-broadcast from [`build_window_tables`]
+/// (`wtab[j * OCB + b] = splat(weight[oc_b][j])`), so the hot loop is pure
+/// loads + mul/add on fixed-width arrays — no scalar broadcasts, no index
+/// arithmetic beyond `base + t0 + t`, and the only branches are the
+/// (predictable) slice checks.
+pub(super) fn forward_block<const OCB: usize>(
     block: &mut [(usize, &mut [f32])],
+    t0: usize,
     bases: &[usize],
     image: &[f32],
-    w_data: &[f32],
-    b_data: Option<&[f32]>,
-    gw: usize,
-    cout: usize,
+    wtab: &[[f32; LANES]],
+    biases: &[f32],
 ) {
     debug_assert_eq!(block.len(), OCB);
-    let plane = block[0].1.len();
-    let mut biases = [0.0f32; OCB];
-    // Broadcast weight table: wtab[j * OCB + b] = splat(weight[oc_b][j]).
-    let mut wtab: Vec<[f32; LANES]> = vec![[0.0; LANES]; gw * OCB];
-    for (b, (chunk_idx, _)) in block.iter().enumerate() {
-        let oc = chunk_idx % cout;
-        biases[b] = b_data.map(|bd| bd[oc]).unwrap_or(0.0);
-        for j in 0..gw {
-            wtab[j * OCB + b] = [w_data[oc * gw + j]; LANES];
-        }
-    }
+    debug_assert_eq!(wtab.len() % OCB, 0);
+    debug_assert!(biases.len() >= OCB);
+    let strip_len = block[0].1.len();
     let mut t = 0usize;
-    while t + LANES <= plane {
+    while t + LANES <= strip_len {
         let mut acc = [[0.0f32; LANES]; OCB];
         for (&base, wv) in bases.iter().zip(wtab.chunks_exact(OCB)) {
-            let x: [f32; LANES] = image[base + t..base + t + LANES]
+            let at = base + t0 + t;
+            let x: [f32; LANES] = image[at..at + LANES]
                 .try_into()
                 .expect("tile is LANES wide");
             for b in 0..OCB {
@@ -255,42 +219,228 @@ fn forward_block<const OCB: usize>(
                 }
             }
         }
-        for (b, (_, out_plane)) in block.iter_mut().enumerate() {
+        for (b, (_, out_strip)) in block.iter_mut().enumerate() {
             let bias = biases[b];
-            for (dst, a) in out_plane[t..t + LANES].iter_mut().zip(acc[b]) {
+            for (dst, a) in out_strip[t..t + LANES].iter_mut().zip(acc[b]) {
                 *dst = a + bias;
             }
         }
         t += LANES;
     }
-    // Scalar tail for plane sizes that do not divide the tile width.
-    while t < plane {
-        for (b, (_, out_plane)) in block.iter_mut().enumerate() {
+    // Scalar tail for strip lengths that do not divide the tile width.
+    while t < strip_len {
+        for (b, (_, out_strip)) in block.iter_mut().enumerate() {
             let mut acc = biases[b];
             for (&base, wv) in bases.iter().zip(wtab.chunks_exact(OCB)) {
-                acc += wv[b][0] * image[base + t];
+                acc += wv[b][0] * image[base + t0 + t];
             }
-            out_plane[t] = acc;
+            out_strip[t] = acc;
         }
         t += 1;
     }
 }
 
-/// Accumulates `TB` consecutive taps of one filter row: the `grad_output`
-/// strip is loaded once per tile and dotted against `TB` input-channel
-/// tiles, with per-tap `[f32; LANES]` partial sums reduced at the end.
+/// Pre-broadcast forward tables for one cyclic window: for each
+/// [`OC_BLOCK`]-sized chunk of the window's output channels (in ascending
+/// `oc` order, matching the chunk order both backends hand to
+/// [`forward_blocks`]), the splat weight table
+/// (`wtab[j * len + b] = [weight[oc_b][j]; LANES]`) and bias row. Built
+/// once per forward call and reused across every image (blocked backend)
+/// and every row strip (tiled backend) that reads the window.
+pub(super) struct WindowTables {
+    blocks: Vec<WindowBlock>,
+}
+
+struct WindowBlock {
+    wtab: Vec<[f32; LANES]>,
+    biases: [f32; OC_BLOCK],
+    len: usize,
+}
+
+/// Builds the [`WindowTables`] for one window's output channels.
+pub(super) fn build_window_tables(
+    ocs: &[usize],
+    w_data: &[f32],
+    b_data: Option<&[f32]>,
+    gw: usize,
+) -> WindowTables {
+    let blocks = ocs
+        .chunks(OC_BLOCK)
+        .map(|chunk| {
+            let len = chunk.len();
+            let mut wtab = vec![[0.0f32; LANES]; gw * len];
+            let mut biases = [0.0f32; OC_BLOCK];
+            for (b, &oc) in chunk.iter().enumerate() {
+                biases[b] = b_data.map(|bd| bd[oc]).unwrap_or(0.0);
+                for j in 0..gw {
+                    wtab[j * len + b] = [w_data[oc * gw + j]; LANES];
+                }
+            }
+            WindowBlock { wtab, biases, len }
+        })
+        .collect();
+    WindowTables { blocks }
+}
+
+/// [`build_window_tables`] for every window: window `w` owns output
+/// channels `oc ≡ w (mod cd)` in ascending order.
+pub(super) fn build_all_window_tables(
+    cd: usize,
+    cout: usize,
+    w_data: &[f32],
+    b_data: Option<&[f32]>,
+    gw: usize,
+) -> Vec<WindowTables> {
+    (0..cd)
+        .map(|w| {
+            let ocs: Vec<usize> = (w..cout).step_by(cd).collect();
+            build_window_tables(&ocs, w_data, b_data, gw)
+        })
+        .collect()
+}
+
+/// Per-tap input-channel base offsets for every window of `map`, resolved
+/// once per call.
+pub(super) fn build_window_bases(
+    map: &ChannelCycleMap,
+    cd: usize,
+    plane: usize,
+) -> Vec<Vec<usize>> {
+    (0..cd)
+        .map(|w| {
+            map.windows()[w]
+                .channels()
+                .iter()
+                .map(|ic| ic * plane)
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs [`forward_block`] over `strips` in [`OC_BLOCK`]-sized pieces using
+/// the window's pre-built tables, dispatching to the right monomorphisation
+/// for each (possibly partial) block. `strips` must list the window's
+/// output channels in the same ascending order `tables` was built from.
+/// Shared by the blocked backend (whole planes, `t0 = 0`) and the tiled
+/// backend (row strips at arbitrary `t0`).
+pub(super) fn forward_blocks(
+    strips: &mut [(usize, &mut [f32])],
+    t0: usize,
+    bases: &[usize],
+    image: &[f32],
+    tables: &WindowTables,
+) {
+    let mut rest = strips;
+    for block_tables in &tables.blocks {
+        if rest.is_empty() {
+            break;
+        }
+        let take = block_tables.len;
+        debug_assert!(take <= rest.len(), "tables and strips disagree");
+        let (block, tail) = rest.split_at_mut(take);
+        let wtab = &block_tables.wtab;
+        let biases = &block_tables.biases[..];
+        match take {
+            6 => forward_block::<6>(block, t0, bases, image, wtab, biases),
+            5 => forward_block::<5>(block, t0, bases, image, wtab, biases),
+            4 => forward_block::<4>(block, t0, bases, image, wtab, biases),
+            3 => forward_block::<3>(block, t0, bases, image, wtab, biases),
+            2 => forward_block::<2>(block, t0, bases, image, wtab, biases),
+            _ => forward_block::<1>(block, t0, bases, image, wtab, biases),
+        }
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty(), "strips left over after the table blocks");
+}
+
+/// Computes one input-gradient strip covering the plane range
+/// `[t0, t0 + gi.len())`: every covering filter's contribution is pulled
+/// into a register tile and the strip is written once (the naive kernel
+/// re-reads and re-writes the plane once per covering filter).
+pub(super) fn grad_input_strip(
+    gi: &mut [f32],
+    t0: usize,
+    pairs: &[(usize, usize)],
+    go_image: &[f32],
+    plane: usize,
+    w_data: &[f32],
+    gw: usize,
+) {
+    let strip_len = gi.len();
+    let mut t = 0usize;
+    while t + LANES <= strip_len {
+        let mut acc = [0.0f32; LANES];
+        for &(oc, offset) in pairs {
+            let wj = w_data[oc * gw + offset];
+            let at = oc * plane + t0 + t;
+            let g: [f32; LANES] = go_image[at..at + LANES]
+                .try_into()
+                .expect("strip is LANES wide");
+            for l in 0..LANES {
+                acc[l] += wj * g[l];
+            }
+        }
+        gi[t..t + LANES].copy_from_slice(&acc);
+        t += LANES;
+    }
+    while t < strip_len {
+        let mut acc = 0.0f32;
+        for &(oc, offset) in pairs {
+            acc += w_data[oc * gw + offset] * go_image[oc * plane + t0 + t];
+        }
+        gi[t] = acc;
+        t += 1;
+    }
+}
+
+/// Accumulates one filter row's weight gradient over the plane range
+/// `[t0, t1)`, dispatching [`TAP_BLOCK`]-sized tap groups to the right
+/// [`grad_weight_taps`] monomorphisation. Shared by the blocked backend
+/// (whole planes) and the tiled backend (row strips).
+pub(super) fn grad_weight_tap_blocks(
+    gw_row: &mut [f32],
+    ics: &[usize],
+    go_plane: &[f32],
+    image: &[f32],
+    plane: usize,
+    t0: usize,
+    t1: usize,
+) {
+    let gw = gw_row.len();
+    let mut j = 0usize;
+    while j < gw {
+        let take = (gw - j).min(TAP_BLOCK);
+        let taps = &ics[j..j + take];
+        let row = &mut gw_row[j..j + take];
+        match take {
+            4 => grad_weight_taps::<4>(row, taps, go_plane, image, plane, t0, t1),
+            3 => grad_weight_taps::<3>(row, taps, go_plane, image, plane, t0, t1),
+            2 => grad_weight_taps::<2>(row, taps, go_plane, image, plane, t0, t1),
+            _ => grad_weight_taps::<1>(row, taps, go_plane, image, plane, t0, t1),
+        }
+        j += take;
+    }
+}
+
+/// Accumulates `TB` consecutive taps of one filter row over the plane range
+/// `[t0, t1)`: the `grad_output` strip is loaded once per tile and dotted
+/// against `TB` input-channel tiles, with per-tap `[f32; LANES]` partial
+/// sums reduced at the end.
 fn grad_weight_taps<const TB: usize>(
     row: &mut [f32],
     taps: &[usize],
     go_plane: &[f32],
     image: &[f32],
     plane: usize,
+    t0: usize,
+    t1: usize,
 ) {
     debug_assert_eq!(row.len(), TB);
     debug_assert_eq!(taps.len(), TB);
+    debug_assert!(t0 <= t1 && t1 <= plane);
     let mut acc = [[0.0f32; LANES]; TB];
-    let mut t = 0usize;
-    while t + LANES <= plane {
+    let mut t = t0;
+    while t + LANES <= t1 {
         let g: [f32; LANES] = go_plane[t..t + LANES]
             .try_into()
             .expect("strip is LANES wide");
@@ -307,7 +457,7 @@ fn grad_weight_taps<const TB: usize>(
         t += LANES;
     }
     let mut tails = [0.0f32; TB];
-    while t < plane {
+    while t < t1 {
         let g = go_plane[t];
         for b in 0..TB {
             tails[b] += g * image[taps[b] * plane + t];

@@ -15,6 +15,12 @@
 //!   and all output channels sharing one input-channel window are computed
 //!   together so every input tile loaded from memory feeds
 //!   [`OC_BLOCK`] accumulator rows.
+//! * [`TiledBackend`] — the same register-tiled inner loops, scheduled as
+//!   cache-sized `batch × channel-window × row-strip` tasks across the
+//!   persistent work-stealing pool (`dsx_tensor::pool`), with a grain-size
+//!   heuristic so small planes don't over-decompose. Tuned for large
+//!   planes on multi-core hosts; bit-identical results at any thread
+//!   count.
 //!
 //! Future SIMD-intrinsic or GPU-style backends slot under the same trait.
 //!
@@ -27,9 +33,11 @@
 
 mod blocked;
 mod naive;
+mod tiled;
 
 pub use blocked::{BlockedBackend, LANES, OC_BLOCK, TAP_BLOCK};
 pub use naive::NaiveBackend;
+pub use tiled::{TiledBackend, TILE_F32};
 
 use crate::backward::SccGradients;
 use crate::config::SccConfig;
@@ -142,20 +150,26 @@ pub enum BackendKind {
     Naive,
     /// Register-blocked, autovectorized kernels.
     Blocked,
+    /// The blocked inner loops scheduled as cache-sized tiles across the
+    /// persistent work-stealing pool (tuned for large planes).
+    Tiled,
 }
 
 static NAIVE: NaiveBackend = NaiveBackend;
 static BLOCKED: BlockedBackend = BlockedBackend;
+static TILED: TiledBackend = TiledBackend;
 
 impl BackendKind {
     /// All backends, naive first (the oracle, and the historical default).
-    pub const ALL: [BackendKind; 2] = [BackendKind::Naive, BackendKind::Blocked];
+    pub const ALL: [BackendKind; 3] =
+        [BackendKind::Naive, BackendKind::Blocked, BackendKind::Tiled];
 
     /// Stable lower-case name, used by `--backend` flags and bench reports.
     pub fn name(&self) -> &'static str {
         match self {
             BackendKind::Naive => "naive",
             BackendKind::Blocked => "blocked",
+            BackendKind::Tiled => "tiled",
         }
     }
 
@@ -164,6 +178,7 @@ impl BackendKind {
         match self {
             BackendKind::Naive => &NAIVE,
             BackendKind::Blocked => &BLOCKED,
+            BackendKind::Tiled => &TILED,
         }
     }
 }
@@ -181,8 +196,9 @@ impl FromStr for BackendKind {
         match s.trim().to_ascii_lowercase().as_str() {
             "naive" => Ok(BackendKind::Naive),
             "blocked" | "simd" => Ok(BackendKind::Blocked),
+            "tiled" | "pool" => Ok(BackendKind::Tiled),
             other => Err(format!(
-                "unknown kernel backend '{other}' (expected one of: naive, blocked)"
+                "unknown kernel backend '{other}' (expected one of: naive, blocked, tiled)"
             )),
         }
     }

@@ -138,7 +138,9 @@ pub(crate) fn naive_grad_weight(
     let go_data = grad_output.as_slice();
 
     let mut grad_weight = Tensor::zeros(&[cout, gw]);
-    par::parallel_for_each_chunk_mut(grad_weight.as_mut_slice(), gw, |oc, gw_row| {
+    // Grain 1: a gw-element row reduces over whole planes, so the
+    // length-proportional claim heuristic would under-parallelise it.
+    par::parallel_for_each_chunk_mut_with_grain(grad_weight.as_mut_slice(), gw, 1, |oc, gw_row| {
         let window = map.window_for_output(oc);
         for img in 0..n {
             let go_plane = &go_data[(img * cout + oc) * plane..(img * cout + oc + 1) * plane];
@@ -163,7 +165,8 @@ pub(crate) fn naive_grad_bias(cfg: &SccConfig, grad_output: &Tensor) -> Tensor {
     let plane = h * w;
     let go_data = grad_output.as_slice();
     let mut grad_bias = Tensor::zeros(&[cout]);
-    par::parallel_for_each_chunk_mut(grad_bias.as_mut_slice(), 1, |oc, slot| {
+    // Grain 1: each single-element chunk sums a plane per image.
+    par::parallel_for_each_chunk_mut_with_grain(grad_bias.as_mut_slice(), 1, 1, |oc, slot| {
         let mut acc = 0.0f32;
         for img in 0..n {
             let go_plane = &go_data[(img * cout + oc) * plane..(img * cout + oc + 1) * plane];

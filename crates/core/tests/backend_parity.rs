@@ -1,10 +1,11 @@
 //! Cross-backend parity property suite.
 //!
-//! Asserts `BlockedBackend` matches `NaiveBackend` *and* the scalar
-//! reference within `TEST_TOLERANCE` (no tolerance widening) across
-//! `cg ∈ {1, 2, 4, 8}`, `co ∈ {0, 0.25, 0.33, 0.5, 0.75}`, non-square
-//! spatial dims, and plane sizes that do not divide the blocked kernel's
-//! tile width (`LANES`).
+//! Asserts `BlockedBackend` and `TiledBackend` match `NaiveBackend` *and*
+//! the scalar reference within `TEST_TOLERANCE` (no tolerance widening)
+//! across `cg ∈ {1, 2, 4, 8}`, `co ∈ {0, 0.25, 0.33, 0.5, 0.75}`,
+//! non-square spatial dims, and plane sizes that do not divide the blocked
+//! kernel's tile width (`LANES`), plus a determinism check that the tiled
+//! backend produces bit-identical results at 1 and N pool threads.
 
 use dsx_core::backend::LANES;
 use dsx_core::reference::{scc_backward_reference, scc_forward_reference};
@@ -86,17 +87,19 @@ proptest! {
             return Ok(()); // degenerate (cg, co) combination
         };
         let naive = forward_of(&case, BackendKind::Naive);
-        let blocked = forward_of(&case, BackendKind::Blocked);
         let reference =
             scc_forward_reference(&case.cfg, &case.input, &case.weight, Some(&case.bias));
-        prop_assert!(
-            allclose(&blocked, &naive, TEST_TOLERANCE),
-            "blocked != naive for {:?} {h}x{w}", case.cfg
-        );
-        prop_assert!(
-            allclose(&blocked, &reference, TEST_TOLERANCE),
-            "blocked != reference for {:?} {h}x{w}", case.cfg
-        );
+        for kind in [BackendKind::Blocked, BackendKind::Tiled] {
+            let got = forward_of(&case, kind);
+            prop_assert!(
+                allclose(&got, &naive, TEST_TOLERANCE),
+                "{kind} != naive for {:?} {h}x{w}", case.cfg
+            );
+            prop_assert!(
+                allclose(&got, &reference, TEST_TOLERANCE),
+                "{kind} != reference for {:?} {h}x{w}", case.cfg
+            );
+        }
     }
 
     /// Backward parity: all three gradients agree across backends and with
@@ -115,15 +118,17 @@ proptest! {
             return Ok(());
         };
         let naive = backward_of(&case, BackendKind::Naive);
-        let blocked = backward_of(&case, BackendKind::Blocked);
         let (ref_gi, ref_gw, ref_gb) =
             scc_backward_reference(&case.cfg, &case.input, &case.weight, &case.grad_output);
-        prop_assert!(allclose(&blocked.grad_input, &naive.grad_input, TEST_TOLERANCE));
-        prop_assert!(allclose(&blocked.grad_weight, &naive.grad_weight, TEST_TOLERANCE));
-        prop_assert!(allclose(&blocked.grad_bias, &naive.grad_bias, TEST_TOLERANCE));
-        prop_assert!(allclose(&blocked.grad_input, &ref_gi, TEST_TOLERANCE));
-        prop_assert!(allclose(&blocked.grad_weight, &ref_gw, TEST_TOLERANCE));
-        prop_assert!(allclose(&blocked.grad_bias, &ref_gb, TEST_TOLERANCE));
+        for kind in [BackendKind::Blocked, BackendKind::Tiled] {
+            let got = backward_of(&case, kind);
+            prop_assert!(allclose(&got.grad_input, &naive.grad_input, TEST_TOLERANCE), "{kind}");
+            prop_assert!(allclose(&got.grad_weight, &naive.grad_weight, TEST_TOLERANCE), "{kind}");
+            prop_assert!(allclose(&got.grad_bias, &naive.grad_bias, TEST_TOLERANCE), "{kind}");
+            prop_assert!(allclose(&got.grad_input, &ref_gi, TEST_TOLERANCE), "{kind}");
+            prop_assert!(allclose(&got.grad_weight, &ref_gw, TEST_TOLERANCE), "{kind}");
+            prop_assert!(allclose(&got.grad_bias, &ref_gb, TEST_TOLERANCE), "{kind}");
+        }
     }
 }
 
@@ -154,30 +159,94 @@ fn parity_grid_over_cg_co_and_ragged_planes() {
                 let naive_f = BackendKind::Naive
                     .backend()
                     .forward(&cfg, &map, &input, &weight, None, None);
-                let blocked_f = BackendKind::Blocked
-                    .backend()
-                    .forward(&cfg, &map, &input, &weight, None, None);
-                assert!(
-                    allclose(&blocked_f, &naive_f, TEST_TOLERANCE),
-                    "forward parity fails for cg={cg} co={co} {h}x{w}"
-                );
                 let naive_b = BackendKind::Naive
                     .backend()
                     .backward(&cfg, &map, &input, &weight, &grad_out, None);
-                let blocked_b = BackendKind::Blocked
-                    .backend()
-                    .backward(&cfg, &map, &input, &weight, &grad_out, None);
-                for (got, want, name) in [
-                    (&blocked_b.grad_input, &naive_b.grad_input, "grad_input"),
-                    (&blocked_b.grad_weight, &naive_b.grad_weight, "grad_weight"),
-                    (&blocked_b.grad_bias, &naive_b.grad_bias, "grad_bias"),
-                ] {
+                for kind in [BackendKind::Blocked, BackendKind::Tiled] {
+                    let fwd = kind
+                        .backend()
+                        .forward(&cfg, &map, &input, &weight, None, None);
                     assert!(
-                        allclose(got, want, TEST_TOLERANCE),
-                        "{name} parity fails for cg={cg} co={co} {h}x{w}"
+                        allclose(&fwd, &naive_f, TEST_TOLERANCE),
+                        "{kind} forward parity fails for cg={cg} co={co} {h}x{w}"
                     );
+                    let bwd = kind
+                        .backend()
+                        .backward(&cfg, &map, &input, &weight, &grad_out, None);
+                    for (got, want, name) in [
+                        (&bwd.grad_input, &naive_b.grad_input, "grad_input"),
+                        (&bwd.grad_weight, &naive_b.grad_weight, "grad_weight"),
+                        (&bwd.grad_bias, &naive_b.grad_bias, "grad_bias"),
+                    ] {
+                        assert!(
+                            allclose(got, want, TEST_TOLERANCE),
+                            "{kind} {name} parity fails for cg={cg} co={co} {h}x{w}"
+                        );
+                    }
                 }
             }
         }
+    }
+}
+
+/// Same seed, 1 pool thread vs N pool threads: the tiled backend's task
+/// decomposition (and each task's accumulation order) depends only on the
+/// shape, so forward *and* backward outputs must be bit-identical — not
+/// merely within tolerance.
+///
+/// (Flipping the global thread count mid-suite is safe: the other tests in
+/// this binary are thread-count agnostic — every parallel entry point is
+/// correct at any count — so the only effect is which scheduling path they
+/// exercise while this test runs.)
+#[test]
+fn tiled_results_are_bit_identical_across_pool_thread_counts() {
+    // 64x64 planes split into 4 strips each, so the pool genuinely
+    // decomposes the work instead of degenerating to one task per plane.
+    let cfg = SccConfig::new(16, 24, 2, 0.5).unwrap();
+    let map = ChannelCycleMap::build(&cfg);
+    let input = Tensor::randn(&[2, 16, 64, 64], 91);
+    let weight = Tensor::randn(&[24, cfg.group_width()], 92);
+    let bias = Tensor::randn(&[24], 93);
+    let grad_out = Tensor::randn(&[2, 24, 64, 64], 94);
+    let backend = BackendKind::Tiled.backend();
+
+    let run = || {
+        let fwd = backend.forward(&cfg, &map, &input, &weight, Some(&bias), None);
+        let grads = backend.backward(&cfg, &map, &input, &weight, &grad_out, None);
+        (fwd, grads)
+    };
+    dsx_tensor::set_num_threads(1);
+    let (fwd_single, grads_single) = run();
+    dsx_tensor::set_num_threads(4);
+    let (fwd_pooled, grads_pooled) = run();
+    dsx_tensor::set_num_threads(0);
+
+    assert_eq!(
+        fwd_single.as_slice(),
+        fwd_pooled.as_slice(),
+        "forward must be bit-identical at 1 vs 4 pool threads"
+    );
+    for (single, pooled, name) in [
+        (
+            &grads_single.grad_input,
+            &grads_pooled.grad_input,
+            "grad_input",
+        ),
+        (
+            &grads_single.grad_weight,
+            &grads_pooled.grad_weight,
+            "grad_weight",
+        ),
+        (
+            &grads_single.grad_bias,
+            &grads_pooled.grad_bias,
+            "grad_bias",
+        ),
+    ] {
+        assert_eq!(
+            single.as_slice(),
+            pooled.as_slice(),
+            "{name} must be bit-identical at 1 vs 4 pool threads"
+        );
     }
 }

@@ -121,8 +121,19 @@ impl ServeStats {
 
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the recorded latencies
     /// from the log-spaced histogram, in µs. Returns 0 before any request
-    /// completed. The estimate is the floor of the bucket holding the
-    /// quantile rank, so it never over-reports.
+    /// completed.
+    ///
+    /// Within the bucket holding the quantile rank the estimate is
+    /// **linearly interpolated** by rank position across the bucket's
+    /// width (assuming samples spread uniformly inside the bucket), so
+    /// nearby percentiles stay distinct even when they share one wide
+    /// bucket (serving latencies land in buckets ~19% wide, where a
+    /// floor-only estimate collapsed p50/p95/p99 onto the same edge — see
+    /// BENCH_PR3.json from PR 4). The estimate stays inside the bucket
+    /// holding the rank and at or below the observed maximum; when samples
+    /// cluster at a bucket's low edge the uniform assumption can place it
+    /// above the exact sample percentile, but never by more than that
+    /// bucket's width (~19%).
     pub fn latency_percentile_us(&self, q: f64) -> u64 {
         let counts: Vec<u64> = self
             .latency_hist
@@ -133,15 +144,34 @@ impl ServeStats {
         if total == 0 {
             return 0;
         }
+        let max = self.latency_max_us.load(Ordering::Relaxed);
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (idx, &count) in counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return bucket_floor(idx);
+            if count == 0 {
+                continue;
             }
+            if seen + count >= rank {
+                let floor = bucket_floor(idx);
+                // The top bucket is unbounded; use the observed maximum as
+                // its effective ceiling.
+                let ceil = if idx + 1 < HIST_BUCKETS {
+                    bucket_floor(idx + 1).min(max.max(floor))
+                } else {
+                    max.max(floor)
+                };
+                let width = ceil - floor;
+                // Position of the rank inside this bucket, in [1, count]:
+                // interpolate at (position - 1) / count so a width-1
+                // (sub-16 µs) bucket still reports its exact value.
+                let position = rank - seen;
+                let offset =
+                    (u128::from(width) * u128::from(position - 1) / u128::from(count)) as u64;
+                return (floor + offset).min(max.max(floor));
+            }
+            seen += count;
         }
-        self.latency_max_us.load(Ordering::Relaxed)
+        max
     }
 
     /// Folds the counters into a report for a serving window of `elapsed`
@@ -194,7 +224,8 @@ pub struct ServeSnapshot {
     pub max_batch_occupancy: usize,
     /// Mean queue-to-response latency in microseconds.
     pub mean_latency_us: f64,
-    /// Median queue-to-response latency in microseconds (histogram floor).
+    /// Median queue-to-response latency in microseconds (histogram
+    /// estimate with sub-bucket linear interpolation).
     pub p50_latency_us: u64,
     /// 95th-percentile queue-to-response latency in microseconds.
     pub p95_latency_us: u64,
@@ -310,8 +341,47 @@ mod tests {
         let snap = stats.snapshot(Duration::from_secs(1));
         assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
         assert!(p99 <= snap.max_latency_us);
-        // Log buckets never over-report: each estimate is a bucket floor.
+        // Log buckets never over-report: each estimate stays inside the
+        // bucket holding its rank.
         assert!(p50 <= 950);
+    }
+
+    #[test]
+    fn interpolation_keeps_percentiles_distinct_within_one_wide_bucket() {
+        // 100 samples spread across [49200, 57200) µs — all inside ONE log
+        // bucket ([49152, 57344)). The pre-interpolation floor estimate
+        // collapsed p50 == p95 == p99 == 49152 exactly like the
+        // BENCH_PR3.json rows this satellite fixes; sub-bucket linear
+        // interpolation must keep them distinct, ordered and bounded.
+        let stats = ServeStats::new();
+        for i in 0..100u64 {
+            stats.record_latency(Duration::from_micros(49_200 + i * 80));
+        }
+        let p50 = stats.latency_percentile_us(0.50);
+        let p95 = stats.latency_percentile_us(0.95);
+        let p99 = stats.latency_percentile_us(0.99);
+        assert!(p50 < p95 && p95 < p99, "{p50} {p95} {p99} must be distinct");
+        assert!(p50 >= 49_152 && p99 <= 57_120, "{p50} {p99}");
+        // The median estimate lands near the middle of the bucket, not at
+        // its floor.
+        assert!(p50 > 51_000 && p50 < 55_000, "{p50}");
+    }
+
+    #[test]
+    fn interpolation_distinguishes_percentiles_on_a_spread_distribution() {
+        // A long-tailed spread across many buckets: percentiles must be
+        // strictly ordered and each estimate must stay at or below the
+        // sample it approximates.
+        let stats = ServeStats::new();
+        for i in 1..=200u64 {
+            stats.record_latency(Duration::from_micros(i * i)); // 1 .. 40_000
+        }
+        let p50 = stats.latency_percentile_us(0.50);
+        let p90 = stats.latency_percentile_us(0.90);
+        let p99 = stats.latency_percentile_us(0.99);
+        assert!(p50 < p90 && p90 < p99, "{p50} {p90} {p99}");
+        assert!(p50 <= 100 * 100 && p50 > 80 * 80, "{p50}");
+        assert!(p99 <= 198 * 198 && p99 > 180 * 180, "{p99}");
     }
 
     #[test]

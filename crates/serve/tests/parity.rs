@@ -23,7 +23,7 @@ fn concurrent_batched_inference_matches_single_threaded_forward() {
     // One deterministic kernel thread: any cross-request data race would
     // come from the engine itself, which is the point of the test.
     dsx_tensor::set_num_threads(1);
-    for backend in [BackendKind::Naive, BackendKind::Blocked] {
+    for backend in BackendKind::ALL {
         let shared = dsx_serve::build_serving_model(&spec(), backend);
         // An identically-seeded twin provides the single-threaded oracle
         // through the training-path entry point.

@@ -16,9 +16,10 @@
 //! * [`conv`] — `im2col` / `col2im` lowering plus zero padding, the standard
 //!   lowering used by the "highly-optimized library" baselines the paper
 //!   compares against.
-//! * [`par`] — a chunked `parallel_for` built on `crossbeam::scope`, the CPU
-//!   stand-in for the paper's "assign one GPU thread per output pixel"
-//!   decomposition.
+//! * [`par`] — chunked `parallel_for` entry points, the CPU stand-in for
+//!   the paper's "assign one GPU thread per output pixel" decomposition,
+//!   scheduled on [`pool`] — a persistent work-stealing worker pool so hot
+//!   kernel launches pay a queue push instead of OS thread startup.
 //! * [`init`] — Kaiming / Xavier / uniform initialisers with deterministic
 //!   seeding so experiments are reproducible.
 //!
@@ -40,6 +41,7 @@ pub mod init;
 pub mod matmul;
 pub mod ops;
 pub mod par;
+pub mod pool;
 pub mod shape;
 pub mod slice;
 pub mod tensor;

@@ -1,34 +1,51 @@
-//! CPU parallel runtime: a chunked `parallel_for` built on `crossbeam::scope`.
+//! CPU parallel runtime: chunked `parallel_for` entry points scheduled on
+//! the persistent work-stealing pool in [`crate::pool`].
 //!
 //! The DSXplore GPU kernels launch `N * Cout * Fw * Fw` threads (forward) or
 //! `N * Cin * Fw * Fw` threads (input-centric backward), each handling one
 //! pixel. On a CPU we reproduce the same decomposition by splitting the
-//! iteration space into contiguous chunks and handing each chunk to an OS
-//! thread; the per-"thread" work function receives the global index exactly
-//! like the CUDA `thread_id` in Algorithm 2 of the paper.
+//! iteration space into contiguous chunks; the per-"thread" work function
+//! receives the global index exactly like the CUDA `thread_id` in
+//! Algorithm 2 of the paper.
+//!
+//! Unlike the original scope-spawn runtime, chunks are executed by
+//! long-lived pool workers (see [`crate::pool`]), so the per-layer kernel
+//! launches inside one `infer` pay a queue push + wakeup instead of OS
+//! thread startup, and imbalanced bodies rebalance by work stealing.
 //!
 //! The number of worker threads defaults to the machine's available
-//! parallelism and can be overridden globally ([`set_num_threads`]) or per
-//! call; a value of 1 runs inline with zero thread overhead, which is also
-//! what the test-suite uses to keep results deterministic.
+//! parallelism and can be overridden globally ([`set_num_threads`]); a value
+//! of 1 runs every entry point inline with zero thread (and zero pool)
+//! overhead, which is also what the test-suite uses to keep results
+//! deterministic.
 
-use parking_lot::RwLock;
+use crate::pool;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Global worker-thread count override. 0 means "not set, use the hardware
 /// default".
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// Guards structural changes to the pool configuration (only the thread
-/// count today; kept as an RwLock so future settings can join it without an
-/// API break).
+/// Guards structural changes to the pool configuration (the thread count
+/// and the drain-and-rebuild it triggers), so two concurrent
+/// [`set_num_threads`] calls cannot interleave their store + drain steps.
 static CONFIG_LOCK: RwLock<()> = RwLock::new(());
 
-/// Sets the number of worker threads used by [`parallel_for`] and
-/// [`parallel_for_chunks`]. `0` restores the hardware default.
+/// Sets the number of worker threads used by the `parallel_*` entry points.
+/// `0` restores the hardware default.
+///
+/// Changing the count **drains and rebuilds** the persistent pool: the call
+/// blocks until every live pool worker finishes its in-flight work and
+/// exits, and the next multi-threaded call lazily respawns workers sized to
+/// the new count. The store + drain sequence is serialised by an internal
+/// lock, so concurrent callers cannot leave a stale-sized pool behind.
+/// Never call this from inside a parallel body — a pool worker cannot join
+/// itself.
 pub fn set_num_threads(n: usize) {
     let _guard = CONFIG_LOCK.write();
     NUM_THREADS.store(n, Ordering::SeqCst);
+    pool::shutdown();
 }
 
 /// Current number of worker threads [`parallel_for`] will use.
@@ -42,12 +59,18 @@ pub fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Minimum number of iterations per spawned thread; below this the loop runs
-/// inline because thread spawn/join costs would dominate.
+/// Minimum number of iterations per claimed chunk; below this the loop runs
+/// inline because scheduling costs would dominate.
 pub const MIN_CHUNK: usize = 1024;
 
-/// Runs `body(i)` for every `i in 0..n`, splitting the range over the worker
-/// threads. `body` must be safe to call concurrently for distinct indices.
+/// Target number of `f32` elements covered by one pool claim in the
+/// chunk-oriented entry points: small chunks (rows, ragged planes) are
+/// batched until a claim amortises to roughly this much work, so
+/// CIFAR-scale launches don't decompose into hundreds of near-empty tasks.
+pub const GRAIN_TARGET_F32: usize = 4096;
+
+/// Runs `body(i)` for every `i in 0..n`, splitting the range over the pool
+/// workers. `body` must be safe to call concurrently for distinct indices.
 ///
 /// This mirrors a GPU kernel launch of `n` threads: each index is touched
 /// exactly once and no two workers share an index.
@@ -64,9 +87,9 @@ where
 
 /// Runs `body(start, end)` over disjoint sub-ranges covering `0..n`.
 ///
-/// `min_chunk` bounds how small a sub-range may get; the scheduler never
-/// spawns more threads than `num_threads()` and falls back to a single inline
-/// call when `n` is small.
+/// `min_chunk` bounds how small a sub-range may get; the pool never hands
+/// out smaller claims, and the call falls back to a single inline `body`
+/// when `n` is small or only one thread is configured.
 pub fn parallel_for_chunks<F>(n: usize, min_chunk: usize, body: F)
 where
     F: Fn(usize, usize) + Sync,
@@ -74,25 +97,47 @@ where
     if n == 0 {
         return;
     }
-    let workers = num_threads();
-    if workers <= 1 || n <= min_chunk.max(1) {
+    let min_chunk = min_chunk.max(1);
+    if num_threads() <= 1 || n <= min_chunk {
         body(0, n);
         return;
     }
-    let chunks = workers.min(n.div_ceil(min_chunk.max(1)));
-    let chunk_size = n.div_ceil(chunks);
-    crossbeam::scope(|scope| {
-        for c in 0..chunks {
-            let start = c * chunk_size;
-            let end = ((c + 1) * chunk_size).min(n);
-            if start >= end {
-                continue;
-            }
-            let body_ref = &body;
-            scope.spawn(move |_| body_ref(start, end));
+    pool::run(n, min_chunk, body);
+}
+
+/// `Sync` view of a mutable `f32` buffer's base pointer, letting pool
+/// workers slice disjoint sub-ranges. Private to this module: every use is
+/// guarded by a claimed-exactly-once index from the pool plus a disjointness
+/// argument local to the calling function.
+struct SharedMutF32 {
+    ptr: *mut f32,
+    len: usize,
+}
+
+// SAFETY: the wrapper only hands out slices under the caller-proven
+// disjointness contracts of the functions below.
+unsafe impl Send for SharedMutF32 {}
+unsafe impl Sync for SharedMutF32 {}
+
+impl SharedMutF32 {
+    fn new(out: &mut [f32]) -> Self {
+        SharedMutF32 {
+            ptr: out.as_mut_ptr(),
+            len: out.len(),
         }
-    })
-    .expect("parallel_for worker panicked");
+    }
+
+    /// # Safety
+    ///
+    /// `[offset, offset + len)` must be in bounds and no other live
+    /// reference may overlap it for the lifetime of the returned slice
+    /// (which is why this deliberately hands out `&mut` from `&self`: the
+    /// disjointness contract replaces the borrow checker here).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, offset: usize, len: usize) -> &mut [f32] {
+        debug_assert!(offset + len <= self.len, "tile out of bounds");
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(offset), len) }
+    }
 }
 
 /// Splits `out` into disjoint mutable chunks of `chunk_len` elements and runs
@@ -104,9 +149,34 @@ where
 /// This is the pattern used by kernels that own one output row / channel per
 /// logical thread (e.g. the SCC output-centric forward writes each output
 /// channel's spatial map from exactly one chunk), so no synchronisation is
-/// needed.
+/// needed. Short chunks are batched per pool claim on the assumption that
+/// a chunk's body cost is proportional to its length (see
+/// [`GRAIN_TARGET_F32`]); bodies that do far more work than their chunk
+/// length suggests — a weight-gradient row that reduces over whole planes,
+/// a bias slot that sums a plane per element — must use
+/// [`parallel_for_each_chunk_mut_with_grain`] with an explicit grain of 1,
+/// or the heuristic will batch (or fully inline) work that should spread
+/// across the pool.
 pub fn parallel_for_each_chunk_mut<F>(out: &mut [f32], chunk_len: usize, body: F)
 where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    // A zero chunk_len only survives the empty-slice no-op path inside the
+    // grained variant; any grain works for it.
+    let grain = GRAIN_TARGET_F32.checked_div(chunk_len).unwrap_or(1).max(1);
+    parallel_for_each_chunk_mut_with_grain(out, chunk_len, grain, body);
+}
+
+/// [`parallel_for_each_chunk_mut`] with an explicit pool grain (chunks per
+/// claim) instead of the length-proportional heuristic. `grain = 1` is the
+/// right choice for heavy-bodied chunks whose cost is unrelated to their
+/// length (weight-gradient rows, bias reductions).
+pub fn parallel_for_each_chunk_mut_with_grain<F>(
+    out: &mut [f32],
+    chunk_len: usize,
+    grain: usize,
+    body: F,
+) where
     F: Fn(usize, &mut [f32]) + Sync,
 {
     if out.is_empty() {
@@ -118,33 +188,23 @@ where
     }
     check_chunk_math("parallel_for_each_chunk_mut", out.len(), chunk_len);
     let n_chunks = out.len() / chunk_len;
-    let workers = num_threads();
-    if workers <= 1 || n_chunks <= 1 {
+    if num_threads() <= 1 || n_chunks <= 1 {
         for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
             body(i, chunk);
         }
         return;
     }
-    // Hand out chunks to scoped threads round-robin; chunks_mut gives us
-    // disjoint borrows so this is safe without locks.
-    crossbeam::scope(|scope| {
-        let chunks: Vec<(usize, &mut [f32])> = out.chunks_mut(chunk_len).enumerate().collect();
-        let per_worker = chunks.len().div_ceil(workers);
-        let mut iter = chunks.into_iter();
-        loop {
-            let batch: Vec<(usize, &mut [f32])> = iter.by_ref().take(per_worker).collect();
-            if batch.is_empty() {
-                break;
-            }
-            let body_ref = &body;
-            scope.spawn(move |_| {
-                for (i, chunk) in batch {
-                    body_ref(i, chunk);
-                }
-            });
+    let grain = grain.clamp(1, n_chunks);
+    let base = SharedMutF32::new(out);
+    pool::run(n_chunks, grain, |start, end| {
+        for i in start..end {
+            // SAFETY: chunk i covers [i * chunk_len, (i + 1) * chunk_len):
+            // chunks are pairwise disjoint and the pool claims each index
+            // exactly once.
+            let chunk = unsafe { base.slice_mut(i * chunk_len, chunk_len) };
+            body(i, chunk);
         }
-    })
-    .expect("parallel_for_each_chunk_mut worker panicked");
+    });
 }
 
 /// Validates the caller's chunk decomposition of a slice, panicking with a
@@ -167,12 +227,15 @@ fn check_chunk_math(caller: &str, len: usize, chunk_len: usize) {
     );
 }
 
+/// One group's chunks: `(chunk_index, chunk)` pairs in ascending order.
+type ChunkGroup<'a> = Vec<(usize, &'a mut [f32])>;
+
 /// Splits `out` into disjoint chunks of `chunk_len` elements, assigns every
 /// chunk to a *group* via `group_of(chunk_index)`, and runs
 /// `body(group_index, chunks_of_that_group)` with each group handled by
 /// exactly one worker thread.
 ///
-/// This is the tiled companion to [`parallel_for_each_chunk_mut`] for kernels
+/// This is the companion to [`parallel_for_each_chunk_mut`] for kernels
 /// whose unit of cache reuse spans *several* non-contiguous chunks: e.g. the
 /// blocked SCC forward kernel groups all output-channel planes that share one
 /// input-channel window (`group = img * cyclic_dist + oc % cyclic_dist`) so
@@ -196,8 +259,6 @@ pub fn parallel_for_each_chunk_group_mut<G, F>(
     G: Fn(usize) -> usize + Sync,
     F: Fn(usize, &mut [(usize, &mut [f32])]) + Sync,
 {
-    /// One group's chunks: `(chunk_index, chunk)` pairs in ascending order.
-    type ChunkGroup<'a> = Vec<(usize, &'a mut [f32])>;
     if out.is_empty() {
         // Same degenerate-case contract as `parallel_for_each_chunk_mut`:
         // zero chunks means nothing to do, whatever `chunk_len` says.
@@ -216,35 +277,104 @@ pub fn parallel_for_each_chunk_group_mut<G, F>(
         );
         groups[group].push((idx, chunk));
     }
-    let workers = num_threads();
-    if workers <= 1 || num_groups <= 1 {
+    if num_threads() <= 1 || num_groups <= 1 {
         for (group_idx, group) in groups.iter_mut().enumerate() {
             body(group_idx, group);
         }
         return;
     }
-    crossbeam::scope(|scope| {
-        let per_worker = groups.len().div_ceil(workers);
-        let mut iter = groups.into_iter().enumerate();
-        loop {
-            let batch: Vec<(usize, ChunkGroup<'_>)> = iter.by_ref().take(per_worker).collect();
-            if batch.is_empty() {
-                break;
-            }
-            let body_ref = &body;
-            scope.spawn(move |_| {
-                for (group_idx, mut group) in batch {
-                    body_ref(group_idx, &mut group);
-                }
-            });
+    // Each slot is locked exactly once (the pool claims each group index
+    // once), so the mutexes cost one uncontended lock per group and exist
+    // only to hand the `&mut` chunk lists across threads safely.
+    let slots: Vec<Mutex<ChunkGroup<'_>>> = groups.into_iter().map(Mutex::new).collect();
+    pool::run(num_groups, 1, |start, end| {
+        for (group_idx, slot) in slots.iter().enumerate().take(end).skip(start) {
+            let mut group = slot.lock();
+            body(group_idx, &mut group);
         }
-    })
-    .expect("parallel_for_each_chunk_group_mut worker panicked");
+    });
 }
 
-/// Reduces `0..n` in parallel: every worker folds its sub-range with `fold`
-/// starting from `identity`, and the per-worker results are combined with
-/// `combine`.
+/// Splits `out` into the caller-described disjoint tiles of `groups`
+/// (`groups[g]` lists that group's tiles as `(offset, len)` pairs) and runs
+/// `body(group_index, tiles_of_that_group)` with each group handled by
+/// exactly one worker; `grain` batches that many groups per pool claim.
+///
+/// This is the ragged companion to [`parallel_for_each_chunk_group_mut`]
+/// for kernels whose unit of work is a *sub-range* of a chunk — e.g. the
+/// tiled SCC backend splits each output plane into cache-sized row strips,
+/// and the final strip of a ragged plane is shorter than the rest, so no
+/// uniform `chunk_len` exists. Tiles are validated to be in-bounds and
+/// pairwise disjoint before any body runs (an `O(T log T)` sort over the
+/// tile list — negligible next to kernel work); overlapping or out-of-range
+/// tiles panic. Each tile is passed as `(offset, slice)` so the body can
+/// recover its coordinates from the offset alone.
+pub fn parallel_for_tile_groups_mut<F>(
+    out: &mut [f32],
+    groups: &[Vec<(usize, usize)>],
+    grain: usize,
+    body: F,
+) where
+    F: Fn(usize, &mut [(usize, &mut [f32])]) + Sync,
+{
+    if groups.is_empty() {
+        return;
+    }
+    let mut all: Vec<(usize, usize)> = groups
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|&(_, len)| len > 0)
+        .collect();
+    all.sort_unstable();
+    for pair in all.windows(2) {
+        let (prev_off, prev_len) = pair[0];
+        let (next_off, _) = pair[1];
+        assert!(
+            prev_off + prev_len <= next_off,
+            "parallel_for_tile_groups_mut: tile [{prev_off}, {}) overlaps the tile starting \
+             at {next_off}; tiles must be pairwise disjoint",
+            prev_off + prev_len,
+        );
+    }
+    if let Some(&(last_off, last_len)) = all.last() {
+        assert!(
+            last_off + last_len <= out.len(),
+            "parallel_for_tile_groups_mut: tile [{last_off}, {}) exceeds the {}-element \
+             output buffer",
+            last_off + last_len,
+            out.len(),
+        );
+    }
+    let base = SharedMutF32::new(out);
+    let run_group = |group_idx: usize| {
+        // SAFETY: tiles were validated pairwise disjoint and in-bounds
+        // above, and each group index is visited exactly once (sequentially
+        // below, or claimed once by the pool).
+        let mut tiles: Vec<(usize, &mut [f32])> = groups[group_idx]
+            .iter()
+            .map(|&(offset, len)| (offset, unsafe { base.slice_mut(offset, len) }))
+            .collect();
+        body(group_idx, &mut tiles);
+    };
+    if num_threads() <= 1 || groups.len() <= 1 {
+        for group_idx in 0..groups.len() {
+            run_group(group_idx);
+        }
+        return;
+    }
+    pool::run(groups.len(), grain.max(1), |start, end| {
+        for group_idx in start..end {
+            run_group(group_idx);
+        }
+    });
+}
+
+/// Reduces `0..n` in parallel: the range is folded in fixed
+/// [`MIN_CHUNK`]-sized chunks starting from clones of `identity`, and the
+/// per-chunk partials are combined **in chunk order** — so the result is
+/// deterministic for a given `n` regardless of the thread count or how the
+/// pool happens to schedule the chunks.
 pub fn parallel_reduce<T, FoldF, CombineF>(
     n: usize,
     identity: T,
@@ -259,41 +389,60 @@ where
     if n == 0 {
         return identity;
     }
-    let workers = num_threads();
-    if workers <= 1 || n <= MIN_CHUNK {
-        let mut acc = identity;
-        for i in 0..n {
-            acc = fold(acc, i);
+    let n_chunks = n.div_ceil(MIN_CHUNK);
+    if num_threads() <= 1 || n_chunks == 1 {
+        // Same chunk decomposition and combine order as the pooled path,
+        // folded inline — so 1-thread and N-thread runs agree bit-for-bit
+        // even for order-sensitive (floating-point) folds.
+        let mut acc = identity.clone();
+        for chunk in 0..n_chunks {
+            let start = chunk * MIN_CHUNK;
+            let end = ((chunk + 1) * MIN_CHUNK).min(n);
+            let mut partial = identity.clone();
+            for i in start..end {
+                partial = fold(partial, i);
+            }
+            acc = combine(acc, partial);
         }
         return acc;
     }
-    let chunks = workers.min(n.div_ceil(MIN_CHUNK));
-    let chunk_size = n.div_ceil(chunks);
-    let partials = crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for c in 0..chunks {
-            let start = c * chunk_size;
-            let end = ((c + 1) * chunk_size).min(n);
-            if start >= end {
-                continue;
+    // Identity clones are made on the caller and moved through the cells,
+    // so `T` needs no `Sync` bound; each cell is taken and refilled exactly
+    // once by whichever worker claims its chunk.
+    let cells: Vec<Mutex<Option<T>>> = (0..n_chunks)
+        .map(|_| Mutex::new(Some(identity.clone())))
+        .collect();
+    pool::run(n_chunks, 1, |chunk_start, chunk_end| {
+        for (chunk, cell) in cells.iter().enumerate().take(chunk_end).skip(chunk_start) {
+            let start = chunk * MIN_CHUNK;
+            let end = ((chunk + 1) * MIN_CHUNK).min(n);
+            let mut acc = cell
+                .lock()
+                .take()
+                .expect("each chunk is claimed exactly once");
+            for i in start..end {
+                acc = fold(acc, i);
             }
-            let fold_ref = &fold;
-            let id = identity.clone();
-            handles.push(scope.spawn(move |_| {
-                let mut acc = id;
-                for i in start..end {
-                    acc = fold_ref(acc, i);
-                }
-                acc
-            }));
+            *cell.lock() = Some(acc);
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel_reduce worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("parallel_reduce scope failed");
-    partials.into_iter().fold(identity, combine)
+    });
+    cells
+        .into_iter()
+        .fold(identity, |acc, cell| match cell.into_inner() {
+            Some(partial) => combine(acc, partial),
+            None => acc,
+        })
+}
+
+/// Serialises tests (across this crate) that flip the global thread count:
+/// the test harness runs tests on parallel threads, so two save/flip/restore
+/// sequences would otherwise interleave and restore each other's
+/// intermediate value.
+#[cfg(test)]
+pub(crate) fn test_thread_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -339,6 +488,22 @@ mod tests {
         for (i, chunk) in data.chunks(8).enumerate() {
             assert!(chunk.iter().all(|&v| v == i as f32));
         }
+    }
+
+    #[test]
+    fn chunk_mut_writes_each_chunk_through_the_pool() {
+        let _guard = test_thread_guard();
+        set_num_threads(4);
+        let mut data = vec![0.0f32; 512 * 16];
+        parallel_for_each_chunk_mut(&mut data, 16, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v = i as f32;
+            }
+        });
+        for (i, chunk) in data.chunks(16).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as f32), "chunk {i}");
+        }
+        set_num_threads(0);
     }
 
     #[test]
@@ -454,6 +619,65 @@ mod tests {
     }
 
     #[test]
+    fn tile_groups_mut_writes_ragged_disjoint_tiles() {
+        // A 10-element buffer split into ragged tiles across 3 groups,
+        // deliberately not in offset order and with an empty tile.
+        let mut data = vec![0.0f32; 10];
+        let groups = vec![
+            vec![(7usize, 3usize), (0, 2)],
+            vec![(2, 3)],
+            vec![(5, 2), (5, 0)],
+        ];
+        parallel_for_tile_groups_mut(&mut data, &groups, 1, |group_idx, tiles| {
+            for (offset, tile) in tiles.iter_mut() {
+                for (k, v) in tile.iter_mut().enumerate() {
+                    *v = (group_idx * 100 + *offset + k) as f32;
+                }
+            }
+        });
+        assert_eq!(
+            data,
+            vec![0.0, 1.0, 102.0, 103.0, 104.0, 205.0, 206.0, 7.0, 8.0, 9.0]
+        );
+    }
+
+    #[test]
+    fn tile_groups_mut_works_through_the_pool() {
+        let _guard = test_thread_guard();
+        set_num_threads(4);
+        let n = 4096;
+        let mut data = vec![0.0f32; n];
+        let groups: Vec<Vec<(usize, usize)>> = (0..64).map(|g| vec![(g * 64, 64)]).collect();
+        parallel_for_tile_groups_mut(&mut data, &groups, 4, |_g, tiles| {
+            for (offset, tile) in tiles.iter_mut() {
+                for (k, v) in tile.iter_mut().enumerate() {
+                    *v = (*offset + k) as f32;
+                }
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps the tile starting at 4")]
+    fn tile_groups_mut_rejects_overlapping_tiles() {
+        let mut data = vec![0.0f32; 10];
+        let groups = vec![vec![(0usize, 6usize)], vec![(4, 2)]];
+        parallel_for_tile_groups_mut(&mut data, &groups, 1, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 4-element output buffer")]
+    fn tile_groups_mut_rejects_out_of_bounds_tiles() {
+        let mut data = vec![0.0f32; 4];
+        let groups = vec![vec![(2usize, 4usize)]];
+        parallel_for_tile_groups_mut(&mut data, &groups, 1, |_, _| {});
+    }
+
+    #[test]
     fn parallel_reduce_matches_sequential_sum() {
         let n = 20_000;
         let total = parallel_reduce(n, 0u64, |acc, i| acc + i as u64, |a, b| a + b);
@@ -461,7 +685,30 @@ mod tests {
     }
 
     #[test]
+    fn parallel_reduce_is_deterministic_across_thread_counts() {
+        let _guard = test_thread_guard();
+        let n = 50_000;
+        // Floating-point folds are order-sensitive; the fixed chunking +
+        // in-order combine must give bit-identical results at any count.
+        let reduce = || {
+            parallel_reduce(
+                n,
+                0.0f32,
+                |acc, i| acc + (i as f32).sqrt() * 1e-3,
+                |a, b| a + b,
+            )
+        };
+        set_num_threads(1);
+        let single = reduce();
+        set_num_threads(4);
+        let pooled = reduce();
+        set_num_threads(0);
+        assert_eq!(single.to_bits(), pooled.to_bits());
+    }
+
+    #[test]
     fn thread_count_override_round_trips() {
+        let _guard = test_thread_guard();
         let original = NUM_THREADS.load(Ordering::SeqCst);
         set_num_threads(3);
         assert_eq!(num_threads(), 3);

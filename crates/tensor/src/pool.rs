@@ -1,0 +1,542 @@
+//! Persistent work-stealing worker pool behind the [`crate::par`] runtime.
+//!
+//! The original runtime spawned fresh `crossbeam::scope` threads on every
+//! `parallel_for` call, so each hot kernel launch re-paid OS thread startup
+//! — the overhead class that dominates CPU convolution primitives at small
+//! plane sizes. This module replaces that with a process-wide pool of
+//! long-lived workers:
+//!
+//! * **Lazy start** — no thread is spawned until the first multi-threaded
+//!   [`run`] call; single-threaded configurations (`num_threads() == 1`,
+//!   the deterministic test default) never touch the pool at all.
+//! * **Parked workers** — idle workers block on a `Condvar`, consuming no
+//!   CPU between launches; a launch is a queue push + wakeup, not a
+//!   `clone(2)`.
+//! * **Work stealing** — each job splits its index range into one
+//!   contiguous span per participant (the submitting thread plus every
+//!   worker). A participant pops grain-sized chunks from the *front* of its
+//!   own span; when it runs dry it steals the *back half* of another
+//!   participant's remaining span, so imbalanced bodies rebalance without
+//!   a central queue bottleneck.
+//! * **Caller participation** — the submitting thread executes chunks too,
+//!   then sleeps on the job's completion latch only while other workers
+//!   finish their in-flight chunks. Nested `run` calls from inside a body
+//!   are safe: the nested caller can always drain its own job even when
+//!   every worker is busy.
+//! * **Graceful teardown** — [`shutdown`] (used by
+//!   [`crate::par::set_num_threads`] to drain-and-rebuild) joins every
+//!   worker; parked workers also never keep a finished process alive
+//!   doing work, so tests and binaries exit clean.
+//!
+//! Panics inside a body are caught on the worker, the job still runs to
+//! completion (remaining chunks execute), and the first payload is re-raised
+//! on the submitting thread once the job's latch closes.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+
+/// Locks a mutex, transparently recovering from poisoning (a panicked body
+/// is already reported through the job's panic slot; the pool's own state
+/// stays consistent because guards only protect plain data).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A contiguous range of not-yet-claimed iterations owned by one
+/// participant's deque.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    start: usize,
+    end: usize,
+}
+
+/// Type-erased pointer to the job body: a thin data pointer plus a
+/// monomorphised call shim. A raw pointer (not a reference) so that a
+/// completed job lingering in the queue until the next worker wakeup never
+/// holds a dangling *reference*; the pointer is only dereferenced for a
+/// claimed chunk, and chunks can only be claimed while the submitting
+/// thread is still blocked inside [`run`] keeping the closure alive.
+struct BodyPtr {
+    data: *const (),
+    call: unsafe fn(*const (), usize, usize),
+}
+
+impl BodyPtr {
+    fn new<F: Fn(usize, usize) + Sync>(body: &F) -> Self {
+        /// # Safety
+        ///
+        /// `data` must point to a live `F` (guaranteed by the claim
+        /// protocol: the submitting thread outlives every claimed chunk).
+        unsafe fn call_shim<F: Fn(usize, usize) + Sync>(data: *const (), start: usize, end: usize) {
+            let body = unsafe { &*(data as *const F) };
+            body(start, end);
+        }
+        BodyPtr {
+            data: body as *const F as *const (),
+            call: call_shim::<F>,
+        }
+    }
+}
+
+// SAFETY: the pointee is `Sync` (shared calls from any thread are fine) and
+// the pointer itself is only dereferenced under the claim protocol above.
+unsafe impl Send for BodyPtr {}
+unsafe impl Sync for BodyPtr {}
+
+/// One submitted parallel region: per-participant spans plus the completion
+/// machinery. Shared as `Arc<Job>` between the queue, the workers and the
+/// submitting thread.
+struct Job {
+    /// Per-participant deques (index 0 = the submitting thread).
+    spans: Vec<Mutex<Span>>,
+    /// Minimum iterations handed out per claim.
+    grain: usize,
+    /// Iterations claimed but whose execution has not finished, plus all
+    /// unclaimed ones; the completion latch closes when this hits zero.
+    remaining: AtomicUsize,
+    body: BodyPtr,
+    /// First panic payload raised by any participant.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Completion latch: set to `true` by whichever participant finishes
+    /// the last chunk.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Job {
+    /// True once every span has been fully claimed; the job can never hand
+    /// out more work (it may still have chunks *executing*).
+    fn exhausted(&self) -> bool {
+        self.spans.iter().all(|span| {
+            let span = lock(span);
+            span.start >= span.end
+        })
+    }
+
+    /// Claims the next chunk for participant `me`: the front of its own
+    /// span, or — when that is empty — the back half of a victim's span
+    /// (installed as the new own span, with the first grain returned).
+    fn claim(&self, me: usize) -> Option<(usize, usize)> {
+        let k = self.spans.len();
+        let me = me % k;
+        {
+            let mut own = lock(&self.spans[me]);
+            if own.start < own.end {
+                let take = self.grain.min(own.end - own.start);
+                let start = own.start;
+                own.start += take;
+                return Some((start, start + take));
+            }
+        }
+        for step in 1..k {
+            let victim = (me + step) % k;
+            let (start, end) = {
+                let mut span = lock(&self.spans[victim]);
+                let len = span.end - span.start;
+                if len == 0 {
+                    continue;
+                }
+                if len <= self.grain {
+                    let whole = (span.start, span.end);
+                    span.start = span.end;
+                    whole
+                } else {
+                    let steal = len / 2;
+                    let start = span.end - steal;
+                    let stolen = (start, span.end);
+                    span.end = start;
+                    stolen
+                }
+            };
+            let take = self.grain.min(end - start);
+            if start + take < end {
+                let mut own = lock(&self.spans[me]);
+                if own.start >= own.end {
+                    own.start = start + take;
+                    own.end = end;
+                    return Some((start, start + take));
+                }
+                // Defensive: the own deque refilled while we stole (only
+                // possible if two participants ever shared an index); run
+                // the whole stolen span rather than lose any iteration.
+            }
+            return Some((start, end));
+        }
+        None
+    }
+
+    /// Claims and executes chunks until none are left anywhere in the job.
+    fn participate(&self, me: usize) {
+        while let Some((start, end)) = self.claim(me) {
+            // SAFETY: this chunk was claimed while `remaining > 0`, so the
+            // submitting thread is still inside `run`, keeping the closure
+            // behind `body` alive until we decrement below.
+            let call = || unsafe { (self.body.call)(self.body.data, start, end) };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(call)) {
+                lock(&self.panic).get_or_insert(payload);
+            }
+            if self.remaining.fetch_sub(end - start, Ordering::AcqRel) == end - start {
+                *lock(&self.done) = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Queue + parking shared between the workers and submitters.
+struct Shared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+struct PoolState {
+    /// Active jobs; a job leaves the queue once exhausted (workers prune on
+    /// wakeup, submitters prune their own job on completion).
+    queue: Vec<Arc<Job>>,
+    shutdown: bool,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+/// The process-wide pool. `None` until the first multi-threaded [`run`]
+/// (or after [`shutdown`]); rebuilt lazily with the then-current
+/// [`crate::par::num_threads`].
+static POOL: Mutex<Option<Pool>> = Mutex::new(None);
+
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    loop {
+        let job = {
+            let mut state = lock(&shared.state);
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                state.queue.retain(|job| !job.exhausted());
+                if let Some(job) = state.queue.first() {
+                    break Arc::clone(job);
+                }
+                state = shared
+                    .work_cv
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        job.participate(me);
+    }
+}
+
+fn spawn_pool(target: usize) -> Pool {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(PoolState {
+            queue: Vec::new(),
+            shutdown: false,
+        }),
+        work_cv: Condvar::new(),
+    });
+    let mut handles = Vec::with_capacity(target);
+    for i in 0..target {
+        let worker_shared = Arc::clone(&shared);
+        let spawned = thread::Builder::new()
+            .name(format!("dsx-pool-{i}"))
+            .spawn(move || worker_loop(worker_shared, i + 1));
+        match spawned {
+            Ok(handle) => handles.push(handle),
+            // Resource exhaustion: run with however many workers exist.
+            Err(_) => break,
+        }
+    }
+    Pool {
+        shared,
+        workers: handles.len(),
+        handles,
+    }
+}
+
+/// Returns the live pool (spawning `target` workers if none exists), or
+/// `None` when no workers are available and the caller should run inline.
+///
+/// A pool whose worker count no longer matches `target` (a
+/// [`crate::par::set_num_threads`] call raced an in-flight `run`, so the
+/// rebuilt pool was sized from the old count) is drained and respawned
+/// here — except when the caller *is* a pool worker (a nested `run` from
+/// inside a body), which must never join the pool it runs on and therefore
+/// reuses whatever exists. One benign leftover remains: if the thread
+/// count drops to 1 in such a race, the stale pool just stays parked until
+/// the next `set_num_threads` (multi-threaded `run`s stop before reaching
+/// this function), costing idle threads but never correctness.
+fn ensure_pool(target: usize) -> Option<(usize, Arc<Shared>)> {
+    if target == 0 {
+        return None;
+    }
+    let on_pool_worker = thread::current()
+        .name()
+        .is_some_and(|name| name.starts_with("dsx-pool-"));
+    loop {
+        let stale = {
+            let mut slot = lock(&POOL);
+            match slot.as_ref() {
+                Some(pool) if pool.workers == target || on_pool_worker => {
+                    if pool.workers == 0 {
+                        return None;
+                    }
+                    return Some((pool.workers, Arc::clone(&pool.shared)));
+                }
+                Some(_) => slot.take(),
+                None => {
+                    let pool = spawn_pool(target);
+                    if pool.workers == 0 {
+                        // Spawn failure: run inline now, retry next call.
+                        return None;
+                    }
+                    let ready = (pool.workers, Arc::clone(&pool.shared));
+                    *slot = Some(pool);
+                    return Some(ready);
+                }
+            }
+        };
+        // Drain the stale-sized pool outside the POOL lock: joining while
+        // holding it could deadlock against a worker's nested ensure_pool.
+        if let Some(pool) = stale {
+            drain(pool);
+        }
+    }
+}
+
+/// Signals every worker of `pool` to exit after its current job
+/// participation and joins them.
+fn drain(pool: Pool) {
+    {
+        let mut state = lock(&pool.shared.state);
+        state.shutdown = true;
+    }
+    pool.shared.work_cv.notify_all();
+    for handle in pool.handles {
+        let _ = handle.join();
+    }
+}
+
+/// Number of live pool worker threads (0 when the pool is drained or was
+/// never started). The submitting thread always participates on top of
+/// this, so the effective parallelism of a launch is `worker_count() + 1`.
+pub fn worker_count() -> usize {
+    lock(&POOL).as_ref().map_or(0, |pool| pool.workers)
+}
+
+/// Drains the pool: signals every worker to exit after its current job
+/// participation and joins them. The next multi-threaded [`run`] lazily
+/// respawns workers sized to the then-current [`crate::par::num_threads`].
+///
+/// Blocks until in-flight work finishes; must not be called from inside a
+/// parallel body (a worker cannot join itself).
+pub fn shutdown() {
+    let pool = lock(&POOL).take();
+    if let Some(pool) = pool {
+        drain(pool);
+    }
+}
+
+/// Upper bound on claims per participant when scaling the grain: enough
+/// pieces for stealing to balance, few enough that claim-lock traffic stays
+/// negligible next to the body work.
+const CLAIMS_PER_PARTICIPANT: usize = 8;
+
+/// Runs `body(start, end)` over disjoint sub-ranges covering `0..n` on the
+/// persistent pool. `grain` is the smallest sub-range the scheduler hands
+/// out (scaled up for large `n` so a job splits into a small constant
+/// number of claims per participant).
+///
+/// Runs inline (one `body(0, n)` call, zero pool interaction) when
+/// [`crate::par::num_threads`] is 1 or `n <= grain`. The submitting thread
+/// participates in the job, so nested `run` calls from inside a body always
+/// make progress even when every worker is busy.
+///
+/// A panic inside `body` is re-raised on the submitting thread after the
+/// whole job completes; the pool itself survives and serves later calls.
+pub fn run<F>(n: usize, grain: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let grain = grain.max(1);
+    let threads = crate::par::num_threads();
+    if threads <= 1 || n <= grain {
+        body(0, n);
+        return;
+    }
+    let Some((workers, shared)) = ensure_pool(threads - 1) else {
+        body(0, n);
+        return;
+    };
+    let participants = workers + 1;
+    let grain = grain
+        .max(n / (participants * CLAIMS_PER_PARTICIPANT).max(1))
+        .min(n);
+    let per_span = n.div_ceil(participants);
+    let spans: Vec<Mutex<Span>> = (0..participants)
+        .map(|i| {
+            Mutex::new(Span {
+                start: (i * per_span).min(n),
+                end: ((i + 1) * per_span).min(n),
+            })
+        })
+        .collect();
+    let job = Arc::new(Job {
+        spans,
+        grain,
+        remaining: AtomicUsize::new(n),
+        body: BodyPtr::new(&body),
+        panic: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut state = lock(&shared.state);
+        state.queue.push(Arc::clone(&job));
+    }
+    shared.work_cv.notify_all();
+
+    job.participate(0);
+
+    let mut done = lock(&job.done);
+    while !*done {
+        done = job
+            .done_cv
+            .wait(done)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    drop(done);
+    {
+        // Prune eagerly so the queue never accumulates finished jobs while
+        // every worker stays parked.
+        let mut state = lock(&shared.state);
+        state.queue.retain(|queued| !Arc::ptr_eq(queued, &job));
+    }
+    let payload = lock(&job.panic).take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::{parallel_for, set_num_threads, test_thread_guard};
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_touches_every_index_once_on_the_pool() {
+        let _guard = test_thread_guard();
+        set_num_threads(4);
+        let n = 50_000;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        run(n, 64, |start, end| {
+            for counter in &counters[start..end] {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert_eq!(worker_count(), 3);
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller_and_the_pool_survives() {
+        let _guard = test_thread_guard();
+        set_num_threads(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run(10_000, 16, |start, end| {
+                if (start..end).contains(&5_000) {
+                    panic!("boom at 5000");
+                }
+            });
+        }));
+        let payload = result.expect_err("the body panic must reach the caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(message.contains("boom at 5000"), "{message}");
+        // The pool still works after a body panicked.
+        let sum = AtomicU64::new(0);
+        run(10_000, 16, |start, end| {
+            let local: u64 = (start..end).map(|i| i as u64).sum();
+            sum.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..10_000u64).sum());
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn concurrent_jobs_from_many_threads_all_complete() {
+        let _guard = test_thread_guard();
+        set_num_threads(4);
+        let totals: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        thread::scope(|scope| {
+            for (t, total) in totals.iter().enumerate() {
+                scope.spawn(move || {
+                    let n = 20_000 + t * 1_000;
+                    run(n, 128, |start, end| {
+                        let local: u64 = (start..end).map(|i| i as u64).sum();
+                        total.fetch_add(local, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        for (t, total) in totals.iter().enumerate() {
+            let n = (20_000 + t * 1_000) as u64;
+            assert_eq!(
+                total.load(Ordering::Relaxed),
+                (0..n).sum::<u64>(),
+                "job {t}"
+            );
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn nested_runs_from_worker_bodies_complete() {
+        let _guard = test_thread_guard();
+        set_num_threads(4);
+        let count = AtomicUsize::new(0);
+        run(4_096, 1_024, |outer_start, outer_end| {
+            // Each outer chunk launches its own inner parallel region.
+            run(outer_end - outer_start, 64, |start, end| {
+                count.fetch_add(end - start, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4_096);
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn shutdown_drains_workers_and_the_pool_respawns_lazily() {
+        let _guard = test_thread_guard();
+        set_num_threads(4);
+        parallel_for(10_000, |_| {});
+        assert_eq!(worker_count(), 3);
+        set_num_threads(1);
+        assert_eq!(worker_count(), 0, "set_num_threads(1) must drain the pool");
+        // Inline path: no pool interaction at 1 thread.
+        parallel_for(10_000, |_| {});
+        assert_eq!(worker_count(), 0);
+        set_num_threads(4);
+        parallel_for(10_000, |_| {});
+        assert_eq!(worker_count(), 3, "pool respawns at the new size");
+        set_num_threads(0);
+        shutdown();
+        assert_eq!(worker_count(), 0);
+    }
+}
