@@ -71,9 +71,9 @@ pub fn measure_kernels_for(backends: &[BackendKind], samples: usize) -> Vec<Kern
 }
 
 /// Median wall-clock nanoseconds of `samples` calls to `f`, after two
-/// warm-up calls (shared by the PR2 and PR5 reports so their timings stay
-/// comparable).
-pub(crate) fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+/// warm-up calls (shared by the PR2, PR5 and PR6 reports and the
+/// `perf_probe` example so their timings stay comparable).
+pub fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
     assert!(samples > 0, "need at least one sample");
     f();
     f(); // two warm-up calls populate caches and page tables

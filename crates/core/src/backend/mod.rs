@@ -21,6 +21,11 @@
 //!   heuristic so small planes don't over-decompose. Tuned for large
 //!   planes on multi-core hosts; bit-identical results at any thread
 //!   count.
+//! * [`SwsumBackend`] — the sliding-window-sum (conv-as-FIR) formulation.
+//!   Its payoff is on dense spatial convolutions, where `dsx-nn`'s
+//!   `Conv2d` routes the forward pass through a per-output-row FIR kernel
+//!   with no im2col buffer; the pointwise SCC kernels delegate to the
+//!   tiled schedule (see the module docs of `swsum`).
 //!
 //! Future SIMD-intrinsic or GPU-style backends slot under the same trait.
 //!
@@ -33,10 +38,12 @@
 
 mod blocked;
 mod naive;
+mod swsum;
 mod tiled;
 
 pub use blocked::{BlockedBackend, LANES, OC_BLOCK, TAP_BLOCK};
 pub use naive::NaiveBackend;
+pub use swsum::SwsumBackend;
 pub use tiled::{TiledBackend, TILE_F32};
 
 use crate::backward::SccGradients;
@@ -153,16 +160,25 @@ pub enum BackendKind {
     /// The blocked inner loops scheduled as cache-sized tiles across the
     /// persistent work-stealing pool (tuned for large planes).
     Tiled,
+    /// The sliding-window-sum (conv-as-FIR) formulation: dense `Conv2d`
+    /// layers skip im2col entirely (kernel in `dsx-nn`); the pointwise SCC
+    /// kernels delegate to the tiled schedule (see [`SwsumBackend`]).
+    Swsum,
 }
 
 static NAIVE: NaiveBackend = NaiveBackend;
 static BLOCKED: BlockedBackend = BlockedBackend;
 static TILED: TiledBackend = TiledBackend;
+static SWSUM: SwsumBackend = SwsumBackend;
 
 impl BackendKind {
     /// All backends, naive first (the oracle, and the historical default).
-    pub const ALL: [BackendKind; 3] =
-        [BackendKind::Naive, BackendKind::Blocked, BackendKind::Tiled];
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::Naive,
+        BackendKind::Blocked,
+        BackendKind::Tiled,
+        BackendKind::Swsum,
+    ];
 
     /// Stable lower-case name, used by `--backend` flags and bench reports.
     pub fn name(&self) -> &'static str {
@@ -170,6 +186,7 @@ impl BackendKind {
             BackendKind::Naive => "naive",
             BackendKind::Blocked => "blocked",
             BackendKind::Tiled => "tiled",
+            BackendKind::Swsum => "swsum",
         }
     }
 
@@ -179,6 +196,7 @@ impl BackendKind {
             BackendKind::Naive => &NAIVE,
             BackendKind::Blocked => &BLOCKED,
             BackendKind::Tiled => &TILED,
+            BackendKind::Swsum => &SWSUM,
         }
     }
 }
@@ -197,8 +215,9 @@ impl FromStr for BackendKind {
             "naive" => Ok(BackendKind::Naive),
             "blocked" | "simd" => Ok(BackendKind::Blocked),
             "tiled" | "pool" => Ok(BackendKind::Tiled),
+            "swsum" | "fir" => Ok(BackendKind::Swsum),
             other => Err(format!(
-                "unknown kernel backend '{other}' (expected one of: naive, blocked, tiled)"
+                "unknown kernel backend '{other}' (expected one of: naive, blocked, tiled, swsum)"
             )),
         }
     }

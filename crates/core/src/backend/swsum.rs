@@ -1,0 +1,102 @@
+//! The sliding-window-sum (conv-as-FIR) execution substrate.
+//!
+//! [`SwsumBackend`] is the fourth [`super::BackendKind`], named after the
+//! Snytsar sliding-window-sum formulation of convolution ("Sliding Window
+//! Sum Algorithms for Deep Neural Networks"): instead of materialising an
+//! im2col column matrix and multiplying, each output row is produced by
+//! accumulating per-tap shifted input rows scaled by hoisted per-tap
+//! weights — a FIR filter swept along the row. The formulation's win is
+//! skipping the im2col buffer entirely, which only exists for *spatial*
+//! (`K > 1`) convolutions: the dense sliding-window-sum kernel lives in
+//! `dsx-nn` (`dsx_nn::swsum`), where `Conv2d` routes its no-cache forward
+//! path through it.
+//!
+//! The SCC operator itself is pointwise (`1 × 1`, no spatial taps), so the
+//! FIR formulation degenerates to exactly the register-tiled accumulation
+//! the tiled backend already performs. For the SCC kernels this backend
+//! therefore *delegates* to [`TiledBackend`] — same task decomposition,
+//! same broadcast-table machinery, bit-identical results at any thread
+//! count — and exists as a distinct [`super::BackendKind`] so one
+//! `--backend swsum` flag flips both the SCC layers (to the tiled
+//! schedule) and the dense `Conv2d` layers (to the FIR kernel) of a model.
+
+use super::tiled::TiledBackend;
+use super::{BackendKind, KernelBackend};
+use crate::config::SccConfig;
+use crate::cyclic::ChannelCycleMap;
+use crate::stats::KernelStats;
+use dsx_tensor::Tensor;
+
+/// The sliding-window-sum backend: FIR-formulated dense convolutions (in
+/// `dsx-nn`), tiled-equivalent SCC kernels (delegated, see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwsumBackend;
+
+/// The delegate executing the (pointwise) SCC kernels.
+const TILED: TiledBackend = TiledBackend;
+
+impl KernelBackend for SwsumBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Swsum
+    }
+
+    fn forward(
+        &self,
+        cfg: &SccConfig,
+        map: &ChannelCycleMap,
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stats: Option<&KernelStats>,
+    ) -> Tensor {
+        TILED.forward(cfg, map, input, weight, bias, stats)
+    }
+
+    fn grad_input(
+        &self,
+        cfg: &SccConfig,
+        map: &ChannelCycleMap,
+        weight: &Tensor,
+        grad_output: &Tensor,
+    ) -> Tensor {
+        TILED.grad_input(cfg, map, weight, grad_output)
+    }
+
+    fn grad_weight_bias(
+        &self,
+        cfg: &SccConfig,
+        map: &ChannelCycleMap,
+        input: &Tensor,
+        grad_output: &Tensor,
+    ) -> (Tensor, Tensor) {
+        TILED.grad_weight_bias(cfg, map, input, grad_output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsx_tensor::allclose;
+
+    #[test]
+    fn scc_kernels_match_the_tiled_delegate_bit_for_bit() {
+        let cfg = SccConfig::new(8, 16, 2, 0.5).unwrap();
+        let map = ChannelCycleMap::build(&cfg);
+        let input = Tensor::randn(&[2, 8, 5, 5], 61);
+        let weight = Tensor::randn(&[16, cfg.group_width()], 62);
+        let bias = Tensor::randn(&[16], 63);
+        let grad_out = Tensor::randn(&[2, 16, 5, 5], 64);
+
+        let swsum = SwsumBackend;
+        assert_eq!(swsum.kind(), BackendKind::Swsum);
+        let fwd = swsum.forward(&cfg, &map, &input, &weight, Some(&bias), None);
+        let want = TILED.forward(&cfg, &map, &input, &weight, Some(&bias), None);
+        assert_eq!(fwd.as_slice(), want.as_slice());
+
+        let got = swsum.backward(&cfg, &map, &input, &weight, &grad_out, None);
+        let want = TILED.backward(&cfg, &map, &input, &weight, &grad_out, None);
+        assert!(allclose(&got.grad_input, &want.grad_input, 0.0));
+        assert!(allclose(&got.grad_weight, &want.grad_weight, 0.0));
+        assert!(allclose(&got.grad_bias, &want.grad_bias, 0.0));
+    }
+}

@@ -2,7 +2,7 @@
 //! figure of the DSXplore paper.
 //!
 //! ```text
-//! dsx-experiments <command> [--train] [--backend <naive|blocked|tiled>]
+//! dsx-experiments <command> [--train] [--backend <naive|blocked|tiled|swsum>]
 //!
 //! Commands:
 //!   table1 table2 table3 table4 table5
@@ -199,7 +199,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             Some(
                 iter.next()
                     .cloned()
-                    .ok_or("--backend needs a value (naive, blocked or tiled)")?,
+                    .ok_or("--backend needs a value (naive, blocked, tiled or swsum)")?,
             )
         } else {
             arg.strip_prefix("--backend=").map(str::to_string)
@@ -212,7 +212,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             command.get_or_insert_with(|| arg.clone());
         } else {
             return Err(format!(
-                "unknown flag '{arg}' (flags: --train, --backend <naive|blocked|tiled>)"
+                "unknown flag '{arg}' (flags: --train, --backend <naive|blocked|tiled|swsum>)"
             ));
         }
     }

@@ -36,8 +36,10 @@ pub fn build_model_with(
 }
 
 /// Builds a trainable network with explicit implementation *and* kernel
-/// backend choices for the SCC layers (the perf experiments compare the
-/// naive and blocked substrates on identical architectures).
+/// backend choices (the perf experiments compare the substrates on
+/// identical architectures). The backend applies to every convolution in
+/// the model: SCC layers pick their `dsx-core` kernel backend and the
+/// dense `Conv2d` layers pick the matching GEMM / sliding-window-sum path.
 pub fn build_model_with_backend(
     spec: &ModelSpec,
     seed: u64,
@@ -78,17 +80,23 @@ pub fn build_model_with_backend(
                     groups,
                     layer_seed,
                 )
-                .without_bias(),
+                .without_bias()
+                .with_backend(backend),
             ),
             ConvKind::Depthwise { kernel } => Box::new(
                 Conv2d::depthwise(conv.cin, kernel, conv.stride, kernel / 2, layer_seed)
-                    .without_bias(),
+                    .without_bias()
+                    .with_backend(backend),
             ),
-            ConvKind::Pointwise => {
-                Box::new(Conv2d::pointwise(conv.cin, conv.cout, layer_seed).without_bias())
-            }
+            ConvKind::Pointwise => Box::new(
+                Conv2d::pointwise(conv.cin, conv.cout, layer_seed)
+                    .without_bias()
+                    .with_backend(backend),
+            ),
             ConvKind::GroupPointwise { cg } => Box::new(
-                Conv2d::group_pointwise(conv.cin, conv.cout, cg, layer_seed).without_bias(),
+                Conv2d::group_pointwise(conv.cin, conv.cout, cg, layer_seed)
+                    .without_bias()
+                    .with_backend(backend),
             ),
             ConvKind::SlidingChannel { cg, co } => {
                 let cfg = SccConfig::new(conv.cin, conv.cout, cg, co)
@@ -203,15 +211,20 @@ mod tests {
             SccImplementation::Dsxplore,
             dsx_core::BackendKind::Naive,
         );
-        let mut blocked = build_model_with_backend(
-            &spec,
-            7,
-            SccImplementation::Dsxplore,
-            dsx_core::BackendKind::Blocked,
-        );
         let expected = naive.forward(&input, false);
-        let out = blocked.forward(&input, false);
-        assert!(dsx_tensor::allclose(&out, &expected, 1e-3));
+        for backend in [
+            dsx_core::BackendKind::Blocked,
+            dsx_core::BackendKind::Tiled,
+            dsx_core::BackendKind::Swsum,
+        ] {
+            let mut model =
+                build_model_with_backend(&spec, 7, SccImplementation::Dsxplore, backend);
+            let out = model.forward(&input, false);
+            assert!(
+                dsx_tensor::allclose(&out, &expected, 1e-3),
+                "backend {backend} diverges from naive"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! PR-3 behaviour), a TCP server mode, and a network load-generator mode.
 //!
 //! ```text
-//! dsx-serve [--requests N] [--concurrency N] [--backend <naive|blocked|tiled>]
+//! dsx-serve [--requests N] [--concurrency N] [--backend <naive|blocked|tiled|swsum>]
 //!           [--max-batch N] [--max-wait-us N] [--workers N]
 //!           [--queue-capacity N] [--par-threads N] [--skip-serial]
 //!           [--adaptive]
@@ -86,7 +86,7 @@ impl Default for Cli {
 }
 
 const USAGE: &str = "usage: dsx-serve [--requests N] [--concurrency N] \
-[--backend <naive|blocked|tiled>] [--max-batch N] [--max-wait-us N] [--workers N] \
+[--backend <naive|blocked|tiled|swsum>] [--max-batch N] [--max-wait-us N] [--workers N] \
 [--queue-capacity N] [--par-threads N] [--skip-serial] [--adaptive] \
 [--listen IP:PORT [--serve-secs S]] | [--connect IP:PORT]";
 

@@ -5,10 +5,23 @@
 //! the same lowering cuDNN uses for the library-backed PyTorch operators the
 //! paper compares against. The sliding-channel convolution deliberately does
 //! *not* use this path (see `dsx-core`).
+//!
+//! Like [`crate::scc_layer::SccConv2d`], the layer carries a
+//! [`BackendKind`] (defaulting to the process-wide
+//! [`dsx_core::default_backend`]) that selects the execution strategy:
+//!
+//! | backend   | dense `Conv2d` path                                        |
+//! |-----------|------------------------------------------------------------|
+//! | `naive`   | im2col + the historical size-picked GEMM                   |
+//! | `blocked` | im2col + the register-tiled GEMM, single caller thread     |
+//! | `tiled`   | im2col + the register-tiled GEMM scheduled on the pool     |
+//! | `swsum`   | direct sliding-window-sum kernel ([`crate::swsum`]), no    |
+//! |           | im2col on the inference path; pooled GEMM when training    |
 
 use crate::layer::Layer;
+use dsx_core::{default_backend, BackendKind};
 use dsx_tensor::conv::{col2im, conv_out_size, im2col};
-use dsx_tensor::{init, Tensor};
+use dsx_tensor::{init, GemmKernel, Tensor};
 
 /// A 2-D convolution with optional channel groups.
 ///
@@ -20,6 +33,7 @@ pub struct Conv2d {
     stride: usize,
     pad: usize,
     groups: usize,
+    backend: BackendKind,
     weight: Tensor,
     bias: Option<Tensor>,
     grad_weight: Tensor,
@@ -76,6 +90,7 @@ impl Conv2d {
             stride,
             pad,
             groups,
+            backend: default_backend(),
             grad_weight: Tensor::zeros(weight.shape()),
             weight,
             bias: Some(Tensor::zeros(&[cout])),
@@ -107,14 +122,55 @@ impl Conv2d {
         self
     }
 
+    /// Selects the execution backend (see the module docs for the mapping
+    /// from [`BackendKind`] to dense convolution strategy).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The execution backend this layer runs on.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
     /// The weight tensor.
     pub fn weight(&self) -> &Tensor {
         &self.weight
     }
 
+    /// The bias tensor, if the layer has one.
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref()
+    }
+
     /// Number of channel groups.
     pub fn groups(&self) -> usize {
         self.groups
+    }
+
+    /// The spatial stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The zero padding applied to each spatial border.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// The GEMM kernel backing this layer's im2col path. `Naive` keeps the
+    /// historical size-picked kernel (the perf-gate baseline); `Blocked`
+    /// upgrades to the register-tiled kernel on the caller thread; `Tiled`
+    /// and `Swsum` schedule register-tiled strips on the worker pool
+    /// (`Swsum` only reaches a GEMM on the training path, where backward
+    /// needs the cached im2col matrices).
+    fn gemm_kernel(&self) -> GemmKernel {
+        match self.backend {
+            BackendKind::Naive => GemmKernel::Auto,
+            BackendKind::Blocked => GemmKernel::RegTiled,
+            BackendKind::Tiled | BackendKind::Swsum => GemmKernel::Pooled,
+        }
     }
 
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
@@ -130,6 +186,19 @@ impl Conv2d {
     fn run_forward(&self, input: &Tensor, mut cache: Option<&mut Vec<Tensor>>) -> Tensor {
         assert_eq!(input.rank(), 4, "Conv2d expects NCHW input");
         assert_eq!(input.dim(1), self.cin, "Conv2d channel mismatch");
+        // The sliding-window-sum backend computes outputs directly from the
+        // input (no im2col), so it can only serve the cache-free path —
+        // backward needs the lowered matrices and keeps the GEMM route.
+        if cache.is_none() && self.backend == BackendKind::Swsum {
+            return crate::swsum::conv2d_swsum(
+                input,
+                &self.weight,
+                self.bias.as_ref(),
+                self.stride,
+                self.pad,
+                self.groups,
+            );
+        }
         let (n, h, w) = (input.dim(0), input.dim(2), input.dim(3));
         let (oh, ow) = self.out_hw(h, w);
         let cin_g = self.cin / self.groups;
@@ -152,8 +221,8 @@ impl Conv2d {
                 self.weight.as_slice()[w_start..w_start + cout_g * cin_g * k2].to_vec(),
                 &[cout_g, cin_g * k2],
             );
-            let out_mat = w_mat.matmul(&cols); // [cout_g, n * oh * ow]
-                                               // Scatter back into NCHW output.
+            let out_mat = w_mat.matmul_with(&cols, self.gemm_kernel()); // [cout_g, n * oh * ow]
+                                                                        // Scatter back into NCHW output.
             let out_data = output.as_mut_slice();
             let om = out_mat.as_slice();
             for oc in 0..cout_g {
@@ -247,7 +316,7 @@ impl Layer for Conv2d {
             }
             let cols = &self.cached_cols[g];
             // grad_W = grad_out_mat * cols^T
-            let gw_mat = go_mat.matmul(&cols.transpose2()); // [cout_g, cin_g * k2]
+            let gw_mat = go_mat.matmul_with(&cols.transpose2(), self.gemm_kernel()); // [cout_g, cin_g * k2]
             let w_start = g * cout_g * cin_g * k2;
             for (i, v) in gw_mat.as_slice().iter().enumerate() {
                 self.grad_weight.as_mut_slice()[w_start + i] += v;
@@ -257,7 +326,7 @@ impl Layer for Conv2d {
                 self.weight.as_slice()[w_start..w_start + cout_g * cin_g * k2].to_vec(),
                 &[cout_g, cin_g * k2],
             );
-            let grad_cols = w_mat.transpose2().matmul(&go_mat);
+            let grad_cols = w_mat.transpose2().matmul_with(&go_mat, self.gemm_kernel());
             let group_grad_input = col2im(
                 &grad_cols,
                 &[n, cin_g, h, w],
@@ -497,6 +566,32 @@ mod tests {
                 "eval forward must not cache im2col matrices"
             );
         }
+    }
+
+    #[test]
+    fn every_backend_agrees_with_the_reference_in_train_and_eval() {
+        let input = Tensor::randn(&[2, 4, 6, 6], 8);
+        for backend in BackendKind::ALL {
+            let mut conv = Conv2d::grouped(4, 6, 3, 1, 1, 2, 56).with_backend(backend);
+            assert_eq!(conv.backend(), backend);
+            let want = conv2d_reference(&input, conv.weight(), conv.bias(), 1, 1, 2);
+            let train_out = conv.forward(&input, true);
+            assert!(
+                allclose(&train_out, &want, TEST_TOLERANCE),
+                "train forward diverges on {backend}"
+            );
+            let eval_out = conv.infer(&input);
+            assert!(
+                allclose(&eval_out, &want, TEST_TOLERANCE),
+                "infer diverges on {backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn backend_defaults_to_the_process_wide_choice() {
+        let conv = Conv2d::new(2, 2, 3, 1, 1, 57);
+        assert_eq!(conv.backend(), dsx_core::default_backend());
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod slice;
 pub mod tensor;
 pub mod wire;
 
+pub use matmul::GemmKernel;
 pub use par::{num_threads, set_num_threads};
 pub use shape::Shape;
 pub use tensor::Tensor;
