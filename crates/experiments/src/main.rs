@@ -3,11 +3,14 @@
 //!
 //! ```text
 //! dsx-experiments <command> [--train] [--backend <naive|blocked|tiled|swsum>]
+//!                 [--save PATH]
 //!
 //! Commands:
 //!   table1 table2 table3 table4 table5
 //!   fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 //!   atomics      kernel-level atomic-operation study (§V-D)
+//!   train-serve  train the compact serving tower and (with --save PATH)
+//!                write a versioned checkpoint for `dsx-serve --model`
 //!   all          run everything (analytic columns only unless --train)
 //! ```
 //!
@@ -172,7 +175,7 @@ fn run(command: &str, train_cfg: Option<&TrainConfig>) {
         other => {
             eprintln!("unknown command: {other}");
             eprintln!(
-                "commands: table1..table5, fig7..fig14, atomics, all  (add --train for accuracy columns)"
+                "commands: table1..table5, fig7..fig14, atomics, train-serve, all  (add --train for accuracy columns)"
             );
             std::process::exit(2);
         }
@@ -187,40 +190,87 @@ struct Cli {
     command: String,
     train: bool,
     backend: Option<dsx_core::BackendKind>,
+    save: Option<std::path::PathBuf>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut train = false;
     let mut command: Option<String> = None;
     let mut backend = None;
+    let mut save = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        let backend_value = if arg == "--backend" {
-            Some(
+        // `--flag value` and `--flag=value` spellings for valued flags.
+        let mut valued = |flag: &str| -> Result<Option<String>, String> {
+            if arg == flag {
                 iter.next()
                     .cloned()
-                    .ok_or("--backend needs a value (naive, blocked, tiled or swsum)")?,
-            )
-        } else {
-            arg.strip_prefix("--backend=").map(str::to_string)
+                    .map(Some)
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            } else {
+                Ok(arg.strip_prefix(&format!("{flag}=")).map(str::to_string))
+            }
         };
-        if let Some(value) = backend_value {
+        if let Some(value) = valued("--backend")? {
             backend = Some(value.parse::<dsx_core::BackendKind>()?);
+        } else if let Some(value) = valued("--save")? {
+            save = Some(std::path::PathBuf::from(value));
         } else if arg == "--train" {
             train = true;
         } else if !arg.starts_with("--") {
             command.get_or_insert_with(|| arg.clone());
         } else {
             return Err(format!(
-                "unknown flag '{arg}' (flags: --train, --backend <naive|blocked|tiled|swsum>)"
+                "unknown flag '{arg}' (flags: --train, --backend <naive|blocked|tiled|swsum>, --save PATH)"
             ));
         }
     }
+    let command = command.unwrap_or_else(|| "all".to_string());
+    if save.is_some() && command != "train-serve" {
+        return Err(format!(
+            "--save only applies to the train-serve command (got '{command}')"
+        ));
+    }
     Ok(Cli {
-        command: command.unwrap_or_else(|| "all".to_string()),
+        command,
         train,
         backend,
+        save,
     })
+}
+
+/// `train-serve`: one short training run of the compact serving tower,
+/// optionally checkpointed to disk for `dsx-serve --model`.
+fn run_train_serve(save: Option<&std::path::Path>) {
+    let cfg = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::default()
+    };
+    let outcome = train_serving_checkpoint(&cfg);
+    println!("\n=== train-serve: model lifecycle ===");
+    println!(
+        "trained {} for 1 epoch: loss {:.4}, train accuracy {:.2}%",
+        outcome.checkpoint.spec.name,
+        outcome.loss,
+        outcome.accuracy * 100.0
+    );
+    // The exact line `dsx-serve --model` also prints; CI string-compares
+    // the two to gate bit-identical save→load round trips.
+    println!("model digest: {:08x}", outcome.digest);
+    if let Some(path) = save {
+        if let Err(e) = outcome.checkpoint.save(path) {
+            eprintln!(
+                "dsx-experiments: cannot save checkpoint to {}: {e}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "saved checkpoint: {} ({} tensors)",
+            path.display(),
+            outcome.checkpoint.records.len()
+        );
+    }
 }
 
 fn main() {
@@ -239,6 +289,10 @@ fn main() {
     if let Some(kind) = cli.backend {
         dsx_core::set_default_backend(kind);
         println!("kernel backend: {kind}");
+    }
+    if cli.command == "train-serve" {
+        run_train_serve(cli.save.as_deref());
+        return;
     }
     let train_cfg = TrainConfig::default();
     run(&cli.command, cli.train.then_some(&train_cfg));
@@ -284,5 +338,27 @@ mod tests {
     #[test]
     fn unknown_flags_are_rejected() {
         assert!(parse_cli(&args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn save_parses_with_train_serve_only() {
+        for list in [
+            ["train-serve", "--save", "/tmp/model.ckpt"].as_slice(),
+            ["train-serve", "--save=/tmp/model.ckpt"].as_slice(),
+        ] {
+            let cli = parse_cli(&args(list)).unwrap();
+            assert_eq!(cli.command, "train-serve");
+            assert_eq!(
+                cli.save.as_deref(),
+                Some(std::path::Path::new("/tmp/model.ckpt"))
+            );
+        }
+        // train-serve without --save is a dry run (digest only).
+        assert!(parse_cli(&args(&["train-serve"])).unwrap().save.is_none());
+        assert!(parse_cli(&args(&["--save"])).is_err());
+        let err = parse_cli(&args(&["table1", "--save", "/tmp/m.ckpt"])).unwrap_err();
+        assert!(err.contains("train-serve"), "{err}");
+        let err = parse_cli(&args(&["--save", "/tmp/m.ckpt"])).unwrap_err();
+        assert!(err.contains("train-serve"), "{err}");
     }
 }

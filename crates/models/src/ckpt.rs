@@ -1,0 +1,899 @@
+//! Versioned model checkpoints: the on-disk train → save → serve format.
+//!
+//! A checkpoint is self-describing — it carries the full [`ModelSpec`]
+//! (scheme tag, backend-agnostic layer topology, channel configuration) in
+//! its header, so a serving process can rebuild the exact architecture with
+//! [`Checkpoint::build_model`] and then stream the named tensor records
+//! into it. Tensor payloads reuse the `dsx_tensor::wire` codec; every
+//! record and the whole file are guarded by CRC-32 checksums
+//! ([`dsx_tensor::crc32`]).
+//!
+//! ```text
+//! magic "DSXC" | version u16 | header_len u32 | header (ModelSpec) | header_crc u32
+//! | record_count u32 | { name_len u16 | name | tensor wire | record_crc u32 } * N
+//! | file_crc u32
+//! ```
+//!
+//! All integers are little-endian. `file_crc` covers every byte before it.
+//!
+//! Decoding is defensive: truncated input, corrupt checksums, unknown
+//! versions or layer tags, oversize headers and topology mismatches all
+//! surface as typed [`CkptError`]s — hostile bytes can never panic the
+//! loader. [`Checkpoint::build_model`] validates the decoded spec against
+//! the same invariants the builder asserts, so a forged header cannot
+//! reach a builder panic either.
+//!
+//! Round trips are lossless: weights are stored as raw `f32` bits, so a
+//! saved model reloaded into a fresh process infers **bit-identically** on
+//! every kernel backend (the `dsx-serve --model` parity guarantee).
+
+use crate::builder::build_model_with_backend;
+use crate::spec::{ConvKind, ConvLayerSpec, Dataset, ModelSpec};
+use dsx_core::{BackendKind, SccConfig, SccImplementation};
+use dsx_nn::{Layer, Sequential};
+use dsx_tensor::{crc32, Tensor, WireDecodeError};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// File magic, first four bytes of every checkpoint.
+pub const CKPT_MAGIC: [u8; 4] = *b"DSXC";
+/// Current format version. Any change to the byte layout must bump this
+/// and keep a decode path for older versions (the golden-fixture test in
+/// `crates/models/tests` enforces it).
+pub const CKPT_VERSION: u16 = 1;
+/// Upper bound on the serialized header — a forged length cannot force a
+/// large allocation.
+pub const MAX_HEADER_LEN: usize = 1 << 20;
+/// Upper bound on tensor records per checkpoint.
+pub const MAX_RECORDS: usize = 1 << 16;
+/// Upper bound on the *declared* parameter count of a decoded spec;
+/// [`Checkpoint::build_model`] refuses anything larger before allocating.
+pub const MAX_SPEC_PARAMS: usize = 1 << 28;
+
+/// Typed decode/apply failures. Hostile bytes map to one of these — never
+/// to a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CkptError {
+    /// The input ended before a required field.
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes that were actually left.
+        available: usize,
+    },
+    /// The first four bytes are not `DSXC`.
+    BadMagic,
+    /// The format version is newer (or older) than this build understands.
+    UnsupportedVersion(u16),
+    /// The declared header length exceeds [`MAX_HEADER_LEN`].
+    HeaderTooLarge(usize),
+    /// The declared record count exceeds [`MAX_RECORDS`].
+    TooManyRecords(usize),
+    /// A checksum did not match its region's bytes.
+    ChecksumMismatch {
+        /// Which guarded region failed (`"header"`, `"record <name>"`,
+        /// `"file"`).
+        region: String,
+        /// The checksum stored in the file.
+        stored: u32,
+        /// The checksum computed over the bytes.
+        computed: u32,
+    },
+    /// The header names a dataset this build does not know.
+    UnknownDatasetTag(u8),
+    /// The header names a convolution-layer kind this build does not know.
+    UnknownLayerTag(u8),
+    /// The header decoded structurally but describes an impossible model
+    /// (bad UTF-8, zero-sized geometry, broken channel chaining, an SCC
+    /// config its own validator rejects, ...).
+    InvalidSpec(String),
+    /// A tensor record's payload failed the wire codec.
+    Tensor(WireDecodeError),
+    /// The records do not match the model being loaded into (missing or
+    /// extra names, shape mismatch, duplicate record).
+    TopologyMismatch(String),
+    /// Well-formed checkpoint followed by garbage bytes.
+    TrailingBytes(usize),
+    /// Filesystem failure while reading or writing (message carries the
+    /// `std::io::Error` text).
+    Io(String),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Truncated { needed, available } => write!(
+                f,
+                "truncated checkpoint: needed {needed} more bytes, {available} available"
+            ),
+            CkptError::BadMagic => f.write_str("not a DSXC checkpoint (bad magic)"),
+            CkptError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (this build reads {CKPT_VERSION})"
+                )
+            }
+            CkptError::HeaderTooLarge(len) => {
+                write!(
+                    f,
+                    "header length {len} exceeds the {MAX_HEADER_LEN}-byte cap"
+                )
+            }
+            CkptError::TooManyRecords(n) => {
+                write!(f, "record count {n} exceeds the {MAX_RECORDS}-record cap")
+            }
+            CkptError::ChecksumMismatch {
+                region,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "corrupt {region}: stored crc32 {stored:#010x}, computed {computed:#010x}"
+            ),
+            CkptError::UnknownDatasetTag(t) => write!(f, "unknown dataset tag {t}"),
+            CkptError::UnknownLayerTag(t) => write!(f, "unknown layer tag {t}"),
+            CkptError::InvalidSpec(why) => write!(f, "invalid model spec: {why}"),
+            CkptError::Tensor(e) => write!(f, "bad tensor record: {e}"),
+            CkptError::TopologyMismatch(why) => write!(f, "topology mismatch: {why}"),
+            CkptError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the checkpoint")
+            }
+            CkptError::Io(why) => write!(f, "checkpoint i/o failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<WireDecodeError> for CkptError {
+    fn from(e: WireDecodeError) -> Self {
+        CkptError::Tensor(e)
+    }
+}
+
+/// An in-memory checkpoint: the model's spec plus its named state tensors
+/// in visit order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The architecture the records belong to.
+    pub spec: ModelSpec,
+    /// `(name, tensor)` state records, in [`Layer::state`] visit order.
+    pub records: Vec<(String, Tensor)>,
+}
+
+impl Checkpoint {
+    /// Snapshots a model's persistent state under its spec.
+    pub fn capture(spec: &ModelSpec, model: &dyn Layer) -> Checkpoint {
+        let mut records = Vec::new();
+        model.state(&mut |name, tensor| records.push((name.to_string(), tensor.clone())));
+        Checkpoint {
+            spec: spec.clone(),
+            records,
+        }
+    }
+
+    /// Serializes to the versioned byte format described in the module
+    /// docs.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CKPT_MAGIC);
+        out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        let header = encode_spec(&self.spec);
+        out.extend_from_slice(&(header.len() as u32).to_le_bytes());
+        out.extend_from_slice(&header);
+        out.extend_from_slice(&crc32(&header).to_le_bytes());
+        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        for (name, tensor) in &self.records {
+            let start = out.len();
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            tensor.encode_wire(&mut out);
+            let record_crc = crc32(&out[start..]);
+            out.extend_from_slice(&record_crc.to_le_bytes());
+        }
+        let file_crc = crc32(&out);
+        out.extend_from_slice(&file_crc.to_le_bytes());
+        out
+    }
+
+    /// Parses and checksum-verifies a checkpoint. Every failure mode —
+    /// truncation at any offset, flipped bits, forged lengths, unknown
+    /// versions or tags — returns a typed [`CkptError`].
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CkptError> {
+        let mut off = 0usize;
+        let take = |off: &mut usize, n: usize| -> Result<&[u8], CkptError> {
+            let end =
+                off.checked_add(n)
+                    .filter(|&e| e <= bytes.len())
+                    .ok_or(CkptError::Truncated {
+                        needed: n,
+                        available: bytes.len().saturating_sub(*off),
+                    })?;
+            let slice = &bytes[*off..end];
+            *off = end;
+            Ok(slice)
+        };
+        if take(&mut off, 4)? != CKPT_MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let version = u16::from_le_bytes(take(&mut off, 2)?.try_into().unwrap());
+        if version != CKPT_VERSION {
+            return Err(CkptError::UnsupportedVersion(version));
+        }
+        let header_len = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap()) as usize;
+        if header_len > MAX_HEADER_LEN {
+            return Err(CkptError::HeaderTooLarge(header_len));
+        }
+        let header = take(&mut off, header_len)?;
+        let stored = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap());
+        let computed = crc32(header);
+        if stored != computed {
+            return Err(CkptError::ChecksumMismatch {
+                region: "header".into(),
+                stored,
+                computed,
+            });
+        }
+        let spec = decode_spec(header)?;
+        let record_count = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap()) as usize;
+        if record_count > MAX_RECORDS {
+            return Err(CkptError::TooManyRecords(record_count));
+        }
+        let mut records = Vec::with_capacity(record_count.min(1024));
+        for _ in 0..record_count {
+            let start = off;
+            let name_len = u16::from_le_bytes(take(&mut off, 2)?.try_into().unwrap()) as usize;
+            let name = std::str::from_utf8(take(&mut off, name_len)?)
+                .map_err(|_| CkptError::InvalidSpec("record name is not UTF-8".into()))?
+                .to_string();
+            let (tensor, consumed) = Tensor::decode_wire(&bytes[off..])?;
+            off += consumed;
+            let computed = crc32(&bytes[start..off]);
+            let stored = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap());
+            if stored != computed {
+                return Err(CkptError::ChecksumMismatch {
+                    region: format!("record '{name}'"),
+                    stored,
+                    computed,
+                });
+            }
+            records.push((name, tensor));
+        }
+        let body_end = off;
+        let stored = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap());
+        if off != bytes.len() {
+            return Err(CkptError::TrailingBytes(bytes.len() - off));
+        }
+        let computed = crc32(&bytes[..body_end]);
+        if stored != computed {
+            return Err(CkptError::ChecksumMismatch {
+                region: "file".into(),
+                stored,
+                computed,
+            });
+        }
+        Ok(Checkpoint { spec, records })
+    }
+
+    /// Writes the encoded checkpoint to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CkptError> {
+        std::fs::write(path.as_ref(), self.encode()).map_err(|e| CkptError::Io(e.to_string()))
+    }
+
+    /// Reads and decodes a checkpoint file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, CkptError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| CkptError::Io(e.to_string()))?;
+        Checkpoint::decode(&bytes)
+    }
+
+    /// Streams the records into `model`'s state tensors by name. The
+    /// record set must cover the model's state exactly — missing, extra or
+    /// duplicate names and shape mismatches are [`CkptError::TopologyMismatch`].
+    pub fn apply_to(&self, model: &mut dyn Layer) -> Result<(), CkptError> {
+        let mut pending: HashMap<&str, &Tensor> = HashMap::with_capacity(self.records.len());
+        for (name, tensor) in &self.records {
+            if pending.insert(name.as_str(), tensor).is_some() {
+                return Err(CkptError::TopologyMismatch(format!(
+                    "duplicate record '{name}'"
+                )));
+            }
+        }
+        let mut first_error: Option<CkptError> = None;
+        model.load_state(&mut |name, slot| {
+            if first_error.is_some() {
+                return;
+            }
+            match pending.remove(name) {
+                Some(tensor) if tensor.shape() == slot.shape() => *slot = tensor.clone(),
+                Some(tensor) => {
+                    first_error = Some(CkptError::TopologyMismatch(format!(
+                        "record '{name}' has shape {:?}, model expects {:?}",
+                        tensor.shape(),
+                        slot.shape()
+                    )));
+                }
+                None => {
+                    first_error = Some(CkptError::TopologyMismatch(format!(
+                        "model state '{name}' has no record in the checkpoint"
+                    )));
+                }
+            }
+        });
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        if let Some(extra) = pending.keys().next() {
+            return Err(CkptError::TopologyMismatch(format!(
+                "record '{extra}' matches no model state ({} unused records)",
+                pending.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the architecture from the embedded spec on `backend` and
+    /// loads the records into it: the serve-side half of the round trip.
+    /// The spec is validated first ([`validate_spec`]) so a forged header
+    /// can neither panic the builder nor force absurd allocations.
+    pub fn build_model(&self, backend: BackendKind) -> Result<Sequential, CkptError> {
+        validate_spec(&self.spec)?;
+        // The seed is irrelevant: every parameter the builder initialises
+        // is overwritten by `apply_to` (and `apply_to` errors if any were
+        // not covered by records).
+        let mut model =
+            build_model_with_backend(&self.spec, 0, SccImplementation::Dsxplore, backend);
+        self.apply_to(&mut model)?;
+        Ok(model)
+    }
+}
+
+/// Checks a (possibly attacker-supplied) spec against every invariant
+/// `build_model_with_backend` asserts, returning [`CkptError`] instead of
+/// letting the builder panic: positive geometry, channel chaining between
+/// consecutive layers, reachable feature-map sizes for the implicit
+/// max-pools, divisible groups, SCC configs its own validator accepts, a
+/// classifier wired to the last convolution, and a bounded total parameter
+/// count.
+pub fn validate_spec(spec: &ModelSpec) -> Result<(), CkptError> {
+    let invalid = |why: String| Err(CkptError::InvalidSpec(why));
+    if spec.convs.is_empty() {
+        return invalid("a model needs at least one convolution".into());
+    }
+    if spec.classes == 0 || spec.classifier_in == 0 {
+        return invalid("classifier geometry must be non-zero".into());
+    }
+    let mut current_hw = spec.convs[0].in_hw;
+    let mut prev_cout = spec.convs[0].cin;
+    for (idx, conv) in spec.convs.iter().enumerate() {
+        let name = &conv.name;
+        if conv.cin == 0 || conv.cout == 0 || conv.in_hw == 0 || conv.stride == 0 {
+            return invalid(format!("layer {idx} ({name}): zero-sized geometry"));
+        }
+        if conv.cin != prev_cout {
+            return invalid(format!(
+                "layer {idx} ({name}): cin {} does not chain from previous cout {prev_cout}",
+                conv.cin
+            ));
+        }
+        // The builder inserts at most 8 halving max-pools to reach in_hw.
+        let mut reduce_guard = 0;
+        while current_hw > conv.in_hw && reduce_guard < 8 {
+            current_hw /= 2;
+            reduce_guard += 1;
+        }
+        if current_hw != conv.in_hw {
+            return invalid(format!(
+                "layer {idx} ({name}): in_hw {} unreachable from running size {current_hw}",
+                conv.in_hw
+            ));
+        }
+        match conv.kind {
+            ConvKind::Standard { kernel, groups } => {
+                if kernel == 0 || kernel > conv.in_hw * 2 + 1 {
+                    return invalid(format!(
+                        "layer {idx} ({name}): kernel {kernel} out of range"
+                    ));
+                }
+                if groups == 0 || conv.cin % groups != 0 || conv.cout % groups != 0 {
+                    return invalid(format!(
+                        "layer {idx} ({name}): {groups} groups do not divide {}->{}",
+                        conv.cin, conv.cout
+                    ));
+                }
+            }
+            ConvKind::Depthwise { kernel } => {
+                if kernel == 0 || kernel > conv.in_hw * 2 + 1 {
+                    return invalid(format!(
+                        "layer {idx} ({name}): kernel {kernel} out of range"
+                    ));
+                }
+                if conv.cout != conv.cin {
+                    return invalid(format!(
+                        "layer {idx} ({name}): depthwise requires cout == cin"
+                    ));
+                }
+            }
+            ConvKind::Pointwise => {}
+            ConvKind::GroupPointwise { cg } => {
+                if cg == 0 || conv.cin % cg != 0 || conv.cout % cg != 0 {
+                    return invalid(format!(
+                        "layer {idx} ({name}): {cg} groups do not divide {}->{}",
+                        conv.cin, conv.cout
+                    ));
+                }
+            }
+            ConvKind::SlidingChannel { cg, co } => {
+                if !co.is_finite() {
+                    return invalid(format!("layer {idx} ({name}): non-finite overlap"));
+                }
+                if let Err(e) = SccConfig::new(conv.cin, conv.cout, cg, co) {
+                    return invalid(format!("layer {idx} ({name}): {e}"));
+                }
+            }
+        }
+        current_hw = conv.out_hw();
+        prev_cout = conv.cout;
+    }
+    if spec.classifier_in != prev_cout {
+        return invalid(format!(
+            "classifier_in {} does not match the last convolution's cout {prev_cout}",
+            spec.classifier_in
+        ));
+    }
+    let declared = spec.params();
+    if declared > MAX_SPEC_PARAMS {
+        return invalid(format!(
+            "declared parameter count {declared} exceeds the {MAX_SPEC_PARAMS} cap"
+        ));
+    }
+    Ok(())
+}
+
+/// A deterministic fingerprint of a model's inference behaviour: CRC-32
+/// over the wire encoding of `infer` on a fixed seeded probe input shaped
+/// by `spec` (`[1, cin, in_hw, in_hw]` of the first convolution). Two
+/// processes printing the same digest ran bit-identical inference — the
+/// CI lifecycle gate compares the digest printed after training with the
+/// one printed by `dsx-serve --model`.
+pub fn model_digest(model: &dyn Layer, spec: &ModelSpec) -> u32 {
+    let (cin, hw) = spec
+        .convs
+        .first()
+        .map(|c| (c.cin, c.in_hw))
+        .unwrap_or((3, 8));
+    let probe = Tensor::randn(&[1, cin, hw, hw], 0xD16E57);
+    let output = model.infer(&probe);
+    let mut bytes = Vec::with_capacity(output.wire_len());
+    output.encode_wire(&mut bytes);
+    crc32(&bytes)
+}
+
+// ---------------------------------------------------------------------------
+// ModelSpec header codec
+// ---------------------------------------------------------------------------
+
+const DATASET_CIFAR10: u8 = 0;
+const DATASET_IMAGENET: u8 = 1;
+const KIND_STANDARD: u8 = 0;
+const KIND_DEPTHWISE: u8 = 1;
+const KIND_POINTWISE: u8 = 2;
+const KIND_GROUP_POINTWISE: u8 = 3;
+const KIND_SLIDING_CHANNEL: u8 = 4;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&(v.min(u32::MAX as usize) as u32).to_le_bytes());
+}
+
+/// Serializes a [`ModelSpec`] into the header byte layout.
+fn encode_spec(spec: &ModelSpec) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str(&mut out, &spec.name);
+    out.push(match spec.dataset {
+        Dataset::Cifar10 => DATASET_CIFAR10,
+        Dataset::ImageNet => DATASET_IMAGENET,
+    });
+    put_str(&mut out, &spec.scheme_tag);
+    put_u32(&mut out, spec.classifier_in);
+    put_u32(&mut out, spec.classes);
+    put_u32(&mut out, spec.convs.len());
+    for conv in &spec.convs {
+        put_str(&mut out, &conv.name);
+        match conv.kind {
+            ConvKind::Standard { kernel, groups } => {
+                out.push(KIND_STANDARD);
+                put_u32(&mut out, kernel);
+                put_u32(&mut out, groups);
+            }
+            ConvKind::Depthwise { kernel } => {
+                out.push(KIND_DEPTHWISE);
+                put_u32(&mut out, kernel);
+            }
+            ConvKind::Pointwise => out.push(KIND_POINTWISE),
+            ConvKind::GroupPointwise { cg } => {
+                out.push(KIND_GROUP_POINTWISE);
+                put_u32(&mut out, cg);
+            }
+            ConvKind::SlidingChannel { cg, co } => {
+                out.push(KIND_SLIDING_CHANNEL);
+                put_u32(&mut out, cg);
+                out.extend_from_slice(&co.to_bits().to_le_bytes());
+            }
+        }
+        put_u32(&mut out, conv.cin);
+        put_u32(&mut out, conv.cout);
+        put_u32(&mut out, conv.in_hw);
+        put_u32(&mut out, conv.stride);
+        out.push(conv.with_bn as u8);
+    }
+    out
+}
+
+/// Parses the header byte layout back into a [`ModelSpec`].
+fn decode_spec(bytes: &[u8]) -> Result<ModelSpec, CkptError> {
+    let mut off = 0usize;
+    let take = |off: &mut usize, n: usize| -> Result<&[u8], CkptError> {
+        let end = off
+            .checked_add(n)
+            .filter(|&e| e <= bytes.len())
+            .ok_or(CkptError::Truncated {
+                needed: n,
+                available: bytes.len().saturating_sub(*off),
+            })?;
+        let slice = &bytes[*off..end];
+        *off = end;
+        Ok(slice)
+    };
+    let get_str = |off: &mut usize| -> Result<String, CkptError> {
+        let len = u16::from_le_bytes(take(off, 2)?.try_into().unwrap()) as usize;
+        std::str::from_utf8(take(off, len)?)
+            .map(str::to_string)
+            .map_err(|_| CkptError::InvalidSpec("header string is not UTF-8".into()))
+    };
+    let get_u32 = |off: &mut usize| -> Result<usize, CkptError> {
+        Ok(u32::from_le_bytes(take(off, 4)?.try_into().unwrap()) as usize)
+    };
+    let name = get_str(&mut off)?;
+    let dataset = match take(&mut off, 1)?[0] {
+        DATASET_CIFAR10 => Dataset::Cifar10,
+        DATASET_IMAGENET => Dataset::ImageNet,
+        other => return Err(CkptError::UnknownDatasetTag(other)),
+    };
+    let scheme_tag = get_str(&mut off)?;
+    let classifier_in = get_u32(&mut off)?;
+    let classes = get_u32(&mut off)?;
+    let conv_count = get_u32(&mut off)?;
+    if conv_count > MAX_RECORDS {
+        return Err(CkptError::InvalidSpec(format!(
+            "{conv_count} convolution layers exceed the {MAX_RECORDS} cap"
+        )));
+    }
+    let mut convs = Vec::with_capacity(conv_count.min(1024));
+    for _ in 0..conv_count {
+        let layer_name = get_str(&mut off)?;
+        let kind = match take(&mut off, 1)?[0] {
+            KIND_STANDARD => ConvKind::Standard {
+                kernel: get_u32(&mut off)?,
+                groups: get_u32(&mut off)?,
+            },
+            KIND_DEPTHWISE => ConvKind::Depthwise {
+                kernel: get_u32(&mut off)?,
+            },
+            KIND_POINTWISE => ConvKind::Pointwise,
+            KIND_GROUP_POINTWISE => ConvKind::GroupPointwise {
+                cg: get_u32(&mut off)?,
+            },
+            KIND_SLIDING_CHANNEL => {
+                let cg = get_u32(&mut off)?;
+                let co = f64::from_bits(u64::from_le_bytes(take(&mut off, 8)?.try_into().unwrap()));
+                ConvKind::SlidingChannel { cg, co }
+            }
+            other => return Err(CkptError::UnknownLayerTag(other)),
+        };
+        let cin = get_u32(&mut off)?;
+        let cout = get_u32(&mut off)?;
+        let in_hw = get_u32(&mut off)?;
+        let stride = get_u32(&mut off)?;
+        let with_bn = match take(&mut off, 1)?[0] {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(CkptError::InvalidSpec(format!(
+                    "batch-norm flag must be 0 or 1, got {other}"
+                )))
+            }
+        };
+        convs.push(ConvLayerSpec {
+            name: layer_name,
+            kind,
+            cin,
+            cout,
+            in_hw,
+            stride,
+            with_bn,
+        });
+    }
+    if off != bytes.len() {
+        return Err(CkptError::TrailingBytes(bytes.len() - off));
+    }
+    Ok(ModelSpec {
+        name,
+        dataset,
+        scheme_tag,
+        convs,
+        classifier_in,
+        classes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::ConvScheme;
+    use crate::ModelKind;
+
+    /// A checkpoint-sized model: standard stem + SCC + BN, 8×8 input.
+    fn tiny_spec() -> ModelSpec {
+        ModelSpec {
+            name: "CkptTiny".into(),
+            dataset: Dataset::Cifar10,
+            scheme_tag: "tiny-scc".into(),
+            convs: vec![
+                ConvLayerSpec {
+                    name: "stem".into(),
+                    kind: ConvKind::Standard {
+                        kernel: 3,
+                        groups: 1,
+                    },
+                    cin: 3,
+                    cout: 8,
+                    in_hw: 8,
+                    stride: 2,
+                    with_bn: true,
+                },
+                ConvLayerSpec {
+                    name: "scc".into(),
+                    kind: ConvKind::SlidingChannel { cg: 2, co: 0.5 },
+                    cin: 8,
+                    cout: 8,
+                    in_hw: 4,
+                    stride: 1,
+                    with_bn: true,
+                },
+            ],
+            classifier_in: 8,
+            classes: 10,
+        }
+    }
+
+    fn tiny_checkpoint() -> Checkpoint {
+        let spec = tiny_spec();
+        let model =
+            build_model_with_backend(&spec, 42, SccImplementation::Dsxplore, BackendKind::Naive);
+        Checkpoint::capture(&spec, &model)
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let ckpt = tiny_checkpoint();
+        let bytes = ckpt.encode();
+        let decoded = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(decoded, ckpt);
+    }
+
+    #[test]
+    fn spec_header_round_trips_for_every_zoo_model() {
+        for kind in ModelKind::ALL {
+            for scheme in [ConvScheme::Origin, ConvScheme::DSXPLORE_DEFAULT] {
+                let spec = kind.spec(Dataset::Cifar10, scheme);
+                let decoded = decode_spec(&encode_spec(&spec)).unwrap();
+                assert_eq!(decoded, spec, "{} [{}]", kind.name(), spec.scheme_tag);
+            }
+        }
+    }
+
+    #[test]
+    fn build_model_reproduces_bit_identical_inference() {
+        let spec = tiny_spec();
+        let src =
+            build_model_with_backend(&spec, 42, SccImplementation::Dsxplore, BackendKind::Naive);
+        let ckpt = Checkpoint::capture(&spec, &src);
+        let bytes = ckpt.encode();
+        let loaded = Checkpoint::decode(&bytes).unwrap();
+        let model = loaded.build_model(BackendKind::Naive).unwrap();
+        assert_eq!(model_digest(&src, &spec), model_digest(&model, &spec));
+        let probe = Tensor::randn(&[2, 3, 8, 8], 99);
+        assert_eq!(
+            src.infer(&probe).as_slice(),
+            model.infer(&probe).as_slice(),
+            "loaded model must infer bit-identically"
+        );
+    }
+
+    #[test]
+    fn save_load_round_trips_through_a_file() {
+        let ckpt = tiny_checkpoint();
+        let path = std::env::temp_dir().join(format!("dsx-ckpt-test-{}.ckpt", std::process::id()));
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, ckpt);
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let err = Checkpoint::load("/nonexistent/dsx-nope.ckpt").unwrap_err();
+        assert!(matches!(err, CkptError::Io(_)), "{err:?}");
+    }
+
+    #[test]
+    fn bad_magic_and_unknown_version_are_typed() {
+        let mut bytes = tiny_checkpoint().encode();
+        bytes[0] = b'X';
+        assert_eq!(Checkpoint::decode(&bytes).unwrap_err(), CkptError::BadMagic);
+        let mut bytes = tiny_checkpoint().encode();
+        bytes[4] = 0xFF;
+        assert_eq!(
+            Checkpoint::decode(&bytes).unwrap_err(),
+            CkptError::UnsupportedVersion(u16::from_le_bytes([0xFF, bytes[5]]))
+        );
+    }
+
+    #[test]
+    fn oversize_header_length_is_rejected_before_allocation() {
+        let mut bytes = tiny_checkpoint().encode();
+        bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Checkpoint::decode(&bytes).unwrap_err(),
+            CkptError::HeaderTooLarge(u32::MAX as usize)
+        );
+    }
+
+    #[test]
+    fn unknown_layer_tag_is_typed() {
+        let spec = tiny_spec();
+        let mut header = encode_spec(&spec);
+        // The first conv's kind tag sits right after its name string.
+        let name_end = {
+            let mut off = 0usize;
+            let skip_str = |off: &mut usize| {
+                let len = u16::from_le_bytes([header[*off], header[*off + 1]]) as usize;
+                *off += 2 + len;
+            };
+            skip_str(&mut off); // model name
+            off += 1; // dataset tag
+            skip_str(&mut off); // scheme tag
+            off += 12; // classifier_in, classes, conv count
+            skip_str(&mut off); // first conv name
+            off
+        };
+        header[name_end] = 200;
+        assert_eq!(
+            decode_spec(&header).unwrap_err(),
+            CkptError::UnknownLayerTag(200)
+        );
+    }
+
+    #[test]
+    fn flipped_byte_anywhere_is_a_typed_error() {
+        let good = tiny_checkpoint().encode();
+        // Flip one byte at a spread of offsets across header, records and
+        // trailing checksum; every corruption must surface as a typed
+        // error, never a panic or a silent success.
+        for idx in (0..good.len()).step_by(7).chain([good.len() - 1]) {
+            let mut corrupt = good.clone();
+            corrupt[idx] ^= 0x40;
+            assert!(
+                Checkpoint::decode(&corrupt).is_err(),
+                "flip at byte {idx} of {} went undetected",
+                good.len()
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = tiny_checkpoint().encode();
+        bytes.extend_from_slice(&[0xAB; 3]);
+        assert_eq!(
+            Checkpoint::decode(&bytes).unwrap_err(),
+            CkptError::TrailingBytes(3)
+        );
+    }
+
+    #[test]
+    fn topology_mismatches_are_typed() {
+        let ckpt = tiny_checkpoint();
+        // Extra record.
+        let mut extra = ckpt.clone();
+        extra
+            .records
+            .push(("9999.weight".into(), Tensor::zeros(&[1])));
+        let err = extra.build_model(BackendKind::Naive).err().unwrap();
+        assert!(matches!(err, CkptError::TopologyMismatch(_)), "{err:?}");
+        // Missing record.
+        let mut missing = ckpt.clone();
+        missing.records.pop();
+        let err = missing.build_model(BackendKind::Naive).err().unwrap();
+        assert!(matches!(err, CkptError::TopologyMismatch(_)), "{err:?}");
+        // Shape mismatch.
+        let mut reshaped = ckpt.clone();
+        reshaped.records[0].1 = Tensor::zeros(&[2, 2]);
+        let err = reshaped.build_model(BackendKind::Naive).err().unwrap();
+        assert!(matches!(err, CkptError::TopologyMismatch(_)), "{err:?}");
+        // Duplicate record.
+        let mut dup = ckpt.clone();
+        let first = dup.records[0].clone();
+        dup.records.push(first);
+        let err = dup.build_model(BackendKind::Naive).err().unwrap();
+        assert!(matches!(err, CkptError::TopologyMismatch(_)), "{err:?}");
+    }
+
+    #[test]
+    fn forged_specs_cannot_panic_the_builder() {
+        let base = tiny_spec();
+        // Broken channel chain.
+        let mut chain = base.clone();
+        chain.convs[1].cin = 5;
+        assert!(matches!(
+            validate_spec(&chain),
+            Err(CkptError::InvalidSpec(_))
+        ));
+        // Zero stride would divide by zero in out_hw.
+        let mut stride = base.clone();
+        stride.convs[0].stride = 0;
+        assert!(validate_spec(&stride).is_err());
+        // Unreachable feature-map size.
+        let mut hw = base.clone();
+        hw.convs[1].in_hw = 5;
+        assert!(validate_spec(&hw).is_err());
+        // An SCC config its own validator rejects.
+        let mut scc = base.clone();
+        scc.convs[1].kind = ConvKind::SlidingChannel { cg: 7, co: 0.5 };
+        assert!(validate_spec(&scc).is_err());
+        // Non-finite overlap.
+        let mut nan = base.clone();
+        nan.convs[1].kind = ConvKind::SlidingChannel {
+            cg: 2,
+            co: f64::NAN,
+        };
+        assert!(validate_spec(&nan).is_err());
+        // Classifier detached from the last conv.
+        let mut cls = base.clone();
+        cls.classifier_in = 3;
+        assert!(validate_spec(&cls).is_err());
+        // Absurd declared parameter count.
+        let mut huge = base.clone();
+        huge.convs[0].cout = 1 << 18;
+        huge.convs[1].cin = 1 << 18;
+        huge.convs[1].cout = 1 << 18;
+        huge.classifier_in = 1 << 18;
+        assert!(validate_spec(&huge).is_err());
+        // The real spec passes.
+        assert!(validate_spec(&base).is_ok());
+    }
+
+    #[test]
+    fn buildable_zoo_specs_validate() {
+        // The specs the sequential builder supports (same set its own
+        // tests construct) must pass the checkpoint-side validator.
+        for kind in [ModelKind::Vgg16, ModelKind::MobileNet] {
+            for scheme in [ConvScheme::Origin, ConvScheme::DSXPLORE_DEFAULT] {
+                let spec = kind.spec(Dataset::Cifar10, scheme).scale_channels(16);
+                assert!(
+                    validate_spec(&spec).is_ok(),
+                    "{} [{}] failed validation: {:?}",
+                    kind.name(),
+                    spec.scheme_tag,
+                    validate_spec(&spec)
+                );
+            }
+        }
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod ckpt;
 pub mod mobilenet;
 pub mod resnet;
 pub mod scheme;
@@ -17,6 +18,7 @@ pub mod spec;
 pub mod vgg;
 
 pub use builder::{build_model, build_model_with, build_model_with_backend};
+pub use ckpt::{model_digest, validate_spec, Checkpoint, CkptError, CKPT_VERSION};
 pub use mobilenet::mobilenet;
 pub use resnet::{resnet18, resnet50};
 pub use scheme::ConvScheme;

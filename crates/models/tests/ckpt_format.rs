@@ -1,0 +1,259 @@
+//! Checkpoint format gates.
+//!
+//! Two jobs: (1) **format stability** — a golden v1 checkpoint committed
+//! under `tests/fixtures/` must keep loading on every future commit, so any
+//! byte-layout change forces a version bump plus a migration path in the
+//! same PR; (2) **hostile input** — property tests over truncations and
+//! corruptions mirror the `dsx_net::protocol` suite: typed errors always,
+//! panics never.
+
+use dsx_core::{BackendKind, SccImplementation};
+use dsx_models::ckpt::MAX_HEADER_LEN;
+use dsx_models::{
+    build_model_with_backend, model_digest, Checkpoint, CkptError, ConvKind, ConvLayerSpec,
+    Dataset, ModelSpec,
+};
+use dsx_nn::Layer;
+use dsx_tensor::Tensor;
+use proptest::prelude::*;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden-v1.ckpt");
+
+/// The architecture frozen into the golden fixture. Do not edit: the
+/// fixture bytes on disk encode exactly this spec.
+fn golden_spec() -> ModelSpec {
+    ModelSpec {
+        name: "GoldenV1".into(),
+        dataset: Dataset::Cifar10,
+        scheme_tag: "golden-scc".into(),
+        convs: vec![
+            ConvLayerSpec {
+                name: "stem".into(),
+                kind: ConvKind::Standard {
+                    kernel: 3,
+                    groups: 1,
+                },
+                cin: 3,
+                cout: 8,
+                in_hw: 8,
+                stride: 2,
+                with_bn: true,
+            },
+            ConvLayerSpec {
+                name: "scc".into(),
+                kind: ConvKind::SlidingChannel { cg: 2, co: 0.5 },
+                cin: 8,
+                cout: 8,
+                in_hw: 4,
+                stride: 1,
+                with_bn: true,
+            },
+        ],
+        classifier_in: 8,
+        classes: 10,
+    }
+}
+
+fn golden_checkpoint() -> Checkpoint {
+    let spec = golden_spec();
+    let model =
+        build_model_with_backend(&spec, 1234, SccImplementation::Dsxplore, BackendKind::Naive);
+    Checkpoint::capture(&spec, &model)
+}
+
+/// Regenerates the committed fixture. Run only when the format version is
+/// deliberately bumped: `cargo test -p dsx-models -- --ignored regenerate`.
+#[test]
+#[ignore = "writes the golden fixture; run manually on a format bump"]
+fn regenerate_golden_fixture() {
+    golden_checkpoint().save(GOLDEN_PATH).unwrap();
+}
+
+/// The format-stability gate: current code must keep reading the fixture
+/// byte-for-byte, rebuild its model, and produce finite logits.
+#[test]
+fn golden_v1_fixture_still_loads() {
+    let ckpt = Checkpoint::load(GOLDEN_PATH).expect(
+        "the committed golden-v1 fixture no longer decodes — a format change \
+         requires a version bump and a migration path in the same PR",
+    );
+    assert_eq!(ckpt.spec, golden_spec());
+    let model = ckpt.build_model(BackendKind::Naive).unwrap();
+    let out = model.infer(&Tensor::randn(&[2, 3, 8, 8], 7));
+    assert_eq!(out.shape(), &[2, 10]);
+    assert!(out.as_slice().iter().all(|v| v.is_finite()));
+}
+
+/// The fixture is bit-stable: re-encoding the decoded checkpoint must
+/// reproduce the committed bytes exactly.
+#[test]
+fn golden_v1_fixture_reencodes_byte_identically() {
+    let bytes = std::fs::read(GOLDEN_PATH).unwrap();
+    let ckpt = Checkpoint::decode(&bytes).unwrap();
+    assert_eq!(ckpt.encode(), bytes);
+}
+
+/// The round-trip guarantee behind `dsx-serve --model`: on every kernel
+/// backend, save → load → rebuild infers bit-identically to the source
+/// model.
+#[test]
+fn round_trip_is_bit_identical_on_all_backends() {
+    let spec = golden_spec();
+    let probe = Tensor::randn(&[3, 3, 8, 8], 11);
+    for backend in BackendKind::ALL {
+        let src = build_model_with_backend(&spec, 42, SccImplementation::Dsxplore, backend);
+        let ckpt = Checkpoint::capture(&spec, &src);
+        let loaded = Checkpoint::decode(&ckpt.encode()).unwrap();
+        let rebuilt = loaded.build_model(backend).unwrap();
+        assert_eq!(
+            src.infer(&probe).as_slice(),
+            rebuilt.infer(&probe).as_slice(),
+            "round trip drifted on {backend:?}"
+        );
+        assert_eq!(
+            model_digest(&src, &spec),
+            model_digest(&rebuilt, &spec),
+            "digest drifted on {backend:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncation at *any* offset — including every record boundary — is a
+    /// typed error, never a panic or a false success.
+    #[test]
+    fn truncation_at_any_offset_is_a_typed_error(raw_cut in 0usize..1 << 20) {
+        let bytes = golden_checkpoint().encode();
+        let cut = raw_cut % bytes.len();
+        let err = Checkpoint::decode(&bytes[..cut]);
+        prop_assert!(err.is_err(), "truncation to {} bytes decoded successfully", cut);
+    }
+
+    /// Flipping any single bit is detected (by magic/version/structure
+    /// checks or by one of the CRCs).
+    #[test]
+    fn flipped_bit_at_any_offset_is_detected(raw_idx in 0usize..1 << 20, bit in 0usize..8) {
+        let mut bytes = golden_checkpoint().encode();
+        let idx = raw_idx % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        prop_assert!(
+            Checkpoint::decode(&bytes).is_err(),
+            "flipping bit {} of byte {} went undetected",
+            bit,
+            idx
+        );
+    }
+
+    /// Forged header lengths either hit the cap or fail a later check;
+    /// none of them panic or over-allocate.
+    #[test]
+    fn forged_header_lengths_are_rejected(len in 0u32..u32::MAX) {
+        let mut bytes = golden_checkpoint().encode();
+        bytes[6..10].copy_from_slice(&len.to_le_bytes());
+        match Checkpoint::decode(&bytes) {
+            Ok(_) => prop_assert!(false, "forged header length {len} decoded"),
+            Err(CkptError::HeaderTooLarge(l)) => {
+                prop_assert!(l > MAX_HEADER_LEN);
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+/// Truncating exactly at each structural boundary exercises every
+/// `Truncated` site deterministically (the proptest above covers the rest
+/// of the offsets).
+#[test]
+fn truncation_at_structural_boundaries() {
+    let ckpt = golden_checkpoint();
+    let bytes = ckpt.encode();
+    // magic end, version end, header_len end, header end, header_crc end,
+    // record_count end, then each record end, then just before file_crc.
+    let header_len = u32::from_le_bytes(bytes[6..10].try_into().unwrap()) as usize;
+    let mut boundaries = vec![
+        0,
+        4,
+        6,
+        10,
+        10 + header_len,
+        14 + header_len,
+        18 + header_len,
+    ];
+    let mut off = 18 + header_len;
+    for (name, tensor) in &ckpt.records {
+        off += 2 + name.len() + tensor.wire_len() + 4;
+        boundaries.push(off);
+    }
+    boundaries.push(bytes.len() - 1);
+    for cut in boundaries {
+        assert!(cut < bytes.len(), "boundary {cut} out of range");
+        assert!(
+            Checkpoint::decode(&bytes[..cut]).is_err(),
+            "truncation at structural boundary {cut} decoded successfully"
+        );
+    }
+}
+
+/// An unknown layer-kind tag in the header surfaces as
+/// [`CkptError::UnknownLayerTag`], giving old builds a clean error on new
+/// layer types instead of garbage.
+#[test]
+fn unknown_layer_tag_is_typed_at_the_file_level() {
+    let mut spec = golden_spec();
+    // Encode with a valid kind, then corrupt the tag in-place and re-seal
+    // the checksums so only the tag is "wrong".
+    spec.convs.truncate(1);
+    spec.convs[0].kind = ConvKind::Pointwise;
+    spec.convs[0].cin = 3;
+    spec.convs[0].cout = 8;
+    spec.classifier_in = 8;
+    let ckpt = Checkpoint {
+        spec,
+        records: vec![("0.weight".into(), Tensor::zeros(&[8, 3, 1, 1]))],
+    };
+    let mut bytes = ckpt.encode();
+    // Header layout: name str | dataset u8 | scheme str | 3×u32 | conv name
+    // str | kind tag. Find the Pointwise tag (2) and replace it with 250.
+    let header_start = 10;
+    let header_len = u32::from_le_bytes(bytes[6..10].try_into().unwrap()) as usize;
+    let mut off = header_start;
+    let skip_str = |bytes: &[u8], off: &mut usize| {
+        let len = u16::from_le_bytes([bytes[*off], bytes[*off + 1]]) as usize;
+        *off += 2 + len;
+    };
+    skip_str(&bytes, &mut off); // model name
+    off += 1; // dataset
+    skip_str(&bytes, &mut off); // scheme tag
+    off += 12; // classifier_in, classes, conv count
+    skip_str(&bytes, &mut off); // conv name
+    assert_eq!(bytes[off], 2, "expected the Pointwise tag here");
+    bytes[off] = 250;
+    // Re-seal header crc and file crc so the tag is the only problem.
+    let header_crc = dsx_tensor::crc32(&bytes[header_start..header_start + header_len]);
+    let crc_pos = header_start + header_len;
+    bytes[crc_pos..crc_pos + 4].copy_from_slice(&header_crc.to_le_bytes());
+    let body_end = bytes.len() - 4;
+    let file_crc = dsx_tensor::crc32(&bytes[..body_end]);
+    bytes[body_end..].copy_from_slice(&file_crc.to_le_bytes());
+    assert_eq!(
+        Checkpoint::decode(&bytes).err().unwrap(),
+        CkptError::UnknownLayerTag(250)
+    );
+}
+
+/// Same re-seal trick for an unknown format version: the loader refuses it
+/// by version check alone.
+#[test]
+fn future_version_is_refused_cleanly() {
+    let mut bytes = golden_checkpoint().encode();
+    bytes[4..6].copy_from_slice(&99u16.to_le_bytes());
+    let body_end = bytes.len() - 4;
+    let file_crc = dsx_tensor::crc32(&bytes[..body_end]);
+    bytes[body_end..].copy_from_slice(&file_crc.to_le_bytes());
+    assert_eq!(
+        Checkpoint::decode(&bytes).err().unwrap(),
+        CkptError::UnsupportedVersion(99)
+    );
+}

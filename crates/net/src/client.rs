@@ -125,7 +125,32 @@ impl NetClient {
             Frame::Request { id, .. } => Err(NetError::UnexpectedFrame(format!(
                 "request frame (id {id}) from the server"
             ))),
+            Frame::Reload { id } => Err(NetError::UnexpectedFrame(format!(
+                "reload frame (id {id}) from the server"
+            ))),
         }
+    }
+
+    /// Asks the server to reload its model from disk and hot-swap it in
+    /// (`dsx-serve --model` servers only), returning the new swap
+    /// generation. Blocks for the reply, so don't interleave with
+    /// pipelined requests still awaiting theirs.
+    pub fn reload(&mut self) -> Result<u64, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        protocol::write_frame(&mut self.writer, &Frame::Reload { id })?;
+        self.writer.flush()?;
+        let reply = self.read_reply()?;
+        if reply.id != id {
+            return Err(NetError::UnexpectedFrame(format!(
+                "reply for id {} while waiting for reload id {id}",
+                reply.id
+            )));
+        }
+        let tensor = reply
+            .result
+            .map_err(|(code, message)| NetError::Server { code, message })?;
+        Ok(tensor.as_slice().first().copied().unwrap_or(0.0) as u64)
     }
 
     /// One blocking round trip: send `input`, wait for *its* reply (replies

@@ -52,4 +52,4 @@ pub mod server;
 pub use client::{NetClient, NetError, Reply};
 pub use netload::{run_net_load, NetLoadConfig, NetLoadReport};
 pub use protocol::{ErrorCode, Frame, WireError, MAGIC, MAX_FRAME_LEN, VERSION};
-pub use server::NetServer;
+pub use server::{NetServer, ReloadFn};

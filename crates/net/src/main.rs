@@ -5,7 +5,7 @@
 //! dsx-serve [--requests N] [--concurrency N] [--backend <naive|blocked|tiled|swsum>]
 //!           [--max-batch N] [--max-wait-us N] [--workers N]
 //!           [--queue-capacity N] [--par-threads N] [--skip-serial]
-//!           [--adaptive]
+//!           [--adaptive] [--model PATH]
 //!           [--listen IP:PORT [--serve-secs S]] | [--connect IP:PORT]
 //! ```
 //!
@@ -20,20 +20,33 @@
 //!   `--requests` round trips over `--concurrency` connections and report
 //!   client-observed throughput and latency percentiles.
 //!
+//! `--model PATH` replaces the randomly-initialised serving model with one
+//! loaded from a `dsx_models` checkpoint (trained and saved by
+//! `dsx-experiments train-serve --save`). Loaded weights infer
+//! bit-identically to the process that saved them — both sides print a
+//! `model digest` line CI compares. With `--listen`, the checkpoint path
+//! also enables the wire protocol's reload frame: a client's
+//! `NetClient::reload()` re-reads the file and hot-swaps the model into
+//! the live engine with zero dropped requests.
+//!
 //! Every flag is parsed (and validated) *before* the model is built: the
 //! kernel backend is a process-wide construction-time default in
 //! `dsx-core`, so a flag error after construction would be both too late
 //! and misleading. Invalid flags — including `--listen` together with
-//! `--connect`, and unparseable socket addresses — exit with status 2.
+//! `--connect`, unparseable socket addresses, and a `--model` checkpoint
+//! that is missing, corrupt, version-mismatched or shaped wrong for the
+//! serving workload — exit with status 2 before any engine spins up.
 
 use dsx_core::BackendKind;
-use dsx_net::{NetLoadConfig, NetServer};
+use dsx_models::{model_digest, Checkpoint};
+use dsx_net::{NetLoadConfig, NetServer, ReloadFn};
 use dsx_serve::loadgen::INPUT_HW;
 use dsx_serve::{
     build_serving_model, run_load, run_serial, serving_spec, AdaptiveWaitConfig, LoadConfig,
     ServeConfig,
 };
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -61,6 +74,9 @@ struct Cli {
     /// With `--listen`: serve this many seconds, then drain and report.
     /// `None` = run until killed.
     serve_secs: Option<f64>,
+    /// Serve weights loaded from this checkpoint instead of the
+    /// randomly-initialised serving model.
+    model: Option<PathBuf>,
 }
 
 impl Default for Cli {
@@ -81,13 +97,14 @@ impl Default for Cli {
             listen: None,
             connect: None,
             serve_secs: None,
+            model: None,
         }
     }
 }
 
 const USAGE: &str = "usage: dsx-serve [--requests N] [--concurrency N] \
 [--backend <naive|blocked|tiled|swsum>] [--max-batch N] [--max-wait-us N] [--workers N] \
-[--queue-capacity N] [--par-threads N] [--skip-serial] [--adaptive] \
+[--queue-capacity N] [--par-threads N] [--skip-serial] [--adaptive] [--model PATH] \
 [--listen IP:PORT [--serve-secs S]] | [--connect IP:PORT]";
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -138,6 +155,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--adaptive" => cli.adaptive = true,
             "--listen" => cli.listen = Some(parse_addr(flag, value(flag)?)?),
             "--connect" => cli.connect = Some(parse_addr(flag, value(flag)?)?),
+            "--model" => cli.model = Some(PathBuf::from(value(flag)?)),
             "--serve-secs" => {
                 let raw = value(flag)?;
                 let secs = raw.parse::<f64>().map_err(|e| {
@@ -165,7 +183,53 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--adaptive tunes the local engine; it has no effect with --connect\n{USAGE}"
         ));
     }
+    if cli.model.is_some() && cli.connect.is_some() {
+        return Err(format!(
+            "--model loads weights into the local engine; it has no effect with --connect\n{USAGE}"
+        ));
+    }
     Ok(cli)
+}
+
+/// Loads and validates the `--model` checkpoint, or exits 2 with a
+/// one-line reason — missing file, corrupt bytes, version mismatch and a
+/// workload-incompatible topology all fail here, before any engine or
+/// thread pool spins up.
+fn load_model_checkpoint(path: &std::path::Path) -> Checkpoint {
+    let ckpt = match Checkpoint::load(path) {
+        Ok(ckpt) => ckpt,
+        Err(e) => {
+            eprintln!("dsx-serve: cannot load --model {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = dsx_models::validate_spec(&ckpt.spec) {
+        eprintln!("dsx-serve: --model {} is not servable: {e}", path.display());
+        std::process::exit(2);
+    }
+    // The loadgen and the declared request shape both come from the
+    // checkpoint's own spec, so any first layer works for --listen; the
+    // in-process loadgen however drives the fixed serving workload shape.
+    match ckpt.spec.convs.first() {
+        Some(first) if first.in_hw == INPUT_HW && first.cin == 3 => ckpt,
+        Some(first) => {
+            eprintln!(
+                "dsx-serve: --model {} serves [{}, {}, {}] inputs; the serving workload needs [3, {INPUT_HW}, {INPUT_HW}]",
+                path.display(),
+                first.cin,
+                first.in_hw,
+                first.in_hw,
+            );
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!(
+                "dsx-serve: --model {} has no convolution layers",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 /// The engine configuration the in-process and `--listen` modes share.
@@ -199,19 +263,40 @@ fn main() {
         return;
     }
 
+    // The --model checkpoint is loaded and validated with the flags: a
+    // missing, corrupt or incompatible file exits 2 here, before any
+    // construction-time state is touched.
+    let ckpt = cli.model.as_deref().map(load_model_checkpoint);
+
     // Flags are fully validated; only now may construction-time state be
     // touched (the backend default is read when layers are built).
     dsx_core::set_default_backend(cli.backend);
     dsx_tensor::set_num_threads(cli.par_threads);
 
-    let spec = serving_spec();
+    let (spec, model): (_, Arc<dyn dsx_nn::Layer>) = match &ckpt {
+        Some(ckpt) => match ckpt.build_model(cli.backend) {
+            Ok(model) => (ckpt.spec.clone(), Arc::new(model) as Arc<dyn dsx_nn::Layer>),
+            Err(e) => {
+                eprintln!("dsx-serve: cannot rebuild the --model checkpoint: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let spec = serving_spec();
+            let model = build_serving_model(&spec, cli.backend);
+            (spec, model)
+        }
+    };
     println!(
         "serving model: {} ({:.2} MFLOPs/request, backend {})",
         spec.name,
         spec.mflops(),
         cli.backend
     );
-    let model = build_serving_model(&spec, cli.backend);
+    // The digest fingerprints the weights actually being served; CI compares
+    // it against the line the saving process printed to gate bit-identical
+    // round trips.
+    println!("model digest: {:08x}", model_digest(&*model, &spec));
 
     if let Some(addr) = cli.listen {
         run_listen_mode(&cli, addr, model);
@@ -253,6 +338,13 @@ fn main() {
             snapshot.throughput_rps / serial.throughput_rps
         );
     }
+    if snapshot.dropped_requests > 0 {
+        eprintln!(
+            "dsx-serve: {} requests were dropped during the run",
+            snapshot.dropped_requests
+        );
+        std::process::exit(1);
+    }
 }
 
 /// `--listen`: serve the engine over TCP, forever or for `--serve-secs`.
@@ -260,9 +352,21 @@ fn run_listen_mode(cli: &Cli, addr: SocketAddr, model: Arc<dyn dsx_nn::Layer>) {
     let mut config = engine_config(cli);
     // Network clients speak the serving model's request shape; declaring it
     // turns a stray shape into a per-request error frame instead of a
-    // poisoned batch.
+    // poisoned batch. (--model checkpoints are validated to this same shape
+    // before anything is built.)
     config.request_dims = Some(vec![3, INPUT_HW, INPUT_HW]);
-    let server = match NetServer::start(&addr.to_string(), model, config) {
+    // With --model, a client's reload frame re-reads the same checkpoint
+    // path and hot-swaps the result into the live engine — in-flight
+    // batches finish on the old weights, nothing is dropped.
+    let reload: Option<ReloadFn> = cli.model.clone().map(|path| {
+        let backend = cli.backend;
+        Arc::new(move || {
+            let ckpt = Checkpoint::load(&path).map_err(|e| e.to_string())?;
+            let model = ckpt.build_model(backend).map_err(|e| e.to_string())?;
+            Ok(Arc::new(model) as Arc<dyn dsx_nn::Layer>)
+        }) as ReloadFn
+    });
+    let server = match NetServer::start_with_reload(&addr.to_string(), model, config, reload) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("dsx-serve: cannot listen on {addr}: {e}");
@@ -278,6 +382,13 @@ fn run_listen_mode(cli: &Cli, addr: SocketAddr, model: Arc<dyn dsx_nn::Layer>) {
             std::thread::sleep(Duration::from_secs_f64(secs));
             let snapshot = server.shutdown();
             println!("served: {snapshot}");
+            if snapshot.dropped_requests > 0 {
+                eprintln!(
+                    "dsx-serve: {} requests were dropped during the run",
+                    snapshot.dropped_requests
+                );
+                std::process::exit(1);
+            }
         }
         None => loop {
             std::thread::sleep(Duration::from_secs(3600));
@@ -407,5 +518,25 @@ mod tests {
         let cli = parse_cli(&args(&["--listen", "127.0.0.1:0", "--adaptive"])).unwrap();
         assert!(cli.adaptive);
         assert!(engine_config(&cli).adaptive.is_some());
+    }
+
+    #[test]
+    fn model_flag_parses_but_conflicts_with_connect() {
+        let cli = parse_cli(&args(&["--model", "/tmp/m.ckpt"])).unwrap();
+        assert_eq!(
+            cli.model.as_deref(),
+            Some(std::path::Path::new("/tmp/m.ckpt"))
+        );
+        let cli = parse_cli(&args(&["--model=/tmp/m.ckpt", "--listen", "127.0.0.1:0"])).unwrap();
+        assert!(cli.model.is_some());
+        assert!(parse_cli(&args(&["--model"])).is_err());
+        let err = parse_cli(&args(&[
+            "--model",
+            "/tmp/m.ckpt",
+            "--connect",
+            "127.0.0.1:1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--connect"), "{err}");
     }
 }

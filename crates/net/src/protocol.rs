@@ -43,6 +43,7 @@ pub const MAX_FRAME_LEN: usize = 64 << 20;
 const KIND_REQUEST: u8 = 1;
 const KIND_RESPONSE: u8 = 2;
 const KIND_ERROR: u8 = 3;
+const KIND_RELOAD: u8 = 4;
 
 /// Bytes of a frame body before the payload: magic + version + kind + id.
 const HEADER_LEN: usize = 4 + 2 + 1 + 8;
@@ -136,13 +137,27 @@ pub enum Frame {
         /// Human-readable detail.
         message: String,
     },
+    /// Asks the server to reload its model from wherever it was configured
+    /// to load one (`dsx-serve --model PATH`) and hot-swap it in — live,
+    /// without closing any connection. Empty payload. The server answers
+    /// with a [`Frame::Response`] carrying a 1-element tensor holding the
+    /// new swap generation, or a [`Frame::Error`] (`BadRequest` when the
+    /// server has no model path to reload from, `Internal` when loading
+    /// failed — the old model keeps serving in that case).
+    Reload {
+        /// Client-chosen id echoed in the reply.
+        id: u64,
+    },
 }
 
 impl Frame {
     /// The request id this frame carries.
     pub fn id(&self) -> u64 {
         match self {
-            Frame::Request { id, .. } | Frame::Response { id, .. } | Frame::Error { id, .. } => *id,
+            Frame::Request { id, .. }
+            | Frame::Response { id, .. }
+            | Frame::Error { id, .. }
+            | Frame::Reload { id } => *id,
         }
     }
 }
@@ -238,6 +253,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Request { id, tensor } => (KIND_REQUEST, *id, tensor.wire_len()),
         Frame::Response { id, tensor } => (KIND_RESPONSE, *id, tensor.wire_len()),
         Frame::Error { id, message, .. } => (KIND_ERROR, *id, 6 + message.len()),
+        Frame::Reload { id } => (KIND_RELOAD, *id, 0),
     };
     let body_len = HEADER_LEN + payload_len;
     let mut out = Vec::with_capacity(4 + body_len);
@@ -256,6 +272,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
             out.extend_from_slice(msg);
         }
+        Frame::Reload { .. } => {}
     }
     debug_assert_eq!(out.len(), 4 + body_len, "length prefix must be exact");
     out
@@ -361,6 +378,18 @@ fn parse_body(body: &[u8]) -> Result<Frame, WireError> {
             let message = String::from_utf8_lossy(&payload[6..]).into_owned();
             Ok(Frame::Error { id, code, message })
         }
+        KIND_RELOAD => {
+            if !payload.is_empty() {
+                return Err(WireError::Malformed {
+                    id,
+                    why: format!(
+                        "reload frames carry no payload, got {} bytes",
+                        payload.len()
+                    ),
+                });
+            }
+            Ok(Frame::Reload { id })
+        }
         other => Err(WireError::Malformed {
             id,
             why: format!("unknown frame kind {other}"),
@@ -405,6 +434,22 @@ mod tests {
             message: String::new(),
         };
         assert_eq!(round_trip(bare.clone()), bare);
+    }
+
+    #[test]
+    fn reload_frames_round_trip_and_reject_payloads() {
+        let reload = Frame::Reload { id: 17 };
+        assert_eq!(round_trip(reload.clone()), reload);
+        assert_eq!(reload.id(), 17);
+        // A reload frame smuggling payload bytes is malformed but stays
+        // attributable and recoverable.
+        let mut bytes = encode_frame(&reload);
+        let padded_len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) + 1;
+        bytes[..4].copy_from_slice(&padded_len.to_le_bytes());
+        bytes.push(0xEE);
+        let err = read_frame(&mut io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, WireError::Malformed { id: 17, .. }), "{err}");
+        assert!(err.is_recoverable());
     }
 
     #[test]

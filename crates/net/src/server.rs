@@ -27,6 +27,7 @@ use crate::protocol::{self, ErrorCode, Frame, WireError};
 use crossbeam::channel::{self, Receiver};
 use dsx_nn::Layer;
 use dsx_serve::{ServeConfig, ServeEngine, ServeError, ServeHandle, ServeSnapshot, TaggedResponse};
+use dsx_tensor::Tensor;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,6 +38,11 @@ use std::time::Duration;
 /// How long the acceptor sleeps between polls of its non-blocking listener
 /// (the price of interruptible `accept` on std-only sockets).
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Loads a fresh model when a client sends a reload frame. Returning `Err`
+/// leaves the currently-served model untouched (the client gets an
+/// `Internal` error frame with the message).
+pub type ReloadFn = Arc<dyn Fn() -> Result<Arc<dyn Layer>, String> + Send + Sync>;
 
 /// A live connection's handles, kept so shutdown can close the socket and
 /// join both threads.
@@ -61,6 +67,20 @@ impl NetServer {
     /// batching engine over `model` with `config`, and begins accepting
     /// connections.
     pub fn start(addr: &str, model: Arc<dyn Layer>, config: ServeConfig) -> io::Result<NetServer> {
+        Self::start_with_reload(addr, model, config, None)
+    }
+
+    /// Like [`NetServer::start`], but additionally wires a reload hook: a
+    /// client's [`Frame::Reload`] runs `reload` and, on success, hot-swaps
+    /// the returned model into the live engine —
+    /// [`dsx_serve::ServeHandle::swap_model`] — without closing any
+    /// connection or dropping any in-flight request.
+    pub fn start_with_reload(
+        addr: &str,
+        model: Arc<dyn Layer>,
+        config: ServeConfig,
+        reload: Option<ReloadFn>,
+    ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -73,7 +93,7 @@ impl NetServer {
             let handle = engine.handle();
             std::thread::Builder::new()
                 .name("dsx-net-acceptor".to_string())
-                .spawn(move || accept_loop(&listener, &handle, &stop, &connections))
+                .spawn(move || accept_loop(&listener, &handle, &stop, &connections, reload))
                 .expect("spawning the acceptor failed")
         };
         Ok(NetServer {
@@ -128,6 +148,7 @@ fn accept_loop(
     handle: &ServeHandle,
     stop: &AtomicBool,
     connections: &Mutex<Vec<Connection>>,
+    reload: Option<ReloadFn>,
 ) {
     let mut next_conn = 0usize;
     while !stop.load(Ordering::Relaxed) {
@@ -137,7 +158,7 @@ fn accept_loop(
                 // would serialise the request/response ping-pong.
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_nonblocking(false);
-                match spawn_connection(stream, handle.clone(), next_conn) {
+                match spawn_connection(stream, handle.clone(), next_conn, reload.clone()) {
                     Ok(connection) => {
                         let mut connections = connections.lock().unwrap();
                         // Reap dead connections here, where one is being
@@ -173,6 +194,7 @@ fn spawn_connection(
     stream: TcpStream,
     handle: ServeHandle,
     index: usize,
+    reload: Option<ReloadFn>,
 ) -> io::Result<Connection> {
     let registry_stream = stream.try_clone()?;
     let out = Arc::new(Mutex::new(BufWriter::new(stream.try_clone()?)));
@@ -186,7 +208,7 @@ fn spawn_connection(
     let reader = std::thread::Builder::new()
         .name(format!("dsx-net-reader-{index}"))
         .spawn(move || {
-            reader_loop(stream, &handle, &out, &done_tx);
+            reader_loop(stream, &handle, &out, &done_tx, reload.as_ref());
             // Reader gone: drop its `done` sender. Once the engine's
             // in-flight clones drain too, the writer's recv disconnects and
             // it exits — after the last pending response is flushed.
@@ -247,11 +269,41 @@ fn reader_loop(
     handle: &ServeHandle,
     out: &Mutex<BufWriter<TcpStream>>,
     done: &channel::Sender<TaggedResponse>,
+    reload: Option<&ReloadFn>,
 ) {
     let mut input = BufReader::new(stream);
     loop {
         match protocol::read_frame(&mut input) {
             Ok(Frame::Request { id, tensor }) => handle.submit_tagged(id, tensor, done),
+            Ok(Frame::Reload { id }) => {
+                // Swap the model live; every outcome answers on this
+                // connection without disturbing any other.
+                let frame = match reload {
+                    None => Frame::Error {
+                        id,
+                        code: ErrorCode::BadRequest,
+                        message: "model reload is not enabled on this server".to_string(),
+                    },
+                    Some(load) => match load() {
+                        Ok(model) => {
+                            let generation = handle.swap_model(model);
+                            Frame::Response {
+                                id,
+                                tensor: Tensor::from_vec(vec![generation as f32], &[1]),
+                            }
+                        }
+                        // The old model keeps serving untouched.
+                        Err(why) => Frame::Error {
+                            id,
+                            code: ErrorCode::Internal,
+                            message: format!("model reload failed: {why}"),
+                        },
+                    },
+                };
+                if send_frame(out, &frame).is_err() {
+                    return;
+                }
+            }
             Ok(unexpected) => {
                 // Clients may only send requests; answer and keep going.
                 let _ = send_frame(

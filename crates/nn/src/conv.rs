@@ -362,6 +362,20 @@ impl Layer for Conv2d {
         }
     }
 
+    fn state(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        f("weight", &self.weight);
+        if let Some(bias) = self.bias.as_ref() {
+            f("bias", bias);
+        }
+    }
+
+    fn load_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        f("weight", &mut self.weight);
+        if let Some(bias) = self.bias.as_mut() {
+            f("bias", bias);
+        }
+    }
+
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         let (n, h, w) = (input_shape[0], input_shape[2], input_shape[3]);
         let (oh, ow) = self.out_hw(h, w);

@@ -60,6 +60,26 @@ pub trait Layer: Send + Sync {
         count
     }
 
+    /// Calls `f(name, tensor)` for every *persistent state* tensor of the
+    /// layer: the trainable parameters **plus** non-parameter buffers such
+    /// as batch norm's running statistics. Names are stable identifiers
+    /// unique within one layer (`"weight"`, `"bias"`, `"running_mean"`,
+    /// ...); container layers recurse and prefix each child's names with
+    /// its position (`"3.weight"`). This is the read side of
+    /// checkpointing; the default declares no state (reshaping and
+    /// activation layers).
+    fn state(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        let _ = f;
+    }
+
+    /// Mutable counterpart of [`Layer::state`] with identical names and
+    /// visit order — the write side of checkpoint loading. Loaders match
+    /// records to tensors by name and overwrite contents in place, so
+    /// implementations expose exactly the tensors `state` exposes.
+    fn load_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        let _ = f;
+    }
+
     /// Output shape for a given input shape (used for model summaries and
     /// FLOP counting without running data through the network).
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;

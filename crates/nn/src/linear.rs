@@ -74,6 +74,16 @@ impl Layer for Linear {
         f(&mut self.bias, &mut self.grad_bias);
     }
 
+    fn state(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        f("weight", &self.weight);
+        f("bias", &self.bias);
+    }
+
+    fn load_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        f("weight", &mut self.weight);
+        f("bias", &mut self.bias);
+    }
+
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         vec![input_shape[0], self.out_features]
     }

@@ -194,6 +194,23 @@ impl Layer for BatchNorm2d {
         f(&mut self.beta, &mut self.grad_beta);
     }
 
+    fn state(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        f("gamma", &self.gamma);
+        f("beta", &self.beta);
+        // The running statistics are not trainable parameters but are part
+        // of the inference behaviour — a checkpoint without them would
+        // serve with freshly-zeroed normalisation.
+        f("running_mean", &self.running_mean);
+        f("running_var", &self.running_var);
+    }
+
+    fn load_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        f("gamma", &mut self.gamma);
+        f("beta", &mut self.beta);
+        f("running_mean", &mut self.running_mean);
+        f("running_var", &mut self.running_var);
+    }
+
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         input_shape.to_vec()
     }

@@ -104,6 +104,20 @@ impl Layer for SccConv2d {
         }
     }
 
+    fn state(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        f("weight", self.inner.weight());
+        if let Some(bias) = self.inner.bias() {
+            f("bias", bias);
+        }
+    }
+
+    fn load_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        f("weight", self.inner.weight_mut());
+        if let Some(bias) = self.inner.bias_mut() {
+            f("bias", bias);
+        }
+    }
+
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         vec![
             input_shape[0],

@@ -116,6 +116,18 @@ impl Layer for Sequential {
         }
     }
 
+    fn state(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        for (idx, layer) in self.layers.iter().enumerate() {
+            layer.state(&mut |name, tensor| f(&format!("{idx}.{name}"), tensor));
+        }
+    }
+
+    fn load_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        for (idx, layer) in self.layers.iter_mut().enumerate() {
+            layer.load_state(&mut |name, tensor| f(&format!("{idx}.{name}"), tensor));
+        }
+    }
+
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         let mut shape = input_shape.to_vec();
         for layer in self.layers.iter() {
@@ -239,6 +251,22 @@ impl Layer for ResidualBlock {
         }
     }
 
+    fn state(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        self.main
+            .state(&mut |name, tensor| f(&format!("main.{name}"), tensor));
+        if let Some(s) = self.shortcut.as_ref() {
+            s.state(&mut |name, tensor| f(&format!("shortcut.{name}"), tensor));
+        }
+    }
+
+    fn load_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.main
+            .load_state(&mut |name, tensor| f(&format!("main.{name}"), tensor));
+        if let Some(s) = self.shortcut.as_mut() {
+            s.load_state(&mut |name, tensor| f(&format!("shortcut.{name}"), tensor));
+        }
+    }
+
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         self.main.output_shape(input_shape)
     }
@@ -283,6 +311,60 @@ mod tests {
             .push(Conv2d::new(2, 3, 3, 1, 1, 3))
             .push(ReLU::new());
         check_input_gradient(&mut net, &[1, 2, 4, 4], 2e-2);
+    }
+
+    #[test]
+    fn state_names_are_prefixed_unique_and_cover_running_stats() {
+        let mut net = tiny_net();
+        let mut names = Vec::new();
+        net.state(&mut |name, tensor| {
+            assert!(tensor.numel() > 0, "{name} is empty");
+            names.push(name.to_string());
+        });
+        // conv weight+bias, bn gamma/beta/running_mean/running_var, linear
+        // weight+bias; the stateless ReLU and pool contribute nothing.
+        assert_eq!(
+            names,
+            vec![
+                "0.weight",
+                "0.bias",
+                "1.gamma",
+                "1.beta",
+                "1.running_mean",
+                "1.running_var",
+                "4.weight",
+                "4.bias",
+            ]
+        );
+        // load_state visits the same tensors under the same names, in the
+        // same order — the contract checkpoint loading relies on.
+        let mut mut_names = Vec::new();
+        net.load_state(&mut |name, _tensor| mut_names.push(name.to_string()));
+        assert_eq!(names, mut_names);
+    }
+
+    #[test]
+    fn load_state_overwrites_affect_inference() {
+        let mut src = tiny_net();
+        let mut dst = tiny_net();
+        // Make the two nets differ, then stream src's state into dst.
+        src.load_state(&mut |_name, tensor| {
+            for v in tensor.as_mut_slice() {
+                *v += 0.125;
+            }
+        });
+        let mut copies = std::collections::HashMap::new();
+        src.state(&mut |name, tensor| {
+            copies.insert(name.to_string(), tensor.clone());
+        });
+        dst.load_state(&mut |name, tensor| {
+            *tensor = copies.remove(name).expect("state name mismatch");
+        });
+        assert!(copies.is_empty(), "unvisited records: {copies:?}");
+        let input = Tensor::randn(&[2, 2, 8, 8], 11);
+        let a = src.infer(&input);
+        let b = dst.infer(&input);
+        assert_eq!(a.as_slice(), b.as_slice(), "state copy must be bit-exact");
     }
 
     #[test]

@@ -14,8 +14,12 @@
 //! sliding-channel convolution wins by raising the arithmetic intensity of
 //! each launch, and micro-batching raises it further by amortising every
 //! per-launch cost (weight repacking, GEMM tile setup, allocator traffic)
-//! over the whole batch. `infer` takes `&self`, so the engine needs no lock
-//! around the model — concurrency safety is by construction.
+//! over the whole batch. `infer` takes `&self`, so running a batch needs no
+//! lock around the model — concurrency safety is by construction. The only
+//! lock in the engine guards the *slot* holding the model `Arc`, and is
+//! held just long enough to clone it: that is what makes
+//! [`ServeHandle::swap_model`] a zero-drop hot swap — in-flight batches
+//! finish on the model they pinned, later batches pick up the replacement.
 //!
 //! Two response routes exist: the in-process [`ServeHandle::submit`] hands
 //! back a [`PendingResponse`] (a one-shot channel), while the network
@@ -35,7 +39,7 @@ use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use dsx_nn::Layer;
 use dsx_tensor::Tensor;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -224,6 +228,12 @@ struct Request {
     respond: Responder,
 }
 
+/// The shared model slot: workers take a read lock only long enough to
+/// clone the inner `Arc`, so a swap's brief write lock never stalls an
+/// in-flight forward pass and every batch runs to completion on whichever
+/// model it started with.
+type ModelSlot = Arc<RwLock<Arc<dyn Layer>>>;
+
 /// A client-side handle: cheap to clone, safe to use from many threads.
 ///
 /// Dropping every handle *and* the engine's own sender is what lets the
@@ -233,6 +243,8 @@ struct Request {
 pub struct ServeHandle {
     queue: Sender<Request>,
     request_dims: Option<Arc<[usize]>>,
+    model_slot: ModelSlot,
+    stats: Arc<ServeStats>,
 }
 
 /// An in-flight request; [`PendingResponse::wait`] blocks for its output.
@@ -315,6 +327,26 @@ impl ServeHandle {
     pub fn infer(&self, input: Tensor) -> Result<Tensor, ServeError> {
         self.submit(input)?.wait()
     }
+
+    /// Hot-swaps the served model and returns the new swap generation.
+    ///
+    /// The swap is zero-drop by construction: workers clone the model `Arc`
+    /// per batch, so batches already gathered finish on the old model while
+    /// every batch formed after the swap runs the new one. No request is
+    /// rejected, re-queued or dropped at any point. The old model is freed
+    /// once its last in-flight batch completes.
+    pub fn swap_model(&self, model: Arc<dyn Layer>) -> u64 {
+        *self
+            .model_slot
+            .write()
+            .expect("the model slot is never poisoned: writers only assign") = model;
+        self.stats.record_swap()
+    }
+
+    /// The current swap generation (0 = the model the engine started with).
+    pub fn swap_generation(&self) -> u64 {
+        self.stats.swap_generation()
+    }
 }
 
 /// The running engine: owns the worker pool and the serving counters.
@@ -325,6 +357,7 @@ pub struct ServeEngine {
     /// [`ServeEngine::queue_depth`].
     depth_probe: Receiver<Request>,
     request_dims: Option<Arc<[usize]>>,
+    model_slot: ModelSlot,
     workers: Vec<JoinHandle<()>>,
     controller: Option<JoinHandle<()>>,
     controller_stop: Arc<AtomicBool>,
@@ -344,16 +377,17 @@ impl ServeEngine {
         let stats = Arc::new(ServeStats::new());
         let max_wait_us = Arc::new(AtomicU64::new(config.max_wait.as_micros() as u64));
         stats.set_wait_gauge(config.max_wait);
+        let model_slot: ModelSlot = Arc::new(RwLock::new(model));
         let workers = (0..config.workers)
             .map(|i| {
                 let rx = rx.clone();
-                let model = Arc::clone(&model);
+                let slot = Arc::clone(&model_slot);
                 let stats = Arc::clone(&stats);
                 let max_batch = config.max_batch;
                 let max_wait_us = Arc::clone(&max_wait_us);
                 std::thread::Builder::new()
                     .name(format!("dsx-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&*model, &rx, &stats, max_batch, &max_wait_us))
+                    .spawn(move || worker_loop(&slot, &rx, &stats, max_batch, &max_wait_us))
                     .expect("spawning a serve worker failed")
             })
             .collect();
@@ -373,6 +407,7 @@ impl ServeEngine {
             queue: tx,
             depth_probe: rx,
             request_dims: config.request_dims.map(Arc::from),
+            model_slot,
             workers,
             controller,
             controller_stop,
@@ -387,7 +422,19 @@ impl ServeEngine {
         ServeHandle {
             queue: self.queue.clone(),
             request_dims: self.request_dims.clone(),
+            model_slot: Arc::clone(&self.model_slot),
+            stats: Arc::clone(&self.stats),
         }
+    }
+
+    /// Hot-swaps the served model (see [`ServeHandle::swap_model`]).
+    pub fn swap_model(&self, model: Arc<dyn Layer>) -> u64 {
+        self.handle().swap_model(model)
+    }
+
+    /// The current swap generation (0 = the model the engine started with).
+    pub fn swap_generation(&self) -> u64 {
+        self.stats.swap_generation()
     }
 
     /// The live serving counters.
@@ -423,6 +470,7 @@ impl ServeEngine {
             queue,
             depth_probe,
             request_dims: _,
+            model_slot: _,
             workers,
             controller,
             controller_stop,
@@ -450,7 +498,7 @@ impl ServeEngine {
 /// or the `max_wait` deadline (re-read per batch so retuning applies live),
 /// run the fused pass, scatter the outputs.
 fn worker_loop(
-    model: &dyn Layer,
+    model_slot: &RwLock<Arc<dyn Layer>>,
     rx: &Receiver<Request>,
     stats: &ServeStats,
     max_batch: usize,
@@ -474,16 +522,27 @@ fn worker_loop(
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
+        // Pin the current model for this whole batch: clone the inner Arc
+        // and release the read lock before running. A concurrent
+        // `swap_model` replaces the slot without touching this batch, and
+        // a panicking forward pass cannot poison the lock.
+        let model = Arc::clone(
+            &model_slot
+                .read()
+                .expect("the model slot is never poisoned: writers only assign"),
+        );
         // A panicking batch (a model assertion on adversarial input) must
         // not take the worker down with it: contain the unwind, drop the
         // batch — each dropped Responder signals its client (a oneshot's
         // receiver fails; a tagged route gets an explicit error) — and keep
         // serving.
+        let batch_len = batch.len();
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_batch(model, batch, stats)
+            run_batch(&*model, batch, stats)
         }))
         .is_err()
         {
+            stats.record_dropped(batch_len);
             eprintln!("dsx-serve: a batch panicked; its requests were dropped");
         }
     }
@@ -823,6 +882,46 @@ mod tests {
         drop(handle);
         let snap = engine.shutdown();
         assert_eq!(snap.max_wait_us, 137);
+    }
+
+    #[test]
+    fn swap_model_switches_outputs_and_bumps_the_generation() {
+        let v1 = tiny_model();
+        let v2: Arc<dyn Layer> = Arc::new(
+            Sequential::new("tiny-serve-v2")
+                .push(ReLU::new())
+                .push(GlobalAvgPool::new())
+                .push(Linear::new(2, 3, 99)), // different seed => different weights
+        );
+        let engine = ServeEngine::start(Arc::clone(&v1), ServeConfig::default().with_workers(1));
+        let handle = engine.handle();
+        let input = request(1);
+        let before = handle.infer(input.clone()).unwrap();
+        assert!(dsx_tensor::allclose(&before, &v1.infer(&input), 1e-6));
+        assert_eq!(engine.swap_generation(), 0);
+        assert_eq!(handle.swap_model(Arc::clone(&v2)), 1);
+        assert_eq!(engine.swap_generation(), 1);
+        let after = handle.infer(input.clone()).unwrap();
+        assert!(dsx_tensor::allclose(&after, &v2.infer(&input), 1e-6));
+        drop(handle);
+        let snap = engine.shutdown();
+        assert_eq!(snap.swap_generation, 1);
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.dropped_requests, 0);
+    }
+
+    #[test]
+    fn dropped_requests_counter_tracks_poison_batches() {
+        let engine = ServeEngine::start(tiny_model(), ServeConfig::default().with_workers(1));
+        let handle = engine.handle();
+        let bad = handle.submit(Tensor::zeros(&[1, 3, 4, 4])).unwrap();
+        assert_eq!(bad.wait(), Err(ServeError::Shutdown));
+        assert_eq!(handle.infer(request(2)).unwrap().shape(), &[1, 3]);
+        drop(handle);
+        let snap = engine.shutdown();
+        assert_eq!(snap.dropped_requests, 1);
+        assert_eq!(snap.requests, 1, "the poison request never completed");
+        assert!(format!("{snap}").contains("DROPPED 1 requests"));
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub struct ServeStats {
     wait_gauge_us: AtomicU64,
     adaptive_raises: AtomicUsize,
     adaptive_shrinks: AtomicUsize,
+    /// How many times a new model was hot-swapped in (generation counter:
+    /// 0 means the engine still runs the model it started with).
+    swap_generation: AtomicU64,
+    /// Requests whose batch failed and were never served. The zero-drop
+    /// hot-swap guarantee is CI-gated on this staying 0.
+    dropped_requests: AtomicUsize,
 }
 
 impl Default for ServeStats {
@@ -66,6 +72,8 @@ impl Default for ServeStats {
             wait_gauge_us: AtomicU64::new(0),
             adaptive_raises: AtomicUsize::new(0),
             adaptive_shrinks: AtomicUsize::new(0),
+            swap_generation: AtomicU64::new(0),
+            dropped_requests: AtomicUsize::new(0),
         }
     }
 }
@@ -107,6 +115,27 @@ impl ServeStats {
         } else {
             self.adaptive_shrinks.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Records one completed model hot swap, returning the new generation.
+    pub fn record_swap(&self) -> u64 {
+        self.swap_generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The current swap generation (0 = the model the engine started with).
+    pub fn swap_generation(&self) -> u64 {
+        self.swap_generation.load(Ordering::Relaxed)
+    }
+
+    /// Records `count` requests that were dropped unserved (their batch
+    /// panicked).
+    pub fn record_dropped(&self, count: usize) {
+        self.dropped_requests.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Requests dropped unserved so far.
+    pub fn dropped_requests(&self) -> usize {
+        self.dropped_requests.load(Ordering::Relaxed)
     }
 
     /// Requests completed so far.
@@ -201,6 +230,8 @@ impl ServeStats {
             max_wait_us: self.wait_gauge_us.load(Ordering::Relaxed),
             adaptive_raises: self.adaptive_raises.load(Ordering::Relaxed),
             adaptive_shrinks: self.adaptive_shrinks.load(Ordering::Relaxed),
+            swap_generation: self.swap_generation.load(Ordering::Relaxed),
+            dropped_requests: self.dropped_requests.load(Ordering::Relaxed),
             elapsed_secs: secs,
             throughput_rps: if secs > 0.0 {
                 requests as f64 / secs
@@ -240,6 +271,11 @@ pub struct ServeSnapshot {
     pub adaptive_raises: usize,
     /// How many times the adaptive controller shrank `max_wait`.
     pub adaptive_shrinks: usize,
+    /// Hot-swap generation at snapshot time (0 = the starting model).
+    pub swap_generation: u64,
+    /// Requests dropped unserved (their batch panicked). The zero-drop
+    /// hot-swap guarantee is gated on this being 0.
+    pub dropped_requests: usize,
     /// Wall-clock length of the serving window in seconds.
     pub elapsed_secs: f64,
     /// Completed requests per second over the window.
@@ -272,6 +308,12 @@ impl std::fmt::Display for ServeSnapshot {
                 " (adaptive: {} raises, {} shrinks)",
                 self.adaptive_raises, self.adaptive_shrinks
             )?;
+        }
+        if self.swap_generation > 0 {
+            write!(f, " (model generation {})", self.swap_generation)?;
+        }
+        if self.dropped_requests > 0 {
+            write!(f, "; DROPPED {} requests", self.dropped_requests)?;
         }
         Ok(())
     }
@@ -409,5 +451,27 @@ mod tests {
         assert_eq!(snap.adaptive_raises, 2);
         assert_eq!(snap.adaptive_shrinks, 1);
         assert!(format!("{snap}").contains("adaptive: 2 raises, 1 shrinks"));
+    }
+
+    #[test]
+    fn swap_and_drop_counters_surface_in_the_snapshot() {
+        let stats = ServeStats::new();
+        assert_eq!(stats.swap_generation(), 0);
+        let quiet = stats.snapshot(Duration::from_secs(1));
+        assert_eq!(quiet.swap_generation, 0);
+        assert_eq!(quiet.dropped_requests, 0);
+        let rendered = format!("{quiet}");
+        assert!(!rendered.contains("generation"));
+        assert!(!rendered.contains("DROPPED"));
+
+        assert_eq!(stats.record_swap(), 1);
+        assert_eq!(stats.record_swap(), 2);
+        stats.record_dropped(3);
+        let snap = stats.snapshot(Duration::from_secs(1));
+        assert_eq!(snap.swap_generation, 2);
+        assert_eq!(snap.dropped_requests, 3);
+        let rendered = format!("{snap}");
+        assert!(rendered.contains("model generation 2"));
+        assert!(rendered.contains("DROPPED 3 requests"));
     }
 }

@@ -1,0 +1,113 @@
+//! CRC-32 (IEEE 802.3 polynomial) over byte slices.
+//!
+//! The checkpoint format in `dsx-models` guards every tensor record and the
+//! whole file with this checksum; it lives here next to the [`wire`] codec
+//! so the two halves of the on-disk format share one crate. The
+//! implementation is the classic reflected table-driven CRC-32
+//! (polynomial `0xEDB88320`), which matches zlib/`cksum -o 3`/Python's
+//! `zlib.crc32` — handy when a fixture needs to be inspected outside Rust.
+//!
+//! [`wire`]: crate::wire
+
+/// One 256-entry lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// A streaming CRC-32 accumulator: feed byte slices with [`Crc32::update`],
+/// read the digest with [`Crc32::finish`]. Useful when the checksummed
+/// region is produced incrementally (the checkpoint writer checksums a file
+/// while streaming records into it).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The digest of everything fed so far (the accumulator stays usable).
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// CRC-32 of one contiguous byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors_match_the_ieee_crc32() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut streaming = Crc32::new();
+        for chunk in data.chunks(37) {
+            streaming.update(chunk);
+        }
+        assert_eq!(streaming.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let data = vec![0xA5u8; 64];
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

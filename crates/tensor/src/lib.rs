@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checksum;
 pub mod conv;
 pub mod init;
 pub mod matmul;
@@ -47,6 +48,7 @@ pub mod slice;
 pub mod tensor;
 pub mod wire;
 
+pub use checksum::{crc32, Crc32};
 pub use matmul::GemmKernel;
 pub use par::{num_threads, set_num_threads};
 pub use shape::Shape;
