@@ -4,6 +4,8 @@
 //! paper (see DESIGN.md §4); this library provides the common fixtures so the
 //! benches measure exactly the same kernels and shapes the experiments use.
 
+#![forbid(unsafe_code)]
+
 use dsx_core::{BackendKind, SccConfig, SccImplementation, SlidingChannelConv2d};
 use dsx_tensor::Tensor;
 

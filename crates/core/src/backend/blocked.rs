@@ -210,6 +210,9 @@ pub(super) fn forward_block<const OCB: usize>(
             let at = base + t0 + t;
             let x: [f32; LANES] = image[at..at + LANES]
                 .try_into()
+                // lint: allow(panic) — the range is LANES wide by
+                // construction; failure would mean the tiler itself is
+                // broken, which must die loudly, not corrupt output.
                 .expect("tile is LANES wide");
             for b in 0..OCB {
                 let w = wv[b];
@@ -375,6 +378,8 @@ pub(super) fn grad_input_strip(
             let at = oc * plane + t0 + t;
             let g: [f32; LANES] = go_image[at..at + LANES]
                 .try_into()
+                // lint: allow(panic) — LANES-wide by construction (see the
+                // forward kernel's identical conversion).
                 .expect("strip is LANES wide");
             for l in 0..LANES {
                 acc[l] += wj * g[l];
@@ -443,11 +448,14 @@ fn grad_weight_taps<const TB: usize>(
     while t + LANES <= t1 {
         let g: [f32; LANES] = go_plane[t..t + LANES]
             .try_into()
+            // lint: allow(panic) — `t + LANES <= t1` is the loop guard, so
+            // the strip is exactly LANES long.
             .expect("strip is LANES wide");
         for b in 0..TB {
             let base = taps[b] * plane + t;
             let x: [f32; LANES] = image[base..base + LANES]
                 .try_into()
+                // lint: allow(panic) — LANES-wide by construction, as above.
                 .expect("tile is LANES wide");
             let lanes = &mut acc[b];
             for l in 0..LANES {

@@ -234,6 +234,8 @@ pub fn set_default_backend(kind: BackendKind) {
     let idx = BackendKind::ALL
         .iter()
         .position(|k| *k == kind)
+        // lint: allow(panic) — every `BackendKind` variant appears in
+        // `ALL`; the exhaustive-listing test enforces it.
         .expect("kind is one of ALL") as u8;
     DEFAULT_BACKEND.store(idx, Ordering::SeqCst);
 }

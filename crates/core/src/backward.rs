@@ -238,24 +238,28 @@ pub fn scc_backward_output_centric(
         atomic_count.add_atomics(plane * gw * 2 + 1);
     });
 
+    // ORDER: the three collection loops below run after the parallel
+    // scatter has been joined — the pool's completion latch (AcqRel in
+    // `pool.rs`) is the happens-before edge that makes every CAS visible,
+    // so the loads need no ordering of their own.
     let grad_input = Tensor::from_vec(
         grad_input_atomic
             .iter()
-            .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
+            .map(|a| f32::from_bits(a.load(Ordering::Relaxed))) // ORDER: post-join read (see above)
             .collect(),
         &[n, cin, h, w],
     );
     let grad_weight = Tensor::from_vec(
         grad_weight_atomic
             .iter()
-            .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
+            .map(|a| f32::from_bits(a.load(Ordering::Relaxed))) // ORDER: post-join read (see above)
             .collect(),
         &[cout, gw],
     );
     let grad_bias = Tensor::from_vec(
         grad_bias_atomic
             .iter()
-            .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
+            .map(|a| f32::from_bits(a.load(Ordering::Relaxed))) // ORDER: post-join read (see above)
             .collect(),
         &[cout],
     );
@@ -277,9 +281,13 @@ pub fn scc_backward_output_centric(
 /// Atomic `+=` on an `f32` stored as bits in an `AtomicU32` (CAS loop), the
 /// standard CPU emulation of `atomicAdd(float*)`.
 fn atomic_add_f32(cell: &AtomicU32, value: f32) {
-    let mut current = cell.load(Ordering::Relaxed);
+    // ORDER: pure accumulation into a single cell — the CAS only needs the
+    // cell's own modification order (which even Relaxed RMWs get); no other
+    // memory is published through it, and readers wait for the pool join.
+    let mut current = cell.load(Ordering::Relaxed); // ORDER: hint for the first CAS attempt; any stale value self-corrects
     loop {
         let new = (f32::from_bits(current) + value).to_bits();
+        // ORDER: see fn-level comment — single-cell sum, no payload
         match cell.compare_exchange_weak(current, new, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => break,
             Err(actual) => current = actual,
@@ -397,8 +405,19 @@ mod tests {
         assert_eq!(g.grad_bias.sum(), 0.0);
     }
 
+    /// Property-test case count: full natively, minimal under Miri or
+    /// `DSX_TEST_FAST` (sanitizer/interpreter runs need the coverage, not
+    /// the volume).
+    fn prop_cases(full: u32) -> u32 {
+        if cfg!(miri) || std::env::var_os("DSX_TEST_FAST").is_some() {
+            2
+        } else {
+            full
+        }
+    }
+
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
+        #![proptest_config(ProptestConfig::with_cases(prop_cases(12)))]
 
         #[test]
         fn prop_input_centric_equals_reference(

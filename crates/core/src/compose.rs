@@ -521,6 +521,8 @@ impl ComposedScc {
             "stacked tensor has unexpected channel count"
         );
         let stack_cfg = SccConfig::group_pointwise(cout * gw, cout, cout)
+            // lint: allow(panic) — `cout * gw` is divisible by `cout` by
+            // construction, which is the only way this constructor fails.
             .expect("the stacked layout is always a valid group-pointwise config");
         let stack_map = ChannelCycleMap::build(&stack_cfg);
         let out = self

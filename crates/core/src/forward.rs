@@ -166,8 +166,19 @@ mod tests {
         assert_eq!(stats.bytes_materialized(), 0);
     }
 
+    /// Property-test case count: full natively, minimal under Miri or
+    /// `DSX_TEST_FAST` (sanitizer/interpreter runs need the coverage, not
+    /// the volume).
+    fn prop_cases(full: u32) -> u32 {
+        if cfg!(miri) || std::env::var_os("DSX_TEST_FAST").is_some() {
+            2
+        } else {
+            full
+        }
+    }
+
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
+        #![proptest_config(ProptestConfig::with_cases(prop_cases(24)))]
 
         #[test]
         fn prop_kernel_equals_reference(

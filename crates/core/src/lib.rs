@@ -42,6 +42,7 @@
 //! assert_eq!(output.shape(), &[4, 32, 8, 8]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;

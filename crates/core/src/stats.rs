@@ -10,6 +10,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Thread-safe counters accumulated while a kernel or an operator composition
 /// executes.
+///
+/// **Memory ordering.** Each field is an independent instrumentation
+/// counter: nothing synchronises through them, readers run after the
+/// kernels they measure have been joined (the pool's completion latch is
+/// the happens-before edge), and a racy read would at worst smear a
+/// profiler number. `Relaxed` is sound on every access — the per-site
+/// `// ORDER:` tags below point back here.
 #[derive(Debug, Default)]
 pub struct KernelStats {
     /// Multiply-accumulate operations performed.
@@ -34,66 +41,66 @@ impl KernelStats {
 
     /// Adds `n` multiply-accumulates.
     pub fn add_macs(&self, n: usize) {
-        self.macs.fetch_add(n, Ordering::Relaxed);
+        self.macs.fetch_add(n, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Adds `n` atomic updates.
     pub fn add_atomics(&self, n: usize) {
-        self.atomic_updates.fetch_add(n, Ordering::Relaxed);
+        self.atomic_updates.fetch_add(n, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Adds `n` bytes of materialised intermediate storage.
     pub fn add_bytes_materialized(&self, n: usize) {
-        self.bytes_materialized.fetch_add(n, Ordering::Relaxed);
+        self.bytes_materialized.fetch_add(n, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Adds `n` bytes of copies between buffers.
     pub fn add_bytes_moved(&self, n: usize) {
-        self.bytes_moved.fetch_add(n, Ordering::Relaxed);
+        self.bytes_moved.fetch_add(n, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Records one kernel launch / operator invocation.
     pub fn add_launch(&self) {
-        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        self.kernel_launches.fetch_add(1, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Records `n` kernel launches.
     pub fn add_launches(&self, n: usize) {
-        self.kernel_launches.fetch_add(n, Ordering::Relaxed);
+        self.kernel_launches.fetch_add(n, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Multiply-accumulate count.
     pub fn macs(&self) -> usize {
-        self.macs.load(Ordering::Relaxed)
+        self.macs.load(Ordering::Relaxed) // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Atomic update count.
     pub fn atomic_updates(&self) -> usize {
-        self.atomic_updates.load(Ordering::Relaxed)
+        self.atomic_updates.load(Ordering::Relaxed) // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Materialised intermediate bytes.
     pub fn bytes_materialized(&self) -> usize {
-        self.bytes_materialized.load(Ordering::Relaxed)
+        self.bytes_materialized.load(Ordering::Relaxed) // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Moved bytes.
     pub fn bytes_moved(&self) -> usize {
-        self.bytes_moved.load(Ordering::Relaxed)
+        self.bytes_moved.load(Ordering::Relaxed) // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Kernel launch count.
     pub fn kernel_launches(&self) -> usize {
-        self.kernel_launches.load(Ordering::Relaxed)
+        self.kernel_launches.load(Ordering::Relaxed) // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Resets all counters to zero.
     pub fn reset(&self) {
-        self.macs.store(0, Ordering::Relaxed);
-        self.atomic_updates.store(0, Ordering::Relaxed);
-        self.bytes_materialized.store(0, Ordering::Relaxed);
-        self.bytes_moved.store(0, Ordering::Relaxed);
-        self.kernel_launches.store(0, Ordering::Relaxed);
+        self.macs.store(0, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
+        self.atomic_updates.store(0, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
+        self.bytes_materialized.store(0, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
+        self.bytes_moved.store(0, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
+        self.kernel_launches.store(0, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Snapshot of the counters as a plain-old-data summary.

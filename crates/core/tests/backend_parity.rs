@@ -68,8 +68,19 @@ fn backward_of(case: &Case, kind: BackendKind) -> SccGradients {
     )
 }
 
+/// Property-test case count: full natively, minimal under Miri or
+/// `DSX_TEST_FAST` (sanitizer/interpreter runs need the coverage, not
+/// the volume).
+fn prop_cases(full: u32) -> u32 {
+    if cfg!(miri) || std::env::var_os("DSX_TEST_FAST").is_some() {
+        2
+    } else {
+        full
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(48)))]
 
     /// Forward parity: blocked == naive == scalar reference, TEST_TOLERANCE.
     #[test]

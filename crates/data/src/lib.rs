@@ -21,6 +21,7 @@
 //! * [`imagenet_like`] — 64×64×3, 100 classes (a reduced stand-in; the real
 //!   ImageNet is neither redistributable nor trainable on one CPU core).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod synthetic;

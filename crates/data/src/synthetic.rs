@@ -112,6 +112,9 @@ pub struct SyntheticDataset {
 /// Generates a dataset where each class is identified by its cross-channel
 /// mixing signature over a shared set of spatial basis patterns.
 pub fn generate(config: &DatasetConfig) -> SyntheticDataset {
+    // lint: allow(panic) — documented contract: callers validate (or
+    // construct via the checked builders); a bad config is programmer
+    // error, not runtime input.
     config.validate().expect("invalid dataset configuration");
     let mut rng = StdRng::seed_from_u64(config.seed);
 

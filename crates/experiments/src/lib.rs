@@ -10,6 +10,7 @@
 //! runs on the synthetic cross-channel datasets from `dsx-data` (see
 //! DESIGN.md §2 and EXPERIMENTS.md for the substitution rationale).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use dsx_core::SccImplementation;
@@ -404,6 +405,8 @@ pub fn fig10() -> Vec<Fig10Row> {
             let mut without = 0usize;
             let mut with = 0usize;
             for layer in spec.scc_layers() {
+                // lint: allow(panic) — `scc_layers()` already filtered to
+                // layers whose kind carries an SCC config.
                 let cfg = layer.scc_config().expect("scc layer");
                 let shape = dsx_core::LayerShape::square(CIFAR_BATCH, layer.in_hw);
                 let (wo, wi) = dsx_core::profile::stacking_memory_bytes(&cfg, &shape);
@@ -542,6 +545,8 @@ pub fn atomics_study() -> Vec<AtomicsRow> {
         scc_backward_input_centric, scc_backward_output_centric, KernelStats, SccConfig,
     };
     use dsx_tensor::Tensor;
+    // lint: allow(panic) — hard-coded experiment constants, valid by
+    // inspection; the validator runs at startup, not on user input.
     let cfg = SccConfig::new(64, 128, 2, 0.5).unwrap();
     let input = Tensor::randn(&[4, 64, 16, 16], 1);
     let weight = Tensor::randn(&[128, 32], 2);

@@ -53,6 +53,8 @@ pub struct InferenceEstimate {
 fn scc_config_of(layer: &ConvLayerSpec) -> Option<SccConfig> {
     match layer.kind {
         ConvKind::SlidingChannel { cg, co } => {
+            // lint: allow(panic) — specs reaching the simulator come from
+            // the validated model catalog, so this is an invariant check.
             Some(SccConfig::new(layer.cin, layer.cout, cg, co).expect("invalid SCC layer"))
         }
         _ => None,

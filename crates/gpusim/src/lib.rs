@@ -10,6 +10,7 @@
 //! scaling model ([`multi_gpu`]). See DESIGN.md §2 for why this substitution
 //! preserves the paper's qualitative results.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;

@@ -100,6 +100,9 @@ pub fn build_model_with_backend(
             ),
             ConvKind::SlidingChannel { cg, co } => {
                 let cfg = SccConfig::new(conv.cin, conv.cout, cg, co)
+                    // lint: allow(panic) — documented builder contract;
+                    // untrusted specs go through `Checkpoint::build_model`,
+                    // which validates before calling here.
                     .unwrap_or_else(|e| panic!("invalid SCC layer {}: {e}", conv.name));
                 let scc = SccConv2d::with_implementation(cfg, layer_seed, scc_implementation)
                     .with_backend(backend);

@@ -50,6 +50,17 @@ pub const MAX_RECORDS: usize = 1 << 16;
 /// [`Checkpoint::build_model`] refuses anything larger before allocating.
 pub const MAX_SPEC_PARAMS: usize = 1 << 28;
 
+/// Views an exactly-`N`-byte slice (as produced by the bounds-checked
+/// `take` closures below) as a fixed array. The length mismatch is
+/// impossible by construction, but it maps to a typed error rather than a
+/// panic so hostile input can never reach an unwind path.
+fn fixed<const N: usize>(s: &[u8]) -> Result<[u8; N], CkptError> {
+    s.try_into().map_err(|_| CkptError::Truncated {
+        needed: N,
+        available: s.len(),
+    })
+}
+
 /// Typed decode/apply failures. Hostile bytes map to one of these — never
 /// to a panic.
 #[derive(Debug, Clone, PartialEq)]
@@ -216,16 +227,16 @@ impl Checkpoint {
         if take(&mut off, 4)? != CKPT_MAGIC {
             return Err(CkptError::BadMagic);
         }
-        let version = u16::from_le_bytes(take(&mut off, 2)?.try_into().unwrap());
+        let version = u16::from_le_bytes(fixed(take(&mut off, 2)?)?);
         if version != CKPT_VERSION {
             return Err(CkptError::UnsupportedVersion(version));
         }
-        let header_len = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap()) as usize;
+        let header_len = u32::from_le_bytes(fixed(take(&mut off, 4)?)?) as usize;
         if header_len > MAX_HEADER_LEN {
             return Err(CkptError::HeaderTooLarge(header_len));
         }
         let header = take(&mut off, header_len)?;
-        let stored = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap());
+        let stored = u32::from_le_bytes(fixed(take(&mut off, 4)?)?);
         let computed = crc32(header);
         if stored != computed {
             return Err(CkptError::ChecksumMismatch {
@@ -235,21 +246,21 @@ impl Checkpoint {
             });
         }
         let spec = decode_spec(header)?;
-        let record_count = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap()) as usize;
+        let record_count = u32::from_le_bytes(fixed(take(&mut off, 4)?)?) as usize;
         if record_count > MAX_RECORDS {
             return Err(CkptError::TooManyRecords(record_count));
         }
         let mut records = Vec::with_capacity(record_count.min(1024));
         for _ in 0..record_count {
             let start = off;
-            let name_len = u16::from_le_bytes(take(&mut off, 2)?.try_into().unwrap()) as usize;
+            let name_len = u16::from_le_bytes(fixed(take(&mut off, 2)?)?) as usize;
             let name = std::str::from_utf8(take(&mut off, name_len)?)
                 .map_err(|_| CkptError::InvalidSpec("record name is not UTF-8".into()))?
                 .to_string();
             let (tensor, consumed) = Tensor::decode_wire(&bytes[off..])?;
             off += consumed;
             let computed = crc32(&bytes[start..off]);
-            let stored = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap());
+            let stored = u32::from_le_bytes(fixed(take(&mut off, 4)?)?);
             if stored != computed {
                 return Err(CkptError::ChecksumMismatch {
                     region: format!("record '{name}'"),
@@ -260,7 +271,7 @@ impl Checkpoint {
             records.push((name, tensor));
         }
         let body_end = off;
-        let stored = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap());
+        let stored = u32::from_le_bytes(fixed(take(&mut off, 4)?)?);
         if off != bytes.len() {
             return Err(CkptError::TrailingBytes(bytes.len() - off));
         }
@@ -551,13 +562,13 @@ fn decode_spec(bytes: &[u8]) -> Result<ModelSpec, CkptError> {
         Ok(slice)
     };
     let get_str = |off: &mut usize| -> Result<String, CkptError> {
-        let len = u16::from_le_bytes(take(off, 2)?.try_into().unwrap()) as usize;
+        let len = u16::from_le_bytes(fixed(take(off, 2)?)?) as usize;
         std::str::from_utf8(take(off, len)?)
             .map(str::to_string)
             .map_err(|_| CkptError::InvalidSpec("header string is not UTF-8".into()))
     };
     let get_u32 = |off: &mut usize| -> Result<usize, CkptError> {
-        Ok(u32::from_le_bytes(take(off, 4)?.try_into().unwrap()) as usize)
+        Ok(u32::from_le_bytes(fixed(take(off, 4)?)?) as usize)
     };
     let name = get_str(&mut off)?;
     let dataset = match take(&mut off, 1)?[0] {
@@ -591,7 +602,7 @@ fn decode_spec(bytes: &[u8]) -> Result<ModelSpec, CkptError> {
             },
             KIND_SLIDING_CHANNEL => {
                 let cg = get_u32(&mut off)?;
-                let co = f64::from_bits(u64::from_le_bytes(take(&mut off, 8)?.try_into().unwrap()));
+                let co = f64::from_bits(u64::from_le_bytes(fixed(take(&mut off, 8)?)?));
                 ConvKind::SlidingChannel { cg, co }
             }
             other => return Err(CkptError::UnknownLayerTag(other)),

@@ -7,6 +7,7 @@
 //! standard convolutions stay, become DW+PW / DW+GPW, or become DW+SCC
 //! (DSXplore).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;

@@ -142,6 +142,8 @@ impl ConvLayerSpec {
     pub fn scc_config(&self) -> Option<SccConfig> {
         match self.kind {
             ConvKind::SlidingChannel { cg, co } => {
+                // lint: allow(panic) — same contract as the builder:
+                // catalog specs are valid, untrusted ones are pre-validated.
                 Some(SccConfig::new(self.cin, self.cout, cg, co).expect("invalid SCC layer spec"))
             }
             _ => None,

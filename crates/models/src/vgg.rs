@@ -45,6 +45,8 @@ fn vgg_spec(
         dataset,
         scheme_tag: scheme.tag(),
         convs,
+        // lint: allow(panic) — `stages` is a non-empty compile-time
+        // table for every scheme.
         classifier_in: stages.last().unwrap().0,
         classes: dataset.classes(),
     }

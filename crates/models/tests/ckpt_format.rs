@@ -118,8 +118,19 @@ fn round_trip_is_bit_identical_on_all_backends() {
     }
 }
 
+/// Property-test case count: full natively, minimal under Miri or
+/// `DSX_TEST_FAST` (sanitizer/interpreter runs need the coverage, not
+/// the volume).
+fn prop_cases(full: u32) -> u32 {
+    if cfg!(miri) || std::env::var_os("DSX_TEST_FAST").is_some() {
+        2
+    } else {
+        full
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(64)))]
 
     /// Truncation at *any* offset — including every record boundary — is a
     /// typed error, never a panic or a false success.

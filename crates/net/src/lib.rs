@@ -42,6 +42,7 @@
 //! assert_eq!(report.requests, 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

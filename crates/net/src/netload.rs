@@ -82,6 +82,8 @@ pub fn run_net_load<A: ToSocketAddrs + Sync>(addr: A, cfg: &NetLoadConfig) -> Ne
             let addr = &addr;
             let latencies = &latencies;
             scope.spawn(move || {
+                // lint: allow(panic) — load-measurement harness: a client
+                // that cannot connect invalidates the run, so die loudly.
                 let mut conn = NetClient::connect(addr).expect("connecting the load client");
                 let mut observed = Vec::with_capacity(share);
                 for i in 0..share {
@@ -89,10 +91,14 @@ pub fn run_net_load<A: ToSocketAddrs + Sync>(addr: A, cfg: &NetLoadConfig) -> Ne
                     let sent = Instant::now();
                     let out = conn
                         .infer(&request_input(seed))
+                        // lint: allow(panic) — harness: a failed round trip
+                        // poisons the latency sample, so abort the run.
                         .expect("round trip failed mid-load");
                     observed.push(sent.elapsed());
                     assert_eq!(out.shape(), &[1, CLASSES], "response shape mismatch");
                 }
+                // lint: allow(panic) — harness: poisoning means another
+                // client already died and the run is void.
                 latencies.lock().unwrap().extend(observed);
             });
         }
@@ -100,6 +106,7 @@ pub fn run_net_load<A: ToSocketAddrs + Sync>(addr: A, cfg: &NetLoadConfig) -> Ne
     let elapsed = started.elapsed().max(Duration::from_nanos(1));
     let mut latencies_us: Vec<u64> = latencies
         .into_inner()
+        // lint: allow(panic) — harness, same poisoning argument as above.
         .unwrap()
         .iter()
         .map(|d| d.as_micros() as u64)

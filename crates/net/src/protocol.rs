@@ -327,6 +327,8 @@ fn parse_body(body: &[u8]) -> Result<Frame, WireError> {
     }
     // The id sits after the version byte but is parsed up front: failures
     // below should stay attributable to the request that caused them.
+    // lint: allow(panic) — the length check above guarantees the body
+    // holds the fixed 15-byte header, so the slice is exactly 8 bytes.
     let id = u64::from_le_bytes(body[7..15].try_into().expect("8 header bytes"));
     let version = u16::from_le_bytes([body[4], body[5]]);
     if version != VERSION {

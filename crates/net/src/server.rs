@@ -93,8 +93,7 @@ impl NetServer {
             let handle = engine.handle();
             std::thread::Builder::new()
                 .name("dsx-net-acceptor".to_string())
-                .spawn(move || accept_loop(&listener, &handle, &stop, &connections, reload))
-                .expect("spawning the acceptor failed")
+                .spawn(move || accept_loop(&listener, &handle, &stop, &connections, reload))?
         };
         Ok(NetServer {
             engine,
@@ -124,12 +123,28 @@ impl NetServer {
     /// Stops accepting, closes every connection, drains the engine and
     /// returns the final serving report.
     pub fn shutdown(self) -> ServeSnapshot {
+        // ORDER: plain stop flag — the acceptor polls it between accepts;
+        // nothing else is published through the store.
         self.stop.store(true, Ordering::Relaxed);
-        self.acceptor.join().expect("acceptor panicked");
+        // A panicked acceptor must not abort shutdown: the connection
+        // registry and the engine drain below still have to run so every
+        // in-flight request is answered.
+        if self.acceptor.join().is_err() {
+            eprintln!("dsx-net: the acceptor panicked; continuing shutdown");
+        }
         // Closing the sockets unblocks the per-connection readers; their
         // engine handles drop as they exit, which is what lets the engine
         // drain its queue and retire the workers.
-        let connections = std::mem::take(&mut *self.connections.lock().unwrap());
+        //
+        // Poisoning is recoverable: the registry is only ever pushed to,
+        // reaped with `retain`, or taken wholesale — all single-step
+        // operations that cannot leave it torn.
+        let connections = std::mem::take(
+            &mut *self
+                .connections
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         for connection in &connections {
             let _ = connection.stream.shutdown(std::net::Shutdown::Both);
         }
@@ -151,6 +166,7 @@ fn accept_loop(
     reload: Option<ReloadFn>,
 ) {
     let mut next_conn = 0usize;
+    // ORDER: stop flag again — a late read costs one extra poll interval.
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -160,7 +176,11 @@ fn accept_loop(
                 let _ = stream.set_nonblocking(false);
                 match spawn_connection(stream, handle.clone(), next_conn, reload.clone()) {
                     Ok(connection) => {
-                        let mut connections = connections.lock().unwrap();
+                        // Poison-recoverable for the same reason as in
+                        // `shutdown`: push/retain/take only.
+                        let mut connections = connections
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                         // Reap dead connections here, where one is being
                         // added anyway: a registry that only grew would
                         // leak one duplicated fd (plus two JoinHandles)

@@ -36,6 +36,8 @@ impl Layer for ReLU {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        // lint: allow(panic) — documented Layer contract: backward
+        // requires a prior training-mode forward.
         let mask = self.mask.as_ref().expect("ReLU::backward before forward");
         grad_output.mul(mask)
     }

@@ -102,6 +102,8 @@ pub fn separable_block(
             implementation,
         } => {
             let cfg = SccConfig::new(cin, cout, cg, co)
+                // lint: allow(panic) — documented builder contract: stage
+                // tables are compile-time constants.
                 .unwrap_or_else(|e| panic!("invalid SCC stage for cin={cin}, cout={cout}: {e}"));
             block.push_boxed(Box::new(SccConv2d::with_implementation(
                 cfg,

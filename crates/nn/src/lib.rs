@@ -22,6 +22,7 @@
 //! * [`loss`], [`optim`], [`train`] — cross-entropy, SGD with momentum, and
 //!   single-device / data-parallel training loops.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod activation;

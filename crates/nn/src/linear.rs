@@ -61,6 +61,8 @@ impl Layer for Linear {
         let input = self
             .cached_input
             .as_ref()
+            // lint: allow(panic) — documented Layer contract: backward
+            // requires a prior training-mode forward.
             .expect("Linear::backward before forward");
         // grad_W = dY^T X ; grad_b = column sums of dY ; grad_X = dY W
         let gw = grad_output.transpose2().matmul(input);

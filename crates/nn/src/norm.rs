@@ -140,7 +140,11 @@ impl Layer for BatchNorm2d {
         let normalized = self
             .cached_normalized
             .as_ref()
+            // lint: allow(panic) — documented Layer contract: backward
+            // requires a prior training-mode forward.
             .expect("BatchNorm2d::backward before forward(train=true)");
+        // lint: allow(panic) — set in the same forward pass as
+        // `cached_normalized`, checked just above.
         let std_inv = self.cached_std_inv.as_ref().unwrap();
         let (n, c, h, w) = (
             grad_output.dim(0),

@@ -104,6 +104,8 @@ impl Layer for MaxPool2d {
         let argmax = self
             .cached_argmax
             .as_ref()
+            // lint: allow(panic) — documented Layer contract: backward
+            // requires a prior training-mode forward.
             .expect("MaxPool2d::backward before forward");
         let mut grad_input = Tensor::zeros(&self.cached_input_shape);
         let gi = grad_input.as_mut_slice();

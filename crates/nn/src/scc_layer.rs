@@ -86,6 +86,8 @@ impl Layer for SccConv2d {
         let input = self
             .cached_input
             .as_ref()
+            // lint: allow(panic) — documented Layer contract: backward
+            // requires a prior training-mode forward.
             .expect("SccConv2d::backward called before forward");
         let grads = self.inner.backward(input, grad_output);
         self.grad_weight.add_assign(&grads.grad_weight);

@@ -97,8 +97,19 @@ fn build_case(kind: &str, batch: usize, hw: usize, seed: u64) -> (Box<dyn Layer>
     }
 }
 
+/// Property-test case count: full natively, minimal under Miri or
+/// `DSX_TEST_FAST` (sanitizer/interpreter runs need the coverage, not
+/// the volume).
+fn prop_cases(full: u32) -> u32 {
+    if cfg!(miri) || std::env::var_os("DSX_TEST_FAST").is_some() {
+        2
+    } else {
+        full
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(36))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(36)))]
 
     /// For every layer type: `infer` equals `forward(train=false)` on the
     /// same input, and a training pass in between must not change that

@@ -336,10 +336,13 @@ impl ServeHandle {
     /// rejected, re-queued or dropped at any point. The old model is freed
     /// once its last in-flight batch completes.
     pub fn swap_model(&self, model: Arc<dyn Layer>) -> u64 {
+        // Poisoning is recoverable here by construction: the lock only
+        // ever guards a plain `Arc` assignment/clone, so a panicked holder
+        // cannot have left the slot mid-update.
         *self
             .model_slot
             .write()
-            .expect("the model slot is never poisoned: writers only assign") = model;
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = model;
         self.stats.record_swap()
     }
 
@@ -385,9 +388,15 @@ impl ServeEngine {
                 let stats = Arc::clone(&stats);
                 let max_batch = config.max_batch;
                 let max_wait_us = Arc::clone(&max_wait_us);
+                // lint: allow(thread) — the engine's long-lived batch
+                // workers block on a channel; the compute pool is for
+                // finite kernel launches, not request-draining loops.
                 std::thread::Builder::new()
                     .name(format!("dsx-serve-worker-{i}"))
                     .spawn(move || worker_loop(&slot, &rx, &stats, max_batch, &max_wait_us))
+                    // lint: allow(panic) — at process start, before any
+                    // request exists; an engine that cannot get its workers
+                    // has nothing useful to degrade to.
                     .expect("spawning a serve worker failed")
             })
             .collect();
@@ -398,9 +407,13 @@ impl ServeEngine {
             let depth = rx.clone();
             let wait = Arc::clone(&max_wait_us);
             let stop = Arc::clone(&controller_stop);
+            // lint: allow(thread) — one long-lived controller thread that
+            // sleeps between epochs; it never does kernel work.
             std::thread::Builder::new()
                 .name("dsx-serve-adaptive".to_string())
                 .spawn(move || controller_loop(&controller, &stats, &depth, &wait, &stop))
+                // lint: allow(panic) — at process start, same argument as
+                // the worker spawns above.
                 .expect("spawning the adaptive controller failed")
         });
         ServeEngine {
@@ -449,14 +462,18 @@ impl ServeEngine {
 
     /// The batcher's current `max_wait` (the adaptive controller moves it).
     pub fn max_wait(&self) -> Duration {
+        // ORDER: a standalone tuning knob — a torn-in-time read only means
+        // one batch forms under the previous deadline.
         Duration::from_micros(self.max_wait_us.load(Ordering::Relaxed))
     }
 
     /// Retunes the batch-formation deadline on the running engine; workers
     /// pick the new value up at their next batch.
     pub fn set_max_wait(&self, max_wait: Duration) {
+        // ORDER: same knob — workers re-read it per batch; no other state
+        // rides on this store.
         self.max_wait_us
-            .store(max_wait.as_micros() as u64, Ordering::Relaxed);
+            .store(max_wait.as_micros() as u64, Ordering::Relaxed); // ORDER: see above
         self.stats.set_wait_gauge(max_wait);
     }
 
@@ -478,16 +495,28 @@ impl ServeEngine {
             stats,
             started,
         } = self;
+        // ORDER: a stop flag with no payload — the controller re-reads it
+        // every tick and exits; nothing it protects is read afterwards.
         controller_stop.store(true, Ordering::Relaxed);
         if let Some(controller) = controller {
-            controller.join().expect("adaptive controller panicked");
+            // A panicked thread must not take shutdown down with it: the
+            // snapshot below is still owed to the caller. The join error
+            // is logged, not re-raised.
+            if controller.join().is_err() {
+                eprintln!("dsx-serve: the adaptive controller panicked; continuing shutdown");
+            }
         }
         // Closing the engine's sender (once every handle is gone too) makes
         // the workers' `recv` fail only after the queue is empty — the
         // drain guarantee lives in the channel's disconnect semantics.
         drop(queue);
         for worker in workers {
-            worker.join().expect("serve worker panicked");
+            // Same containment as the controller: a dead worker already
+            // dropped its batch's Responders (each client got an error),
+            // so the remaining workers and the final report proceed.
+            if worker.join().is_err() {
+                eprintln!("dsx-serve: a worker panicked; continuing shutdown");
+            }
         }
         drop(depth_probe);
         stats.snapshot(started.elapsed())
@@ -510,6 +539,8 @@ fn worker_loop(
             Err(_) => return, // every sender gone and the queue drained
         };
         let mut batch = vec![first];
+        // ORDER: tuning knob read once per batch; a stale deadline is
+        // harmless (the controller's next value applies next batch).
         let max_wait = Duration::from_micros(max_wait_us.load(Ordering::Relaxed));
         let deadline = Instant::now() + max_wait;
         while batch.len() < max_batch {
@@ -526,10 +557,13 @@ fn worker_loop(
         // and release the read lock before running. A concurrent
         // `swap_model` replaces the slot without touching this batch, and
         // a panicking forward pass cannot poison the lock.
+        // Poisoning is recoverable: the slot only ever holds a fully
+        // assigned `Arc` (writers assign, readers clone — no multi-step
+        // state a panic could tear).
         let model = Arc::clone(
             &model_slot
                 .read()
-                .expect("the model slot is never poisoned: writers only assign"),
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
         );
         // A panicking batch (a model assertion on adversarial input) must
         // not take the worker down with it: contain the unwind, drop the
@@ -564,11 +598,14 @@ fn controller_loop(
         .max(Duration::from_micros(100));
     let mut last_batches = stats.batches();
     let mut last_requests = stats.requests();
+    // ORDER: plain stop flag — the only consequence of a late read is one
+    // extra tick of sleep; nothing is published through it.
     while !stop.load(Ordering::Relaxed) {
         // Sleep the epoch in small ticks so shutdown is prompt even with
         // long epochs.
         let epoch_end = Instant::now() + epoch;
         while Instant::now() < epoch_end {
+            // ORDER: same stop flag as the loop condition above
             if stop.load(Ordering::Relaxed) {
                 return;
             }
@@ -583,10 +620,13 @@ fn controller_loop(
         };
         last_batches = batches;
         last_requests = requests;
+        // ORDER: the controller is this knob's only writer, so its own
+        // read-modify-write sequence is race-free; workers tolerate any
+        // staleness (see `max_wait`).
         let current = Duration::from_micros(max_wait_us.load(Ordering::Relaxed));
         let (next, adjustment) = controller.step(obs, current);
         if adjustment != WaitAdjustment::Held {
-            max_wait_us.store(next.as_micros() as u64, Ordering::Relaxed);
+            max_wait_us.store(next.as_micros() as u64, Ordering::Relaxed); // ORDER: see load above
             stats.set_wait_gauge(next);
             stats.record_adaptive(adjustment == WaitAdjustment::Raised);
         }

@@ -45,6 +45,7 @@
 //! assert_eq!(report.requests, 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adaptive;

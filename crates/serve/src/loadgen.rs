@@ -184,6 +184,8 @@ pub fn run_load(model: Arc<dyn Layer>, cfg: &LoadConfig) -> ServeSnapshot {
                     let seed = (client * 1_000_003 + i) as u64;
                     let out = handle
                         .infer(request_input(seed))
+                        // lint: allow(panic) — load-measurement harness: a
+                        // mid-run failure voids the sample, so die loudly.
                         .expect("engine shut down mid-load");
                     assert_eq!(out.shape(), &[1, CLASSES], "response shape mismatch");
                 }

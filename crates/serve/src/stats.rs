@@ -37,6 +37,14 @@ fn bucket_floor(idx: usize) -> u64 {
 
 /// Thread-safe serving counters. Workers record into these as batches
 /// complete; [`ServeStats::snapshot`] folds them into a report.
+///
+/// **Memory ordering.** Every field is an independent counter or gauge:
+/// no thread ever derives a *decision that guards other memory* from one,
+/// readers only produce reports, and torn multi-field snapshots are
+/// acceptable by design (a report racing a live batch may see the batch
+/// counted but not its latency yet). `Relaxed` is therefore sound on every
+/// access — each per-site `// ORDER:` tag below points back to this
+/// argument.
 #[derive(Debug)]
 pub struct ServeStats {
     requests: AtomicUsize,
@@ -86,66 +94,66 @@ impl ServeStats {
 
     /// Records one executed batch of `size` requests.
     pub fn record_batch(&self, size: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.requests.fetch_add(size, Ordering::Relaxed);
-        self.batch_size_sum.fetch_add(size, Ordering::Relaxed);
-        self.batch_size_max.fetch_max(size, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
+        self.requests.fetch_add(size, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
+        self.batch_size_sum.fetch_add(size, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
+        self.batch_size_max.fetch_max(size, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Records one request's queue-to-response latency.
     pub fn record_latency(&self, latency: Duration) {
         let us = latency.as_micros() as u64;
-        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
-        self.latency_max_us.fetch_max(us, Ordering::Relaxed);
-        self.latency_hist[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
+        self.latency_max_us.fetch_max(us, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
+        self.latency_hist[bucket_index(us)].fetch_add(1, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Updates the `max_wait` gauge (the engine calls this at start and on
     /// every adaptive retune).
     pub fn set_wait_gauge(&self, wait: Duration) {
         self.wait_gauge_us
-            .store(wait.as_micros() as u64, Ordering::Relaxed);
+            .store(wait.as_micros() as u64, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Records one adaptive-wait adjustment (`raised = true` when the wait
     /// grew, `false` when it shrank).
     pub fn record_adaptive(&self, raised: bool) {
         if raised {
-            self.adaptive_raises.fetch_add(1, Ordering::Relaxed);
+            self.adaptive_raises.fetch_add(1, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
         } else {
-            self.adaptive_shrinks.fetch_add(1, Ordering::Relaxed);
+            self.adaptive_shrinks.fetch_add(1, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
         }
     }
 
     /// Records one completed model hot swap, returning the new generation.
     pub fn record_swap(&self) -> u64 {
-        self.swap_generation.fetch_add(1, Ordering::Relaxed) + 1
+        self.swap_generation.fetch_add(1, Ordering::Relaxed) + 1 // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// The current swap generation (0 = the model the engine started with).
     pub fn swap_generation(&self) -> u64 {
-        self.swap_generation.load(Ordering::Relaxed)
+        self.swap_generation.load(Ordering::Relaxed) // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Records `count` requests that were dropped unserved (their batch
     /// panicked).
     pub fn record_dropped(&self, count: usize) {
-        self.dropped_requests.fetch_add(count, Ordering::Relaxed);
+        self.dropped_requests.fetch_add(count, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Requests dropped unserved so far.
     pub fn dropped_requests(&self) -> usize {
-        self.dropped_requests.load(Ordering::Relaxed)
+        self.dropped_requests.load(Ordering::Relaxed) // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Requests completed so far.
     pub fn requests(&self) -> usize {
-        self.requests.load(Ordering::Relaxed)
+        self.requests.load(Ordering::Relaxed) // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Batches executed so far.
     pub fn batches(&self) -> usize {
-        self.batches.load(Ordering::Relaxed)
+        self.batches.load(Ordering::Relaxed) // ORDER: racy-tolerant counter (see struct doc)
     }
 
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the recorded latencies
@@ -167,13 +175,13 @@ impl ServeStats {
         let counts: Vec<u64> = self
             .latency_hist
             .iter()
-            .map(|c| c.load(Ordering::Relaxed))
+            .map(|c| c.load(Ordering::Relaxed)) // ORDER: racy-tolerant counter (see struct doc)
             .collect();
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0;
         }
-        let max = self.latency_max_us.load(Ordering::Relaxed);
+        let max = self.latency_max_us.load(Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (idx, &count) in counts.iter().enumerate() {
@@ -215,23 +223,25 @@ impl ServeStats {
             mean_batch_occupancy: if batches == 0 {
                 0.0
             } else {
+                // ORDER: racy-tolerant counter (see struct doc)
                 self.batch_size_sum.load(Ordering::Relaxed) as f64 / batches as f64
             },
-            max_batch_occupancy: self.batch_size_max.load(Ordering::Relaxed),
+            max_batch_occupancy: self.batch_size_max.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
             mean_latency_us: if requests == 0 {
                 0.0
             } else {
+                // ORDER: racy-tolerant counter (see struct doc)
                 self.latency_sum_us.load(Ordering::Relaxed) as f64 / requests as f64
             },
             p50_latency_us: self.latency_percentile_us(0.50),
             p95_latency_us: self.latency_percentile_us(0.95),
             p99_latency_us: self.latency_percentile_us(0.99),
-            max_latency_us: self.latency_max_us.load(Ordering::Relaxed),
-            max_wait_us: self.wait_gauge_us.load(Ordering::Relaxed),
-            adaptive_raises: self.adaptive_raises.load(Ordering::Relaxed),
-            adaptive_shrinks: self.adaptive_shrinks.load(Ordering::Relaxed),
-            swap_generation: self.swap_generation.load(Ordering::Relaxed),
-            dropped_requests: self.dropped_requests.load(Ordering::Relaxed),
+            max_latency_us: self.latency_max_us.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
+            max_wait_us: self.wait_gauge_us.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
+            adaptive_raises: self.adaptive_raises.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
+            adaptive_shrinks: self.adaptive_shrinks.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
+            swap_generation: self.swap_generation.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
+            dropped_requests: self.dropped_requests.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
             elapsed_secs: secs,
             throughput_rps: if secs > 0.0 {
                 requests as f64 / secs

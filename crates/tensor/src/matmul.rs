@@ -187,6 +187,8 @@ pub fn matmul_block_into(
             for p in 0..k {
                 let bv: &[f32; GEMM_LANES] = b[p * n + j..p * n + j + GEMM_LANES]
                     .try_into()
+                    // lint: allow(panic) — the range is GEMM_LANES wide by
+                    // construction; failure means the tiler is broken.
                     .expect("lane-sized strip");
                 for (r, acc_row) in acc.iter_mut().enumerate().take(rb) {
                     let a_rp = a[(row0 + ib + r) * k + p];
@@ -485,8 +487,19 @@ mod tests {
         assert!(allclose(&mv, &mm, 1e-5));
     }
 
+    /// Property-test case count: full natively, minimal under Miri or
+    /// `DSX_TEST_FAST` (each case is a whole GEMM; interpreted or
+    /// sanitized runs only need the coverage, not the volume).
+    fn prop_cases() -> u32 {
+        if cfg!(miri) || std::env::var_os("DSX_TEST_FAST").is_some() {
+            2
+        } else {
+            16
+        }
+    }
+
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
+        #![proptest_config(ProptestConfig::with_cases(prop_cases()))]
 
         #[test]
         fn prop_blocked_equals_naive(

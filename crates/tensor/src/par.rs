@@ -114,9 +114,13 @@ struct SharedMutF32 {
     len: usize,
 }
 
-// SAFETY: the wrapper only hands out slices under the caller-proven
-// disjointness contracts of the functions below.
+// SAFETY: the wrapper is a plain pointer + length; sending it to another
+// thread moves no thread-affine state, and every dereference happens under
+// the caller-proven disjointness contracts of the functions below.
 unsafe impl Send for SharedMutF32 {}
+// SAFETY: sharing `&SharedMutF32` across threads is sound because the only
+// way to reach the pointee is `slice_mut`, whose contract requires disjoint
+// `[offset, offset + len)` ranges — two threads never alias through it.
 unsafe impl Sync for SharedMutF32 {}
 
 impl SharedMutF32 {
@@ -136,6 +140,9 @@ impl SharedMutF32 {
     #[allow(clippy::mut_from_ref)]
     unsafe fn slice_mut(&self, offset: usize, len: usize) -> &mut [f32] {
         debug_assert!(offset + len <= self.len, "tile out of bounds");
+        // SAFETY: forwarding the caller's contract — the range is in bounds
+        // of the buffer `ptr`/`len` describe and no other live reference
+        // overlaps it.
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(offset), len) }
     }
 }
@@ -348,12 +355,14 @@ pub fn parallel_for_tile_groups_mut<F>(
     }
     let base = SharedMutF32::new(out);
     let run_group = |group_idx: usize| {
-        // SAFETY: tiles were validated pairwise disjoint and in-bounds
-        // above, and each group index is visited exactly once (sequentially
-        // below, or claimed once by the pool).
         let mut tiles: Vec<(usize, &mut [f32])> = groups[group_idx]
             .iter()
-            .map(|&(offset, len)| (offset, unsafe { base.slice_mut(offset, len) }))
+            .map(|&(offset, len)| {
+                // SAFETY: tiles were validated pairwise disjoint and
+                // in-bounds above, and each group index is visited exactly
+                // once (sequentially below, or claimed once by the pool).
+                (offset, unsafe { base.slice_mut(offset, len) })
+            })
             .collect();
         body(group_idx, &mut tiles);
     };
@@ -416,9 +425,13 @@ where
         for (chunk, cell) in cells.iter().enumerate().take(chunk_end).skip(chunk_start) {
             let start = chunk * MIN_CHUNK;
             let end = ((chunk + 1) * MIN_CHUNK).min(n);
+            // lint: allow(panic) — the pool hands each chunk index to
+            // exactly one participant, so the cell still holds its identity
+            // clone; a None here is a scheduler bug worth dying loudly on.
             let mut acc = cell
                 .lock()
                 .take()
+                // lint: allow(panic) — see above: claim-protocol invariant.
                 .expect("each chunk is claimed exactly once");
             for i in start..end {
                 acc = fold(acc, i);
@@ -445,6 +458,19 @@ pub(crate) fn test_thread_guard() -> std::sync::MutexGuard<'static, ()> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Problem size for a stress test: `full` natively, `small` under Miri
+/// (interpretation is orders of magnitude slower — a 50k-element sweep
+/// that takes milliseconds natively would stall the Miri CI job) or when
+/// `DSX_TEST_FAST` is set (the sanitizer jobs use it the same way).
+#[cfg(test)]
+pub(crate) fn test_scale(full: usize, small: usize) -> usize {
+    if cfg!(miri) || std::env::var_os("DSX_TEST_FAST").is_some() {
+        small
+    } else {
+        full
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,7 +478,7 @@ mod tests {
 
     #[test]
     fn parallel_for_touches_every_index_once() {
-        let n = 10_000;
+        let n = test_scale(10_000, 256);
         let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         parallel_for(n, |i| {
             counters[i].fetch_add(1, Ordering::Relaxed);
@@ -467,7 +493,7 @@ mod tests {
 
     #[test]
     fn parallel_for_chunks_covers_range_without_overlap() {
-        let n = 5000;
+        let n = test_scale(5000, 320);
         let sum = AtomicU64::new(0);
         parallel_for_chunks(n, 64, |start, end| {
             let local: u64 = (start..end).map(|i| i as u64).sum();
@@ -494,7 +520,7 @@ mod tests {
     fn chunk_mut_writes_each_chunk_through_the_pool() {
         let _guard = test_thread_guard();
         set_num_threads(4);
-        let mut data = vec![0.0f32; 512 * 16];
+        let mut data = vec![0.0f32; test_scale(512, 32) * 16];
         parallel_for_each_chunk_mut(&mut data, 16, |i, chunk| {
             for v in chunk.iter_mut() {
                 *v = i as f32;
@@ -679,7 +705,7 @@ mod tests {
 
     #[test]
     fn parallel_reduce_matches_sequential_sum() {
-        let n = 20_000;
+        let n = test_scale(20_000, 512);
         let total = parallel_reduce(n, 0u64, |acc, i| acc + i as u64, |a, b| a + b);
         assert_eq!(total, (0..n as u64).sum());
     }
@@ -687,7 +713,7 @@ mod tests {
     #[test]
     fn parallel_reduce_is_deterministic_across_thread_counts() {
         let _guard = test_thread_guard();
-        let n = 50_000;
+        let n = test_scale(50_000, 1024);
         // Floating-point folds are order-sensitive; the fixed chunking +
         // in-order combine must give bit-identical results at any count.
         let reduce = || {

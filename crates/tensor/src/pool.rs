@@ -63,6 +63,10 @@ struct Span {
 /// thread is still blocked inside [`run`] keeping the closure alive.
 struct BodyPtr {
     data: *const (),
+    // SAFETY: an `unsafe fn` pointer on purpose — every caller must argue
+    // `data` still points to a live closure, which the claim protocol above
+    // provides (chunks are only claimed while the submitter blocks in
+    // `run`).
     call: unsafe fn(*const (), usize, usize),
 }
 
@@ -73,6 +77,9 @@ impl BodyPtr {
         /// `data` must point to a live `F` (guaranteed by the claim
         /// protocol: the submitting thread outlives every claimed chunk).
         unsafe fn call_shim<F: Fn(usize, usize) + Sync>(data: *const (), start: usize, end: usize) {
+            // SAFETY: forwarding the shim's contract — `data` was produced
+            // from `&F` in `BodyPtr::new` and is live for the duration of
+            // every claimed chunk.
             let body = unsafe { &*(data as *const F) };
             body(start, end);
         }
@@ -86,6 +93,8 @@ impl BodyPtr {
 // SAFETY: the pointee is `Sync` (shared calls from any thread are fine) and
 // the pointer itself is only dereferenced under the claim protocol above.
 unsafe impl Send for BodyPtr {}
+// SAFETY: same argument as `Send` — `&BodyPtr` exposes only the `Sync`
+// closure behind the pointer, so concurrent shared access is sound.
 unsafe impl Sync for BodyPtr {}
 
 /// One submitted parallel region: per-participant spans plus the completion
@@ -180,6 +189,11 @@ impl Job {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(call)) {
                 lock(&self.panic).get_or_insert(payload);
             }
+            // ORDER: AcqRel makes every participant's writes (through the
+            // body) happen-before whoever observes the counter hit zero:
+            // the Release half publishes this chunk's effects, the Acquire
+            // half lets the finisher see all prior chunks' effects before
+            // it flips `done` and the submitter returns.
             if self.remaining.fetch_sub(end - start, Ordering::AcqRel) == end - start {
                 *lock(&self.done) = true;
                 self.done_cv.notify_all();
@@ -431,14 +445,14 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::par::{parallel_for, set_num_threads, test_thread_guard};
+    use crate::par::{parallel_for, set_num_threads, test_scale, test_thread_guard};
     use std::sync::atomic::AtomicU64;
 
     #[test]
     fn run_touches_every_index_once_on_the_pool() {
         let _guard = test_thread_guard();
         set_num_threads(4);
-        let n = 50_000;
+        let n = test_scale(50_000, 512);
         let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         run(n, 64, |start, end| {
             for counter in &counters[start..end] {
@@ -454,10 +468,11 @@ mod tests {
     fn panics_propagate_to_the_caller_and_the_pool_survives() {
         let _guard = test_thread_guard();
         set_num_threads(4);
+        let n = test_scale(10_000, 256);
         let result = catch_unwind(AssertUnwindSafe(|| {
-            run(10_000, 16, |start, end| {
-                if (start..end).contains(&5_000) {
-                    panic!("boom at 5000");
+            run(n, 16, |start, end| {
+                if (start..end).contains(&(n / 2)) {
+                    panic!("boom at the midpoint");
                 }
             });
         }));
@@ -468,14 +483,14 @@ mod tests {
             .map(str::to_string)
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_default();
-        assert!(message.contains("boom at 5000"), "{message}");
+        assert!(message.contains("boom at the midpoint"), "{message}");
         // The pool still works after a body panicked.
         let sum = AtomicU64::new(0);
-        run(10_000, 16, |start, end| {
+        run(n, 16, |start, end| {
             let local: u64 = (start..end).map(|i| i as u64).sum();
             sum.fetch_add(local, Ordering::Relaxed);
         });
-        assert_eq!(sum.load(Ordering::Relaxed), (0..10_000u64).sum());
+        assert_eq!(sum.load(Ordering::Relaxed), (0..n as u64).sum());
         set_num_threads(0);
     }
 
@@ -484,10 +499,12 @@ mod tests {
         let _guard = test_thread_guard();
         set_num_threads(4);
         let totals: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        let base = test_scale(20_000, 512);
+        let step = test_scale(1_000, 64);
         thread::scope(|scope| {
             for (t, total) in totals.iter().enumerate() {
                 scope.spawn(move || {
-                    let n = 20_000 + t * 1_000;
+                    let n = base + t * step;
                     run(n, 128, |start, end| {
                         let local: u64 = (start..end).map(|i| i as u64).sum();
                         total.fetch_add(local, Ordering::Relaxed);
@@ -496,7 +513,7 @@ mod tests {
             }
         });
         for (t, total) in totals.iter().enumerate() {
-            let n = (20_000 + t * 1_000) as u64;
+            let n = (base + t * step) as u64;
             assert_eq!(
                 total.load(Ordering::Relaxed),
                 (0..n).sum::<u64>(),
@@ -511,13 +528,14 @@ mod tests {
         let _guard = test_thread_guard();
         set_num_threads(4);
         let count = AtomicUsize::new(0);
-        run(4_096, 1_024, |outer_start, outer_end| {
+        let n = test_scale(4_096, 256);
+        run(n, n / 4, |outer_start, outer_end| {
             // Each outer chunk launches its own inner parallel region.
             run(outer_end - outer_start, 64, |start, end| {
                 count.fetch_add(end - start, Ordering::Relaxed);
             });
         });
-        assert_eq!(count.load(Ordering::Relaxed), 4_096);
+        assert_eq!(count.load(Ordering::Relaxed), n);
         set_num_threads(0);
     }
 
@@ -525,15 +543,16 @@ mod tests {
     fn shutdown_drains_workers_and_the_pool_respawns_lazily() {
         let _guard = test_thread_guard();
         set_num_threads(4);
-        parallel_for(10_000, |_| {});
+        let n = test_scale(10_000, 256);
+        parallel_for(n, |_| {});
         assert_eq!(worker_count(), 3);
         set_num_threads(1);
         assert_eq!(worker_count(), 0, "set_num_threads(1) must drain the pool");
         // Inline path: no pool interaction at 1 thread.
-        parallel_for(10_000, |_| {});
+        parallel_for(n, |_| {});
         assert_eq!(worker_count(), 0);
         set_num_threads(4);
-        parallel_for(10_000, |_| {});
+        parallel_for(n, |_| {});
         assert_eq!(worker_count(), 3, "pool respawns at the new size");
         set_num_threads(0);
         shutdown();

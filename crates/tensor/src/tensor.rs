@@ -192,6 +192,8 @@ impl Tensor {
         let shape = self
             .shape
             .reshape(dims)
+            // lint: allow(panic) — documented: reshape panics when the
+            // element count changes (shape bugs are programmer error).
             .unwrap_or_else(|e| panic!("reshape failed: {e}"));
         Tensor {
             data: self.data.clone(),
@@ -204,6 +206,7 @@ impl Tensor {
         self.shape = self
             .shape
             .reshape(dims)
+            // lint: allow(panic) — documented, same as `reshape`.
             .unwrap_or_else(|e| panic!("reshape failed: {e}"));
     }
 

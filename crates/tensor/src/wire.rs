@@ -40,6 +40,9 @@ impl Tensor {
         out.reserve(1 + 4 * dims.len() + 4 * self.numel());
         out.push(dims.len() as u8);
         for &d in dims {
+            // lint: allow(panic) — a >4-billion-element dimension cannot
+            // exist in an in-memory f32 tensor on this machine; encoding
+            // is not a hostile-input path (decoding is, and is checked).
             let d = u32::try_from(d).expect("dimension exceeds u32 on the wire");
             out.extend_from_slice(&d.to_le_bytes());
         }

@@ -1,0 +1,352 @@
+//! A minimal Rust lexer: just enough to separate *code* from *comments*
+//! and to blank out string/char-literal contents, so the lint passes in
+//! [`crate::lints`] can match keywords and method calls textually without
+//! tripping on `"unsafe"` inside a string or `.unwrap()` inside a doc
+//! comment.
+//!
+//! Hand-rolled on purpose: the workspace builds offline against vendored
+//! shims, so pulling `syn`/`proc-macro2` is not an option, and full parsing
+//! is not needed — every lint here is a line-oriented rule over token text.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments
+//! (`/* /* */ */`, `/** .. */`), string literals with escapes, raw strings
+//! (`r"..."`, `r#"..."#`, any hash depth, plus `b`/`c` prefixes), char and
+//! byte literals (`'x'`, `b'\n'`, `'\u{1F600}'`), and lifetimes (`'a` is
+//! *not* a char literal).
+
+/// One source line, split into its code text and its comment text.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// The line with comments removed and string/char-literal *contents*
+    /// replaced by spaces (the delimiting quotes survive, so token
+    /// boundaries stay sane).
+    pub code: String,
+    /// The concatenated text of every comment that touches this line,
+    /// including doc comments and the interior lines of a block comment.
+    pub comment: String,
+}
+
+impl Line {
+    /// True when the line carries no code at all (blank, or comment-only).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+/// Lexer state that can span line boundaries.
+enum State {
+    Code,
+    /// Inside a block comment, at the given nesting depth.
+    Block(u32),
+    /// Inside a normal string literal.
+    Str,
+    /// Inside a raw string closed by `"` followed by this many `#`s.
+    RawStr(usize),
+}
+
+/// Splits `source` into per-line code/comment texts (see [`Line`]).
+pub fn lex(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    for raw in source.lines() {
+        let mut line = Line::default();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Block(depth) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        i += 2;
+                        if depth == 1 {
+                            state = State::Code;
+                        } else {
+                            state = State::Block(depth - 1);
+                        }
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        line.comment.push_str("/*");
+                        i += 2;
+                        state = State::Block(depth + 1);
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        line.code.push(' ');
+                        if i + 1 < chars.len() {
+                            line.code.push(' ');
+                        }
+                        i += 2;
+                    } else if c == '"' {
+                        line.code.push('"');
+                        i += 1;
+                        state = State::Code;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&chars, i + 1, hashes) {
+                        line.code.push('"');
+                        for _ in 0..hashes {
+                            line.code.push('#');
+                        }
+                        i += 1 + hashes;
+                        state = State::Code;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        // Line comment (plain or doc): the rest of the line.
+                        line.comment
+                            .push_str(&chars[i..].iter().collect::<String>());
+                        break;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        line.comment.push_str("/*");
+                        i += 2;
+                        state = State::Block(1);
+                    } else if c == '"' {
+                        line.code.push('"');
+                        i += 1;
+                        state = State::Str;
+                    } else if c == 'r' && is_raw_string_start(&chars, i) {
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        line.code.push('r');
+                        for _ in 0..hashes {
+                            line.code.push('#');
+                        }
+                        line.code.push('"');
+                        i = j + 1;
+                        state = State::RawStr(hashes);
+                    } else if c == '\'' {
+                        if let Some(end) = char_literal_end(&chars, i) {
+                            // Keep the quotes, blank the contents.
+                            line.code.push('\'');
+                            for _ in i + 1..end {
+                                line.code.push(' ');
+                            }
+                            line.code.push('\'');
+                            i = end + 1;
+                        } else {
+                            // A lifetime (or a stray quote): plain code.
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+/// True when `chars[from..]` is exactly `hashes` `#`s (the closing tail of
+/// a raw string whose `"` was just seen).
+fn closes_raw(chars: &[char], from: usize, hashes: usize) -> bool {
+    (0..hashes).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// True when the `r` at `i` starts a raw string (`r"`, `r#"`, ...), rather
+/// than being part of an identifier like `for` or `ptr`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 && is_ident_char(chars[i - 1]) {
+        return false;
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// If the `'` at `i` opens a char/byte literal, returns the index of its
+/// closing quote; returns `None` for lifetimes.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1) {
+        // Escape: scan forward to the first unescaped closing quote
+        // (covers '\n', '\'', '\u{1F600}').
+        Some('\\') => {
+            let mut j = i + 2;
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '\'' => return Some(j),
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        // 'x' — a single char then the closing quote. ('a' the lifetime has
+        // no closing quote in the next-but-one slot.)
+        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(i + 2),
+        _ => None,
+    }
+}
+
+/// Identifier-ish characters, for token-boundary checks shared with the
+/// lint passes.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds every occurrence of the identifier-like token `needle` in `code`
+/// that sits on its own token boundaries (so `unsafe` does not match
+/// `unsafe_code`). Returns byte offsets.
+pub fn find_token(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1] as char);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end] as char);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    out
+}
+
+/// Marks the lines that belong to test-only code: everything from a
+/// `#[cfg(test)]` / `#[test]` attribute through the end of the item's brace
+/// block. Attribute lines themselves count as test lines.
+pub fn test_lines(lines: &[Line]) -> Vec<bool> {
+    let mut out = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // Depths at which a test item's block opened; while non-empty we are
+    // inside test-only code (regions can nest, e.g. #[test] fns inside a
+    // #[cfg(test)] mod).
+    let mut regions: Vec<i64> = Vec::new();
+    let mut pending = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if code.contains("#[cfg(test)]")
+            || code.contains("#[test]")
+            || code.contains("#[cfg(all(test")
+            || code.contains("#[cfg(any(test")
+        {
+            pending = true;
+        }
+        if pending || !regions.is_empty() {
+            out[idx] = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        regions.push(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                }
+                // A braceless item ends the pending attribute's reach
+                // (`#[cfg(test)] mod tests;` re-exports, `use` lines).
+                ';' if pending && regions.is_empty() => {
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+        if !regions.is_empty() {
+            out[idx] = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated() {
+        let lines = lex("let x = \"unsafe // not code\"; // SAFETY: trailing\n");
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(!lines[0].code.contains("SAFETY"));
+        assert!(lines[0].comment.contains("SAFETY: trailing"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lines = lex("/* outer /* inner */ still comment */ let y = 1;\nlet z = 2;\n");
+        assert!(!lines[0].code.contains("comment"));
+        assert!(lines[0].code.contains("let y = 1;"));
+        assert!(lines[1].code.contains("let z = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let lines = lex("let s = r#\"has \" a quote and unsafe\"# ; call();\n");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("call();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines =
+            lex("fn f<'a>(x: &'a str, c: char) -> &'a str { if c == 'x' { x } else { x } }\n");
+        assert!(lines[0].code.contains("fn f<'a>"));
+        // The 'x' literal's interior is blanked but its quotes remain.
+        assert!(lines[0].code.contains("' '"));
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_derail_the_lexer() {
+        let lines = lex("let q = '\\''; let n = '\\n'; after();\n");
+        assert!(lines[0].code.contains("after();"));
+    }
+
+    #[test]
+    fn multiline_block_comment_text_lands_on_every_line() {
+        let lines = lex("/* SAFETY: one\n   two */ code();\n");
+        assert!(lines[0].comment.contains("SAFETY: one"));
+        assert!(lines[1].comment.contains("two"));
+        assert!(lines[1].code.contains("code();"));
+    }
+
+    #[test]
+    fn find_token_respects_boundaries() {
+        assert_eq!(find_token("unsafe_code unsafe code", "unsafe"), vec![12]);
+        assert!(find_token("#![forbid(unsafe_code)]", "unsafe").is_empty());
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { body(); }\n}\nfn after() {}\n";
+        let lines = lex(src);
+        let test = test_lines(&lines);
+        assert_eq!(test, vec![false, true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn braceless_test_attr_does_not_leak() {
+        let src = "#[cfg(test)]\nuse helper::x;\nfn real() {}\n";
+        let lines = lex(src);
+        let test = test_lines(&lines);
+        assert_eq!(test, vec![true, true, false]);
+    }
+}

@@ -1,0 +1,527 @@
+//! The repo-specific lint rules (`L1`–`L5`) over the lexed line model of
+//! [`crate::lex`].
+//!
+//! | rule | requirement |
+//! |------|-------------|
+//! | `L1` | every `unsafe` block / fn / impl / field is preceded by (or carries) a `// SAFETY:` comment (a `/// # Safety` doc section also counts) |
+//! | `L2` | no `.unwrap()` / `.expect(` / `panic!(` / `unreachable!(` in non-test library code, unless annotated `// lint: allow(panic) — <reason>` |
+//! | `L3` | every `Ordering::Relaxed` / `Acquire` / `Release` / `AcqRel` in non-test library code carries a `// ORDER:` justification (`SeqCst` is the conservative default and needs none) |
+//! | `L4` | a crate whose sources contain zero `unsafe` tokens must declare `#![forbid(unsafe_code)]` in its `lib.rs` (or `main.rs` for bin-only crates) |
+//! | `L5` | `thread::spawn` / `thread::Builder` only in `crates/tensor/src/pool.rs` (the persistent pool) and `crates/net` (connection threads), unless annotated `// lint: allow(thread) — <reason>` |
+//!
+//! **Scope.** Everything under `src/`, `crates/*/src`, `examples/` and
+//! `tests/` is lexed; `vendor/` (offline registry shims), `target/` and any
+//! directory named `fixtures` are skipped. `L1` applies to every scanned
+//! line, tests included — an unjustified `unsafe` is never fine. `L2`/`L3`
+//! apply only to *non-test library* code: integration tests, benches,
+//! examples, `main.rs` / `src/bin` CLI code, in-file `#[cfg(test)]` /
+//! `#[test]` regions and the `crates/bench` harness crate are exempt. `L5`
+//! exempts test code only.
+//!
+//! **Annotations** live in comments on the flagged line or the contiguous
+//! comment block directly above it, and must carry a reason, e.g.:
+//! `// lint: allow(panic) — the slice is exactly 4 bytes by construction`.
+
+use crate::lex::{find_token, lex, test_lines, Line};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id: `"L1"` … `"L5"`.
+    pub rule: &'static str,
+    /// Path relative to the scanned root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} {}",
+            self.rule,
+            self.file.display(),
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// One lexed source file, with its path classified for rule scoping.
+pub struct SourceFile {
+    /// Path relative to the scanned root, with `/` separators.
+    pub rel: String,
+    pub lines: Vec<Line>,
+    pub is_test_line: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `source` as the file at `rel` (root-relative, `/`-separated).
+    pub fn parse(rel: &str, source: &str) -> SourceFile {
+        let lines = lex(source);
+        let is_test_line = test_lines(&lines);
+        SourceFile {
+            rel: rel.to_string(),
+            lines,
+            is_test_line,
+        }
+    }
+
+    /// True for files that are test/bench/example/CLI code, where the
+    /// panic-freedom and ordering-justification rules don't apply.
+    fn is_test_scope(&self) -> bool {
+        let rel = self.rel.as_str();
+        rel.contains("/tests/")
+            || rel.starts_with("tests/")
+            || rel.contains("/benches/")
+            || rel.contains("/examples/")
+            || rel.starts_with("examples/")
+            || rel.ends_with("/main.rs")
+            || rel.contains("/src/bin/")
+            // The bench harness crate is measurement tooling end to end;
+            // its process dying on a broken invariant is the right outcome.
+            || rel.starts_with("crates/bench/")
+    }
+
+    /// The crate directory this file belongs to (`crates/foo`), or `"."`
+    /// for the umbrella package's `src/`.
+    fn crate_root(&self) -> Option<String> {
+        let mut parts = self.rel.split('/');
+        match parts.next() {
+            Some("crates") => parts.next().map(|name| format!("crates/{name}")),
+            Some("src") => Some(".".to_string()),
+            _ => None,
+        }
+    }
+
+    /// True when line `idx` (0-based) or the contiguous comment/attribute
+    /// block directly above it contains `marker` in a comment.
+    fn justified(&self, idx: usize, markers: &[&str]) -> bool {
+        let has = |line: &Line| markers.iter().any(|marker| line.comment.contains(marker));
+        if has(&self.lines[idx]) {
+            return true;
+        }
+        // Walk up through comment-only and attribute lines.
+        let mut i = idx;
+        while i > 0 {
+            i -= 1;
+            let line = &self.lines[i];
+            let code = line.code.trim();
+            let is_attr = code.starts_with("#[") || code.starts_with("#![");
+            if !code.is_empty() && !is_attr {
+                return false;
+            }
+            if code.is_empty() && line.comment.is_empty() {
+                return false; // a blank line breaks the block
+            }
+            if has(line) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Runs every rule over `files` (the whole scanned tree — `L4` needs the
+/// cross-file view) and returns the findings sorted by rule, file, line.
+pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        l1_unsafe_needs_safety(file, &mut findings);
+        l2_no_panics_in_library(file, &mut findings);
+        l3_atomics_need_order(file, &mut findings);
+        l5_no_raw_thread_spawn(file, &mut findings);
+    }
+    l4_clean_crates_forbid_unsafe(files, &mut findings);
+    findings.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
+    findings
+}
+
+/// L1: every `unsafe` token needs a `SAFETY:` comment (or a `# Safety` doc
+/// section) on the line or the comment block directly above. Applies to
+/// tests too.
+fn l1_unsafe_needs_safety(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if find_token(&line.code, "unsafe").is_empty() {
+            continue;
+        }
+        if file.justified(idx, &["SAFETY:", "# Safety"]) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "L1",
+            file: PathBuf::from(&file.rel),
+            line: idx + 1,
+            message: "`unsafe` without a `// SAFETY:` justification comment".to_string(),
+        });
+    }
+}
+
+/// The `L2` needles: a match requires the full text, so `.unwrap_or_else`
+/// never matches `.unwrap()`.
+const PANIC_NEEDLES: [&str; 4] = [".unwrap()", ".expect(", "panic!(", "unreachable!("];
+
+/// L2: non-test library code must not panic, unless annotated
+/// `// lint: allow(panic) — <reason>`.
+fn l2_no_panics_in_library(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.is_test_scope() {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if file.is_test_line[idx] {
+            continue;
+        }
+        for needle in PANIC_NEEDLES {
+            let Some(at) = line.code.find(needle) else {
+                continue;
+            };
+            // Token boundary on the leading identifier char (so
+            // `debug_panic!(` or `their_unreachable!(` never match; the
+            // leading `.` needles bound themselves).
+            if !needle.starts_with('.') {
+                let before = line.code[..at].chars().next_back();
+                if before.is_some_and(crate::lex::is_ident_char) {
+                    continue;
+                }
+            }
+            if file.justified(idx, &["lint: allow(panic)"]) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "L2",
+                file: PathBuf::from(&file.rel),
+                line: idx + 1,
+                message: format!(
+                    "`{needle}` in non-test library code — return a typed error, or annotate \
+                     `// lint: allow(panic) — <reason>`",
+                ),
+            });
+            break; // one finding per line is enough
+        }
+    }
+}
+
+/// The orderings that need a justification; `SeqCst` is the conservative
+/// default and is exempt.
+const ORDERINGS: [&str; 4] = [
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+];
+
+/// L3: every non-`SeqCst` atomic ordering in non-test library code needs a
+/// `// ORDER:` comment explaining why the weaker ordering is sound.
+fn l3_atomics_need_order(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.is_test_scope() {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if file.is_test_line[idx] {
+            continue;
+        }
+        if !ORDERINGS.iter().any(|o| line.code.contains(o)) {
+            continue;
+        }
+        if file.justified(idx, &["ORDER:"]) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "L3",
+            file: PathBuf::from(&file.rel),
+            line: idx + 1,
+            message: "relaxed/acquire/release atomic ordering without a `// ORDER:` \
+                      justification comment"
+                .to_string(),
+        });
+    }
+}
+
+/// L4: a crate with zero `unsafe` in its sources must say so in its crate
+/// root via `#![forbid(unsafe_code)]`, turning "happens to be clean" into a
+/// compiler-enforced guarantee.
+fn l4_clean_crates_forbid_unsafe(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    use std::collections::BTreeMap;
+    // crate root dir -> (has unsafe anywhere, crate-root file rel + has forbid)
+    let mut crates: BTreeMap<String, (bool, Option<(String, bool)>)> = BTreeMap::new();
+    for file in files {
+        let Some(root) = file.crate_root() else {
+            continue;
+        };
+        // Only library/binary sources define the crate; its integration
+        // tests are separate crates.
+        if file.rel.contains("/tests/") || file.rel.contains("/benches/") {
+            continue;
+        }
+        let entry = crates.entry(root.clone()).or_default();
+        if file
+            .lines
+            .iter()
+            .any(|line| !find_token(&line.code, "unsafe").is_empty())
+        {
+            entry.0 = true;
+        }
+        let is_lib = file.rel.ends_with("src/lib.rs");
+        let is_main = file.rel.ends_with("src/main.rs");
+        if is_lib || (is_main && entry.1.is_none()) {
+            let forbids = file
+                .lines
+                .iter()
+                .any(|line| line.code.contains("#![forbid(unsafe_code)]"));
+            // lib.rs wins over main.rs as the crate root.
+            if is_lib
+                || entry
+                    .1
+                    .as_ref()
+                    .is_none_or(|(rel, _)| !rel.ends_with("lib.rs"))
+            {
+                entry.1 = Some((file.rel.clone(), forbids));
+            }
+        }
+    }
+    for (root, (has_unsafe, crate_root_file)) in crates {
+        if has_unsafe {
+            continue;
+        }
+        match crate_root_file {
+            Some((_, true)) => {}
+            Some((rel, false)) => findings.push(Finding {
+                rule: "L4",
+                file: PathBuf::from(rel),
+                line: 1,
+                message: format!(
+                    "crate `{root}` contains no unsafe code but does not declare \
+                     `#![forbid(unsafe_code)]`",
+                ),
+            }),
+            None => {} // no lib.rs/main.rs scanned (not a crate dir)
+        }
+    }
+}
+
+/// Files and directories where spawning OS threads is the *point*.
+const SPAWN_ALLOWED: [&str; 2] = ["crates/tensor/src/pool.rs", "crates/net/"];
+
+/// L5: everything outside the persistent pool and the network front-end
+/// must schedule work on the pool, not spawn raw threads.
+fn l5_no_raw_thread_spawn(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.is_test_scope() {
+        return;
+    }
+    if SPAWN_ALLOWED
+        .iter()
+        .any(|allowed| file.rel == *allowed || file.rel.starts_with(allowed))
+    {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if file.is_test_line[idx] {
+            continue;
+        }
+        if !line.code.contains("thread::spawn") && !line.code.contains("thread::Builder") {
+            continue;
+        }
+        if file.justified(idx, &["lint: allow(thread)"]) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "L5",
+            file: PathBuf::from(&file.rel),
+            line: idx + 1,
+            message: "raw thread spawn outside the persistent pool (`crates/tensor/src/pool.rs`) \
+                      and `crates/net` — schedule on `dsx_tensor::par`, or annotate \
+                      `// lint: allow(thread) — <reason>`"
+                .to_string(),
+        });
+    }
+}
+
+/// Recursively collects the `.rs` files to lint under `root`, returning
+/// root-relative `/`-separated paths in sorted order. Skips `vendor/`
+/// (offline registry shims, not this repo's code), `target/`, hidden
+/// directories, and any directory named `fixtures` (lint-test corpora
+/// contain deliberate violations).
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if name.starts_with('.')
+                    || name == "target"
+                    || name == "vendor"
+                    || name == "fixtures"
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_path_buf());
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints the repository at `root`: collects, lexes and runs every rule.
+pub fn lint_root(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for rel in collect_sources(root)? {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        files.push(SourceFile::parse(&rel, &source));
+    }
+    Ok(run_all(&files))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(rel: &str, source: &str) -> Vec<Finding> {
+        run_all(&[SourceFile::parse(rel, source)])
+    }
+
+    #[test]
+    fn l1_flags_bare_unsafe_and_accepts_safety_comments() {
+        let bad = lint_one(
+            "crates/foo/src/lib.rs",
+            "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+        );
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "L1");
+        assert_eq!(bad[0].line, 2);
+        let good = lint_one(
+            "crates/foo/src/lib.rs",
+            "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n",
+        );
+        assert!(good.iter().all(|f| f.rule != "L1"), "{good:?}");
+    }
+
+    #[test]
+    fn l1_accepts_doc_safety_sections_through_attributes() {
+        let good = lint_one(
+            "crates/foo/src/lib.rs",
+            "/// # Safety\n/// p must be valid.\n#[inline]\npub unsafe fn f(p: *const u8) -> u8 {\n    // SAFETY: contract forwarded.\n    unsafe { *p }\n}\n",
+        );
+        assert!(good.iter().all(|f| f.rule != "L1"), "{good:?}");
+    }
+
+    #[test]
+    fn l2_flags_unwrap_in_library_but_not_tests_or_allows() {
+        let bad = lint_one(
+            "crates/foo/src/lib.rs",
+            "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+        );
+        assert_eq!(bad.iter().filter(|f| f.rule == "L2").count(), 1);
+        assert_eq!(bad[0].line, 2);
+        let tests = lint_one(
+            "crates/foo/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { None::<u8>.unwrap(); }\n}\n",
+        );
+        assert!(tests.iter().all(|f| f.rule != "L2"), "{tests:?}");
+        let allowed = lint_one(
+            "crates/foo/src/lib.rs",
+            "pub fn f(x: Option<u8>) -> u8 {\n    // lint: allow(panic) — x is Some by construction.\n    x.unwrap()\n}\n",
+        );
+        assert!(allowed.iter().all(|f| f.rule != "L2"), "{allowed:?}");
+    }
+
+    #[test]
+    fn l2_ignores_unwrap_or_else_and_main_rs() {
+        let clean = lint_one(
+            "crates/foo/src/lib.rs",
+            "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap_or_else(|| 0)\n}\n",
+        );
+        assert!(clean.iter().all(|f| f.rule != "L2"));
+        let cli = lint_one(
+            "crates/foo/src/main.rs",
+            "fn main() {\n    std::env::args().next().unwrap();\n}\n",
+        );
+        assert!(cli.iter().all(|f| f.rule != "L2"));
+    }
+
+    #[test]
+    fn l3_flags_unjustified_relaxed_orderings() {
+        let bad = lint_one(
+            "crates/foo/src/lib.rs",
+            "use std::sync::atomic::{AtomicUsize, Ordering};\npub fn f(c: &AtomicUsize) -> usize {\n    c.load(Ordering::Relaxed)\n}\n",
+        );
+        assert_eq!(bad.iter().filter(|f| f.rule == "L3").count(), 1);
+        assert_eq!(bad[0].line, 3);
+        let good = lint_one(
+            "crates/foo/src/lib.rs",
+            "use std::sync::atomic::{AtomicUsize, Ordering};\npub fn f(c: &AtomicUsize) -> usize {\n    // ORDER: monotonic counter, no other memory depends on it.\n    c.load(Ordering::Relaxed)\n}\n",
+        );
+        assert!(good.iter().all(|f| f.rule != "L3"), "{good:?}");
+        let seqcst = lint_one(
+            "crates/foo/src/lib.rs",
+            "use std::sync::atomic::{AtomicUsize, Ordering};\npub fn f(c: &AtomicUsize) -> usize {\n    c.load(Ordering::SeqCst)\n}\n",
+        );
+        assert!(seqcst.iter().all(|f| f.rule != "L3"), "{seqcst:?}");
+    }
+
+    #[test]
+    fn l4_requires_forbid_only_in_clean_crates() {
+        let clean_without = SourceFile::parse("crates/foo/src/lib.rs", "pub fn f() {}\n");
+        let findings = run_all(&[clean_without]);
+        assert_eq!(findings.iter().filter(|f| f.rule == "L4").count(), 1);
+        let clean_with = SourceFile::parse(
+            "crates/foo/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+        );
+        assert!(run_all(&[clean_with]).iter().all(|f| f.rule != "L4"));
+        let with_unsafe = SourceFile::parse(
+            "crates/foo/src/lib.rs",
+            "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: test stub.\n    unsafe { *p }\n}\n",
+        );
+        assert!(run_all(&[with_unsafe]).iter().all(|f| f.rule != "L4"));
+    }
+
+    #[test]
+    fn l5_flags_spawns_outside_the_pool_and_net() {
+        let bad = lint_one(
+            "crates/foo/src/lib.rs",
+            "pub fn f() {\n    std::thread::spawn(|| {});\n}\n",
+        );
+        assert_eq!(bad.iter().filter(|f| f.rule == "L5").count(), 1);
+        let pool = lint_one(
+            "crates/tensor/src/pool.rs",
+            "pub fn f() {\n    std::thread::spawn(|| {});\n}\n",
+        );
+        assert!(pool.iter().all(|f| f.rule != "L5"));
+        let net = lint_one(
+            "crates/net/src/server.rs",
+            "pub fn f() {\n    std::thread::spawn(|| {});\n}\n",
+        );
+        assert!(net.iter().all(|f| f.rule != "L5"));
+        let allowed = lint_one(
+            "crates/foo/src/lib.rs",
+            "pub fn f() {\n    // lint: allow(thread) — long-lived supervisor, not kernel work.\n    std::thread::spawn(|| {});\n}\n",
+        );
+        assert!(allowed.iter().all(|f| f.rule != "L5"), "{allowed:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_never_trip_rules() {
+        let clean = lint_one(
+            "crates/foo/src/lib.rs",
+            "//! Docs mention .unwrap() and unsafe and Ordering::Relaxed freely.\npub fn f() -> &'static str {\n    \"panic!( and .unwrap() and thread::spawn in a string\"\n}\n",
+        );
+        assert!(
+            clean.iter().all(|f| f.rule == "L4"),
+            "only the forbid(unsafe_code) finding may remain: {clean:?}"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! The `dsx-xtask` CLI. `dsx-xtask lint [ROOT]` runs the repo lints (see
+//! `dsx_xtask::lints`) and exits nonzero on any finding.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = args.next().map(PathBuf::from).unwrap_or_else(default_root);
+            lint(&root)
+        }
+        Some(other) => {
+            eprintln!("dsx-xtask: unknown subcommand `{other}`");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: dsx-xtask lint [ROOT]
+
+Runs the repo's concurrency-correctness lints (L1-L5) over ROOT (default:
+the workspace root). Exits 0 when clean, 1 on findings, 2 on usage or I/O
+errors. See the README's \"Correctness tooling\" section for the rule table
+and the annotation syntax.";
+
+/// The workspace root: two levels above this crate's manifest when built
+/// in-tree, else the current directory.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|crates| crates.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn lint(root: &Path) -> ExitCode {
+    match dsx_xtask::lint_root(root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("dsx-xtask lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            println!(
+                "dsx-xtask lint: {} finding(s) in {}",
+                findings.len(),
+                root.display()
+            );
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("dsx-xtask lint: failed to scan {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded-violation fixture: every lint rule must fire here, at exactly
+//! the line the integration test pins. Keep line numbers stable — the
+//! test asserts them.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn l1_unsafe_without_safety(p: *const u8) -> u8 {
+    unsafe { *p } // line 8: L1 — no SAFETY comment
+}
+
+pub fn l2_unwrap_in_library(v: Option<u8>) -> u8 {
+    v.unwrap() // line 12: L2 — no allow(panic) annotation
+}
+
+pub fn l3_relaxed_without_order(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed) // line 16: L3 — no ORDER comment
+}
+
+pub fn l5_spawn_outside_the_pool() {
+    std::thread::spawn(|| {}); // line 20: L5 — raw spawn outside crates/tensor pool / crates/net
+}

@@ -1,0 +1,6 @@
+//! Seeded L4 fixture: a crate with zero unsafe code that fails to declare
+//! `#![forbid(unsafe_code)]` — flagged at line 1 of this file.
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,42 @@
+//! Good twin of the `bad` fixture: the same constructs, each carrying the
+//! justification the lint accepts. The integration test asserts this tree
+//! produces zero findings.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn l1_unsafe_with_safety(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points to a live, initialized byte.
+    unsafe { *p }
+}
+
+pub fn l2_unwrap_with_allow(v: Option<u8>) -> u8 {
+    // lint: allow(panic) — fixture: a documented contract panic.
+    v.unwrap()
+}
+
+pub fn l2_unwrap_with_trailing_allow(v: Option<u8>) -> u8 {
+    v.unwrap() // lint: allow(panic) — same-line form is accepted too
+}
+
+pub fn l3_relaxed_with_order(flag: &AtomicBool) -> bool {
+    // ORDER: standalone flag, no memory is published through it.
+    flag.load(Ordering::Relaxed)
+}
+
+pub fn l3_seqcst_needs_no_comment(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::SeqCst)
+}
+
+pub fn l5_spawn_with_allow() {
+    // lint: allow(thread) — fixture: a justified long-lived helper thread.
+    std::thread::spawn(|| {});
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn l2_is_exempt_in_test_code() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

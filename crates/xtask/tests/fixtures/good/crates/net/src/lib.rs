@@ -1,0 +1,8 @@
+//! Good twin for L5's allow-list: `crates/net/` may spawn raw threads
+//! (connection reader/writer pairs) without an annotation.
+
+#![forbid(unsafe_code)]
+
+pub fn spawn_is_allowed_here() {
+    std::thread::spawn(|| {});
+}

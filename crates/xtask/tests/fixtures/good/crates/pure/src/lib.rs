@@ -1,0 +1,8 @@
+//! Good twin of the L4 fixture: an unsafe-free crate that declares the
+//! forbid, as L4 requires.
+
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

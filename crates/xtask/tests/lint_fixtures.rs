@@ -1,0 +1,69 @@
+//! End-to-end checks for `dsx-xtask lint`: the seeded `bad` fixture must
+//! trip every rule at exactly the seeded line, its `good` twin must be
+//! clean, and — the real deliverable — the repository itself must be
+//! clean, so a regression anywhere in the workspace fails this test
+//! before CI even reaches the dedicated lint job.
+
+use dsx_xtask::lint_root;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// `(rule, file, line)` triples of a lint run, normalized for comparison.
+fn triples(root: &Path) -> Vec<(String, String, usize)> {
+    lint_root(root)
+        .expect("fixture tree is readable")
+        .into_iter()
+        .map(|f| {
+            (
+                f.rule.to_string(),
+                f.file.to_string_lossy().replace('\\', "/"),
+                f.line,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn bad_fixture_trips_every_rule_at_the_seeded_lines() {
+    let got = triples(&fixture("bad"));
+    let want = vec![
+        ("L1".to_string(), "crates/demo/src/lib.rs".to_string(), 8),
+        ("L2".to_string(), "crates/demo/src/lib.rs".to_string(), 12),
+        ("L3".to_string(), "crates/demo/src/lib.rs".to_string(), 16),
+        ("L4".to_string(), "crates/pure/src/lib.rs".to_string(), 1),
+        ("L5".to_string(), "crates/demo/src/lib.rs".to_string(), 20),
+    ];
+    assert_eq!(got, want, "exact findings (sorted by rule/file/line)");
+}
+
+#[test]
+fn good_fixture_is_clean() {
+    let got = triples(&fixture("good"));
+    assert!(
+        got.is_empty(),
+        "good twins must produce no findings: {got:?}"
+    );
+}
+
+#[test]
+fn the_repository_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the repo root");
+    let findings = lint_root(root).expect("repo tree is readable");
+    assert!(
+        findings.is_empty(),
+        "the repository must pass its own lint:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -31,6 +31,8 @@
 //! assert_eq!(output.shape(), &[1, 32, 8, 8]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use dsx_core as scc;
 pub use dsx_data as data;
 pub use dsx_gpusim as gpusim;
