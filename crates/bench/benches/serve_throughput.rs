@@ -12,6 +12,10 @@
 //! * `DSX_SERVE_BENCH_JSON` — output path (default `<repo>/BENCH_PR3.json`).
 //! * `DSX_SERVE_REQUESTS` — batched request count (default 128).
 //! * `DSX_SERVE_MIN_SPEEDUP` — when set, enforce the gate.
+//! * `DSX_OBS_MAX_OVERHEAD` — when set, enforce that *enabling* dsx-obs
+//!   tracing costs at most this factor of batched throughput (the
+//!   disabled-tracing cost is already inside every number above — spans are
+//!   always compiled in — so the `DSX_SERVE_MIN_SPEEDUP` gate guards it).
 //!
 //! Both kernel-level threading and the engine's worker pool are pinned to
 //! ONE thread so the measured speedup isolates request *batching*: the
@@ -61,7 +65,7 @@ fn json_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR3.json")
 }
 
-fn render_json(rows: &[BackendRow], requests: usize, workers: usize) -> String {
+fn render_json(rows: &[BackendRow], obs: &ObsRow, requests: usize, workers: usize) -> String {
     let spec = serving_spec();
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"dsx-bench/serve-throughput/1\",\n");
@@ -98,6 +102,14 @@ fn render_json(rows: &[BackendRow], requests: usize, workers: usize) -> String {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"obs\": {{\"disabled_rps\": {:.1}, \"enabled_rps\": {:.1}, \
+         \"enabled_overhead\": {:.3}, \"disabled_span_ns\": {:.2}}},\n",
+        obs.disabled_rps,
+        obs.enabled_rps,
+        obs.overhead(),
+        obs.disabled_span_ns,
+    ));
     let blocked = rows
         .iter()
         .find(|r| r.backend == BackendKind::Blocked)
@@ -108,6 +120,79 @@ fn render_json(rows: &[BackendRow], requests: usize, workers: usize) -> String {
     ));
     out.push_str("}\n");
     out
+}
+
+/// What the tracing layer costs: batched throughput with recording on vs.
+/// off (same engine shape as the gate rows), and the per-call price of a
+/// disabled span.
+struct ObsRow {
+    disabled_rps: f64,
+    enabled_rps: f64,
+    disabled_span_ns: f64,
+}
+
+impl ObsRow {
+    /// > 1.0 means enabling tracing slowed serving down by that factor.
+    fn overhead(&self) -> f64 {
+        self.disabled_rps / self.enabled_rps.max(1e-9)
+    }
+}
+
+/// Median batched throughput over `runs` load runs.
+fn median_batched_rps(model: &Arc<dyn dsx_nn::Layer>, requests: usize, runs: usize) -> f64 {
+    let mut rps: Vec<f64> = (0..runs)
+        .map(|_| {
+            run_load(
+                Arc::clone(model),
+                &LoadConfig {
+                    requests,
+                    concurrency: CONCURRENCY,
+                    engine: ServeConfig::default()
+                        .with_max_batch(MAX_BATCH)
+                        .with_max_wait(MAX_WAIT)
+                        .with_workers(WORKERS),
+                },
+            )
+            .throughput_rps
+        })
+        .collect();
+    rps.sort_by(|a, b| a.total_cmp(b));
+    rps[rps.len() / 2]
+}
+
+/// Enabled-vs-disabled tracing cost on the blocked backend. Runs
+/// interleave (off, on, off, on, ...) so drift in machine load lands on
+/// both sides of the ratio.
+fn measure_obs_overhead(requests: usize) -> ObsRow {
+    let model = build_serving_model(&serving_spec(), BackendKind::Blocked);
+    run_serial(&*model, 2); // warm
+    const RUNS: usize = 3;
+    let (mut off, mut on) = (Vec::with_capacity(RUNS), Vec::with_capacity(RUNS));
+    for _ in 0..RUNS {
+        dsx_obs::enable(false);
+        off.push(median_batched_rps(&model, requests, 1));
+        dsx_obs::enable(true);
+        on.push(median_batched_rps(&model, requests, 1));
+    }
+    dsx_obs::enable(false);
+    off.sort_by(|a, b| a.total_cmp(b));
+    on.sort_by(|a, b| a.total_cmp(b));
+
+    // The hot-path contract, priced directly: one disabled span call.
+    let iters = 1_000_000u64;
+    let started = std::time::Instant::now();
+    for i in 0..iters {
+        // Create + drop, the real per-call shape of a disabled span.
+        let guard = dsx_obs::span_arg("bench", "obs.disabled", "i", std::hint::black_box(i));
+        std::hint::black_box(&guard);
+    }
+    let disabled_span_ns = started.elapsed().as_nanos() as f64 / iters as f64;
+
+    ObsRow {
+        disabled_rps: off[RUNS / 2],
+        enabled_rps: on[RUNS / 2],
+        disabled_span_ns,
+    }
 }
 
 fn main() {
@@ -172,11 +257,36 @@ fn main() {
         });
     }
 
-    let json = render_json(&rows, requests, workers);
+    let obs = measure_obs_overhead(requests);
+    println!(
+        "  obs      tracing off {:>8.1} req/s | on {:>8.1} req/s | {:.3}x overhead | \
+         disabled span {:.2} ns/call",
+        obs.disabled_rps,
+        obs.enabled_rps,
+        obs.overhead(),
+        obs.disabled_span_ns,
+    );
+
+    let json = render_json(&rows, &obs, requests, workers);
     let path = json_path();
     std::fs::write(&path, &json)
         .unwrap_or_else(|e| panic!("cannot write serve report {}: {e}", path.display()));
     println!("  wrote {}", path.display());
+
+    if let Ok(max) = std::env::var("DSX_OBS_MAX_OVERHEAD") {
+        let max: f64 = max
+            .parse()
+            .unwrap_or_else(|e| panic!("DSX_OBS_MAX_OVERHEAD must be a float: {e}"));
+        let got = obs.overhead();
+        if got > max {
+            eprintln!(
+                "OBS GATE FAILED: enabling tracing costs {got:.3}x batched throughput \
+                 (allowed {max:.3}x)"
+            );
+            std::process::exit(1);
+        }
+        println!("  obs gate passed: {got:.3}x <= {max:.3}x");
+    }
 
     if let Ok(min) = std::env::var("DSX_SERVE_MIN_SPEEDUP") {
         let min: f64 = min

@@ -89,12 +89,14 @@ fn main() {
     }
     if cli.dense {
         probe_dense(&cli);
+        print_pool_stats(&cli);
         return;
     }
     if cli.backends.is_empty() {
         // Default behaviour: the full BENCH_PR2 report (all backends, JSON
         // artifact, optional DSX_BENCH_MIN_SPEEDUP gate).
         report::run_default_report();
+        print_pool_stats(&cli);
         return;
     }
     let timings = report::measure_kernels_for(&cli.backends, cli.samples);
@@ -106,6 +108,15 @@ fn main() {
             t.backend.name(),
             t.median_ns
         );
+    }
+    print_pool_stats(&cli);
+}
+
+/// With `--threads N` the run exercised the worker pool; report what it did
+/// (jobs, steals, parks — the dsx-obs counters the pool feeds).
+fn print_pool_stats(cli: &Cli) {
+    if cli.threads.is_some() {
+        println!("pool stats: {}", dsx_tensor::pool::stats());
     }
 }
 

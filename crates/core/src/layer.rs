@@ -170,6 +170,17 @@ impl SlidingChannelConv2d {
 
     /// Forward pass; input is `[N, Cin, H, W]`, output `[N, Cout, H, W]`.
     pub fn forward(&self, input: &Tensor) -> Tensor {
+        let _span = dsx_obs::span_arg(
+            "scc",
+            match self.implementation {
+                SccImplementation::PytorchBase => "scc.forward.pytorch_base",
+                SccImplementation::PytorchOpt => "scc.forward.pytorch_opt",
+                SccImplementation::DsxploreVar => "scc.forward.dsxplore_var",
+                SccImplementation::Dsxplore => "scc.forward.dsxplore",
+            },
+            "macs",
+            self.cfg.forward_macs(input.shape()[0], input.shape()[3]) as u64,
+        );
         match self.implementation {
             SccImplementation::PytorchBase => ComposedScc::pytorch_base(self.cfg)
                 .with_backend(self.backend)
@@ -193,6 +204,7 @@ impl SlidingChannelConv2d {
     /// Backward pass; returns gradients with respect to the input, weights
     /// and bias.
     pub fn backward(&self, input: &Tensor, grad_output: &Tensor) -> SccGradients {
+        let _span = dsx_obs::span("scc", "scc.backward");
         match self.implementation {
             SccImplementation::PytorchBase => ComposedScc::pytorch_base(self.cfg)
                 .with_backend(self.backend)

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! dsx-experiments <command> [--train] [--backend <naive|blocked|tiled|swsum>]
-//!                 [--save PATH]
+//!                 [--save PATH] [--trace-out PATH]
 //!
 //! Commands:
 //!   table1 table2 table3 table4 table5
@@ -191,6 +191,9 @@ struct Cli {
     train: bool,
     backend: Option<dsx_core::BackendKind>,
     save: Option<std::path::PathBuf>,
+    /// Enable `dsx-obs` tracing for the run and write Chrome trace-event
+    /// JSON here on exit (pool, per-layer and GEMM spans).
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -198,6 +201,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut command: Option<String> = None;
     let mut backend = None;
     let mut save = None;
+    let mut trace_out = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         // `--flag value` and `--flag=value` spellings for valued flags.
@@ -215,13 +219,15 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             backend = Some(value.parse::<dsx_core::BackendKind>()?);
         } else if let Some(value) = valued("--save")? {
             save = Some(std::path::PathBuf::from(value));
+        } else if let Some(value) = valued("--trace-out")? {
+            trace_out = Some(std::path::PathBuf::from(value));
         } else if arg == "--train" {
             train = true;
         } else if !arg.starts_with("--") {
             command.get_or_insert_with(|| arg.clone());
         } else {
             return Err(format!(
-                "unknown flag '{arg}' (flags: --train, --backend <naive|blocked|tiled|swsum>, --save PATH)"
+                "unknown flag '{arg}' (flags: --train, --backend <naive|blocked|tiled|swsum>, --save PATH, --trace-out PATH)"
             ));
         }
     }
@@ -236,6 +242,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         train,
         backend,
         save,
+        trace_out,
     })
 }
 
@@ -290,12 +297,28 @@ fn main() {
         dsx_core::set_default_backend(kind);
         println!("kernel backend: {kind}");
     }
+    if cli.trace_out.is_some() {
+        dsx_obs::enable(true);
+    }
     if cli.command == "train-serve" {
         run_train_serve(cli.save.as_deref());
-        return;
+    } else {
+        let train_cfg = TrainConfig::default();
+        run(&cli.command, cli.train.then_some(&train_cfg));
     }
-    let train_cfg = TrainConfig::default();
-    run(&cli.command, cli.train.then_some(&train_cfg));
+    if let Some(path) = &cli.trace_out {
+        dsx_obs::enable(false);
+        match dsx_obs::export_chrome_trace(path) {
+            Ok(events) => println!("trace: wrote {events} events to {}", path.display()),
+            Err(e) => {
+                eprintln!(
+                    "dsx-experiments: cannot write --trace-out {}: {e}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -338,6 +361,24 @@ mod tests {
     #[test]
     fn unknown_flags_are_rejected() {
         assert!(parse_cli(&args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn trace_out_parses_in_both_spellings_and_any_position() {
+        for list in [
+            ["--trace-out", "/tmp/t.json", "table1"].as_slice(),
+            ["table1", "--trace-out=/tmp/t.json"].as_slice(),
+        ] {
+            let cli = parse_cli(&args(list)).unwrap();
+            assert_eq!(
+                cli.trace_out.as_deref(),
+                Some(std::path::Path::new("/tmp/t.json")),
+                "{list:?}"
+            );
+            assert_eq!(cli.command, "table1");
+        }
+        assert!(parse_cli(&[]).unwrap().trace_out.is_none());
+        assert!(parse_cli(&args(&["--trace-out"])).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! the out-of-order responses by id.
 
 use crate::protocol::{self, ErrorCode, Frame, WireError};
+use dsx_obs::MetricsSnapshot;
 use dsx_tensor::Tensor;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -127,6 +128,38 @@ impl NetClient {
             ))),
             Frame::Reload { id } => Err(NetError::UnexpectedFrame(format!(
                 "reload frame (id {id}) from the server"
+            ))),
+            Frame::Stats { id, .. } => Err(NetError::UnexpectedFrame(format!(
+                "unsolicited stats frame (id {id}) from the server"
+            ))),
+        }
+    }
+
+    /// Asks the server for a metrics snapshot ([`Frame::Stats`]) and blocks
+    /// for the reply. Like [`NetClient::reload`], don't interleave with
+    /// pipelined requests still awaiting their responses.
+    pub fn stats(&mut self) -> Result<MetricsSnapshot, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        protocol::write_frame(
+            &mut self.writer,
+            &Frame::Stats {
+                id,
+                snapshot: MetricsSnapshot::default(),
+            },
+        )?;
+        self.writer.flush()?;
+        // A stats reply is not a tensor-or-error `Reply`, so read the frame
+        // directly instead of going through read_reply.
+        match protocol::read_frame(&mut self.reader)? {
+            Frame::Stats {
+                id: reply_id,
+                snapshot,
+            } if reply_id == id => Ok(snapshot),
+            Frame::Error { code, message, .. } => Err(NetError::Server { code, message }),
+            other => Err(NetError::UnexpectedFrame(format!(
+                "frame for id {} while waiting for stats id {id}",
+                other.id()
             ))),
         }
     }

@@ -6,6 +6,7 @@
 //!           [--max-batch N] [--max-wait-us N] [--workers N]
 //!           [--queue-capacity N] [--par-threads N] [--skip-serial]
 //!           [--adaptive] [--model PATH]
+//!           [--trace-out PATH] [--stats-every S]
 //!           [--listen IP:PORT [--serve-secs S]] | [--connect IP:PORT]
 //! ```
 //!
@@ -28,6 +29,18 @@
 //! also enables the wire protocol's reload frame: a client's
 //! `NetClient::reload()` re-reads the file and hot-swaps the model into
 //! the live engine with zero dropped requests.
+//!
+//! `--trace-out PATH` turns on `dsx-obs` tracing for the whole run and
+//! writes a Chrome trace-event JSON file on exit — load it in Perfetto or
+//! `chrome://tracing` to see pool jobs/steals, per-layer forwards, GEMM
+//! calls, batch assembly and wire reads/writes on one timeline. Because the
+//! export happens at process exit, `--trace-out` with `--listen` requires
+//! `--serve-secs` (a listen-forever server would never write the file).
+//!
+//! `--stats-every S` prints one `stats: name=value ...` line every `S`
+//! seconds: the process-global `dsx-obs` metrics registry (pool, GEMM and
+//! wire counters) merged with the live serving stats when an engine runs in
+//! this process. It needs a local engine, so it conflicts with `--connect`.
 //!
 //! Every flag is parsed (and validated) *before* the model is built: the
 //! kernel backend is a process-wide construction-time default in
@@ -77,6 +90,10 @@ struct Cli {
     /// Serve weights loaded from this checkpoint instead of the
     /// randomly-initialised serving model.
     model: Option<PathBuf>,
+    /// Enable tracing and export Chrome trace-event JSON here on exit.
+    trace_out: Option<PathBuf>,
+    /// Print a one-line metrics snapshot every this many seconds.
+    stats_every: Option<f64>,
 }
 
 impl Default for Cli {
@@ -98,6 +115,8 @@ impl Default for Cli {
             connect: None,
             serve_secs: None,
             model: None,
+            trace_out: None,
+            stats_every: None,
         }
     }
 }
@@ -105,6 +124,7 @@ impl Default for Cli {
 const USAGE: &str = "usage: dsx-serve [--requests N] [--concurrency N] \
 [--backend <naive|blocked|tiled|swsum>] [--max-batch N] [--max-wait-us N] [--workers N] \
 [--queue-capacity N] [--par-threads N] [--skip-serial] [--adaptive] [--model PATH] \
+[--trace-out PATH] [--stats-every S] \
 [--listen IP:PORT [--serve-secs S]] | [--connect IP:PORT]";
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -156,6 +176,17 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--listen" => cli.listen = Some(parse_addr(flag, value(flag)?)?),
             "--connect" => cli.connect = Some(parse_addr(flag, value(flag)?)?),
             "--model" => cli.model = Some(PathBuf::from(value(flag)?)),
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(value(flag)?)),
+            "--stats-every" => {
+                let raw = value(flag)?;
+                let secs = raw.parse::<f64>().map_err(|e| {
+                    format!("--stats-every must be a number of seconds: {e}\n{USAGE}")
+                })?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--stats-every must be positive\n{USAGE}"));
+                }
+                cli.stats_every = Some(secs);
+            }
             "--serve-secs" => {
                 let raw = value(flag)?;
                 let secs = raw.parse::<f64>().map_err(|e| {
@@ -186,6 +217,16 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     if cli.model.is_some() && cli.connect.is_some() {
         return Err(format!(
             "--model loads weights into the local engine; it has no effect with --connect\n{USAGE}"
+        ));
+    }
+    if cli.stats_every.is_some() && cli.connect.is_some() {
+        return Err(format!(
+            "--stats-every reads the local engine's metrics; it has no effect with --connect\n{USAGE}"
+        ));
+    }
+    if cli.trace_out.is_some() && cli.listen.is_some() && cli.serve_secs.is_none() {
+        return Err(format!(
+            "--trace-out exports at exit, so with --listen it needs --serve-secs\n{USAGE}"
         ));
     }
     Ok(cli)
@@ -248,6 +289,47 @@ fn engine_config(cli: &Cli) -> ServeConfig {
     config
 }
 
+/// Stops recording and writes the Chrome trace when `--trace-out` was
+/// given. Called explicitly on every reporting exit path because the error
+/// paths below use `process::exit`, which skips destructors.
+fn export_trace(cli: &Cli) {
+    let Some(path) = &cli.trace_out else { return };
+    dsx_obs::enable(false);
+    match dsx_obs::export_chrome_trace(path) {
+        Ok(events) => println!("trace: wrote {events} events to {}", path.display()),
+        Err(e) => {
+            eprintln!(
+                "dsx-serve: cannot write --trace-out {}: {e}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `--stats-every` printer: one `stats: name=value ...` line per tick.
+/// The global registry always rides along; an `Arc<ServeStats>` adds the
+/// live serving counters when this process runs an engine we can reach.
+/// (Deliberately not a `ServeHandle` — that would hold the request queue
+/// open and stall the engine's shutdown drain.)
+fn spawn_stats_printer(every: f64, stats: Option<Arc<dsx_serve::ServeStats>>) {
+    let tick = Duration::from_secs_f64(every);
+    let spawned = std::thread::Builder::new()
+        .name("dsx-stats".to_string())
+        .spawn(move || loop {
+            std::thread::sleep(tick);
+            let mut snapshot = dsx_obs::snapshot();
+            if let Some(stats) = &stats {
+                stats.export_metrics(&mut snapshot);
+                snapshot.sort();
+            }
+            println!("stats: {snapshot}");
+        });
+    if let Err(e) = spawned {
+        eprintln!("dsx-serve: cannot start the --stats-every printer: {e}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_cli(&args) {
@@ -258,8 +340,15 @@ fn main() {
         }
     };
 
+    // Tracing turns on before anything interesting runs so the exported
+    // timeline covers the whole process, model construction included.
+    if cli.trace_out.is_some() {
+        dsx_obs::enable(true);
+    }
+
     if let Some(addr) = cli.connect {
         run_connect_mode(&cli, addr);
+        export_trace(&cli);
         return;
     }
 
@@ -303,6 +392,13 @@ fn main() {
         return;
     }
 
+    // No engine handle to thread through here: `run_load` owns its engine
+    // internally, so the printer reports the process-global registry (pool,
+    // GEMM, wire counters).
+    if let Some(every) = cli.stats_every {
+        spawn_stats_printer(every, None);
+    }
+
     let serial = if cli.skip_serial {
         None
     } else {
@@ -338,6 +434,7 @@ fn main() {
             snapshot.throughput_rps / serial.throughput_rps
         );
     }
+    export_trace(&cli);
     if snapshot.dropped_requests > 0 {
         eprintln!(
             "dsx-serve: {} requests were dropped during the run",
@@ -377,11 +474,15 @@ fn run_listen_mode(cli: &Cli, addr: SocketAddr, model: Arc<dyn dsx_nn::Layer>) {
     println!("listening on {}", server.local_addr());
     use std::io::Write;
     let _ = std::io::stdout().flush();
+    if let Some(every) = cli.stats_every {
+        spawn_stats_printer(every, Some(server.stats_arc()));
+    }
     match cli.serve_secs {
         Some(secs) => {
             std::thread::sleep(Duration::from_secs_f64(secs));
             let snapshot = server.shutdown();
             println!("served: {snapshot}");
+            export_trace(cli);
             if snapshot.dropped_requests > 0 {
                 eprintln!(
                     "dsx-serve: {} requests were dropped during the run",
@@ -518,6 +619,52 @@ mod tests {
         let cli = parse_cli(&args(&["--listen", "127.0.0.1:0", "--adaptive"])).unwrap();
         assert!(cli.adaptive);
         assert!(engine_config(&cli).adaptive.is_some());
+    }
+
+    #[test]
+    fn trace_out_parses_and_listen_mode_requires_serve_secs() {
+        let cli = parse_cli(&args(&["--trace-out", "/tmp/trace.json"])).unwrap();
+        assert_eq!(
+            cli.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/trace.json"))
+        );
+        // Connect mode may trace its client-side wire spans.
+        assert!(parse_cli(&args(&[
+            "--trace-out=/tmp/t.json",
+            "--connect",
+            "127.0.0.1:1"
+        ]))
+        .is_ok());
+        // A listen-forever server would never export; require --serve-secs.
+        let err = parse_cli(&args(&[
+            "--trace-out",
+            "/tmp/t.json",
+            "--listen",
+            "127.0.0.1:0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--serve-secs"), "{err}");
+        assert!(parse_cli(&args(&[
+            "--trace-out",
+            "/tmp/t.json",
+            "--listen",
+            "127.0.0.1:0",
+            "--serve-secs",
+            "1",
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn stats_every_validates_and_conflicts_with_connect() {
+        let cli = parse_cli(&args(&["--stats-every", "0.5"])).unwrap();
+        assert_eq!(cli.stats_every, Some(0.5));
+        assert!(parse_cli(&args(&["--stats-every", "0"])).is_err());
+        assert!(parse_cli(&args(&["--stats-every", "inf"])).is_err());
+        assert!(parse_cli(&args(&["--stats-every", "soon"])).is_err());
+        let err =
+            parse_cli(&args(&["--stats-every", "1", "--connect", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("--connect"), "{err}");
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! — the socket-side counterpart of `dsx_serve::loadgen`.
 
 use crate::client::NetClient;
+use dsx_obs::Histogram;
 use dsx_serve::loadgen::{request_input, CLASSES};
 use std::net::ToSocketAddrs;
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Load shape: how many requests, over how many concurrent connections.
@@ -56,23 +56,18 @@ impl std::fmt::Display for NetLoadReport {
     }
 }
 
-/// Exact percentile over a sorted latency sample (nearest-rank).
-fn percentile_us(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
 /// Drives a server at `addr` with `cfg.concurrency` connections issuing
 /// `cfg.requests` blocking round trips in total (the serving-tower request
 /// shape), and folds the client-observed latencies into a report. Panics on
 /// any transport or server error — a load run with silent failures would
 /// report fiction.
+///
+/// Latencies fold into the shared [`dsx_obs::Histogram`] — the same
+/// 256-bucket log histogram the serving engine and the pool stats use —
+/// recorded lock-free from every connection thread.
 pub fn run_net_load<A: ToSocketAddrs + Sync>(addr: A, cfg: &NetLoadConfig) -> NetLoadReport {
     assert!(cfg.concurrency >= 1, "need at least one connection");
-    let latencies = Mutex::new(Vec::with_capacity(cfg.requests));
+    let latency = Histogram::new();
     let started = Instant::now();
     std::thread::scope(|scope| {
         for client in 0..cfg.concurrency {
@@ -80,12 +75,11 @@ pub fn run_net_load<A: ToSocketAddrs + Sync>(addr: A, cfg: &NetLoadConfig) -> Ne
             let share = cfg.requests / cfg.concurrency
                 + usize::from(client < cfg.requests % cfg.concurrency);
             let addr = &addr;
-            let latencies = &latencies;
+            let latency = &latency;
             scope.spawn(move || {
                 // lint: allow(panic) — load-measurement harness: a client
                 // that cannot connect invalidates the run, so die loudly.
                 let mut conn = NetClient::connect(addr).expect("connecting the load client");
-                let mut observed = Vec::with_capacity(share);
                 for i in 0..share {
                     let seed = (client * 1_000_003 + i) as u64;
                     let sent = Instant::now();
@@ -94,39 +88,23 @@ pub fn run_net_load<A: ToSocketAddrs + Sync>(addr: A, cfg: &NetLoadConfig) -> Ne
                         // lint: allow(panic) — harness: a failed round trip
                         // poisons the latency sample, so abort the run.
                         .expect("round trip failed mid-load");
-                    observed.push(sent.elapsed());
+                    latency.record(sent.elapsed().as_micros() as u64);
                     assert_eq!(out.shape(), &[1, CLASSES], "response shape mismatch");
                 }
-                // lint: allow(panic) — harness: poisoning means another
-                // client already died and the run is void.
-                latencies.lock().unwrap().extend(observed);
             });
         }
     });
     let elapsed = started.elapsed().max(Duration::from_nanos(1));
-    let mut latencies_us: Vec<u64> = latencies
-        .into_inner()
-        // lint: allow(panic) — harness, same poisoning argument as above.
-        .unwrap()
-        .iter()
-        .map(|d| d.as_micros() as u64)
-        .collect();
-    latencies_us.sort_unstable();
-    let requests = latencies_us.len();
-    let sum: u64 = latencies_us.iter().sum();
+    let requests = latency.count() as usize;
     NetLoadReport {
         requests,
         elapsed_secs: elapsed.as_secs_f64(),
         throughput_rps: requests as f64 / elapsed.as_secs_f64(),
-        mean_latency_us: if requests == 0 {
-            0.0
-        } else {
-            sum as f64 / requests as f64
-        },
-        p50_latency_us: percentile_us(&latencies_us, 0.50),
-        p95_latency_us: percentile_us(&latencies_us, 0.95),
-        p99_latency_us: percentile_us(&latencies_us, 0.99),
-        max_latency_us: latencies_us.last().copied().unwrap_or(0),
+        mean_latency_us: latency.mean(),
+        p50_latency_us: latency.percentile(0.50),
+        p95_latency_us: latency.percentile(0.95),
+        p99_latency_us: latency.percentile(0.99),
+        max_latency_us: latency.max(),
     }
 }
 
@@ -135,13 +113,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_use_nearest_rank_on_the_sorted_sample() {
-        let sorted: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile_us(&sorted, 0.50), 50);
-        assert_eq!(percentile_us(&sorted, 0.95), 95);
-        assert_eq!(percentile_us(&sorted, 0.99), 99);
-        assert_eq!(percentile_us(&sorted, 1.0), 100);
-        assert_eq!(percentile_us(&[], 0.5), 0);
-        assert_eq!(percentile_us(&[7], 0.99), 7);
+    fn report_statistics_come_from_the_shared_histogram() {
+        // Sub-16 µs values land one per bucket, so the shared histogram
+        // reports them exactly — pinning the fold-into-report plumbing.
+        let latency = Histogram::new();
+        for us in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            latency.record(us);
+        }
+        assert_eq!(latency.count(), 10);
+        assert_eq!(latency.percentile(0.50), 5);
+        assert_eq!(latency.percentile(0.95), 10);
+        assert_eq!(latency.max(), 10);
+        assert!((latency.mean() - 5.5).abs() < 1e-9);
     }
 }

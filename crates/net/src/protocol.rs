@@ -12,6 +12,10 @@
 //!   rank: u8 | dims[rank]: u32 LE | data[numel]: f32 LE
 //! error payload (kind 3):
 //!   code: u16 LE | msg_len: u32 LE | message: utf-8 bytes
+//! stats payload (kind 5):
+//!   count: u32 LE | (name_len: u16 LE | name: utf-8 | value: u64 LE)*
+//!   (the dsx-obs metrics snapshot codec; a stats *request* carries an
+//!   empty snapshot, count = 0)
 //! ```
 //!
 //! `len` counts the bytes *after* the length field (magic onward). The
@@ -25,8 +29,29 @@
 //! connection) from unrecoverable ones (an absurd length prefix means the
 //! framing itself cannot be trusted: answer and close).
 
+use dsx_obs::MetricsSnapshot;
 use dsx_tensor::Tensor;
 use std::io::{self, Read, Write};
+use std::sync::OnceLock;
+
+/// Cached handles for the wire-level metrics so the per-frame cost is a
+/// pair of relaxed increments, not registry lookups.
+struct NetCounters {
+    frames_read: &'static dsx_obs::Counter,
+    frames_written: &'static dsx_obs::Counter,
+    bytes_read: &'static dsx_obs::Counter,
+    bytes_written: &'static dsx_obs::Counter,
+}
+
+fn counters() -> &'static NetCounters {
+    static HANDLES: OnceLock<NetCounters> = OnceLock::new();
+    HANDLES.get_or_init(|| NetCounters {
+        frames_read: dsx_obs::counter("net.frames_read"),
+        frames_written: dsx_obs::counter("net.frames_written"),
+        bytes_read: dsx_obs::counter("net.bytes_read"),
+        bytes_written: dsx_obs::counter("net.bytes_written"),
+    })
+}
 
 /// The four bytes every frame body starts with: `b"DSXN"` on the wire.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"DSXN");
@@ -44,6 +69,7 @@ const KIND_REQUEST: u8 = 1;
 const KIND_RESPONSE: u8 = 2;
 const KIND_ERROR: u8 = 3;
 const KIND_RELOAD: u8 = 4;
+const KIND_STATS: u8 = 5;
 
 /// Bytes of a frame body before the payload: magic + version + kind + id.
 const HEADER_LEN: usize = 4 + 2 + 1 + 8;
@@ -148,6 +174,17 @@ pub enum Frame {
         /// Client-chosen id echoed in the reply.
         id: u64,
     },
+    /// A metrics exchange. A client sends a `Stats` frame carrying an
+    /// *empty* snapshot to ask for one; the server replies with a `Stats`
+    /// frame (same id) whose snapshot holds its current counters, gauges
+    /// and histogram summaries (`dsx_obs::snapshot()` merged with the
+    /// serve-tier stats).
+    Stats {
+        /// Client-chosen id echoed in the reply.
+        id: u64,
+        /// Empty in requests; the server's metrics in replies.
+        snapshot: MetricsSnapshot,
+    },
 }
 
 impl Frame {
@@ -157,7 +194,8 @@ impl Frame {
             Frame::Request { id, .. }
             | Frame::Response { id, .. }
             | Frame::Error { id, .. }
-            | Frame::Reload { id } => *id,
+            | Frame::Reload { id }
+            | Frame::Stats { id, .. } => *id,
         }
     }
 }
@@ -249,11 +287,24 @@ impl WireError {
 /// whole frame is built in one buffer — no assemble-then-prepend copy,
 /// which matters at multi-megabyte tensor payloads.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    // Snapshots are encoded once up front: their wire length is not
+    // computable without walking the entries anyway.
+    let stats_payload = match frame {
+        Frame::Stats { snapshot, .. } => Some(snapshot.encode()),
+        _ => None,
+    };
     let (kind, id, payload_len) = match frame {
         Frame::Request { id, tensor } => (KIND_REQUEST, *id, tensor.wire_len()),
         Frame::Response { id, tensor } => (KIND_RESPONSE, *id, tensor.wire_len()),
         Frame::Error { id, message, .. } => (KIND_ERROR, *id, 6 + message.len()),
         Frame::Reload { id } => (KIND_RELOAD, *id, 0),
+        // stats_payload is Some for Stats frames by construction above;
+        // map_or keeps this panic-free all the same.
+        Frame::Stats { id, .. } => (
+            KIND_STATS,
+            *id,
+            stats_payload.as_deref().map_or(0, |p| p.len()),
+        ),
     };
     let body_len = HEADER_LEN + payload_len;
     let mut out = Vec::with_capacity(4 + body_len);
@@ -273,6 +324,11 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             out.extend_from_slice(msg);
         }
         Frame::Reload { .. } => {}
+        Frame::Stats { .. } => {
+            if let Some(payload) = &stats_payload {
+                out.extend_from_slice(payload);
+            }
+        }
     }
     debug_assert_eq!(out.len(), 4 + body_len, "length prefix must be exact");
     out
@@ -280,7 +336,13 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
 
 /// Writes `frame` to `w` (no flush — callers batch flushes per drain).
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
-    w.write_all(&encode_frame(frame))
+    let bytes = encode_frame(frame);
+    let _span = dsx_obs::span_arg("net", "net.write", "bytes", bytes.len() as u64);
+    w.write_all(&bytes)?;
+    let c = counters();
+    c.frames_written.inc();
+    c.bytes_written.add(bytes.len() as u64);
+    Ok(())
 }
 
 /// Reads one frame from `r`.
@@ -309,8 +371,14 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
             why: format!("frame body of {len} bytes is shorter than the {HEADER_LEN}-byte header"),
         });
     }
+    // The span opens only once the length prefix has arrived, so it times
+    // the body read + parse, not the idle wait for the peer to speak.
+    let _span = dsx_obs::span_arg("net", "net.read", "bytes", len as u64);
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
+    let c = counters();
+    c.frames_read.inc();
+    c.bytes_read.add(4 + len as u64);
     parse_body(&body)
 }
 
@@ -391,6 +459,13 @@ fn parse_body(body: &[u8]) -> Result<Frame, WireError> {
                 });
             }
             Ok(Frame::Reload { id })
+        }
+        KIND_STATS => {
+            let snapshot = MetricsSnapshot::decode(payload).map_err(|e| WireError::Malformed {
+                id,
+                why: format!("stats payload: {e}"),
+            })?;
+            Ok(Frame::Stats { id, snapshot })
         }
         other => Err(WireError::Malformed {
             id,
@@ -553,6 +628,47 @@ mod tests {
             read_frame(&mut io::Cursor::new(bytes)).unwrap_err(),
             WireError::Malformed { id: 0, .. }
         ));
+    }
+
+    #[test]
+    fn stats_frames_round_trip_empty_and_populated() {
+        // The client's ask: an empty snapshot.
+        let ask = Frame::Stats {
+            id: 31,
+            snapshot: MetricsSnapshot::default(),
+        };
+        assert_eq!(round_trip(ask.clone()), ask);
+        assert_eq!(ask.id(), 31);
+        // The server's answer: named values.
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.push("serve.requests", 128);
+        snapshot.push("pool.steals", 7);
+        let reply = Frame::Stats { id: 31, snapshot };
+        let back = round_trip(reply.clone());
+        assert_eq!(back, reply);
+        match back {
+            Frame::Stats { snapshot, .. } => {
+                assert_eq!(snapshot.get("serve.requests"), Some(128));
+                assert_eq!(snapshot.get("pool.steals"), Some(7));
+            }
+            // lint: allow(panic) — test assertion.
+            other => panic!("expected a stats frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_stats_payloads_are_malformed_but_recoverable() {
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.push("net.bytes_read", 4096);
+        let mut bytes = encode_frame(&Frame::Stats { id: 77, snapshot });
+        // Chop the final value byte and fix the length prefix to match, so
+        // the damage is in the payload codec, not the framing.
+        bytes.pop();
+        let short_len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) - 1;
+        bytes[..4].copy_from_slice(&short_len.to_le_bytes());
+        let err = read_frame(&mut io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, WireError::Malformed { id: 77, .. }), "{err}");
+        assert!(err.is_recoverable());
     }
 
     #[test]

@@ -114,6 +114,13 @@ impl NetServer {
         self.engine.stats()
     }
 
+    /// A shared handle onto the live counters alone — safe for a background
+    /// reader to hold across [`NetServer::shutdown`] (a full `ServeHandle`
+    /// would keep the engine's queue open and stall the drain).
+    pub fn stats_arc(&self) -> Arc<dsx_serve::ServeStats> {
+        self.engine.stats_arc()
+    }
+
     /// The batcher's current `max_wait` (moves under the adaptive
     /// controller).
     pub fn max_wait(&self) -> Duration {
@@ -321,6 +328,16 @@ fn reader_loop(
                     },
                 };
                 if send_frame(out, &frame).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Stats { id, .. }) => {
+                // Answer with the process-wide metrics registry (pool, gemm,
+                // net counters) merged with the serve tier's own stats.
+                let mut snapshot = dsx_obs::snapshot();
+                handle.stats().export_metrics(&mut snapshot);
+                snapshot.sort();
+                if send_frame(out, &Frame::Stats { id, snapshot }).is_err() {
                     return;
                 }
             }

@@ -297,6 +297,42 @@ fn shutdown_reports_what_the_wire_served() {
 }
 
 #[test]
+fn stats_frame_returns_live_metrics_over_the_wire() {
+    let model = tiny_model();
+    let server = NetServer::start("127.0.0.1:0", Arc::clone(&model), quick_config()).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    for seed in 0..4 {
+        client.infer(&request(seed)).unwrap();
+    }
+    let snapshot = client.stats().unwrap();
+    // The serve tier's counters ride along with the process-wide registry.
+    assert!(
+        snapshot.get("serve.requests").unwrap_or(0) >= 4,
+        "serve.requests missing or low in {snapshot}"
+    );
+    assert!(
+        snapshot.get("serve.latency.count").unwrap_or(0) >= 4,
+        "latency histogram summary missing in {snapshot}"
+    );
+    // The wire tier observed at least our own frames (other tests in this
+    // process may have added more — counters are process-global).
+    assert!(
+        snapshot.get("net.frames_read").unwrap_or(0) >= 4,
+        "net.frames_read missing in {snapshot}"
+    );
+    assert!(snapshot.get("net.bytes_read").unwrap_or(0) > 0);
+    // Entries arrive sorted so the one-line rendering is stable.
+    let names: Vec<&str> = snapshot.entries.iter().map(|e| e.name.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "snapshot entries must arrive sorted");
+    // A normal request still works on the same connection afterwards.
+    assert_eq!(client.infer(&request(9)).unwrap().shape(), &[1, 3]);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
 fn wire_error_display_is_readable() {
     // Cheap coverage of the error plumbing the tests above rely on.
     let err = WireError::Malformed {

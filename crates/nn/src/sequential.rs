@@ -88,7 +88,10 @@ impl Layer for Sequential {
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let mut x = input.clone();
-        for layer in self.layers.iter_mut() {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            // span_with only formats (and interns) the label when tracing
+            // is enabled, so the disabled path stays allocation-free.
+            let _span = dsx_obs::span_with("layer", || format!("{i}:{}", layer.name()));
             x = layer.forward(&x, train);
         }
         x
@@ -96,7 +99,8 @@ impl Layer for Sequential {
 
     fn infer(&self, input: &Tensor) -> Tensor {
         let mut x = input.clone();
-        for layer in self.layers.iter() {
+        for (i, layer) in self.layers.iter().enumerate() {
+            let _span = dsx_obs::span_with("layer", || format!("{i}:{}", layer.name()));
             x = layer.infer(&x);
         }
         x
@@ -303,6 +307,27 @@ mod tests {
         let out = net.forward(&Tensor::randn(&[2, 2, 8, 8], 1), true);
         assert_eq!(out.shape(), &[2, 3]);
         assert_eq!(net.output_shape(&[2, 2, 8, 8]), vec![2, 3]);
+    }
+
+    #[test]
+    fn infer_emits_one_span_per_layer_when_tracing() {
+        let net = tiny_net();
+        dsx_obs::enable(true);
+        net.infer(&Tensor::randn(&[1, 2, 8, 8], 7));
+        dsx_obs::enable(false);
+        let layer_spans: Vec<String> = dsx_obs::trace::collected_events()
+            .into_iter()
+            .filter(|e| e.cat == "layer")
+            .map(|e| e.name.to_string())
+            .collect();
+        // One span per layer of the tiny net, labelled "index:name". Other
+        // tests may have traced too, so assert containment, not equality.
+        for (i, expected) in ["0:Conv2d", "1:BatchNorm2d", "2:ReLU"].iter().enumerate() {
+            assert!(
+                layer_spans.iter().any(|name| name.starts_with(expected)),
+                "missing span {i} ({expected}) in {layer_spans:?}"
+            );
+        }
     }
 
     #[test]

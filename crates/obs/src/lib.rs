@@ -1,0 +1,34 @@
+//! End-to-end observability for the DSXplore runtime.
+//!
+//! Three pieces, all dependency-free so every crate in the workspace
+//! (including `dsx-tensor`'s thread pool, the bottom of the graph) can
+//! record into them:
+//!
+//! - [`Histogram`]: the 256-bucket log-spaced latency histogram with
+//!   sub-bucket interpolated percentiles, promoted out of
+//!   `dsx_serve::stats` so serve, netload and pool stats share one tested
+//!   implementation.
+//! - [`metrics`]: a process-global registry of named [`Counter`]s,
+//!   [`Gauge`]s and histograms, snapshotted into a flat, wire-serializable
+//!   [`MetricsSnapshot`] (the payload of the DSXN `Stats` frame).
+//! - [`trace`]: per-thread lock-free span/event buffers behind a
+//!   relaxed-atomic enable flag, exported as Chrome trace-event JSON
+//!   (loadable in Perfetto / `chrome://tracing`).
+//!
+//! The hot-path contract: when tracing is disabled (the default), a span
+//! call is one relaxed atomic load and a branch — cheap enough to leave in
+//! GEMM inner entry points and the pool's job loop unconditionally.
+
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod metrics;
+pub mod trace;
+
+pub use hist::Histogram;
+pub use metrics::{
+    counter, gauge, snapshot, Counter, Gauge, MetricEntry, MetricsSnapshot, SnapshotDecodeError,
+};
+pub use trace::{
+    enable, enabled, export_chrome_trace, instant, span, span_arg, span_with, SpanGuard, TraceEvent,
+};

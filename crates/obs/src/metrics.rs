@@ -1,0 +1,459 @@
+//! A process-global registry of named counters, gauges and histograms,
+//! and the flat wire-serializable snapshot the DSXN `Stats` frame carries.
+//!
+//! Handles are registered lazily by name and leaked (`&'static`), so hot
+//! paths cache them in a `OnceLock` and pay one relaxed atomic increment
+//! per event — no lock, no lookup. The registry lock is only taken at
+//! registration and snapshot time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::hist::Histogram;
+
+/// A monotonically increasing counter.
+///
+/// **Memory ordering.** Counters are racy-tolerant by design: nothing
+/// guards other memory on their value and readers only produce reports,
+/// so every access is `Relaxed` (each `// ORDER:` tag points here).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed) // ORDER: racy-tolerant counter (see struct doc)
+    }
+}
+
+/// A last-write-wins gauge (same relaxed-ordering argument as [`Counter`]).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// New gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed); // ORDER: racy-tolerant counter (see Counter doc)
+    }
+
+    /// Keeps the maximum of the current and given value.
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed); // ORDER: racy-tolerant counter (see Counter doc)
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed) // ORDER: racy-tolerant counter (see Counter doc)
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// Name → metric table. A linear-scan `Vec` is deliberate: registration
+/// happens once per call site (hot paths cache the returned `&'static`
+/// handle in a `OnceLock`), and snapshots walk the whole table anyway.
+static REGISTRY: Mutex<Vec<(&'static str, Metric)>> = Mutex::new(Vec::new());
+
+/// Locks the registry, recovering from a poisoned lock: the table holds
+/// only leaked references, which stay valid whatever a panicking holder
+/// was doing.
+fn registry() -> MutexGuard<'static, Vec<(&'static str, Metric)>> {
+    match REGISTRY.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Returns the process-global counter registered under `name`, creating
+/// (and leaking) it on first use.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry();
+    for (n, m) in reg.iter() {
+        if *n == name {
+            match m {
+                Metric::Counter(c) => return c,
+                // lint: allow(panic) — contract: a metric name maps to one kind
+                _ => panic!("metric {name:?} already registered as a non-counter"),
+            }
+        }
+    }
+    let handle: &'static Counter = Box::leak(Box::new(Counter::new()));
+    reg.push((name, Metric::Counter(handle)));
+    handle
+}
+
+/// Returns the process-global gauge registered under `name`, creating
+/// (and leaking) it on first use.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = registry();
+    for (n, m) in reg.iter() {
+        if *n == name {
+            match m {
+                Metric::Gauge(g) => return g,
+                // lint: allow(panic) — contract: a metric name maps to one kind
+                _ => panic!("metric {name:?} already registered as a non-gauge"),
+            }
+        }
+    }
+    let handle: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+    reg.push((name, Metric::Gauge(handle)));
+    handle
+}
+
+/// Returns the process-global histogram registered under `name`, creating
+/// (and leaking) it on first use.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = registry();
+    for (n, m) in reg.iter() {
+        if *n == name {
+            match m {
+                Metric::Histogram(h) => return h,
+                // lint: allow(panic) — contract: a metric name maps to one kind
+                _ => panic!("metric {name:?} already registered as a non-histogram"),
+            }
+        }
+    }
+    let handle: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    reg.push((name, Metric::Histogram(handle)));
+    handle
+}
+
+/// One `name = value` pair in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricEntry {
+    /// Dotted metric name, e.g. `pool.steals` or `serve.latency.p99_us`.
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: u64,
+}
+
+/// A flat, point-in-time dump of every registered metric, sorted by name.
+///
+/// Histograms expand into `.count`, `.mean`, `.p50`, `.p95`, `.p99` and
+/// `.max` entries so the wire format stays a plain `(name, u64)` list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// The entries, sorted by name.
+    pub entries: Vec<MetricEntry>,
+}
+
+/// Decode cap on the entry count: a snapshot bigger than this is
+/// hostile, not real.
+pub const MAX_SNAPSHOT_ENTRIES: u32 = 65_536;
+/// Decode cap on a single metric name's byte length.
+pub const MAX_NAME_LEN: u16 = 512;
+
+/// Why [`MetricsSnapshot::decode`] rejected a payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotDecodeError {
+    /// The payload ended before the declared entries did.
+    Truncated,
+    /// The declared entry count exceeds [`MAX_SNAPSHOT_ENTRIES`].
+    TooManyEntries(u32),
+    /// A name length exceeds [`MAX_NAME_LEN`].
+    NameTooLong(u16),
+    /// A name was not valid UTF-8.
+    BadUtf8,
+    /// Bytes remained after the declared entries.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for SnapshotDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotDecodeError::Truncated => write!(f, "snapshot payload truncated"),
+            SnapshotDecodeError::TooManyEntries(n) => {
+                write!(
+                    f,
+                    "snapshot declares {n} entries (cap {MAX_SNAPSHOT_ENTRIES})"
+                )
+            }
+            SnapshotDecodeError::NameTooLong(n) => {
+                write!(f, "metric name of {n} bytes (cap {MAX_NAME_LEN})")
+            }
+            SnapshotDecodeError::BadUtf8 => write!(f, "metric name is not valid UTF-8"),
+            SnapshotDecodeError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the last entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotDecodeError {}
+
+impl MetricsSnapshot {
+    /// An empty snapshot (what a stats *request* carries on the wire).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one entry (keeps insertion order; call [`sort`](Self::sort)
+    /// after a batch of pushes if ordering matters).
+    pub fn push(&mut self, name: impl Into<String>, value: u64) {
+        self.entries.push(MetricEntry {
+            name: name.into(),
+            value,
+        });
+    }
+
+    /// Sorts entries by name (stable output for tests and diffing).
+    pub fn sort(&mut self) {
+        self.entries.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// The value recorded under `name`, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.value)
+    }
+
+    /// Serializes to the DSXN stats payload:
+    /// `u32 LE count | (u16 LE name_len | name bytes | u64 LE value)*`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.entries.len() * 24);
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for entry in &self.entries {
+            let name = entry.name.as_bytes();
+            // Names are program constants well under the cap; truncate
+            // defensively rather than producing an undecodable payload.
+            let len = name.len().min(MAX_NAME_LEN as usize);
+            out.extend_from_slice(&(len as u16).to_le_bytes());
+            out.extend_from_slice(&name[..len]);
+            out.extend_from_slice(&entry.value.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a payload produced by [`encode`](Self::encode), enforcing
+    /// the entry-count and name-length caps against hostile inputs.
+    pub fn decode(payload: &[u8]) -> Result<Self, SnapshotDecodeError> {
+        fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], SnapshotDecodeError> {
+            if buf.len() < n {
+                return Err(SnapshotDecodeError::Truncated);
+            }
+            let (head, tail) = buf.split_at(n);
+            *buf = tail;
+            Ok(head)
+        }
+
+        let mut buf = payload;
+        let count_bytes: [u8; 4] = take(&mut buf, 4)?
+            .try_into()
+            .map_err(|_| SnapshotDecodeError::Truncated)?;
+        let count = u32::from_le_bytes(count_bytes);
+        if count > MAX_SNAPSHOT_ENTRIES {
+            return Err(SnapshotDecodeError::TooManyEntries(count));
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let len_bytes: [u8; 2] = take(&mut buf, 2)?
+                .try_into()
+                .map_err(|_| SnapshotDecodeError::Truncated)?;
+            let name_len = u16::from_le_bytes(len_bytes);
+            if name_len > MAX_NAME_LEN {
+                return Err(SnapshotDecodeError::NameTooLong(name_len));
+            }
+            let name_bytes = take(&mut buf, name_len as usize)?;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| SnapshotDecodeError::BadUtf8)?
+                .to_owned();
+            let value_bytes: [u8; 8] = take(&mut buf, 8)?
+                .try_into()
+                .map_err(|_| SnapshotDecodeError::Truncated)?;
+            entries.push(MetricEntry {
+                name,
+                value: u64::from_le_bytes(value_bytes),
+            });
+        }
+        if !buf.is_empty() {
+            return Err(SnapshotDecodeError::TrailingBytes(buf.len()));
+        }
+        Ok(MetricsSnapshot { entries })
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    /// One-line `name=value name=value ...` rendering (the `--stats-every`
+    /// output format).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}={}", entry.name, entry.value)?;
+        }
+        Ok(())
+    }
+}
+
+/// Dumps every registered metric into a sorted [`MetricsSnapshot`].
+pub fn snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::new();
+    {
+        let reg = registry();
+        for (name, metric) in reg.iter() {
+            match metric {
+                Metric::Counter(c) => snap.push(*name, c.get()),
+                Metric::Gauge(g) => snap.push(*name, g.get()),
+                Metric::Histogram(h) => {
+                    snap.push(format!("{name}.count"), h.count());
+                    snap.push(format!("{name}.mean"), h.mean().round() as u64);
+                    snap.push(format!("{name}.p50"), h.percentile(0.50));
+                    snap.push(format!("{name}.p95"), h.percentile(0.95));
+                    snap.push(format!("{name}.p99"), h.percentile(0.99));
+                    snap.push(format!("{name}.max"), h.max());
+                }
+            }
+        }
+    }
+    snap.sort();
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_accumulate() {
+        let c = counter("test.metrics.hits");
+        c.inc();
+        c.add(4);
+        // A second lookup returns the same leaked handle.
+        assert_eq!(counter("test.metrics.hits").get(), 5);
+
+        let g = gauge("test.metrics.depth");
+        g.set(7);
+        g.set_max(3); // lower — ignored
+        g.set_max(11);
+        assert_eq!(gauge("test.metrics.depth").get(), 11);
+
+        let h = histogram("test.metrics.lat");
+        h.record(40);
+        assert_eq!(histogram("test.metrics.lat").count(), 1);
+
+        let snap = snapshot();
+        assert_eq!(snap.get("test.metrics.hits"), Some(5));
+        assert_eq!(snap.get("test.metrics.depth"), Some(11));
+        assert_eq!(snap.get("test.metrics.lat.count"), Some(1));
+        assert_eq!(snap.get("test.metrics.lat.max"), Some(40));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        counter("test.sorted.zz").inc();
+        counter("test.sorted.aa").inc();
+        let snap = snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_entries() {
+        let mut snap = MetricsSnapshot::new();
+        snap.push("pool.steals", 42);
+        snap.push("serve.latency.p99", u64::MAX);
+        snap.push("", 0); // empty names survive too
+        let decoded = MetricsSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_encodes_to_four_zero_bytes() {
+        let snap = MetricsSnapshot::new();
+        assert_eq!(snap.encode(), vec![0, 0, 0, 0]);
+        assert_eq!(MetricsSnapshot::decode(&[0, 0, 0, 0]).unwrap(), snap);
+    }
+
+    #[test]
+    fn hostile_payloads_are_rejected() {
+        // Too short for the count.
+        assert_eq!(
+            MetricsSnapshot::decode(&[1, 0]),
+            Err(SnapshotDecodeError::Truncated)
+        );
+        // Declares one entry, provides none.
+        assert_eq!(
+            MetricsSnapshot::decode(&[1, 0, 0, 0]),
+            Err(SnapshotDecodeError::Truncated)
+        );
+        // Entry count above the cap.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            MetricsSnapshot::decode(&huge),
+            Err(SnapshotDecodeError::TooManyEntries(u32::MAX))
+        );
+        // Name length above the cap.
+        let mut long_name = Vec::new();
+        long_name.extend_from_slice(&1u32.to_le_bytes());
+        long_name.extend_from_slice(&1000u16.to_le_bytes());
+        assert_eq!(
+            MetricsSnapshot::decode(&long_name),
+            Err(SnapshotDecodeError::NameTooLong(1000))
+        );
+        // Invalid UTF-8 name.
+        let mut bad_utf8 = Vec::new();
+        bad_utf8.extend_from_slice(&1u32.to_le_bytes());
+        bad_utf8.extend_from_slice(&2u16.to_le_bytes());
+        bad_utf8.extend_from_slice(&[0xff, 0xfe]);
+        bad_utf8.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(
+            MetricsSnapshot::decode(&bad_utf8),
+            Err(SnapshotDecodeError::BadUtf8)
+        );
+        // Trailing garbage after a valid body.
+        let mut trailing = MetricsSnapshot::new().encode();
+        trailing.push(0xab);
+        assert_eq!(
+            MetricsSnapshot::decode(&trailing),
+            Err(SnapshotDecodeError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn display_renders_one_line() {
+        let mut snap = MetricsSnapshot::new();
+        snap.push("a", 1);
+        snap.push("b", 2);
+        assert_eq!(format!("{snap}"), "a=1 b=2");
+        assert_eq!(format!("{}", MetricsSnapshot::new()), "");
+    }
+}

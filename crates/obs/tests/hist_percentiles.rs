@@ -1,0 +1,113 @@
+//! Property test pinning `dsx_obs::Histogram` percentile estimates
+//! against exact sorted-sample percentiles.
+//!
+//! The estimator's contract (see `Histogram::percentile`): the estimate
+//! lands in the *same log bucket* as the exact nearest-rank sample (so its
+//! absolute error is below that bucket's width, ~19–25% relative), never
+//! exceeds the observed maximum, is exact for sub-16 values, and is
+//! monotone in `q`.
+
+use dsx_obs::hist::{bucket_floor, bucket_index, Histogram, HIST_BUCKETS};
+use proptest::prelude::*;
+
+/// Deterministic sample generator (splitmix64) so each proptest case is
+/// reproducible from its seed.
+fn samples(seed: u64, len: usize, scale_bits: u32) -> Vec<u64> {
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        out.push(z >> (64 - scale_bits.clamp(1, 63)));
+    }
+    out
+}
+
+/// Exact nearest-rank percentile using the *same* rank formula as the
+/// histogram estimator: rank = ceil(q * n) clamped to [1, n].
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Width of the bucket holding `value` (the estimator's error bound).
+fn bucket_width(value: u64) -> u64 {
+    let idx = bucket_index(value);
+    if idx + 1 < HIST_BUCKETS {
+        bucket_floor(idx + 1) - bucket_floor(idx)
+    } else {
+        u64::MAX - bucket_floor(idx)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentile_estimates_stay_within_one_bucket_of_exact(
+        seed in 0u64..1_000_000,
+        len in 1usize..400,
+        scale_bits in 3u32..40,
+    ) {
+        let mut values = samples(seed, len, scale_bits);
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+        let max = *values.last().unwrap();
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        prop_assert_eq!(hist.max(), max);
+
+        let qs = [0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0];
+        let mut previous = 0u64;
+        for &q in &qs {
+            let estimate = hist.percentile(q);
+            let exact = exact_percentile(&values, q);
+
+            // Same log bucket as the exact sample → error < bucket width.
+            prop_assert!(
+                bucket_index(estimate) == bucket_index(exact),
+                "q={} estimate={} exact={} land in different buckets",
+                q,
+                estimate,
+                exact
+            );
+            prop_assert!(
+                estimate.abs_diff(exact) < bucket_width(exact).max(1),
+                "q={} estimate={} exact={} width={}",
+                q,
+                estimate,
+                exact,
+                bucket_width(exact)
+            );
+            // Never above the observed maximum, and monotone in q.
+            prop_assert!(estimate <= max);
+            prop_assert!(estimate >= previous, "q={} {} < {}", q, estimate, previous);
+            previous = estimate;
+        }
+    }
+
+    #[test]
+    fn sub_16_percentiles_are_exact(
+        seed in 0u64..1_000_000,
+        len in 1usize..200,
+    ) {
+        // scale_bits = 4 keeps every sample below 16, where each value has
+        // its own bucket and the estimator must reproduce the exact
+        // nearest-rank percentile.
+        let mut values = samples(seed, len, 4);
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.01, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(hist.percentile(q), exact_percentile(&values, q));
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Golden-schema test: an exported trace file must be valid Chrome
+//! trace-event JSON with well-formed `ph` / `ts` / `dur` / `tid` fields.
+//!
+//! The validator is a minimal recursive-descent JSON parser (the workspace
+//! is dependency-free by design), so this test fails on any malformed
+//! escaping or structure, not just on missing substrings.
+
+use dsx_obs::trace;
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser. Supports exactly what the trace writer can emit:
+// objects, arrays, strings with \" \\ \uXXXX escapes, numbers, booleans.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                other => return Err(format!("bad object separator {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => return Err(format!("bad array separator {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+fn parse(text: &str) -> Json {
+    let mut parser = Parser::new(text);
+    let value = parser.value().expect("trace JSON must parse");
+    parser.skip_ws();
+    assert_eq!(parser.pos, parser.bytes.len(), "trailing bytes after JSON");
+    value
+}
+
+// ---------------------------------------------------------------------
+// The golden-schema assertions.
+// ---------------------------------------------------------------------
+
+#[test]
+fn exported_trace_file_is_well_formed_chrome_trace_json() {
+    trace::enable(true);
+    {
+        let _outer = trace::span_arg("schema", "schema.outer", "n", 3);
+        let _inner = trace::span("schema", "schema.inner\"quoted\\name");
+        trace::instant("schema", "schema.marker");
+    }
+    let worker = std::thread::Builder::new()
+        .name("schema-worker".to_owned())
+        .spawn(|| {
+            let _g = trace::span("schema", "schema.worker");
+        })
+        .unwrap();
+    worker.join().unwrap();
+    trace::enable(false);
+
+    let path = std::env::temp_dir().join(format!("dsx-obs-schema-{}.json", std::process::id()));
+    let exported = trace::export_chrome_trace(&path).expect("export succeeds");
+    assert!(exported >= 4, "expected >= 4 events, exported {exported}");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = parse(&text);
+    let events = match doc.get("traceEvents") {
+        Some(Json::Array(events)) => events,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    assert!(!events.is_empty());
+
+    let mut span_events = 0usize;
+    let mut seen_tids = std::collections::BTreeSet::new();
+    for event in events {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .expect("every event has a string ph");
+        assert!(
+            matches!(ph, "M" | "X" | "i"),
+            "unexpected phase {ph:?} in {event:?}"
+        );
+        let tid = event
+            .get("tid")
+            .and_then(Json::as_num)
+            .expect("every event has a numeric tid");
+        assert!(
+            tid >= 1.0 && tid.fract() == 0.0,
+            "tid {tid} must be a positive integer"
+        );
+        assert!(
+            event.get("pid").and_then(Json::as_num).is_some(),
+            "every event has a numeric pid"
+        );
+        match ph {
+            "M" => {
+                assert_eq!(
+                    event.get("name").and_then(Json::as_str),
+                    Some("thread_name")
+                );
+                assert!(event.get("args").and_then(|a| a.get("name")).is_some());
+            }
+            "X" => {
+                span_events += 1;
+                seen_tids.insert(tid as u64);
+                let ts = event.get("ts").and_then(Json::as_num).expect("ts");
+                let dur = event.get("dur").and_then(Json::as_num).expect("dur");
+                assert!(ts >= 0.0 && dur >= 0.0);
+                assert!(!event
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .expect("name")
+                    .is_empty());
+                assert!(!event
+                    .get("cat")
+                    .and_then(Json::as_str)
+                    .expect("cat")
+                    .is_empty());
+            }
+            _ => {
+                // Instant events carry a scope and a timestamp.
+                assert_eq!(event.get("s").and_then(Json::as_str), Some("t"));
+                assert!(event.get("ts").and_then(Json::as_num).is_some());
+            }
+        }
+    }
+    assert!(
+        span_events >= 3,
+        "expected >= 3 X events, got {span_events}"
+    );
+    assert!(
+        seen_tids.len() >= 2,
+        "spans from two threads must carry distinct tids: {seen_tids:?}"
+    );
+
+    // The escaped name round-trips through export + parse.
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(names.contains(&"schema.inner\"quoted\\name"), "{names:?}");
+
+    // The span argument survives as a numeric args field.
+    let outer = events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("schema.outer"))
+        .expect("outer span present");
+    assert_eq!(
+        outer
+            .get("args")
+            .and_then(|a| a.get("n"))
+            .and_then(Json::as_num),
+        Some(3.0)
+    );
+
+    std::fs::remove_file(&path).ok();
+}

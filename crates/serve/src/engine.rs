@@ -261,6 +261,12 @@ impl PendingResponse {
 }
 
 impl ServeHandle {
+    /// The engine's live serving counters (shared with every worker; the
+    /// net tier reads these to answer DSXN stats frames).
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
     fn validate(&self, input: &Tensor) -> Result<(), ServeError> {
         if input.rank() != 4 {
             return Err(ServeError::InvalidRequest(format!(
@@ -455,6 +461,14 @@ impl ServeEngine {
         &self.stats
     }
 
+    /// A shared handle onto the live counters alone. Unlike a
+    /// [`ServeHandle`], holding one does not keep the request queue open,
+    /// so a background reader (e.g. a periodic stats printer) can outlive
+    /// the engine without stalling its shutdown drain.
+    pub fn stats_arc(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.stats)
+    }
+
     /// Requests currently waiting in the shared queue.
     pub fn queue_depth(&self) -> usize {
         self.depth_probe.len()
@@ -538,6 +552,10 @@ fn worker_loop(
             Ok(request) => request,
             Err(_) => return, // every sender gone and the queue drained
         };
+        // The assembly span opens when the first request arrives and
+        // closes once the batch is formed, so a trace shows how long each
+        // batch spent topping up against `max_wait`.
+        let assemble_span = dsx_obs::span("serve", "serve.assemble");
         let mut batch = vec![first];
         // ORDER: tuning knob read once per batch; a stale deadline is
         // harmless (the controller's next value applies next batch).
@@ -553,6 +571,7 @@ fn worker_loop(
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
+        drop(assemble_span);
         // Pin the current model for this whole batch: clone the inner Arc
         // and release the read lock before running. A concurrent
         // `swap_model` replaces the slot without touching this batch, and
@@ -636,6 +655,7 @@ fn controller_loop(
 /// Stacks a gathered batch, runs the single shared forward pass, and routes
 /// each request's output slice back to its caller.
 fn run_batch(model: &dyn Layer, batch: Vec<Request>, stats: &ServeStats) {
+    let _span = dsx_obs::span_arg("serve", "serve.batch", "batch", batch.len() as u64);
     let sizes: Vec<usize> = batch.iter().map(|r| r.input.dim(0)).collect();
     let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
     let stacked = Tensor::cat_batch(&inputs);

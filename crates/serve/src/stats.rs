@@ -2,38 +2,17 @@
 //! log-bucketed percentiles), batch occupancy and throughput counters
 //! shared between the engine's worker threads, plus the adaptive-wait
 //! controller's gauge and adjustment counters.
+//!
+//! The latency distribution lives in [`dsx_obs::Histogram`] (the
+//! 256-bucket log histogram with sub-bucket interpolated percentiles grew
+//! up here and was promoted into `dsx-obs` so netload and pool stats share
+//! it); this module keeps the serving-specific counters around it.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
-/// Number of log-spaced latency histogram buckets (see [`bucket_index`]).
-const HIST_BUCKETS: usize = 256;
-
-/// Maps a latency in microseconds to its histogram bucket.
-///
-/// Values below 16 µs get one bucket each (exact); above that, each
-/// power-of-two octave is split into 4 sub-buckets, so the relative
-/// quantisation error of a percentile estimate is at most ~19%. The top
-/// bucket index for any `u64` is 255, so the table never overflows.
-fn bucket_index(us: u64) -> usize {
-    if us < 16 {
-        return us as usize;
-    }
-    let octave = us.ilog2() as usize; // >= 4
-    let sub = ((us >> (octave - 2)) & 3) as usize;
-    16 + (octave - 4) * 4 + sub
-}
-
-/// The smallest latency (µs) that lands in bucket `idx` — the conservative
-/// value percentile estimates report.
-fn bucket_floor(idx: usize) -> u64 {
-    if idx < 16 {
-        return idx as u64;
-    }
-    let octave = 4 + (idx - 16) / 4;
-    let sub = ((idx - 16) % 4) as u64;
-    (1u64 << octave) | (sub << (octave - 2))
-}
+pub use dsx_obs::Histogram;
+use dsx_obs::MetricsSnapshot;
 
 /// Thread-safe serving counters. Workers record into these as batches
 /// complete; [`ServeStats::snapshot`] folds them into a report.
@@ -45,15 +24,15 @@ fn bucket_floor(idx: usize) -> u64 {
 /// counted but not its latency yet). `Relaxed` is therefore sound on every
 /// access — each per-site `// ORDER:` tag below points back to this
 /// argument.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct ServeStats {
     requests: AtomicUsize,
     batches: AtomicUsize,
     batch_size_sum: AtomicUsize,
     batch_size_max: AtomicUsize,
-    latency_sum_us: AtomicU64,
-    latency_max_us: AtomicU64,
-    latency_hist: Box<[AtomicU64]>,
+    /// Queue-to-response latency distribution in µs (count, sum, max and
+    /// log-bucketed percentiles all live in the histogram).
+    latency: Histogram,
     /// The batcher's *current* `max_wait` in µs — a gauge the engine (and
     /// the adaptive controller) keeps up to date, not a counter.
     wait_gauge_us: AtomicU64,
@@ -65,25 +44,6 @@ pub struct ServeStats {
     /// Requests whose batch failed and were never served. The zero-drop
     /// hot-swap guarantee is CI-gated on this staying 0.
     dropped_requests: AtomicUsize,
-}
-
-impl Default for ServeStats {
-    fn default() -> Self {
-        ServeStats {
-            requests: AtomicUsize::new(0),
-            batches: AtomicUsize::new(0),
-            batch_size_sum: AtomicUsize::new(0),
-            batch_size_max: AtomicUsize::new(0),
-            latency_sum_us: AtomicU64::new(0),
-            latency_max_us: AtomicU64::new(0),
-            latency_hist: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-            wait_gauge_us: AtomicU64::new(0),
-            adaptive_raises: AtomicUsize::new(0),
-            adaptive_shrinks: AtomicUsize::new(0),
-            swap_generation: AtomicU64::new(0),
-            dropped_requests: AtomicUsize::new(0),
-        }
-    }
 }
 
 impl ServeStats {
@@ -102,10 +62,7 @@ impl ServeStats {
 
     /// Records one request's queue-to-response latency.
     pub fn record_latency(&self, latency: Duration) {
-        let us = latency.as_micros() as u64;
-        self.latency_sum_us.fetch_add(us, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
-        self.latency_max_us.fetch_max(us, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
-        self.latency_hist[bucket_index(us)].fetch_add(1, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
+        self.latency.record(latency.as_micros() as u64);
     }
 
     /// Updates the `max_wait` gauge (the engine calls this at start and on
@@ -157,58 +114,41 @@ impl ServeStats {
     }
 
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the recorded latencies
-    /// from the log-spaced histogram, in µs. Returns 0 before any request
-    /// completed.
-    ///
-    /// Within the bucket holding the quantile rank the estimate is
-    /// **linearly interpolated** by rank position across the bucket's
-    /// width (assuming samples spread uniformly inside the bucket), so
-    /// nearby percentiles stay distinct even when they share one wide
-    /// bucket (serving latencies land in buckets ~19% wide, where a
-    /// floor-only estimate collapsed p50/p95/p99 onto the same edge — see
-    /// BENCH_PR3.json from PR 4). The estimate stays inside the bucket
-    /// holding the rank and at or below the observed maximum; when samples
-    /// cluster at a bucket's low edge the uniform assumption can place it
-    /// above the exact sample percentile, but never by more than that
-    /// bucket's width (~19%).
+    /// in µs — see [`Histogram::percentile`] for the estimator's contract
+    /// (sub-bucket linear interpolation, bounded by the observed maximum).
     pub fn latency_percentile_us(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .latency_hist
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed)) // ORDER: racy-tolerant counter (see struct doc)
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let max = self.latency_max_us.load(Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (idx, &count) in counts.iter().enumerate() {
-            if count == 0 {
-                continue;
-            }
-            if seen + count >= rank {
-                let floor = bucket_floor(idx);
-                // The top bucket is unbounded; use the observed maximum as
-                // its effective ceiling.
-                let ceil = if idx + 1 < HIST_BUCKETS {
-                    bucket_floor(idx + 1).min(max.max(floor))
-                } else {
-                    max.max(floor)
-                };
-                let width = ceil - floor;
-                // Position of the rank inside this bucket, in [1, count]:
-                // interpolate at (position - 1) / count so a width-1
-                // (sub-16 µs) bucket still reports its exact value.
-                let position = rank - seen;
-                let offset =
-                    (u128::from(width) * u128::from(position - 1) / u128::from(count)) as u64;
-                return (floor + offset).min(max.max(floor));
-            }
-            seen += count;
-        }
-        max
+        self.latency.percentile(q)
+    }
+
+    /// Appends this engine's counters to a metrics snapshot under the
+    /// `serve.` prefix (the DSXN `Stats` frame payload).
+    pub fn export_metrics(&self, snap: &mut MetricsSnapshot) {
+        snap.push("serve.requests", self.requests() as u64);
+        snap.push("serve.batches", self.batches() as u64);
+        snap.push(
+            "serve.batch_size_max",
+            self.batch_size_max.load(Ordering::Relaxed) as u64, // ORDER: racy-tolerant counter (see struct doc)
+        );
+        snap.push("serve.latency.count", self.latency.count());
+        snap.push("serve.latency.mean_us", self.latency.mean().round() as u64);
+        snap.push("serve.latency.p50_us", self.latency.percentile(0.50));
+        snap.push("serve.latency.p95_us", self.latency.percentile(0.95));
+        snap.push("serve.latency.p99_us", self.latency.percentile(0.99));
+        snap.push("serve.latency.max_us", self.latency.max());
+        snap.push(
+            "serve.max_wait_us",
+            self.wait_gauge_us.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
+        );
+        snap.push(
+            "serve.adaptive_raises",
+            self.adaptive_raises.load(Ordering::Relaxed) as u64, // ORDER: racy-tolerant counter (see struct doc)
+        );
+        snap.push(
+            "serve.adaptive_shrinks",
+            self.adaptive_shrinks.load(Ordering::Relaxed) as u64, // ORDER: racy-tolerant counter (see struct doc)
+        );
+        snap.push("serve.swap_generation", self.swap_generation());
+        snap.push("serve.dropped_requests", self.dropped_requests() as u64);
     }
 
     /// Folds the counters into a report for a serving window of `elapsed`
@@ -230,13 +170,12 @@ impl ServeStats {
             mean_latency_us: if requests == 0 {
                 0.0
             } else {
-                // ORDER: racy-tolerant counter (see struct doc)
-                self.latency_sum_us.load(Ordering::Relaxed) as f64 / requests as f64
+                self.latency.sum() as f64 / requests as f64
             },
-            p50_latency_us: self.latency_percentile_us(0.50),
-            p95_latency_us: self.latency_percentile_us(0.95),
-            p99_latency_us: self.latency_percentile_us(0.99),
-            max_latency_us: self.latency_max_us.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
+            p50_latency_us: self.latency.percentile(0.50),
+            p95_latency_us: self.latency.percentile(0.95),
+            p99_latency_us: self.latency.percentile(0.99),
+            max_latency_us: self.latency.max(),
             max_wait_us: self.wait_gauge_us.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
             adaptive_raises: self.adaptive_raises.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
             adaptive_shrinks: self.adaptive_shrinks.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
@@ -437,19 +376,6 @@ mod tests {
     }
 
     #[test]
-    fn bucket_mapping_round_trips_as_a_floor() {
-        for us in (0..16).chain([16, 17, 31, 32, 100, 1000, 123_456, u64::MAX / 2]) {
-            let idx = bucket_index(us);
-            let floor = bucket_floor(idx);
-            assert!(floor <= us, "floor({idx}) = {floor} > {us}");
-            // The next bucket starts above this value.
-            if idx + 1 < HIST_BUCKETS {
-                assert!(bucket_floor(idx + 1) > us, "value {us} fits bucket {idx}");
-            }
-        }
-    }
-
-    #[test]
     fn adaptive_counters_and_gauge_surface_in_the_snapshot() {
         let stats = ServeStats::new();
         stats.set_wait_gauge(Duration::from_micros(750));
@@ -483,5 +409,21 @@ mod tests {
         let rendered = format!("{snap}");
         assert!(rendered.contains("model generation 2"));
         assert!(rendered.contains("DROPPED 3 requests"));
+    }
+
+    #[test]
+    fn export_metrics_carries_the_serve_prefix() {
+        let stats = ServeStats::new();
+        stats.record_batch(4);
+        for _ in 0..4 {
+            stats.record_latency(Duration::from_micros(100));
+        }
+        let mut snap = MetricsSnapshot::new();
+        stats.export_metrics(&mut snap);
+        assert_eq!(snap.get("serve.requests"), Some(4));
+        assert_eq!(snap.get("serve.batches"), Some(1));
+        assert_eq!(snap.get("serve.latency.count"), Some(4));
+        assert_eq!(snap.get("serve.latency.max_us"), Some(100));
+        assert_eq!(snap.get("serve.dropped_requests"), Some(0));
     }
 }

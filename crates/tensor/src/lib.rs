@@ -51,6 +51,7 @@ pub mod wire;
 pub use checksum::{crc32, Crc32};
 pub use matmul::GemmKernel;
 pub use par::{num_threads, set_num_threads};
+pub use pool::PoolStats;
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use wire::{WireDecodeError, MAX_WIRE_NUMEL, MAX_WIRE_RANK};

@@ -29,6 +29,14 @@
 
 use crate::par;
 use crate::tensor::Tensor;
+use std::sync::OnceLock;
+
+/// Cached handle for the `gemm.calls` metric so the per-matmul cost is one
+/// relaxed increment, not a registry lookup.
+fn gemm_calls() -> &'static dsx_obs::Counter {
+    static HANDLE: OnceLock<&'static dsx_obs::Counter> = OnceLock::new();
+    HANDLE.get_or_init(|| dsx_obs::counter("gemm.calls"))
+}
 
 /// Cache block edge (elements) for the blocked kernel. 64 × 64 f32 blocks of
 /// A, B and C fit comfortably in a typical 32 KiB L1 cache.
@@ -305,6 +313,18 @@ impl Tensor {
             other.shape()
         );
         let (a, b) = (self.as_slice(), other.as_slice());
+        gemm_calls().inc();
+        let _span = dsx_obs::span_arg(
+            "gemm",
+            match kernel {
+                GemmKernel::Auto => "gemm.auto",
+                GemmKernel::Blocked => "gemm.blocked",
+                GemmKernel::RegTiled => "gemm.regtiled",
+                GemmKernel::Pooled => "gemm.pooled",
+            },
+            "macs",
+            (m * k * n) as u64,
+        );
         let data = match kernel {
             GemmKernel::Auto => {
                 let work = m * k * n;

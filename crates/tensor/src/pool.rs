@@ -35,7 +35,7 @@
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, TryLockError};
 use std::thread;
 
 /// Locks a mutex, transparently recovering from poisoning (a panicked body
@@ -45,6 +45,104 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Like [`lock`], but counts the acquisition as contended when another
+/// participant holds the lock (the `pool.claim_contention` metric — a
+/// cheap proxy for how often claims collide on the span deques).
+fn lock_claim<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.try_lock() {
+        Ok(guard) => guard,
+        Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            counters().claim_contention.inc();
+            lock(mutex)
+        }
+    }
+}
+
+/// The pool's process-global observability counters (registered in the
+/// `dsx_obs` metrics registry, surfaced by [`stats`] and the DSXN stats
+/// frame). Handles are resolved once and cached: the hot path pays one
+/// relaxed increment, never a registry lookup.
+struct PoolCounters {
+    /// Jobs dispatched to the pool (inline runs are not counted).
+    jobs: &'static dsx_obs::Counter,
+    /// Successful steals of another participant's span (back half or tail).
+    steals: &'static dsx_obs::Counter,
+    /// Times a worker parked on the condvar waiting for work.
+    parks: &'static dsx_obs::Counter,
+    /// Times a parked worker woke up (with or without work to do).
+    wakeups: &'static dsx_obs::Counter,
+    /// Claim-lock acquisitions that found the lock held.
+    claim_contention: &'static dsx_obs::Counter,
+    /// Wakeups that found the queue still empty and parked again.
+    idle_epochs: &'static dsx_obs::Counter,
+}
+
+fn counters() -> &'static PoolCounters {
+    static COUNTERS: OnceLock<PoolCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| PoolCounters {
+        jobs: dsx_obs::counter("pool.jobs"),
+        steals: dsx_obs::counter("pool.steals"),
+        parks: dsx_obs::counter("pool.parks"),
+        wakeups: dsx_obs::counter("pool.wakeups"),
+        claim_contention: dsx_obs::counter("pool.claim_contention"),
+        idle_epochs: dsx_obs::counter("pool.idle_epochs"),
+    })
+}
+
+/// A point-in-time view of the pool's scheduling counters (process-global,
+/// monotone since startup) plus the live worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs dispatched to the pool (inline single-threaded runs excluded).
+    pub jobs: u64,
+    /// Successful work steals between participants.
+    pub steals: u64,
+    /// Times a worker parked waiting for work.
+    pub parks: u64,
+    /// Times a parked worker woke up.
+    pub wakeups: u64,
+    /// Span-deque lock acquisitions that found the lock held.
+    pub claim_contention: u64,
+    /// Wakeups that found no work and parked again.
+    pub idle_epochs: u64,
+    /// Live pool worker threads (the submitter participates on top).
+    pub workers: usize,
+}
+
+impl std::fmt::Display for PoolStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "jobs {}, steals {}, parks {}, wakeups {}, idle epochs {}, \
+             contended claims {}, workers {}",
+            self.jobs,
+            self.steals,
+            self.parks,
+            self.wakeups,
+            self.idle_epochs,
+            self.claim_contention,
+            self.workers
+        )
+    }
+}
+
+/// Reads the pool's scheduling counters. Cheap (six relaxed loads plus the
+/// pool-slot lock for the worker count); safe to call from anywhere,
+/// including while jobs are in flight.
+pub fn stats() -> PoolStats {
+    let c = counters();
+    PoolStats {
+        jobs: c.jobs.get(),
+        steals: c.steals.get(),
+        parks: c.parks.get(),
+        wakeups: c.wakeups.get(),
+        claim_contention: c.claim_contention.get(),
+        idle_epochs: c.idle_epochs.get(),
+        workers: worker_count(),
+    }
 }
 
 /// A contiguous range of not-yet-claimed iterations owned by one
@@ -134,7 +232,7 @@ impl Job {
         let k = self.spans.len();
         let me = me % k;
         {
-            let mut own = lock(&self.spans[me]);
+            let mut own = lock_claim(&self.spans[me]);
             if own.start < own.end {
                 let take = self.grain.min(own.end - own.start);
                 let start = own.start;
@@ -145,7 +243,7 @@ impl Job {
         for step in 1..k {
             let victim = (me + step) % k;
             let (start, end) = {
-                let mut span = lock(&self.spans[victim]);
+                let mut span = lock_claim(&self.spans[victim]);
                 let len = span.end - span.start;
                 if len == 0 {
                     continue;
@@ -162,9 +260,11 @@ impl Job {
                     stolen
                 }
             };
+            counters().steals.inc();
+            dsx_obs::instant("pool", "pool.steal");
             let take = self.grain.min(end - start);
             if start + take < end {
-                let mut own = lock(&self.spans[me]);
+                let mut own = lock_claim(&self.spans[me]);
                 if own.start >= own.end {
                     own.start = start + take;
                     own.end = end;
@@ -230,6 +330,7 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
     loop {
         let job = {
             let mut state = lock(&shared.state);
+            let mut waited = false;
             loop {
                 if state.shutdown {
                     return;
@@ -238,12 +339,21 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
                 if let Some(job) = state.queue.first() {
                     break Arc::clone(job);
                 }
+                if waited {
+                    // Woke up to an empty queue (a sibling drained it, or
+                    // the wakeup was spurious) — one idle epoch.
+                    counters().idle_epochs.inc();
+                }
+                counters().parks.inc();
                 state = shared
                     .work_cv
                     .wait(state)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
+                waited = true;
+                counters().wakeups.inc();
             }
         };
+        let _span = dsx_obs::span("pool", "pool.participate");
         job.participate(me);
     }
 }
@@ -392,6 +502,8 @@ where
         body(0, n);
         return;
     };
+    counters().jobs.inc();
+    let _span = dsx_obs::span_arg("pool", "pool.run", "n", n as u64);
     let participants = workers + 1;
     let grain = grain
         .max(n / (participants * CLAIMS_PER_PARTICIPANT).max(1))
@@ -536,6 +648,24 @@ mod tests {
             });
         });
         assert_eq!(count.load(Ordering::Relaxed), n);
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn stats_count_jobs_and_expose_worker_count() {
+        let _guard = test_thread_guard();
+        set_num_threads(4);
+        let before = stats();
+        let n = test_scale(20_000, 512);
+        run(n, 64, |_, _| {});
+        let after = stats();
+        assert!(after.jobs > before.jobs, "{after:?} vs {before:?}");
+        assert_eq!(after.workers, 3);
+        let line = format!("{after}");
+        assert!(
+            line.contains("jobs") && line.contains("workers 3"),
+            "{line}"
+        );
         set_num_threads(0);
     }
 
