@@ -11,6 +11,16 @@
 //! * `DSX_NET_MIN_RPS` — required absolute batched network throughput in
 //!   requests/second (set generously for shared runners).
 //!
+//! A third measurement reruns the blocked batched load through the
+//! fault-tolerant client path — `infer_retry` under the default
+//! [`RetryPolicy`] plus a generous per-request deadline — and writes
+//! `BENCH_PR10.json` (override with `DSX_NET_RESILIENCE_JSON`). On the
+//! happy path none of that machinery fires, so its cost must be noise:
+//!
+//! * `DSX_NET_MAX_RETRY_OVERHEAD` — maximum allowed
+//!   `plain_rps / resilient_rps` ratio (the acceptance bar is 1.05,
+//!   i.e. retry/deadline plumbing may cost at most 5% throughput).
+//!
 //! Other knobs: `DSX_NET_REQUESTS` (batched request count, default 96).
 //!
 //! Methodology mirrors `serve_throughput`, moved onto the wire:
@@ -27,7 +37,7 @@
 //! ability to keep the batcher fed), not core count.
 
 use dsx_core::BackendKind;
-use dsx_net::{run_net_load, NetLoadConfig, NetLoadReport, NetServer};
+use dsx_net::{run_net_load, NetLoadConfig, NetLoadReport, NetServer, RetryPolicy};
 use dsx_serve::loadgen::INPUT_HW;
 use dsx_serve::{build_serving_model, serving_spec, ServeConfig};
 use std::path::{Path, PathBuf};
@@ -54,11 +64,22 @@ impl BackendRow {
     }
 }
 
+/// A happy-path deadline far above any loopback round trip: the wire
+/// carries it and the engine checks it, but nothing ever expires.
+const RESILIENT_DEADLINE: Duration = Duration::from_secs(30);
+
 fn json_path() -> PathBuf {
     if let Ok(path) = std::env::var("DSX_NET_BENCH_JSON") {
         return PathBuf::from(path);
     }
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json")
+}
+
+fn resilience_json_path() -> PathBuf {
+    if let Ok(path) = std::env::var("DSX_NET_RESILIENCE_JSON") {
+        return PathBuf::from(path);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR10.json")
 }
 
 fn render_json(rows: &[BackendRow], requests: usize) -> String {
@@ -112,6 +133,33 @@ fn render_json(rows: &[BackendRow], requests: usize) -> String {
     out
 }
 
+/// Renders the fault-tolerance happy-path report: the plain batched
+/// blocked run next to the same load through retry + deadline plumbing.
+fn render_resilience_json(plain: &NetLoadReport, resilient: &NetLoadReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"dsx-bench/net-retry-overhead/1\",\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"backend\": \"blocked\", \"max_batch\": {MAX_BATCH}, \
+         \"connections\": {CONCURRENCY}, \"deadline_us\": {}, \"retry_max_attempts\": {}}},\n",
+        RESILIENT_DEADLINE.as_micros(),
+        RetryPolicy::default().max_attempts,
+    ));
+    out.push_str(&format!(
+        "  \"plain_rps\": {:.1},\n  \"resilient_rps\": {:.1},\n",
+        plain.throughput_rps, resilient.throughput_rps,
+    ));
+    out.push_str(&format!(
+        "  \"overhead_plain_over_resilient\": {:.3},\n",
+        plain.throughput_rps / resilient.throughput_rps,
+    ));
+    out.push_str(&format!(
+        "  \"resilient_shed_requests\": {},\n  \"resilient_p99_us\": {}\n",
+        resilient.shed_requests, resilient.p99_latency_us,
+    ));
+    out.push_str("}\n");
+    out
+}
+
 /// Starts a server on an ephemeral loopback port, runs one load shape
 /// against it, and shuts it down.
 fn measure(backend: BackendKind, max_batch: usize, load: &NetLoadConfig) -> NetLoadReport {
@@ -147,6 +195,24 @@ fn gate(name: &str, env: &str, got: f64) -> bool {
     }
 }
 
+/// Like [`gate`], but the environment variable is a ceiling: the gate
+/// fails when `got` EXCEEDS it. Unset means pass.
+fn gate_max(name: &str, env: &str, got: f64) -> bool {
+    let Ok(max) = std::env::var(env) else {
+        return true;
+    };
+    let max: f64 = max
+        .parse()
+        .unwrap_or_else(|e| panic!("{env} must be a float: {e}"));
+    if got > max {
+        eprintln!("NET GATE FAILED: {name} is {got:.3} (allowed at most {max:.3})");
+        false
+    } else {
+        println!("  net gate passed: {name} {got:.3} <= {max:.3}");
+        true
+    }
+}
+
 fn main() {
     // One kernel thread per forward pass: request-level concurrency is the
     // thing under test.
@@ -173,6 +239,7 @@ fn main() {
             &NetLoadConfig {
                 requests: 2,
                 concurrency: 1,
+                ..NetLoadConfig::default()
             },
         );
         let serial = measure(
@@ -181,6 +248,7 @@ fn main() {
             &NetLoadConfig {
                 requests: (requests / 2).max(8),
                 concurrency: 1,
+                ..NetLoadConfig::default()
             },
         );
         let batched = measure(
@@ -189,6 +257,7 @@ fn main() {
             &NetLoadConfig {
                 requests,
                 concurrency: CONCURRENCY,
+                ..NetLoadConfig::default()
             },
         );
         println!(
@@ -218,6 +287,40 @@ fn main() {
         .iter()
         .find(|r| r.backend == BackendKind::Blocked)
         .expect("blocked backend was measured");
+
+    // Fault-tolerance happy path: the identical blocked batched load, but
+    // every round trip carries a 30 s deadline and runs through
+    // `infer_retry` under the default policy. Nothing expires and nothing
+    // retries, so the delta is the pure cost of the plumbing.
+    let resilient = measure(
+        BackendKind::Blocked,
+        MAX_BATCH,
+        &NetLoadConfig {
+            requests,
+            concurrency: CONCURRENCY,
+            deadline_us: RESILIENT_DEADLINE.as_micros() as u64,
+            retry: Some(RetryPolicy::default()),
+        },
+    );
+    let overhead = blocked.batched.throughput_rps / resilient.throughput_rps;
+    println!(
+        "  blocked resilient {:>8.1} req/s (plain {:>8.1} req/s, overhead {:.3}x)",
+        resilient.throughput_rps, blocked.batched.throughput_rps, overhead,
+    );
+    let resilience_json = render_resilience_json(&blocked.batched, &resilient);
+    let resilience_path = resilience_json_path();
+    std::fs::write(&resilience_path, &resilience_json).unwrap_or_else(|e| {
+        panic!(
+            "cannot write resilience report {}: {e}",
+            resilience_path.display()
+        )
+    });
+    println!("  wrote {}", resilience_path.display());
+    assert_eq!(
+        resilient.shed_requests, 0,
+        "a 30 s deadline must never expire on loopback"
+    );
+
     let speedup_ok = gate(
         "blocked batched-vs-serial network speedup",
         "DSX_NET_MIN_SPEEDUP",
@@ -228,7 +331,12 @@ fn main() {
         "DSX_NET_MIN_RPS",
         blocked.batched.throughput_rps,
     );
-    if !(speedup_ok && rps_ok) {
+    let overhead_ok = gate_max(
+        "retry/deadline happy-path overhead (plain/resilient rps)",
+        "DSX_NET_MAX_RETRY_OVERHEAD",
+        overhead,
+    );
+    if !(speedup_ok && rps_ok && overhead_ok) {
         std::process::exit(1);
     }
 }

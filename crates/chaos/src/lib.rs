@@ -1,0 +1,734 @@
+//! A deterministic fault-injection TCP proxy for the DSXN serving path.
+//!
+//! `dsx-chaos` sits between a client and a server, forwards length-prefixed
+//! frames, and — per a seeded [`FaultPlan`] — delays, corrupts, truncates,
+//! duplicates, black-holes or severs them. The point is to *prove* the
+//! fault-tolerance claims of the serving stack: every injected fault must
+//! end, on the client side, in a typed error or a successful retry. Never a
+//! hang, never a silently lost response.
+//!
+//! Two design rules keep the harness honest:
+//!
+//! * **Zero dependencies.** The proxy shares no code with the stack it
+//!   tortures (not even the wire-protocol crate). It understands exactly one
+//!   thing about DSXN: frames start with a `u32` little-endian length
+//!   prefix. A shared parsing bug would hide from both sides at once.
+//! * **Determinism.** Every fault decision is a pure function of
+//!   `(seed, connection, direction, frame index)` via SplitMix64 — no
+//!   shared RNG state, no lock ordering between connections, and a failing
+//!   CI seed replays exactly on a laptop.
+//!
+//! ```no_run
+//! use dsx_chaos::{ChaosProxy, FaultPlan};
+//!
+//! let plan = FaultPlan::new(42); // default mix: ~70% clean passes
+//! let proxy = ChaosProxy::start("127.0.0.1:7878".parse().unwrap(), plan).unwrap();
+//! println!("point your client at {}", proxy.local_addr());
+//! # proxy.shutdown();
+//! ```
+#![forbid(unsafe_code)]
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a pump blocks in one `read` before re-checking the stop flag —
+/// the knob that guarantees `shutdown` never hangs on an idle connection.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Largest frame the proxy will buffer; mirrors (and slightly exceeds) the
+/// DSXN wire cap so the proxy is never the limiting party. A prefix above
+/// it means the stream is not speaking length-prefixed frames at all, and
+/// the connection is severed.
+const MAX_FRAME: usize = 80 * 1024 * 1024;
+
+/// SplitMix64 finalizer: the deterministic heart of every fault decision.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Which way a frame was travelling when the proxy touched it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Client → server (requests).
+    Upstream,
+    /// Server → client (responses).
+    Downstream,
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Direction::Upstream => write!(f, "up"),
+            Direction::Downstream => write!(f, "down"),
+        }
+    }
+}
+
+/// One injectable fault. `Pass` is the no-fault decision and is never
+/// recorded in the event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Forward the frame untouched.
+    Pass,
+    /// Hold the frame for the plan's `delay_for`, then forward it.
+    Delay,
+    /// Forward the length prefix and half the body, then sever the
+    /// connection (a partial frame desyncs framing, so the stream cannot
+    /// honestly continue).
+    Truncate,
+    /// Flip a byte inside the first 8 body bytes — DSXN's magic/version
+    /// region — so the receiver sees a *detectable*, typed malformation
+    /// under an honest length prefix.
+    Corrupt,
+    /// Forward the frame twice.
+    Duplicate,
+    /// Swallow the frame and keep the connection open (the receiver waits
+    /// on silence until its own timeout fires).
+    BlackHole,
+    /// Close both sides of the connection without forwarding.
+    Sever,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            FaultKind::Pass => "pass",
+            FaultKind::Delay => "delay",
+            FaultKind::Truncate => "truncate",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::BlackHole => "black-hole",
+            FaultKind::Sever => "sever",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Relative weights for each fault kind — the dial between a gentle soak
+/// and a hurricane.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultMix {
+    pub pass: u32,
+    pub delay: u32,
+    pub truncate: u32,
+    pub corrupt: u32,
+    pub duplicate: u32,
+    pub black_hole: u32,
+    pub sever: u32,
+    /// How long a [`FaultKind::Delay`] holds its frame.
+    pub delay_for: Duration,
+}
+
+impl Default for FaultMix {
+    /// The soak mix: roughly 70% clean passes, every fault kind present.
+    fn default() -> Self {
+        FaultMix {
+            pass: 70,
+            delay: 8,
+            truncate: 4,
+            corrupt: 6,
+            duplicate: 4,
+            black_hole: 4,
+            sever: 4,
+            delay_for: Duration::from_millis(20),
+        }
+    }
+}
+
+impl FaultMix {
+    /// A mix that injects exactly `kind` on every frame — for tests that
+    /// pin one failure mode.
+    pub fn only(kind: FaultKind) -> FaultMix {
+        let mut mix = FaultMix {
+            pass: 0,
+            delay: 0,
+            truncate: 0,
+            corrupt: 0,
+            duplicate: 0,
+            black_hole: 0,
+            sever: 0,
+            delay_for: Duration::from_millis(20),
+        };
+        *mix.weight_mut(kind) = 1;
+        mix
+    }
+
+    /// A mix that never injects anything — the control group.
+    pub fn pass_through() -> FaultMix {
+        FaultMix::only(FaultKind::Pass)
+    }
+
+    fn weight_mut(&mut self, kind: FaultKind) -> &mut u32 {
+        match kind {
+            FaultKind::Pass => &mut self.pass,
+            FaultKind::Delay => &mut self.delay,
+            FaultKind::Truncate => &mut self.truncate,
+            FaultKind::Corrupt => &mut self.corrupt,
+            FaultKind::Duplicate => &mut self.duplicate,
+            FaultKind::BlackHole => &mut self.black_hole,
+            FaultKind::Sever => &mut self.sever,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        u64::from(self.pass)
+            + u64::from(self.delay)
+            + u64::from(self.truncate)
+            + u64::from(self.corrupt)
+            + u64::from(self.duplicate)
+            + u64::from(self.black_hole)
+            + u64::from(self.sever)
+    }
+}
+
+/// The seeded, deterministic fault schedule the proxy executes.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub mix: FaultMix,
+}
+
+impl FaultPlan {
+    /// The default soak plan under `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            mix: FaultMix::default(),
+        }
+    }
+
+    /// A plan with a custom mix under `seed`.
+    pub fn with_mix(seed: u64, mix: FaultMix) -> FaultPlan {
+        FaultPlan { seed, mix }
+    }
+
+    /// The fault for frame `frame` of connection `conn` in `direction` — a
+    /// pure function, so replays and parallel connections agree without
+    /// sharing state.
+    pub fn decide(&self, conn: usize, direction: Direction, frame: u64) -> FaultKind {
+        let total = self.mix.total();
+        if total == 0 {
+            return FaultKind::Pass;
+        }
+        let dir_bit = match direction {
+            Direction::Upstream => 0u64,
+            Direction::Downstream => 1u64,
+        };
+        let key = self
+            .seed
+            .wrapping_mul(0x0100_0000_01B3) // FNV prime keeps seed bits live
+            .wrapping_add((conn as u64) << 17)
+            .wrapping_add(dir_bit << 16)
+            .wrapping_add(frame);
+        let mut draw = splitmix64(key) % total;
+        for (kind, weight) in [
+            (FaultKind::Pass, self.mix.pass),
+            (FaultKind::Delay, self.mix.delay),
+            (FaultKind::Truncate, self.mix.truncate),
+            (FaultKind::Corrupt, self.mix.corrupt),
+            (FaultKind::Duplicate, self.mix.duplicate),
+            (FaultKind::BlackHole, self.mix.black_hole),
+            (FaultKind::Sever, self.mix.sever),
+        ] {
+            let weight = u64::from(weight);
+            if draw < weight {
+                return kind;
+            }
+            draw -= weight;
+        }
+        FaultKind::Pass // unreachable: draw < total = sum of weights
+    }
+}
+
+/// One injected fault, as recorded in the proxy's event log (clean passes
+/// are not recorded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Connection index, in accept order.
+    pub conn: usize,
+    pub direction: Direction,
+    /// Frame index within that connection and direction.
+    pub frame: u64,
+    pub kind: FaultKind,
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conn {} {} frame {}: {}",
+            self.conn, self.direction, self.frame, self.kind
+        )
+    }
+}
+
+/// Shared state between the proxy handle and its threads.
+struct Shared {
+    stop: AtomicBool,
+    events: Mutex<Vec<FaultEvent>>,
+}
+
+impl Shared {
+    fn record(&self, event: FaultEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(event);
+    }
+}
+
+/// The running proxy: accepts on an ephemeral local port and forwards every
+/// connection to `upstream` through the fault plan.
+pub struct ChaosProxy {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    pumps: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ChaosProxy {
+    /// Binds `127.0.0.1:0` and starts proxying to `upstream` under `plan`.
+    pub fn start(upstream: SocketAddr, plan: FaultPlan) -> io::Result<ChaosProxy> {
+        ChaosProxy::start_on("127.0.0.1:0", upstream, plan)
+    }
+
+    /// Like [`ChaosProxy::start`] with an explicit listen address.
+    pub fn start_on(listen: &str, upstream: SocketAddr, plan: FaultPlan) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(listen)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            events: Mutex::new(Vec::new()),
+        });
+        let pumps = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let pumps = Arc::clone(&pumps);
+            std::thread::Builder::new()
+                .name("dsx-chaos-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, upstream, plan, &shared, &pumps))?
+        };
+        Ok(ChaosProxy {
+            local_addr,
+            shared,
+            acceptor,
+            pumps,
+        })
+    }
+
+    /// Where clients should connect.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of every fault injected so far (clean passes excluded).
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.shared
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Stops accepting, tears down every pump, and returns the full event
+    /// log. Bounded: pumps poll the stop flag every 50 ms (`POLL`), so
+    /// this cannot hang on an idle connection.
+    pub fn shutdown(self) -> Vec<FaultEvent> {
+        let ChaosProxy {
+            shared,
+            acceptor,
+            pumps,
+            ..
+        } = self;
+        // ORDER: plain stop flag; pumps poll it between reads.
+        shared.stop.store(true, Ordering::Relaxed);
+        if acceptor.join().is_err() {
+            eprintln!("dsx-chaos: the acceptor panicked; continuing shutdown");
+        }
+        let pumps = std::mem::take(
+            &mut *pumps
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for pump in pumps {
+            let _ = pump.join();
+        }
+        let events = shared
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        events
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    plan: FaultPlan,
+    shared: &Arc<Shared>,
+    pumps: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    let mut conn = 0usize;
+    // ORDER: stop flag — a stale read costs one extra poll interval.
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((client, _peer)) => {
+                match proxy_connection(client, upstream, plan, conn, shared) {
+                    Ok(pair) => pumps
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .extend(pair),
+                    Err(e) => eprintln!("dsx-chaos: failed to proxy connection {conn}: {e}"),
+                }
+                conn += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) => {
+                eprintln!("dsx-chaos: accept failed: {e}");
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+}
+
+/// Wires one client connection to a fresh upstream connection through two
+/// pump threads (one per direction).
+fn proxy_connection(
+    client: TcpStream,
+    upstream: SocketAddr,
+    plan: FaultPlan,
+    conn: usize,
+    shared: &Arc<Shared>,
+) -> io::Result<[JoinHandle<()>; 2]> {
+    let server = TcpStream::connect_timeout(&upstream, Duration::from_secs(5))?;
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    // The poll cadence that keeps shutdown bounded.
+    client.set_read_timeout(Some(POLL))?;
+    server.set_read_timeout(Some(POLL))?;
+    // A stuck receiver must not wedge a pump forever either.
+    client.set_write_timeout(Some(Duration::from_secs(5)))?;
+    server.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let up = Pump {
+        src: client.try_clone()?,
+        dst: server.try_clone()?,
+        direction: Direction::Upstream,
+        conn,
+        plan,
+        shared: Arc::clone(shared),
+    };
+    let down = Pump {
+        src: server,
+        dst: client,
+        direction: Direction::Downstream,
+        conn,
+        plan,
+        shared: Arc::clone(shared),
+    };
+    let up = std::thread::Builder::new()
+        .name(format!("dsx-chaos-up-{conn}"))
+        .spawn(move || up.run())?;
+    let down = std::thread::Builder::new()
+        .name(format!("dsx-chaos-down-{conn}"))
+        .spawn(move || down.run())?;
+    Ok([up, down])
+}
+
+/// One direction of one proxied connection.
+struct Pump {
+    src: TcpStream,
+    dst: TcpStream,
+    direction: Direction,
+    conn: usize,
+    plan: FaultPlan,
+    shared: Arc<Shared>,
+}
+
+enum ReadOutcome {
+    Frame(Vec<u8>),
+    /// Clean EOF, stop requested, or unframeable stream.
+    Done,
+}
+
+impl Pump {
+    fn run(mut self) {
+        let mut frame_index = 0u64;
+        loop {
+            let frame = match self.read_frame() {
+                Ok(ReadOutcome::Frame(frame)) => frame,
+                Ok(ReadOutcome::Done) | Err(_) => return self.sever_quietly(),
+            };
+            let kind = self.plan.decide(self.conn, self.direction, frame_index);
+            if kind != FaultKind::Pass {
+                self.shared.record(FaultEvent {
+                    conn: self.conn,
+                    direction: self.direction,
+                    frame: frame_index,
+                    kind,
+                });
+            }
+            frame_index += 1;
+            let forwarded = match kind {
+                FaultKind::Pass => self.dst.write_all(&frame),
+                FaultKind::Delay => {
+                    self.interruptible_sleep(self.plan.mix.delay_for);
+                    self.dst.write_all(&frame)
+                }
+                FaultKind::Truncate => {
+                    // Half the frame, then a hard cut: framing is gone, so
+                    // the stream must die with it.
+                    let cut = 4 + (frame.len() - 4) / 2;
+                    let _ = self.dst.write_all(&frame[..cut]);
+                    return self.sever_quietly();
+                }
+                FaultKind::Corrupt => {
+                    let mut evil = frame;
+                    // Flip inside the magic/version region (first 8 body
+                    // bytes) so the receiver detects the damage instead of
+                    // mis-parsing it.
+                    let at = 4 + (splitmix64(self.plan.seed ^ frame_index) % 8) as usize;
+                    if at < evil.len() {
+                        evil[at] ^= 0x5A;
+                    }
+                    self.dst.write_all(&evil)
+                }
+                FaultKind::Duplicate => self
+                    .dst
+                    .write_all(&frame)
+                    .and_then(|()| self.dst.write_all(&frame)),
+                FaultKind::BlackHole => Ok(()),
+                FaultKind::Sever => return self.sever_quietly(),
+            };
+            if forwarded.is_err() {
+                return self.sever_quietly();
+            }
+        }
+    }
+
+    /// Reads one `u32-LE length prefix + body` frame, polling the stop flag
+    /// between short read timeouts so shutdown stays bounded.
+    fn read_frame(&mut self) -> io::Result<ReadOutcome> {
+        let mut prefix = [0u8; 4];
+        if !self.read_full(&mut prefix)? {
+            return Ok(ReadOutcome::Done);
+        }
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > MAX_FRAME {
+            // Not a framed stream (or a hostile prefix): refuse to buffer.
+            return Ok(ReadOutcome::Done);
+        }
+        let mut frame = vec![0u8; 4 + len];
+        frame[..4].copy_from_slice(&prefix);
+        if !self.read_full(&mut frame[4..])? {
+            return Ok(ReadOutcome::Done); // EOF mid-frame
+        }
+        Ok(ReadOutcome::Frame(frame))
+    }
+
+    /// Fills `buf` from `src`, tolerating read-timeout polls. Returns
+    /// `Ok(false)` on EOF or a stop request.
+    fn read_full(&mut self, buf: &mut [u8]) -> io::Result<bool> {
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            match self.src.read(&mut buf[filled..]) {
+                Ok(0) => return Ok(false),
+                Ok(n) => filled += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // ORDER: stop flag poll — staleness costs one POLL.
+                    if self.shared.stop.load(Ordering::Relaxed) {
+                        return Ok(false);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Sleeps `total` in [`POLL`] slices, returning early on stop.
+    fn interruptible_sleep(&self, total: Duration) {
+        let mut left = total;
+        while !left.is_zero() {
+            // ORDER: stop flag poll — staleness costs one POLL.
+            if self.shared.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let step = left.min(POLL);
+            std::thread::sleep(step);
+            left -= step;
+        }
+    }
+
+    /// Closes both sides; errors are expected (the peer may already be
+    /// gone) and irrelevant.
+    fn sever_quietly(&self) {
+        let _ = self.src.shutdown(Shutdown::Both);
+        let _ = self.dst.shutdown(Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// A minimal upstream: echoes every length-prefixed frame back.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            // Serve a handful of connections, then retire (tests are short).
+            for _ in 0..8 {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                std::thread::spawn(move || {
+                    let mut prefix = [0u8; 4];
+                    loop {
+                        if stream.read_exact(&mut prefix).is_err() {
+                            return;
+                        }
+                        let len = u32::from_le_bytes(prefix) as usize;
+                        let mut body = vec![0u8; len];
+                        if stream.read_exact(&mut body).is_err() {
+                            return;
+                        }
+                        if stream.write_all(&prefix).is_err() || stream.write_all(&body).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut bytes = (payload.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(payload);
+        bytes
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_cover_every_kind() {
+        let plan = FaultPlan::new(42);
+        let replay = FaultPlan::new(42);
+        let mut seen = std::collections::HashSet::new();
+        for conn in 0..4 {
+            for frame in 0..256 {
+                let kind = plan.decide(conn, Direction::Upstream, frame);
+                assert_eq!(kind, replay.decide(conn, Direction::Upstream, frame));
+                seen.insert(kind);
+                seen.insert(plan.decide(conn, Direction::Downstream, frame));
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            7,
+            "default mix should produce all kinds: {seen:?}"
+        );
+        // Different directions and connections draw different streams.
+        let up: Vec<_> = (0..64)
+            .map(|i| plan.decide(0, Direction::Upstream, i))
+            .collect();
+        let down: Vec<_> = (0..64)
+            .map(|i| plan.decide(0, Direction::Downstream, i))
+            .collect();
+        assert_ne!(up, down);
+    }
+
+    #[test]
+    fn an_only_mix_pins_the_fault_kind() {
+        let plan = FaultPlan::with_mix(7, FaultMix::only(FaultKind::BlackHole));
+        for i in 0..100 {
+            assert_eq!(plan.decide(0, Direction::Upstream, i), FaultKind::BlackHole);
+        }
+        let quiet = FaultPlan::with_mix(7, FaultMix::pass_through());
+        for i in 0..100 {
+            assert_eq!(quiet.decide(3, Direction::Downstream, i), FaultKind::Pass);
+        }
+    }
+
+    #[test]
+    fn pass_through_proxy_round_trips_frames() {
+        let (upstream, _echo) = echo_server();
+        let proxy =
+            ChaosProxy::start(upstream, FaultPlan::with_mix(1, FaultMix::pass_through())).unwrap();
+        let mut client = TcpStream::connect(proxy.local_addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        for round in 0..5u8 {
+            let payload = vec![round; 1 + round as usize * 7];
+            client.write_all(&frame(&payload)).unwrap();
+            let mut prefix = [0u8; 4];
+            client.read_exact(&mut prefix).unwrap();
+            let mut body = vec![0u8; u32::from_le_bytes(prefix) as usize];
+            client.read_exact(&mut body).unwrap();
+            assert_eq!(body, payload);
+        }
+        let events = proxy.shutdown();
+        assert!(
+            events.is_empty(),
+            "pass-through injected faults: {events:?}"
+        );
+    }
+
+    #[test]
+    fn a_sever_plan_closes_the_connection_and_logs_the_event() {
+        let (upstream, _echo) = echo_server();
+        let proxy = ChaosProxy::start(
+            upstream,
+            FaultPlan::with_mix(2, FaultMix::only(FaultKind::Sever)),
+        )
+        .unwrap();
+        let mut client = TcpStream::connect(proxy.local_addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        client.write_all(&frame(b"doomed")).unwrap();
+        let mut buf = [0u8; 4];
+        // The proxy severs instead of forwarding: EOF, not data.
+        match client.read(&mut buf) {
+            Ok(0) => {}
+            Ok(n) => panic!("expected EOF after sever, read {n} bytes"),
+            Err(e) => panic!("expected clean EOF after sever, got {e}"),
+        }
+        let events = proxy.shutdown();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == FaultKind::Sever && e.direction == Direction::Upstream),
+            "sever not logged: {events:?}"
+        );
+    }
+
+    #[test]
+    fn shutdown_is_bounded_with_an_idle_connection_open() {
+        let (upstream, _echo) = echo_server();
+        let proxy = ChaosProxy::start(upstream, FaultPlan::new(3)).unwrap();
+        // A client that connects and never sends: pumps sit in poll reads.
+        let _idle = TcpStream::connect(proxy.local_addr()).unwrap();
+        let started = std::time::Instant::now();
+        proxy.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown hung on an idle connection"
+        );
+    }
+}

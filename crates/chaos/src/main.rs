@@ -1,0 +1,91 @@
+//! `dsx-chaos` — a standalone fault-injecting TCP proxy.
+//!
+//! ```text
+//! dsx-chaos --upstream 127.0.0.1:7878 [--listen 127.0.0.1:0] [--seed 42]
+//! ```
+//!
+//! Forwards DSXN frames to `--upstream`, injecting the default fault mix
+//! (~30% of frames delayed, corrupted, truncated, duplicated, black-holed
+//! or severed) deterministically from `--seed`. Prints the listen address
+//! on stdout and every injected fault on stderr; runs until killed.
+
+use dsx_chaos::{ChaosProxy, FaultPlan};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dsx-chaos --upstream HOST:PORT [--listen HOST:PORT] [--seed N]\n\
+         \n\
+         A deterministic fault-injection proxy for the DSXN serving path.\n\
+         --upstream  the real server to forward to (required)\n\
+         --listen    address to accept clients on (default 127.0.0.1:0)\n\
+         --seed      fault-plan seed (default 42)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut upstream: Option<String> = None;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut seed = 42u64;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| match argv.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("dsx-chaos: {name} needs a value");
+                usage();
+            }
+        };
+        match flag.as_str() {
+            "--upstream" => upstream = Some(value("--upstream")),
+            "--listen" => listen = value("--listen"),
+            "--seed" => match value("--seed").parse() {
+                Ok(n) => seed = n,
+                Err(_) => {
+                    eprintln!("dsx-chaos: --seed must be an unsigned integer");
+                    usage();
+                }
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("dsx-chaos: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let Some(upstream) = upstream else {
+        eprintln!("dsx-chaos: --upstream is required");
+        usage();
+    };
+    let upstream = match upstream.parse() {
+        Ok(addr) => addr,
+        Err(_) => {
+            eprintln!("dsx-chaos: --upstream must be a HOST:PORT socket address");
+            usage();
+        }
+    };
+    let proxy = match ChaosProxy::start_on(&listen, upstream, FaultPlan::new(seed)) {
+        Ok(proxy) => proxy,
+        Err(e) => {
+            eprintln!("dsx-chaos: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", proxy.local_addr());
+    eprintln!(
+        "dsx-chaos: proxying {} -> {} (seed {seed}); ^C to stop",
+        proxy.local_addr(),
+        upstream
+    );
+    // Report injected faults as they happen until the process is killed.
+    let mut reported = 0usize;
+    loop {
+        std::thread::sleep(Duration::from_millis(500));
+        let events = proxy.events();
+        for event in &events[reported..] {
+            eprintln!("dsx-chaos: {event}");
+        }
+        reported = events.len();
+    }
+}

@@ -1,18 +1,59 @@
 //! The client half of the wire protocol: a blocking [`NetClient`] that can
 //! run simple round trips or pipeline many tagged requests and reassemble
 //! the out-of-order responses by id.
+//!
+//! ## Fault tolerance
+//!
+//! Every socket the client opens carries read/write timeouts
+//! ([`ClientConfig`]), so a black-holed or stalled server surfaces as a
+//! typed [`NetError::Timeout`] instead of hanging the caller forever. On
+//! top of that, [`NetClient::infer_retry`] wraps the blocking round trip in
+//! a bounded [`RetryPolicy`]: connection-level failures (socket errors,
+//! timeouts, garbled frames, desynced streams) and explicit
+//! `ServerBusy`/`Shutdown` rejections are retried on a *fresh* connection
+//! after an exponential backoff with deterministic jitter; application
+//! verdicts the server actually computed (`BadRequest`,
+//! `DeadlineExceeded`, ...) are returned as-is — retrying can only repeat
+//! them. Inference requests are pure (no server-side state changes), and
+//! each retry reconnects, so resending a frame whose response was lost can
+//! never double-apply anything or mismatch a stale reply.
 
 use crate::protocol::{self, ErrorCode, Frame, WireError};
 use dsx_obs::MetricsSnapshot;
 use dsx_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Cached handles for the client-side resilience counters (shared with the
+/// process registry the DSXN `Stats` frame exports).
+struct ClientCounters {
+    retries: &'static dsx_obs::Counter,
+    reconnects: &'static dsx_obs::Counter,
+    timeouts: &'static dsx_obs::Counter,
+}
+
+fn counters() -> &'static ClientCounters {
+    static HANDLES: OnceLock<ClientCounters> = OnceLock::new();
+    HANDLES.get_or_init(|| ClientCounters {
+        retries: dsx_obs::counter("net.client.retries"),
+        reconnects: dsx_obs::counter("net.client.reconnects"),
+        timeouts: dsx_obs::counter("net.client.timeouts"),
+    })
+}
 
 /// An error surfaced to a client caller.
 #[derive(Debug)]
 pub enum NetError {
     /// The socket failed (or closed unexpectedly mid-conversation).
     Io(io::Error),
+    /// A socket read or write ran past its configured timeout
+    /// (`WouldBlock`/`TimedOut` surfaced as a typed error, so a black-holed
+    /// server can never hang the client).
+    Timeout,
     /// A frame off the wire did not parse.
     Wire(WireError),
     /// The server answered with an error frame.
@@ -26,10 +67,31 @@ pub enum NetError {
     UnexpectedFrame(String),
 }
 
+impl NetError {
+    /// Whether a bounded retry on a fresh connection makes sense: the
+    /// failure was connection-level (the conversation broke, or desynced)
+    /// or an explicit `ServerBusy`/`Shutdown` rejection — the server never
+    /// computed an answer. Application verdicts (`BadRequest`,
+    /// `DeadlineExceeded`, `Malformed`, ...) are final: the frame was
+    /// accepted and judged, so a retry can only repeat the judgement.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            NetError::Io(_) | NetError::Timeout | NetError::Wire(_) => true,
+            // A desynced stream (stale or duplicated replies) heals on a
+            // fresh connection.
+            NetError::UnexpectedFrame(_) => true,
+            NetError::Server { code, .. } => {
+                matches!(code, ErrorCode::ServerBusy | ErrorCode::Shutdown)
+            }
+        }
+    }
+}
+
 impl std::fmt::Display for NetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Timeout => f.write_str("socket operation timed out"),
             NetError::Wire(e) => write!(f, "protocol error: {e}"),
             NetError::Server { code, message } => write!(f, "server error: {code}: {message}"),
             NetError::UnexpectedFrame(what) => write!(f, "unexpected frame from server: {what}"),
@@ -39,17 +101,107 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+/// Whether an I/O error is a socket-timeout expiry. Both kinds matter:
+/// unix reports `SO_RCVTIMEO` expiry as `WouldBlock`, windows as
+/// `TimedOut`.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 impl From<io::Error> for NetError {
     fn from(e: io::Error) -> Self {
-        NetError::Io(e)
+        if is_timeout(&e) {
+            counters().timeouts.inc();
+            NetError::Timeout
+        } else {
+            NetError::Io(e)
+        }
     }
 }
 
 impl From<WireError> for NetError {
     fn from(e: WireError) -> Self {
         match e {
-            WireError::Io(io) => NetError::Io(io),
+            WireError::Io(io) => NetError::from(io),
             other => NetError::Wire(other),
+        }
+    }
+}
+
+/// Bounded-retry policy for [`NetClient::infer_retry`]: exponential
+/// backoff with deterministic jitter, applied only to connection-level
+/// failures (see [`NetError::is_retryable`]).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` disables retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `0.0 ..= 1.0`: each sleep is scaled by a factor
+    /// drawn uniformly from `[1 - jitter, 1]`, so a thundering herd of
+    /// clients decorrelates. `0.0` is fully deterministic.
+    pub jitter: f64,
+    /// Seed for the jitter RNG (the vendored SplitMix64 shim), so a chaos
+    /// run replays bit-identically.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(200),
+            jitter: 0.5,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry number `retry` (0-based).
+    fn backoff(&self, retry: u32, rng: &mut StdRng) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
+            .min(self.max_backoff);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 || exp.is_zero() {
+            return exp;
+        }
+        let scale = 1.0 - jitter * rng.gen_range(0.0f64..1.0);
+        exp.mul_f64(scale)
+    }
+}
+
+/// Socket and retry configuration for a [`NetClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection (per resolved address).
+    /// `None` blocks on the OS default.
+    pub connect_timeout: Option<Duration>,
+    /// `SO_RCVTIMEO`: bound on any single blocking read. `None` blocks
+    /// forever — a black-holed server then hangs the caller, so the
+    /// default keeps one.
+    pub read_timeout: Option<Duration>,
+    /// `SO_SNDTIMEO`: bound on any single blocking write.
+    pub write_timeout: Option<Duration>,
+    /// Retry policy for [`NetClient::infer_retry`].
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -63,7 +215,16 @@ impl From<WireError> for NetError {
 pub struct NetClient {
     writer: BufWriter<TcpStream>,
     reader: BufReader<TcpStream>,
+    /// The resolved peer addresses, kept for reconnects.
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
     next_id: u64,
+    /// Requests written whose replies have not been read yet. Transparent
+    /// reconnect in the send path only fires at zero: reconnecting with
+    /// replies outstanding would silently lose them, and this client
+    /// never loses a response silently.
+    inflight: u64,
+    rng: StdRng,
 }
 
 /// One reply off the wire: the echoed request id plus the served tensor or
@@ -77,37 +238,131 @@ pub struct Reply {
     pub result: Result<Tensor, (ErrorCode, String)>,
 }
 
+/// Dials the first address that answers, under the configured timeout.
+fn dial(addrs: &[SocketAddr], config: &ClientConfig) -> io::Result<TcpStream> {
+    let mut last_err = None;
+    for addr in addrs {
+        let attempt = match config.connect_timeout {
+            Some(timeout) => TcpStream::connect_timeout(addr, timeout),
+            None => TcpStream::connect(addr),
+        };
+        match attempt {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(config.read_timeout)?;
+                stream.set_write_timeout(config.write_timeout)?;
+                return Ok(stream);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "no addresses to connect to")
+    }))
+}
+
 impl NetClient {
-    /// Connects to a `dsx-net` server.
+    /// Connects to a `dsx-net` server with the default timeouts and retry
+    /// policy ([`ClientConfig::default`]).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<NetClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit socket timeouts and retry policy.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, config: ClientConfig) -> io::Result<NetClient> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = dial(&addrs, &config)?;
+        let rng = StdRng::seed_from_u64(config.retry.seed);
         Ok(NetClient {
             writer: BufWriter::new(stream.try_clone()?),
             reader: BufReader::new(stream),
+            addrs,
+            config,
             next_id: 1,
+            inflight: 0,
+            rng,
         })
+    }
+
+    /// Requests written but not yet answered on this connection.
+    pub fn inflight(&self) -> u64 {
+        self.inflight
+    }
+
+    /// Tears the connection down and dials the server again (same resolved
+    /// addresses, same timeouts). Any replies still in flight on the old
+    /// connection are gone — the send path therefore only reconnects
+    /// transparently when nothing is outstanding.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = dial(&self.addrs, &self.config)?;
+        self.writer = BufWriter::new(stream.try_clone()?);
+        self.reader = BufReader::new(stream);
+        self.inflight = 0;
+        counters().reconnects.inc();
+        Ok(())
     }
 
     /// Sends one request frame carrying `input`, returning the id assigned
     /// to it. Does not wait for the reply — callers may pipeline.
     pub fn send_request(&mut self, input: &Tensor) -> Result<u64, NetError> {
+        self.send_request_deadline(input, 0)
+    }
+
+    /// Like [`NetClient::send_request`], with a serving deadline: the
+    /// server sheds the request (answering `DeadlineExceeded`) if it is
+    /// still queued `deadline_us` microseconds after reading the frame.
+    /// `0` means no deadline.
+    pub fn send_request_deadline(
+        &mut self,
+        input: &Tensor,
+        deadline_us: u64,
+    ) -> Result<u64, NetError> {
         let id = self.next_id;
         self.next_id += 1;
-        self.send_request_with_id(id, input)?;
+        self.send_request_with_id_deadline(id, input, deadline_us)?;
         Ok(id)
     }
 
     /// Sends one request frame under a caller-chosen id (tests use this to
     /// interleave id spaces). The caller owns uniqueness.
     pub fn send_request_with_id(&mut self, id: u64, input: &Tensor) -> Result<(), NetError> {
-        protocol::write_frame(
-            &mut self.writer,
-            &Frame::Request {
-                id,
-                tensor: input.clone(),
-            },
-        )?;
+        self.send_request_with_id_deadline(id, input, 0)
+    }
+
+    /// Caller-chosen id *and* serving deadline (see
+    /// [`NetClient::send_request_deadline`]).
+    ///
+    /// If the write fails on a connection-level error while **no** replies
+    /// are outstanding, the client transparently reconnects once and
+    /// resends — a pipelined sender that lost its idle connection (server
+    /// idle reaping, a mid-life network blip) just keeps going. With
+    /// replies in flight the error surfaces instead: reconnecting would
+    /// silently drop them.
+    pub fn send_request_with_id_deadline(
+        &mut self,
+        id: u64,
+        input: &Tensor,
+        deadline_us: u64,
+    ) -> Result<(), NetError> {
+        let frame = Frame::Request {
+            id,
+            deadline_us,
+            tensor: input.clone(),
+        };
+        match self.write_flush(&frame) {
+            Ok(()) => {}
+            Err(err) if err.is_retryable() && self.inflight == 0 => {
+                self.reconnect()?;
+                self.write_flush(&frame)?;
+            }
+            Err(err) => return Err(err),
+        }
+        self.inflight += 1;
+        Ok(())
+    }
+
+    fn write_flush(&mut self, frame: &Frame) -> Result<(), NetError> {
+        protocol::write_frame(&mut self.writer, frame)?;
         self.writer.flush()?;
         Ok(())
     }
@@ -115,14 +370,20 @@ impl NetClient {
     /// Blocks for the next reply frame, whatever request it answers.
     pub fn read_reply(&mut self) -> Result<Reply, NetError> {
         match protocol::read_frame(&mut self.reader)? {
-            Frame::Response { id, tensor } => Ok(Reply {
-                id,
-                result: Ok(tensor),
-            }),
-            Frame::Error { id, code, message } => Ok(Reply {
-                id,
-                result: Err((code, message)),
-            }),
+            Frame::Response { id, tensor } => {
+                self.inflight = self.inflight.saturating_sub(1);
+                Ok(Reply {
+                    id,
+                    result: Ok(tensor),
+                })
+            }
+            Frame::Error { id, code, message } => {
+                self.inflight = self.inflight.saturating_sub(1);
+                Ok(Reply {
+                    id,
+                    result: Err((code, message)),
+                })
+            }
             Frame::Request { id, .. } => Err(NetError::UnexpectedFrame(format!(
                 "request frame (id {id}) from the server"
             ))),
@@ -190,7 +451,13 @@ impl NetClient {
     /// to other pipelined ids are an error here — use
     /// [`NetClient::read_reply`] when pipelining), and unwrap the output.
     pub fn infer(&mut self, input: &Tensor) -> Result<Tensor, NetError> {
-        let id = self.send_request(input)?;
+        self.infer_deadline(input, 0)
+    }
+
+    /// One blocking round trip carrying a serving deadline (`deadline_us`
+    /// microseconds from server receipt; `0` = none).
+    pub fn infer_deadline(&mut self, input: &Tensor, deadline_us: u64) -> Result<Tensor, NetError> {
+        let id = self.send_request_deadline(input, deadline_us)?;
         let reply = self.read_reply()?;
         if reply.id != id {
             return Err(NetError::UnexpectedFrame(format!(
@@ -201,5 +468,158 @@ impl NetClient {
         reply
             .result
             .map_err(|(code, message)| NetError::Server { code, message })
+    }
+
+    /// The resilient round trip: [`NetClient::infer_deadline`] wrapped in
+    /// the connection's [`RetryPolicy`]. Connection-level failures retry on
+    /// a fresh connection after a jittered exponential backoff, up to
+    /// `max_attempts` total tries; the last error is returned when the
+    /// budget is spent. Application verdicts the server actually computed
+    /// are returned immediately — see [`NetError::is_retryable`] for the
+    /// split, and the module docs for why resending is safe.
+    ///
+    /// `deadline_us` is the *per-attempt* serving budget sent on the wire
+    /// (`0` = none); each retry gets a full budget on its fresh connection.
+    pub fn infer_retry(&mut self, input: &Tensor, deadline_us: u64) -> Result<Tensor, NetError> {
+        let policy = self.config.retry.clone();
+        let attempts = policy.max_attempts.max(1);
+        let mut retry = 0u32;
+        loop {
+            match self.infer_deadline(input, deadline_us) {
+                Ok(output) => return Ok(output),
+                Err(err) if err.is_retryable() && retry + 1 < attempts => {
+                    counters().retries.inc();
+                    std::thread::sleep(policy.backoff(retry, &mut self.rng));
+                    retry += 1;
+                    // The old conversation is unusable (or suspect) —
+                    // every retry runs on a fresh connection. A failed
+                    // redial is itself retryable until attempts run out.
+                    if let Err(redial) = self.reconnect() {
+                        if retry + 1 < attempts {
+                            continue;
+                        }
+                        return Err(NetError::from(redial));
+                    }
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_kinds_map_to_the_typed_variant() {
+        let would_block: NetError = io::Error::new(io::ErrorKind::WouldBlock, "rcvtimeo").into();
+        assert!(matches!(would_block, NetError::Timeout));
+        let timed_out: NetError = io::Error::new(io::ErrorKind::TimedOut, "sndtimeo").into();
+        assert!(matches!(timed_out, NetError::Timeout));
+        let refused: NetError = io::Error::new(io::ErrorKind::ConnectionRefused, "no").into();
+        assert!(matches!(refused, NetError::Io(_)));
+        // Wire-wrapped socket timeouts classify the same way.
+        let wire: NetError =
+            WireError::Io(io::Error::new(io::ErrorKind::WouldBlock, "mid-frame")).into();
+        assert!(matches!(wire, NetError::Timeout));
+    }
+
+    #[test]
+    fn retryability_splits_connection_failures_from_verdicts() {
+        assert!(NetError::Timeout.is_retryable());
+        assert!(NetError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "x")).is_retryable());
+        assert!(NetError::Wire(WireError::Malformed {
+            id: 1,
+            why: "corrupt".into()
+        })
+        .is_retryable());
+        assert!(NetError::UnexpectedFrame("stale reply".into()).is_retryable());
+        assert!(NetError::Server {
+            code: ErrorCode::ServerBusy,
+            message: String::new()
+        }
+        .is_retryable());
+        assert!(NetError::Server {
+            code: ErrorCode::Shutdown,
+            message: String::new()
+        }
+        .is_retryable());
+        for verdict in [
+            ErrorCode::BadRequest,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Malformed,
+            ErrorCode::Internal,
+        ] {
+            assert!(
+                !NetError::Server {
+                    code: verdict,
+                    message: String::new()
+                }
+                .is_retryable(),
+                "{verdict} must not retry"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_respects_the_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(10),
+            jitter: 0.0,
+            seed: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(policy.seed);
+        assert_eq!(policy.backoff(0, &mut rng), Duration::from_millis(2));
+        assert_eq!(policy.backoff(1, &mut rng), Duration::from_millis(4));
+        assert_eq!(policy.backoff(2, &mut rng), Duration::from_millis(8));
+        assert_eq!(policy.backoff(3, &mut rng), Duration::from_millis(10));
+        assert_eq!(policy.backoff(30, &mut rng), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_the_band_and_is_seed_deterministic() {
+        let policy = RetryPolicy {
+            jitter: 0.5,
+            seed: 42,
+            ..RetryPolicy::default()
+        };
+        let mut a = StdRng::seed_from_u64(policy.seed);
+        let mut b = StdRng::seed_from_u64(policy.seed);
+        for retry in 0..6 {
+            let full = policy
+                .base_backoff
+                .saturating_mul(1 << retry)
+                .min(policy.max_backoff);
+            let sleep = policy.backoff(retry, &mut a);
+            assert!(sleep <= full, "{sleep:?} > {full:?}");
+            assert!(sleep >= full.mul_f64(0.5), "{sleep:?} below the band");
+            // Same seed, same sequence.
+            assert_eq!(sleep, policy.backoff(retry, &mut b));
+        }
+    }
+
+    #[test]
+    fn connecting_to_a_dead_port_times_out_or_refuses_quickly() {
+        // Bind-then-drop gives an address nothing listens on; connect must
+        // come back with a typed error under the configured timeout, not
+        // hang.
+        let port = {
+            let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            sock.local_addr().unwrap().port()
+        };
+        let config = ClientConfig {
+            connect_timeout: Some(Duration::from_millis(500)),
+            ..ClientConfig::default()
+        };
+        let started = std::time::Instant::now();
+        let result = NetClient::connect_with(("127.0.0.1", port), config);
+        assert!(result.is_err());
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "a dead port must fail fast"
+        );
     }
 }

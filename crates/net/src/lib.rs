@@ -50,7 +50,7 @@ pub mod netload;
 pub mod protocol;
 pub mod server;
 
-pub use client::{NetClient, NetError, Reply};
+pub use client::{ClientConfig, NetClient, NetError, Reply, RetryPolicy};
 pub use netload::{run_net_load, NetLoadConfig, NetLoadReport};
 pub use protocol::{ErrorCode, Frame, WireError, MAGIC, MAX_FRAME_LEN, VERSION};
-pub use server::{NetServer, ReloadFn};
+pub use server::{NetServer, NetServerConfig, ReloadFn};

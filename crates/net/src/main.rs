@@ -7,7 +7,9 @@
 //!           [--queue-capacity N] [--par-threads N] [--skip-serial]
 //!           [--adaptive] [--model PATH]
 //!           [--trace-out PATH] [--stats-every S]
-//!           [--listen IP:PORT [--serve-secs S]] | [--connect IP:PORT]
+//!           [--listen IP:PORT [--serve-secs S] [--max-conns N] [--idle-secs S]
+//!                             [--max-inflight N]]
+//!         | [--connect IP:PORT [--deadline-us N] [--retries N]]
 //! ```
 //!
 //! * no address flag — build the serving model, drive the in-process
@@ -20,6 +22,14 @@
 //! * `--connect IP:PORT` — no model is built; drive a remote server with
 //!   `--requests` round trips over `--concurrency` connections and report
 //!   client-observed throughput and latency percentiles.
+//!
+//! Fault-tolerance knobs: with `--listen`, `--max-conns` caps live
+//! connections (extras get a typed `ServerBusy` frame), `--idle-secs`
+//! reaps silent connections, and `--max-inflight` caps unanswered requests
+//! per connection. With `--connect`, `--deadline-us` stamps every request
+//! with a serving deadline (expired requests come back as typed
+//! `DeadlineExceeded`, reported as sheds) and `--retries N` wraps each
+//! round trip in the bounded retry policy (N total attempts).
 //!
 //! `--model PATH` replaces the randomly-initialised serving model with one
 //! loaded from a `dsx_models` checkpoint (trained and saved by
@@ -52,7 +62,7 @@
 
 use dsx_core::BackendKind;
 use dsx_models::{model_digest, Checkpoint};
-use dsx_net::{NetLoadConfig, NetServer, ReloadFn};
+use dsx_net::{NetLoadConfig, NetServer, NetServerConfig, ReloadFn, RetryPolicy};
 use dsx_serve::loadgen::INPUT_HW;
 use dsx_serve::{
     build_serving_model, run_load, run_serial, serving_spec, AdaptiveWaitConfig, LoadConfig,
@@ -94,6 +104,18 @@ struct Cli {
     trace_out: Option<PathBuf>,
     /// Print a one-line metrics snapshot every this many seconds.
     stats_every: Option<f64>,
+    /// With `--listen`: cap on live connections (extra connections get one
+    /// `ServerBusy` frame and a close).
+    max_conns: Option<usize>,
+    /// With `--listen`: reap connections idle this many seconds.
+    idle_secs: Option<f64>,
+    /// With `--listen`: per-connection cap on unanswered requests.
+    max_inflight: Option<usize>,
+    /// With `--connect`: per-request serving deadline in µs (0 = none).
+    deadline_us: u64,
+    /// With `--connect`: total attempts per request (retry on
+    /// connection-level failures). `None` = plain round trips.
+    retries: Option<u32>,
 }
 
 impl Default for Cli {
@@ -117,6 +139,11 @@ impl Default for Cli {
             model: None,
             trace_out: None,
             stats_every: None,
+            max_conns: None,
+            idle_secs: None,
+            max_inflight: None,
+            deadline_us: 0,
+            retries: None,
         }
     }
 }
@@ -125,7 +152,8 @@ const USAGE: &str = "usage: dsx-serve [--requests N] [--concurrency N] \
 [--backend <naive|blocked|tiled|swsum>] [--max-batch N] [--max-wait-us N] [--workers N] \
 [--queue-capacity N] [--par-threads N] [--skip-serial] [--adaptive] [--model PATH] \
 [--trace-out PATH] [--stats-every S] \
-[--listen IP:PORT [--serve-secs S]] | [--connect IP:PORT]";
+[--listen IP:PORT [--serve-secs S] [--max-conns N] [--idle-secs S] [--max-inflight N]] | \
+[--connect IP:PORT [--deadline-us N] [--retries N]]";
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli::default();
@@ -197,6 +225,40 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 }
                 cli.serve_secs = Some(secs);
             }
+            "--max-conns" => {
+                let cap = parse_usize(flag, value(flag)?)?;
+                if cap == 0 {
+                    return Err(format!("--max-conns must be at least 1\n{USAGE}"));
+                }
+                cli.max_conns = Some(cap);
+            }
+            "--idle-secs" => {
+                let raw = value(flag)?;
+                let secs = raw.parse::<f64>().map_err(|e| {
+                    format!("--idle-secs must be a number of seconds: {e}\n{USAGE}")
+                })?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--idle-secs must be positive\n{USAGE}"));
+                }
+                cli.idle_secs = Some(secs);
+            }
+            "--max-inflight" => {
+                let cap = parse_usize(flag, value(flag)?)?;
+                if cap == 0 {
+                    return Err(format!("--max-inflight must be at least 1\n{USAGE}"));
+                }
+                cli.max_inflight = Some(cap);
+            }
+            "--deadline-us" => cli.deadline_us = parse_usize(flag, value(flag)?)? as u64,
+            "--retries" => {
+                let attempts = parse_usize(flag, value(flag)?)?;
+                if attempts == 0 {
+                    return Err(format!(
+                        "--retries counts total attempts, so it must be at least 1\n{USAGE}"
+                    ));
+                }
+                cli.retries = Some(attempts.min(u32::MAX as usize) as u32);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
@@ -228,6 +290,29 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         return Err(format!(
             "--trace-out exports at exit, so with --listen it needs --serve-secs\n{USAGE}"
         ));
+    }
+    // Connection hygiene shapes the local server; retry/deadline shape the
+    // remote-driving client. Each family is meaningless on the other side.
+    for (set, flag) in [
+        (cli.max_conns.is_some(), "--max-conns"),
+        (cli.idle_secs.is_some(), "--idle-secs"),
+        (cli.max_inflight.is_some(), "--max-inflight"),
+    ] {
+        if set && cli.listen.is_none() {
+            return Err(format!(
+                "{flag} configures the local server, so it needs --listen\n{USAGE}"
+            ));
+        }
+    }
+    for (set, flag) in [
+        (cli.deadline_us > 0, "--deadline-us"),
+        (cli.retries.is_some(), "--retries"),
+    ] {
+        if set && cli.connect.is_none() {
+            return Err(format!(
+                "{flag} shapes the driving client, so it needs --connect\n{USAGE}"
+            ));
+        }
     }
     Ok(cli)
 }
@@ -463,7 +548,13 @@ fn run_listen_mode(cli: &Cli, addr: SocketAddr, model: Arc<dyn dsx_nn::Layer>) {
             Ok(Arc::new(model) as Arc<dyn dsx_nn::Layer>)
         }) as ReloadFn
     });
-    let server = match NetServer::start_with_reload(&addr.to_string(), model, config, reload) {
+    let net_config = NetServerConfig {
+        max_conns: cli.max_conns,
+        idle_timeout: cli.idle_secs.map(Duration::from_secs_f64),
+        max_inflight: cli.max_inflight,
+        ..NetServerConfig::from(config)
+    };
+    let server = match NetServer::start_net(&addr.to_string(), model, net_config, reload) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("dsx-serve: cannot listen on {addr}: {e}");
@@ -503,6 +594,10 @@ fn run_connect_mode(cli: &Cli, addr: SocketAddr) {
         "net loadgen -> {addr}: {} requests over {} connections",
         cli.requests, cli.concurrency
     );
+    let retry = cli.retries.map(|max_attempts| RetryPolicy {
+        max_attempts,
+        ..RetryPolicy::default()
+    });
     let serial = if cli.skip_serial {
         None
     } else {
@@ -511,6 +606,8 @@ fn run_connect_mode(cli: &Cli, addr: SocketAddr) {
             &NetLoadConfig {
                 requests: cli.requests.clamp(1, 64),
                 concurrency: 1,
+                deadline_us: cli.deadline_us,
+                retry: retry.clone(),
             },
         );
         println!("net serial (1 connection): {report}");
@@ -521,6 +618,8 @@ fn run_connect_mode(cli: &Cli, addr: SocketAddr) {
         &NetLoadConfig {
             requests: cli.requests,
             concurrency: cli.concurrency,
+            deadline_us: cli.deadline_us,
+            retry,
         },
     );
     println!("net batched ({} connections): {report}", cli.concurrency);
@@ -664,6 +763,60 @@ mod tests {
         assert!(parse_cli(&args(&["--stats-every", "soon"])).is_err());
         let err =
             parse_cli(&args(&["--stats-every", "1", "--connect", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("--connect"), "{err}");
+    }
+
+    #[test]
+    fn hygiene_flags_parse_and_require_listen() {
+        let cli = parse_cli(&args(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--max-conns",
+            "8",
+            "--idle-secs",
+            "2.5",
+            "--max-inflight=4",
+        ]))
+        .unwrap();
+        assert_eq!(cli.max_conns, Some(8));
+        assert_eq!(cli.idle_secs, Some(2.5));
+        assert_eq!(cli.max_inflight, Some(4));
+        // Zero caps and non-positive idle windows are rejected up front.
+        assert!(parse_cli(&args(&["--listen", "127.0.0.1:0", "--max-conns", "0"])).is_err());
+        assert!(parse_cli(&args(&["--listen", "127.0.0.1:0", "--max-inflight", "0"])).is_err());
+        assert!(parse_cli(&args(&["--listen", "127.0.0.1:0", "--idle-secs", "0"])).is_err());
+        assert!(parse_cli(&args(&["--listen", "127.0.0.1:0", "--idle-secs", "inf"])).is_err());
+        // Server-side knobs without a server to configure: exit 2.
+        for flags in [
+            ["--max-conns", "8"],
+            ["--idle-secs", "2"],
+            ["--max-inflight", "4"],
+        ] {
+            let err = parse_cli(&args(&flags)).unwrap_err();
+            assert!(err.contains("--listen"), "{flags:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn resilience_flags_parse_and_require_connect() {
+        let cli = parse_cli(&args(&[
+            "--connect",
+            "127.0.0.1:1",
+            "--deadline-us",
+            "5000",
+            "--retries=4",
+        ]))
+        .unwrap();
+        assert_eq!(cli.deadline_us, 5_000);
+        assert_eq!(cli.retries, Some(4));
+        // --retries counts total attempts, so 0 is meaningless.
+        assert!(parse_cli(&args(&["--connect", "127.0.0.1:1", "--retries", "0"])).is_err());
+        // Client-side knobs without a client to shape: exit 2.
+        let err = parse_cli(&args(&["--deadline-us", "5000"])).unwrap_err();
+        assert!(err.contains("--connect"), "{err}");
+        let err = parse_cli(&args(&["--retries", "3"])).unwrap_err();
+        assert!(err.contains("--connect"), "{err}");
+        let err = parse_cli(&args(&["--listen", "127.0.0.1:0", "--retries", "3"])).unwrap_err();
         assert!(err.contains("--connect"), "{err}");
     }
 

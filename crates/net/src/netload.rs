@@ -2,10 +2,12 @@
 //! hammering a `dsx-net` server, with client-observed latency percentiles
 //! — the socket-side counterpart of `dsx_serve::loadgen`.
 
-use crate::client::NetClient;
+use crate::client::{ClientConfig, NetClient, NetError, RetryPolicy};
+use crate::protocol::ErrorCode;
 use dsx_obs::Histogram;
 use dsx_serve::loadgen::{request_input, CLASSES};
 use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Load shape: how many requests, over how many concurrent connections.
@@ -15,6 +17,25 @@ pub struct NetLoadConfig {
     pub requests: usize,
     /// Concurrent client connections (each its own TCP stream + thread).
     pub concurrency: usize,
+    /// Per-request serving deadline in microseconds, sent on the wire
+    /// (`0` = none). Requests the server sheds past it count as
+    /// [`NetLoadReport::shed_requests`], not failures.
+    pub deadline_us: u64,
+    /// When set, every round trip runs through
+    /// [`NetClient::infer_retry`] under this policy; `None` keeps the
+    /// plain blocking round trip.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl Default for NetLoadConfig {
+    fn default() -> Self {
+        NetLoadConfig {
+            requests: 256,
+            concurrency: 16,
+            deadline_us: 0,
+            retry: None,
+        }
+    }
 }
 
 /// What a load run measured, from the client's side of the wire.
@@ -36,6 +57,10 @@ pub struct NetLoadReport {
     pub p99_latency_us: u64,
     /// Worst client-observed round-trip latency in µs.
     pub max_latency_us: u64,
+    /// Requests the server answered `DeadlineExceeded` (only possible when
+    /// [`NetLoadConfig::deadline_us`] is nonzero). Not counted in
+    /// `requests` or the latency statistics.
+    pub shed_requests: usize,
 }
 
 impl std::fmt::Display for NetLoadReport {
@@ -52,7 +77,11 @@ impl std::fmt::Display for NetLoadReport {
             self.p95_latency_us,
             self.p99_latency_us,
             self.max_latency_us,
-        )
+        )?;
+        if self.shed_requests > 0 {
+            write!(f, "; {} shed past deadline", self.shed_requests)?;
+        }
+        Ok(())
     }
 }
 
@@ -68,6 +97,7 @@ impl std::fmt::Display for NetLoadReport {
 pub fn run_net_load<A: ToSocketAddrs + Sync>(addr: A, cfg: &NetLoadConfig) -> NetLoadReport {
     assert!(cfg.concurrency >= 1, "need at least one connection");
     let latency = Histogram::new();
+    let shed = AtomicUsize::new(0);
     let started = Instant::now();
     std::thread::scope(|scope| {
         for client in 0..cfg.concurrency {
@@ -76,20 +106,42 @@ pub fn run_net_load<A: ToSocketAddrs + Sync>(addr: A, cfg: &NetLoadConfig) -> Ne
                 + usize::from(client < cfg.requests % cfg.concurrency);
             let addr = &addr;
             let latency = &latency;
+            let shed = &shed;
             scope.spawn(move || {
-                // lint: allow(panic) — load-measurement harness: a client
-                // that cannot connect invalidates the run, so die loudly.
-                let mut conn = NetClient::connect(addr).expect("connecting the load client");
+                let client_config = ClientConfig {
+                    retry: cfg.retry.clone().unwrap_or_default(),
+                    ..ClientConfig::default()
+                };
+                let mut conn = NetClient::connect_with(addr, client_config)
+                    // lint: allow(panic) — load-measurement harness: a client
+                    // that cannot connect invalidates the run, so die loudly.
+                    .expect("connecting the load client");
                 for i in 0..share {
                     let seed = (client * 1_000_003 + i) as u64;
+                    let input = request_input(seed);
                     let sent = Instant::now();
-                    let out = conn
-                        .infer(&request_input(seed))
+                    let result = match cfg.retry {
+                        Some(_) => conn.infer_retry(&input, cfg.deadline_us),
+                        None => conn.infer_deadline(&input, cfg.deadline_us),
+                    };
+                    match result {
+                        Ok(out) => {
+                            latency.record(sent.elapsed().as_micros() as u64);
+                            assert_eq!(out.shape(), &[1, CLASSES], "response shape mismatch");
+                        }
+                        // With a deadline set, a shed is a measured outcome
+                        // of the load shape, not a harness failure.
+                        Err(NetError::Server {
+                            code: ErrorCode::DeadlineExceeded,
+                            ..
+                        }) if cfg.deadline_us > 0 => {
+                            // ORDER: racy-tolerant counter, folded after join.
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
                         // lint: allow(panic) — harness: a failed round trip
                         // poisons the latency sample, so abort the run.
-                        .expect("round trip failed mid-load");
-                    latency.record(sent.elapsed().as_micros() as u64);
-                    assert_eq!(out.shape(), &[1, CLASSES], "response shape mismatch");
+                        Err(e) => panic!("round trip failed mid-load: {e}"),
+                    }
                 }
             });
         }
@@ -105,6 +157,7 @@ pub fn run_net_load<A: ToSocketAddrs + Sync>(addr: A, cfg: &NetLoadConfig) -> Ne
         p95_latency_us: latency.percentile(0.95),
         p99_latency_us: latency.percentile(0.99),
         max_latency_us: latency.max(),
+        shed_requests: shed.load(Ordering::Relaxed), // ORDER: threads joined above
     }
 }
 

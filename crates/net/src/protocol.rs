@@ -8,7 +8,10 @@
 //! | u32 LE | "DSXN" | u16| u8 | u64 LE     | (tensor or error, below)   |
 //! +--------+--------+----+----+------------+----------------------------+
 //!
-//! tensor payload (kind 1 = request, kind 2 = response):
+//! request payload (kind 1):
+//!   deadline_us: u64 LE | rank: u8 | dims[rank]: u32 LE | data[numel]: f32 LE
+//!   (deadline_us is the serving budget from frame receipt; 0 = none)
+//! response payload (kind 2):
 //!   rank: u8 | dims[rank]: u32 LE | data[numel]: f32 LE
 //! error payload (kind 3):
 //!   code: u16 LE | msg_len: u32 LE | message: utf-8 bytes
@@ -56,8 +59,10 @@ fn counters() -> &'static NetCounters {
 /// The four bytes every frame body starts with: `b"DSXN"` on the wire.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"DSXN");
 
-/// Protocol version this build speaks.
-pub const VERSION: u16 = 1;
+/// Protocol version this build speaks. Version 2 added the `deadline_us`
+/// field at the start of the request payload (and the `DeadlineExceeded` /
+/// `ServerBusy` error codes it is answered with).
+pub const VERSION: u16 = 2;
 
 /// Upper bound on a frame body (`len` field): 64 MiB. A batch-256 CIFAR
 /// request is ~3 MB, so this is generous headroom, not a real workload
@@ -93,6 +98,15 @@ pub enum ErrorCode {
     Shutdown,
     /// Any other server-side failure.
     Internal,
+    /// The request's `deadline_us` budget expired before a worker could
+    /// batch it; it was shed unserved. Retrying is pointless within the
+    /// same budget — the client should raise the deadline or back off.
+    DeadlineExceeded,
+    /// The server refused admission: either the connection limit
+    /// (`--max-conns`) was reached at accept time (the connection closes
+    /// after this frame), or this connection's in-flight request cap was
+    /// hit (the connection survives; retry after a response drains).
+    ServerBusy,
 }
 
 impl ErrorCode {
@@ -105,6 +119,8 @@ impl ErrorCode {
             ErrorCode::BadRequest => 4,
             ErrorCode::Shutdown => 5,
             ErrorCode::Internal => 6,
+            ErrorCode::DeadlineExceeded => 7,
+            ErrorCode::ServerBusy => 8,
         }
     }
 
@@ -117,6 +133,8 @@ impl ErrorCode {
             3 => ErrorCode::UnsupportedVersion,
             4 => ErrorCode::BadRequest,
             5 => ErrorCode::Shutdown,
+            7 => ErrorCode::DeadlineExceeded,
+            8 => ErrorCode::ServerBusy,
             _ => ErrorCode::Internal,
         }
     }
@@ -131,6 +149,8 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::BadRequest => "bad request",
             ErrorCode::Shutdown => "server shutting down",
             ErrorCode::Internal => "internal server error",
+            ErrorCode::DeadlineExceeded => "request deadline exceeded",
+            ErrorCode::ServerBusy => "server busy",
         };
         write!(f, "{name} (code {})", self.as_u16())
     }
@@ -143,6 +163,11 @@ pub enum Frame {
     Request {
         /// Client-chosen id multiplexing this connection.
         id: u64,
+        /// Serving budget in microseconds, measured from the instant the
+        /// server reads the frame; `0` means no deadline. A request still
+        /// queued when the budget runs out is shed before batch assembly
+        /// and answered with [`ErrorCode::DeadlineExceeded`].
+        deadline_us: u64,
         /// The input tensor (NCHW for the serving engine).
         tensor: Tensor,
     },
@@ -294,7 +319,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         _ => None,
     };
     let (kind, id, payload_len) = match frame {
-        Frame::Request { id, tensor } => (KIND_REQUEST, *id, tensor.wire_len()),
+        Frame::Request { id, tensor, .. } => (KIND_REQUEST, *id, 8 + tensor.wire_len()),
         Frame::Response { id, tensor } => (KIND_RESPONSE, *id, tensor.wire_len()),
         Frame::Error { id, message, .. } => (KIND_ERROR, *id, 6 + message.len()),
         Frame::Reload { id } => (KIND_RELOAD, *id, 0),
@@ -314,7 +339,15 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out.push(kind);
     out.extend_from_slice(&id.to_le_bytes());
     match frame {
-        Frame::Request { tensor, .. } | Frame::Response { tensor, .. } => {
+        Frame::Request {
+            deadline_us,
+            tensor,
+            ..
+        } => {
+            out.extend_from_slice(&deadline_us.to_le_bytes());
+            tensor.encode_wire(&mut out);
+        }
+        Frame::Response { tensor, .. } => {
             tensor.encode_wire(&mut out);
         }
         Frame::Error { code, message, .. } => {
@@ -406,22 +439,43 @@ fn parse_body(body: &[u8]) -> Result<Frame, WireError> {
     let payload = &body[HEADER_LEN..];
     match kind {
         KIND_REQUEST | KIND_RESPONSE => {
+            let (deadline_us, tensor_payload) = if kind == KIND_REQUEST {
+                if payload.len() < 8 {
+                    return Err(WireError::Malformed {
+                        id,
+                        why: format!(
+                            "request payload of {} bytes is shorter than its 8-byte deadline field",
+                            payload.len()
+                        ),
+                    });
+                }
+                // The length check above guarantees 8 bytes.
+                let deadline =
+                    u64::from_le_bytes(payload[..8].try_into().expect("8 deadline bytes")); // lint: allow(panic) — length checked above
+                (deadline, &payload[8..])
+            } else {
+                (0, payload)
+            };
             let (tensor, consumed) =
-                Tensor::decode_wire(payload).map_err(|e| WireError::Malformed {
+                Tensor::decode_wire(tensor_payload).map_err(|e| WireError::Malformed {
                     id,
                     why: format!("tensor payload: {e}"),
                 })?;
-            if consumed != payload.len() {
+            if consumed != tensor_payload.len() {
                 return Err(WireError::Malformed {
                     id,
                     why: format!(
                         "{} trailing bytes after the tensor payload",
-                        payload.len() - consumed
+                        tensor_payload.len() - consumed
                     ),
                 });
             }
             Ok(if kind == KIND_REQUEST {
-                Frame::Request { id, tensor }
+                Frame::Request {
+                    id,
+                    deadline_us,
+                    tensor,
+                }
             } else {
                 Frame::Response { id, tensor }
             })
@@ -489,11 +543,49 @@ mod tests {
         let tensor = Tensor::randn(&[1, 3, 8, 8], 7);
         let req = Frame::Request {
             id: 42,
+            deadline_us: 0,
             tensor: tensor.clone(),
         };
         assert_eq!(round_trip(req.clone()), req);
         let resp = Frame::Response { id: 42, tensor };
         assert_eq!(round_trip(resp.clone()), resp);
+    }
+
+    #[test]
+    fn request_deadlines_survive_the_wire() {
+        let req = Frame::Request {
+            id: 7,
+            deadline_us: 250_000,
+            tensor: Tensor::arange(&[1, 2, 2, 2]),
+        };
+        match round_trip(req.clone()) {
+            Frame::Request { deadline_us, .. } => assert_eq!(deadline_us, 250_000),
+            // lint: allow(panic) — test assertion.
+            other => panic!("expected a request frame, got {other:?}"),
+        }
+        // u64::MAX (an effectively-infinite budget) is not special-cased.
+        let req = Frame::Request {
+            id: 8,
+            deadline_us: u64::MAX,
+            tensor: Tensor::arange(&[1]),
+        };
+        assert_eq!(round_trip(req.clone()), req);
+    }
+
+    #[test]
+    fn request_payload_shorter_than_the_deadline_field_is_malformed() {
+        // A request frame whose payload is 3 bytes: too short to even hold
+        // the deadline field. Recoverable — the length prefix was honest.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&((HEADER_LEN + 3) as u32).to_le_bytes());
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.push(KIND_REQUEST);
+        bytes.extend_from_slice(&99u64.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let err = read_frame(&mut io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, WireError::Malformed { id: 99, .. }), "{err}");
+        assert!(err.is_recoverable());
     }
 
     #[test]
@@ -547,6 +639,7 @@ mod tests {
         assert!(matches!(read_frame(&mut empty), Err(WireError::Closed)));
         let bytes = encode_frame(&Frame::Request {
             id: 1,
+            deadline_us: 0,
             tensor: Tensor::arange(&[2, 2]),
         });
         let mut truncated = io::Cursor::new(bytes[..bytes.len() - 3].to_vec());
@@ -557,6 +650,7 @@ mod tests {
     fn bad_magic_is_recoverable_and_consumes_the_frame() {
         let mut bytes = encode_frame(&Frame::Request {
             id: 1,
+            deadline_us: 0,
             tensor: Tensor::arange(&[2, 2]),
         });
         bytes[4] = b'X'; // corrupt the magic
@@ -578,6 +672,7 @@ mod tests {
     fn unsupported_version_is_recoverable() {
         let mut bytes = encode_frame(&Frame::Request {
             id: 3,
+            deadline_us: 0,
             tensor: Tensor::arange(&[1]),
         });
         bytes[8] = 99; // version low byte
@@ -602,6 +697,7 @@ mod tests {
         // Unknown kind.
         let mut bytes = encode_frame(&Frame::Request {
             id: 4,
+            deadline_us: 0,
             tensor: Tensor::arange(&[1]),
         });
         bytes[10] = 77; // kind byte
@@ -611,6 +707,7 @@ mod tests {
         // Trailing junk after a valid tensor payload.
         let mut bytes = encode_frame(&Frame::Request {
             id: 5,
+            deadline_us: 0,
             tensor: Tensor::arange(&[1]),
         });
         let padded_len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) + 2;
@@ -680,6 +777,8 @@ mod tests {
             ErrorCode::BadRequest,
             ErrorCode::Shutdown,
             ErrorCode::Internal,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::ServerBusy,
         ] {
             assert_eq!(ErrorCode::from_u16(code.as_u16()), code);
         }

@@ -115,6 +115,7 @@ fn malformed_frame_gets_an_error_frame_and_the_connection_survives() {
     // A frame with an honest length but corrupt magic: recoverable.
     let mut bytes = protocol::encode_frame(&Frame::Request {
         id: 5,
+        deadline_us: 0,
         tensor: request(0),
     });
     bytes[4] ^= 0xFF;
@@ -131,6 +132,7 @@ fn malformed_frame_gets_an_error_frame_and_the_connection_survives() {
     // request frame with trailing junk (and an honest length prefix).
     let mut padded = protocol::encode_frame(&Frame::Request {
         id: 55,
+        deadline_us: 0,
         tensor: request(1),
     });
     let new_len = u32::from_le_bytes(padded[..4].try_into().unwrap()) + 2;
@@ -149,6 +151,7 @@ fn malformed_frame_gets_an_error_frame_and_the_connection_survives() {
     stream
         .write_all(&protocol::encode_frame(&Frame::Request {
             id: 6,
+            deadline_us: 0,
             tensor: input.clone(),
         }))
         .unwrap();
@@ -218,6 +221,7 @@ fn client_disconnecting_mid_request_cancels_quietly() {
         stream
             .write_all(&protocol::encode_frame(&Frame::Request {
                 id: 1,
+                deadline_us: 0,
                 tensor: request(2),
             }))
             .unwrap();

@@ -130,6 +130,10 @@ pub enum ServeError {
     Shutdown,
     /// The submission did not match the engine's declared request shape.
     InvalidRequest(String),
+    /// The request's deadline expired while it sat in the queue; it was
+    /// shed at dequeue, before batch assembly — never mid-batch — so the
+    /// forward pass it would have joined was not wasted on it.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -137,6 +141,9 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Shutdown => f.write_str("the serving engine has shut down"),
             ServeError::InvalidRequest(why) => write!(f, "invalid serve request: {why}"),
+            ServeError::DeadlineExceeded => {
+                f.write_str("request deadline expired before batch assembly")
+            }
         }
     }
 }
@@ -156,10 +163,11 @@ pub struct TaggedResponse {
 
 /// Where a request's outcome goes.
 enum Route {
-    /// The in-process path: a one-shot channel per request. Dropping the
-    /// sender unfulfilled is itself the error signal (the receiver's
-    /// `recv` fails).
-    Oneshot(Sender<Tensor>),
+    /// The in-process path: a one-shot channel per request carrying the
+    /// outcome (so a shed request can be told *why* it was not served).
+    /// Dropping the sender unfulfilled is still an error signal on its own
+    /// (the receiver's `recv` fails and maps to `Shutdown`).
+    Oneshot(Sender<Result<Tensor, ServeError>>),
     /// The network path: outcomes (success *and* failure) are sent to a
     /// shared per-connection channel, tagged with the request id.
     Tagged {
@@ -176,7 +184,7 @@ struct Responder {
 }
 
 impl Responder {
-    fn oneshot(tx: Sender<Tensor>) -> Self {
+    fn oneshot(tx: Sender<Result<Tensor, ServeError>>) -> Self {
         Responder {
             route: Some(Route::Oneshot(tx)),
         }
@@ -193,12 +201,29 @@ impl Responder {
     fn fulfill(mut self, output: Tensor) {
         match self.route.take() {
             Some(Route::Oneshot(tx)) => {
-                let _ = tx.send(output);
+                let _ = tx.send(Ok(output));
             }
             Some(Route::Tagged { id, done }) => {
                 let _ = done.send(TaggedResponse {
                     id,
                     result: Ok(output),
+                });
+            }
+            None => {}
+        }
+    }
+
+    /// Delivers a typed failure (today: `DeadlineExceeded` from shedding).
+    /// Both routes get an explicit answer, so no caller is left waiting.
+    fn fail(mut self, err: ServeError) {
+        match self.route.take() {
+            Some(Route::Oneshot(tx)) => {
+                let _ = tx.send(Err(err));
+            }
+            Some(Route::Tagged { id, done }) => {
+                let _ = done.send(TaggedResponse {
+                    id,
+                    result: Err(err),
                 });
             }
             None => {}
@@ -221,11 +246,22 @@ impl Drop for Responder {
 }
 
 /// One queued inference request: an NCHW input (usually batch 1, but any
-/// batch size — including zero — rides along) plus its response slot.
+/// batch size — including zero — rides along), an optional deadline, plus
+/// its response slot.
 struct Request {
     input: Tensor,
     enqueued: Instant,
+    /// When set, the instant past which the request must not be served:
+    /// workers shed it at dequeue (see [`ServeError::DeadlineExceeded`]).
+    deadline: Option<Instant>,
     respond: Responder,
+}
+
+impl Request {
+    /// Whether the deadline has passed (`false` when none was set).
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|deadline| now >= deadline)
+    }
 }
 
 /// The shared model slot: workers take a read lock only long enough to
@@ -249,14 +285,16 @@ pub struct ServeHandle {
 
 /// An in-flight request; [`PendingResponse::wait`] blocks for its output.
 pub struct PendingResponse {
-    rx: Receiver<Tensor>,
+    rx: Receiver<Result<Tensor, ServeError>>,
 }
 
 impl PendingResponse {
     /// Blocks until the batched forward pass that carries this request
-    /// completes, returning this request's slice of the output.
+    /// completes, returning this request's slice of the output — or the
+    /// typed reason it was not served (`DeadlineExceeded` when shed,
+    /// `Shutdown` when its batch died or the engine is gone).
     pub fn wait(self) -> Result<Tensor, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::Shutdown)
+        self.rx.recv().map_err(|_| ServeError::Shutdown)?
     }
 }
 
@@ -292,12 +330,32 @@ impl ServeHandle {
     /// request dimensions, if any — a mismatch is rejected here, where only
     /// the offending client pays, not the batch it would have poisoned.
     pub fn submit(&self, input: Tensor) -> Result<PendingResponse, ServeError> {
+        self.submit_deadline(input, None)
+    }
+
+    /// Like [`ServeHandle::submit`], but the request carries a serving
+    /// `deadline` (a time budget measured from this call): if it is still
+    /// queued when the budget runs out, a worker sheds it at dequeue and
+    /// [`PendingResponse::wait`] returns [`ServeError::DeadlineExceeded`].
+    /// A request already in a batch is always served — shedding happens
+    /// before batch assembly, never mid-batch. A zero budget is shed here,
+    /// at admission.
+    pub fn submit_deadline(
+        &self,
+        input: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<PendingResponse, ServeError> {
         self.validate(&input)?;
+        if deadline.is_some_and(|budget| budget.is_zero()) {
+            self.stats.record_shed(1);
+            return Err(ServeError::DeadlineExceeded);
+        }
         let (tx, rx) = channel::bounded(1);
         self.queue
             .send(Request {
                 input,
                 enqueued: Instant::now(),
+                deadline: deadline.map(|budget| Instant::now() + budget),
                 respond: Responder::oneshot(tx),
             })
             .map_err(|_| ServeError::Shutdown)?;
@@ -312,10 +370,34 @@ impl ServeHandle {
     ///
     /// Blocks while the queue is full, like [`ServeHandle::submit`].
     pub fn submit_tagged(&self, id: u64, input: Tensor, done: &Sender<TaggedResponse>) {
+        self.submit_tagged_deadline(id, input, None, done);
+    }
+
+    /// Like [`ServeHandle::submit_tagged`], but the request carries a
+    /// serving `deadline` (a time budget from this call). If the budget
+    /// expires while the request is queued, a worker sheds it at dequeue
+    /// and `done` receives a typed [`ServeError::DeadlineExceeded`] — the
+    /// wire tier turns that into a `DeadlineExceeded` error frame. Like
+    /// `submit_tagged`, this never fails: every path reports via `done`.
+    pub fn submit_tagged_deadline(
+        &self,
+        id: u64,
+        input: Tensor,
+        deadline: Option<Duration>,
+        done: &Sender<TaggedResponse>,
+    ) {
         if let Err(err) = self.validate(&input) {
             let _ = done.send(TaggedResponse {
                 id,
                 result: Err(err),
+            });
+            return;
+        }
+        if deadline.is_some_and(|budget| budget.is_zero()) {
+            self.stats.record_shed(1);
+            let _ = done.send(TaggedResponse {
+                id,
+                result: Err(ServeError::DeadlineExceeded),
             });
             return;
         }
@@ -324,6 +406,7 @@ impl ServeHandle {
         let _ = self.queue.send(Request {
             input,
             enqueued: Instant::now(),
+            deadline: deadline.map(|budget| Instant::now() + budget),
             respond: Responder::tagged(id, done.clone()),
         });
     }
@@ -548,9 +631,18 @@ fn worker_loop(
     max_wait_us: &AtomicU64,
 ) {
     loop {
-        let first = match rx.recv() {
-            Ok(request) => request,
-            Err(_) => return, // every sender gone and the queue drained
+        // Deadline shedding happens exactly here — at dequeue, before the
+        // request joins a batch. Once a request is in `batch` it is always
+        // served: a deadline can cut queue time short, never waste a
+        // forward pass already committed to.
+        let first = loop {
+            match rx.recv() {
+                Ok(request) => match shed_if_expired(request, stats) {
+                    Some(live) => break live,
+                    None => continue,
+                },
+                Err(_) => return, // every sender gone and the queue drained
+            }
         };
         // The assembly span opens when the first request arrives and
         // closes once the batch is formed, so a trace shows how long each
@@ -567,7 +659,11 @@ fn worker_loop(
                 break;
             }
             match rx.recv_timeout(remaining) {
-                Ok(request) => batch.push(request),
+                Ok(request) => {
+                    if let Some(live) = shed_if_expired(request, stats) {
+                        batch.push(live);
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
@@ -598,6 +694,19 @@ fn worker_loop(
             stats.record_dropped(batch_len);
             eprintln!("dsx-serve: a batch panicked; its requests were dropped");
         }
+    }
+}
+
+/// Sheds `request` if its deadline has passed: the caller gets a typed
+/// [`ServeError::DeadlineExceeded`] and the shed counter moves. Returns the
+/// request untouched when it is still live.
+fn shed_if_expired(request: Request, stats: &ServeStats) -> Option<Request> {
+    if request.expired(Instant::now()) {
+        stats.record_shed(1);
+        request.respond.fail(ServeError::DeadlineExceeded);
+        None
+    } else {
+        Some(request)
     }
 }
 
@@ -982,6 +1091,137 @@ mod tests {
         assert_eq!(snap.dropped_requests, 1);
         assert_eq!(snap.requests, 1, "the poison request never completed");
         assert!(format!("{snap}").contains("DROPPED 1 requests"));
+    }
+
+    /// An identity layer that sleeps per forward pass — lets tests pin a
+    /// worker down long enough for queued deadlines to expire.
+    struct SlowIdentity {
+        delay: Duration,
+    }
+
+    impl Layer for SlowIdentity {
+        fn name(&self) -> String {
+            "slow-identity".to_string()
+        }
+
+        fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+            self.infer(input)
+        }
+
+        fn infer(&self, input: &Tensor) -> Tensor {
+            std::thread::sleep(self.delay);
+            input.clone()
+        }
+
+        fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+            grad_output.clone()
+        }
+
+        fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+            input_shape.to_vec()
+        }
+    }
+
+    #[test]
+    fn queued_requests_past_their_deadline_are_shed_with_a_typed_error() {
+        // One worker, batch size 1, a 60 ms model: the first request pins
+        // the worker, so the second (5 ms budget) is long expired when the
+        // worker returns to the queue — it must be shed at dequeue, never
+        // served, and told so with `DeadlineExceeded`.
+        let engine = ServeEngine::start(
+            Arc::new(SlowIdentity {
+                delay: Duration::from_millis(60),
+            }),
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_batch(1)
+                .with_max_wait(Duration::ZERO),
+        );
+        let handle = engine.handle();
+        let pinned = handle.submit(request(1)).unwrap();
+        let doomed = handle
+            .submit_deadline(request(2), Some(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(pinned.wait().unwrap().shape(), &[1, 2, 4, 4]);
+        assert_eq!(doomed.wait(), Err(ServeError::DeadlineExceeded));
+        // The worker is alive and serving after the shed.
+        assert!(handle.infer(request(3)).is_ok());
+        drop(handle);
+        let snap = engine.shutdown();
+        assert_eq!(snap.shed_requests, 1);
+        assert_eq!(snap.dropped_requests, 0, "a shed is not a drop");
+        assert_eq!(snap.requests, 2, "the shed request never joined a batch");
+        assert!(format!("{snap}").contains("SHED 1 requests past deadline"));
+    }
+
+    #[test]
+    fn generous_deadlines_never_shed() {
+        let engine = ServeEngine::start(tiny_model(), ServeConfig::default().with_workers(1));
+        let handle = engine.handle();
+        for i in 0..8 {
+            let out = handle
+                .submit_deadline(request(i), Some(Duration::from_secs(30)))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(out.shape(), &[1, 3]);
+        }
+        drop(handle);
+        let snap = engine.shutdown();
+        assert_eq!(snap.shed_requests, 0);
+        assert_eq!(snap.requests, 8);
+    }
+
+    #[test]
+    fn zero_budget_is_shed_at_admission() {
+        let engine = ServeEngine::start(tiny_model(), ServeConfig::default().with_workers(1));
+        let handle = engine.handle();
+        assert_eq!(
+            handle
+                .submit_deadline(request(1), Some(Duration::ZERO))
+                .err(),
+            Some(ServeError::DeadlineExceeded)
+        );
+        let (done_tx, done_rx) = channel::unbounded();
+        handle.submit_tagged_deadline(11, request(2), Some(Duration::ZERO), &done_tx);
+        let response = done_rx.recv().unwrap();
+        assert_eq!(response.id, 11);
+        assert_eq!(response.result.unwrap_err(), ServeError::DeadlineExceeded);
+        drop(handle);
+        let snap = engine.shutdown();
+        assert_eq!(snap.shed_requests, 2);
+        assert_eq!(snap.requests, 0);
+    }
+
+    #[test]
+    fn tagged_deadline_sheds_route_through_the_done_channel() {
+        let engine = ServeEngine::start(
+            Arc::new(SlowIdentity {
+                delay: Duration::from_millis(60),
+            }),
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_batch(1)
+                .with_max_wait(Duration::ZERO),
+        );
+        let handle = engine.handle();
+        let (done_tx, done_rx) = channel::unbounded();
+        handle.submit_tagged(1, request(1), &done_tx);
+        handle.submit_tagged_deadline(2, request(2), Some(Duration::from_millis(5)), &done_tx);
+        let mut served = Vec::new();
+        let mut shed = Vec::new();
+        for _ in 0..2 {
+            let response = done_rx.recv().unwrap();
+            match response.result {
+                Ok(_) => served.push(response.id),
+                Err(ServeError::DeadlineExceeded) => shed.push(response.id),
+                Err(other) => panic!("unexpected error for id {}: {other}", response.id),
+            }
+        }
+        assert_eq!(served, vec![1]);
+        assert_eq!(shed, vec![2]);
+        drop(handle);
+        engine.shutdown();
     }
 
     #[test]

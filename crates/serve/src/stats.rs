@@ -44,6 +44,11 @@ pub struct ServeStats {
     /// Requests whose batch failed and were never served. The zero-drop
     /// hot-swap guarantee is CI-gated on this staying 0.
     dropped_requests: AtomicUsize,
+    /// Requests shed because their deadline expired before a worker
+    /// dequeued them (each one was answered with a typed
+    /// `DeadlineExceeded`, so unlike `dropped_requests` nothing is lost —
+    /// the client was told).
+    shed_requests: AtomicUsize,
 }
 
 impl ServeStats {
@@ -103,6 +108,17 @@ impl ServeStats {
         self.dropped_requests.load(Ordering::Relaxed) // ORDER: racy-tolerant counter (see struct doc)
     }
 
+    /// Records `count` requests shed past their deadline (each answered
+    /// with a typed `DeadlineExceeded`, never silently discarded).
+    pub fn record_shed(&self, count: usize) {
+        self.shed_requests.fetch_add(count, Ordering::Relaxed); // ORDER: racy-tolerant counter (see struct doc)
+    }
+
+    /// Requests shed past their deadline so far.
+    pub fn shed_requests(&self) -> usize {
+        self.shed_requests.load(Ordering::Relaxed) // ORDER: racy-tolerant counter (see struct doc)
+    }
+
     /// Requests completed so far.
     pub fn requests(&self) -> usize {
         self.requests.load(Ordering::Relaxed) // ORDER: racy-tolerant counter (see struct doc)
@@ -149,6 +165,7 @@ impl ServeStats {
         );
         snap.push("serve.swap_generation", self.swap_generation());
         snap.push("serve.dropped_requests", self.dropped_requests() as u64);
+        snap.push("serve.shed_requests", self.shed_requests() as u64);
     }
 
     /// Folds the counters into a report for a serving window of `elapsed`
@@ -181,6 +198,7 @@ impl ServeStats {
             adaptive_shrinks: self.adaptive_shrinks.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
             swap_generation: self.swap_generation.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
             dropped_requests: self.dropped_requests.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
+            shed_requests: self.shed_requests.load(Ordering::Relaxed), // ORDER: racy-tolerant counter (see struct doc)
             elapsed_secs: secs,
             throughput_rps: if secs > 0.0 {
                 requests as f64 / secs
@@ -225,6 +243,9 @@ pub struct ServeSnapshot {
     /// Requests dropped unserved (their batch panicked). The zero-drop
     /// hot-swap guarantee is gated on this being 0.
     pub dropped_requests: usize,
+    /// Requests shed past their deadline before batch assembly. Unlike
+    /// drops, every shed request received a typed `DeadlineExceeded`.
+    pub shed_requests: usize,
     /// Wall-clock length of the serving window in seconds.
     pub elapsed_secs: f64,
     /// Completed requests per second over the window.
@@ -263,6 +284,9 @@ impl std::fmt::Display for ServeSnapshot {
         }
         if self.dropped_requests > 0 {
             write!(f, "; DROPPED {} requests", self.dropped_requests)?;
+        }
+        if self.shed_requests > 0 {
+            write!(f, "; SHED {} requests past deadline", self.shed_requests)?;
         }
         Ok(())
     }
@@ -409,6 +433,23 @@ mod tests {
         let rendered = format!("{snap}");
         assert!(rendered.contains("model generation 2"));
         assert!(rendered.contains("DROPPED 3 requests"));
+    }
+
+    #[test]
+    fn shed_counter_surfaces_in_snapshot_display_and_export() {
+        let stats = ServeStats::new();
+        let quiet = stats.snapshot(Duration::from_secs(1));
+        assert_eq!(quiet.shed_requests, 0);
+        assert!(!format!("{quiet}").contains("SHED"));
+
+        stats.record_shed(2);
+        stats.record_shed(1);
+        let snap = stats.snapshot(Duration::from_secs(1));
+        assert_eq!(snap.shed_requests, 3);
+        assert!(format!("{snap}").contains("SHED 3 requests past deadline"));
+        let mut exported = MetricsSnapshot::new();
+        stats.export_metrics(&mut exported);
+        assert_eq!(exported.get("serve.shed_requests"), Some(3));
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Adversarial load shapes against the adaptive `max_wait` controller.
+//!
+//! The happy paths (one trickle phase, one saturating phase) live in
+//! `tests/adaptive.rs`; this file attacks the controller with the shapes
+//! that historically break occupancy tuners:
+//!
+//! * **burst–silence square waves** — saturation must shrink the wait on
+//!   every burst, and the trickle after every burst must re-expand it:
+//!   the controller may not stay latched at zero once saturation ends;
+//! * **a ramp past saturation** — once the queue crosses the saturation
+//!   depth, the wait must move monotonically down, never up, no matter
+//!   how the ramp continues;
+//! * **deadline-carrying trickle below saturation** — an engine that is
+//!   never saturated must serve every deadline-tagged request: the shed
+//!   and drop counters stay at exactly zero.
+//!
+//! The square-wave and ramp tests drive the pure [`AdaptiveWait::step`]
+//! function with synthetic epochs, so they are deterministic; the engine
+//! test polls with generous deadlines like `tests/adaptive.rs`.
+
+use dsx_nn::{GlobalAvgPool, Layer, Linear, ReLU, Sequential};
+use dsx_serve::{
+    AdaptiveWait, AdaptiveWaitConfig, EpochObservation, ServeConfig, ServeEngine, WaitAdjustment,
+};
+use dsx_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn obs(batches: usize, requests: usize, queue_depth: usize) -> EpochObservation {
+    EpochObservation {
+        batches,
+        requests,
+        queue_depth,
+    }
+}
+
+/// A saturated epoch for a `max_batch = 8` controller: full batches over a
+/// queue two batches deep.
+fn burst_epoch() -> EpochObservation {
+    obs(16, 128, 16)
+}
+
+/// A trickle epoch: mostly-empty batches, empty queue — the shape a raise
+/// exists for.
+fn trickle_epoch() -> EpochObservation {
+    obs(6, 7, 0)
+}
+
+#[test]
+fn square_wave_load_shrinks_on_every_burst_and_reexpands_after_it() {
+    let ctl = AdaptiveWait::new(AdaptiveWaitConfig::default(), 8);
+    let cap = ctl.config().max_wait;
+    let mut wait = Duration::from_micros(2000);
+
+    for cycle in 0..3 {
+        // Burst half of the wave: every epoch must shrink (or hold once at
+        // the floor) — and it must reach the floor well within 32 epochs.
+        let before_burst = wait;
+        for _ in 0..32 {
+            let (next, adj) = ctl.step(burst_epoch(), wait);
+            assert_ne!(
+                adj,
+                WaitAdjustment::Raised,
+                "cycle {cycle}: a saturated epoch must never raise"
+            );
+            wait = next;
+            if wait == ctl.config().min_wait {
+                break;
+            }
+        }
+        assert_eq!(
+            wait,
+            ctl.config().min_wait,
+            "cycle {cycle}: the burst must drive the wait to the floor \
+             (started the burst at {before_burst:?})"
+        );
+
+        // Silence teaches nothing: the wait must hold, not drift.
+        for _ in 0..8 {
+            let (next, adj) = ctl.step(obs(0, 0, 0), wait);
+            assert_eq!(adj, WaitAdjustment::Held, "cycle {cycle}: idle epoch moved");
+            assert_eq!(next, wait, "cycle {cycle}: idle epoch changed the wait");
+        }
+
+        // The trickle after the burst must re-expand from the floor all the
+        // way back to the cap — the controller may not latch at zero.
+        let mut raises = 0;
+        for _ in 0..32 {
+            let (next, adj) = ctl.step(trickle_epoch(), wait);
+            if adj == WaitAdjustment::Raised {
+                assert!(next > wait, "cycle {cycle}: a raise must grow the wait");
+                raises += 1;
+            }
+            wait = next;
+            if wait == cap {
+                break;
+            }
+        }
+        assert!(
+            raises >= 2,
+            "cycle {cycle}: re-expansion must be a multiplicative climb"
+        );
+        assert_eq!(
+            wait, cap,
+            "cycle {cycle}: the post-burst trickle must re-expand the wait to the cap"
+        );
+    }
+}
+
+#[test]
+fn a_ramp_past_saturation_only_ever_shrinks_once_it_crosses() {
+    let ctl = AdaptiveWait::new(AdaptiveWaitConfig::default(), 8);
+    // Saturation depth for max_batch = 8 at the default 1.0 batches.
+    let saturation_depth = 8;
+    let mut wait = Duration::from_micros(2000);
+    let mut crossed = false;
+    let mut wait_at_crossing = wait;
+
+    // Queue depth ramps 0, 2, 4, ... 40: from idle through saturation and
+    // far past it, with occupancy filling in as the queue builds.
+    for depth in (0..=40).step_by(2) {
+        let requests_per_batch = (depth + 1).min(8);
+        let (next, adj) = ctl.step(obs(8, 8 * requests_per_batch, depth), wait);
+        if depth >= saturation_depth {
+            if !crossed {
+                crossed = true;
+                wait_at_crossing = wait;
+            }
+            assert_ne!(
+                adj,
+                WaitAdjustment::Raised,
+                "depth {depth}: raised past the saturation threshold"
+            );
+            assert!(
+                next <= wait,
+                "depth {depth}: the wait must be monotone non-increasing past saturation"
+            );
+        }
+        wait = next;
+    }
+    assert!(crossed, "the ramp must have crossed saturation");
+    assert!(
+        wait < wait_at_crossing,
+        "the saturated tail of the ramp must have shrunk the wait \
+         ({wait:?} vs {wait_at_crossing:?} at crossing)"
+    );
+    assert_eq!(
+        wait.max(ctl.config().min_wait),
+        wait,
+        "clamped at the floor"
+    );
+}
+
+fn tiny_model() -> Arc<dyn Layer> {
+    Arc::new(
+        Sequential::new("tiny-adversarial")
+            .push(ReLU::new())
+            .push(GlobalAvgPool::new())
+            .push(Linear::new(2, 3, 13)),
+    )
+}
+
+fn request(seed: u64) -> Tensor {
+    Tensor::randn(&[1, 2, 4, 4], seed)
+}
+
+/// A burst then a trickle against a live engine, every request carrying a
+/// generous deadline: the burst must shrink `max_wait`, the trickle after
+/// it must re-expand it, and — the fault-tolerance invariant — nothing is
+/// ever shed or dropped because the engine never runs past its budget.
+#[test]
+fn after_a_real_burst_the_wait_reexpands_and_nothing_was_shed() {
+    let initial = Duration::from_micros(400);
+    let budget = Some(Duration::from_secs(30));
+    let engine = ServeEngine::start(
+        tiny_model(),
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_batch(4)
+            .with_queue_capacity(16)
+            .with_max_wait(initial)
+            .with_adaptive(AdaptiveWaitConfig {
+                epoch: Duration::from_millis(15),
+                max_wait: Duration::from_millis(8),
+                ..AdaptiveWaitConfig::default()
+            }),
+    );
+    let handle = engine.handle();
+
+    // Burst: 8 clients hammer the engine until the controller shrinks the
+    // wait below its starting point.
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        for client in 0..8u64 {
+            let handle = engine.handle();
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    handle
+                        .submit_deadline(request(client * 1_000_000 + i), budget)
+                        .expect("engine died mid-burst")
+                        .wait()
+                        .expect("a 30 s budget must never expire in-test");
+                    i += 1;
+                }
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while engine.max_wait() >= initial {
+            assert!(
+                Instant::now() < deadline,
+                "the burst never shrank max_wait below {initial:?} (stuck at {:?})",
+                engine.max_wait()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let after_burst = engine.max_wait();
+    assert!(after_burst < initial, "burst must shrink: {after_burst:?}");
+
+    // Trickle: paced round trips, still deadline-tagged. The controller
+    // must climb back above the post-burst wait — it ended the burst at or
+    // near zero, and a latched-at-zero controller would fail here.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut seed = 1_000_000_000u64;
+    while engine.max_wait() <= after_burst {
+        assert!(
+            Instant::now() < deadline,
+            "max_wait never re-expanded above the post-burst {after_burst:?} \
+             (stuck at {:?})",
+            engine.max_wait()
+        );
+        handle
+            .submit_deadline(request(seed), budget)
+            .expect("engine died mid-trickle")
+            .wait()
+            .expect("a 30 s budget must never expire in-test");
+        seed += 1;
+        std::thread::sleep(Duration::from_millis(4));
+    }
+    assert!(engine.max_wait() > after_burst, "trickle must re-expand");
+
+    drop(handle);
+    let snap = engine.shutdown();
+    assert!(snap.adaptive_shrinks > 0, "shrinks recorded: {snap}");
+    assert!(snap.adaptive_raises > 0, "raises recorded: {snap}");
+    assert_eq!(
+        snap.shed_requests, 0,
+        "nothing ran past a 30 s budget below saturation: {snap}"
+    );
+    assert_eq!(snap.dropped_requests, 0, "nothing was dropped: {snap}");
+}

@@ -304,10 +304,11 @@ fn l4_clean_crates_forbid_unsafe(files: &[SourceFile], findings: &mut Vec<Findin
 }
 
 /// Files and directories where spawning OS threads is the *point*.
-const SPAWN_ALLOWED: [&str; 2] = ["crates/tensor/src/pool.rs", "crates/net/"];
+const SPAWN_ALLOWED: [&str; 3] = ["crates/tensor/src/pool.rs", "crates/net/", "crates/chaos/"];
 
-/// L5: everything outside the persistent pool and the network front-end
-/// must schedule work on the pool, not spawn raw threads.
+/// L5: everything outside the persistent pool, the network front-end and
+/// the chaos proxy (whose per-connection pump threads are the tool) must
+/// schedule work on the pool, not spawn raw threads.
 fn l5_no_raw_thread_spawn(file: &SourceFile, findings: &mut Vec<Finding>) {
     if file.is_test_scope() {
         return;
@@ -332,9 +333,9 @@ fn l5_no_raw_thread_spawn(file: &SourceFile, findings: &mut Vec<Finding>) {
             rule: "L5",
             file: PathBuf::from(&file.rel),
             line: idx + 1,
-            message: "raw thread spawn outside the persistent pool (`crates/tensor/src/pool.rs`) \
-                      and `crates/net` — schedule on `dsx_tensor::par`, or annotate \
-                      `// lint: allow(thread) — <reason>`"
+            message: "raw thread spawn outside the persistent pool (`crates/tensor/src/pool.rs`), \
+                      `crates/net` and `crates/chaos` — schedule on `dsx_tensor::par`, or \
+                      annotate `// lint: allow(thread) — <reason>`"
                 .to_string(),
         });
     }
@@ -506,6 +507,11 @@ mod tests {
             "pub fn f() {\n    std::thread::spawn(|| {});\n}\n",
         );
         assert!(net.iter().all(|f| f.rule != "L5"));
+        let chaos = lint_one(
+            "crates/chaos/src/lib.rs",
+            "pub fn f() {\n    std::thread::spawn(|| {});\n}\n",
+        );
+        assert!(chaos.iter().all(|f| f.rule != "L5"));
         let allowed = lint_one(
             "crates/foo/src/lib.rs",
             "pub fn f() {\n    // lint: allow(thread) — long-lived supervisor, not kernel work.\n    std::thread::spawn(|| {});\n}\n",
